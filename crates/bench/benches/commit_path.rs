@@ -1,0 +1,72 @@
+//! Criterion macro-bench: the end-to-end transaction commit path through
+//! the whole platform (submit → logical execution → phyQ → worker →
+//! result → cleanup), in logical-only mode — the per-transaction cost
+//! underlying the Figure 4/5 runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tropic_core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic_tcloud::TopologySpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = TopologySpec {
+        compute_hosts: 64,
+        storage_hosts: 16,
+        routers: 0,
+        storage_capacity_mb: 1_000_000_000,
+        host_mem_mb: 1_000_000,
+        ..Default::default()
+    };
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 1,
+            workers: 1,
+            checkpoint_every: 0,
+            ..Default::default()
+        },
+        spec.service(),
+        ExecMode::LogicalOnly,
+    );
+    let client = platform.client();
+
+    let mut group = c.benchmark_group("commit_path");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(8));
+    let mut i = 0u64;
+    // Spawn + destroy per iteration keeps resource usage flat no matter how
+    // many iterations criterion decides to run.
+    group.bench_function("spawn_destroy_round_trip", |b| {
+        b.iter(|| {
+            let host = (i % 64) as usize;
+            let vm = format!("cp{i}");
+            let outcome = client
+                .submit_and_wait(
+                    "spawnVM",
+                    spec.spawn_args(&vm, host, 2_048),
+                    Duration::from_secs(60),
+                )
+                .unwrap();
+            assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
+            let outcome = client
+                .submit_and_wait(
+                    "destroyVM",
+                    vec![
+                        tropic_model::Value::from(TopologySpec::host_path(host).to_string()),
+                        tropic_model::Value::from(vm.as_str()),
+                        tropic_model::Value::from(
+                            TopologySpec::storage_path(host / 4).to_string(),
+                        ),
+                    ],
+                    Duration::from_secs(60),
+                )
+                .unwrap();
+            assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
+            i += 1;
+        })
+    });
+    group.finish();
+    platform.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-bench: coordination-service operations — the paper
+//! identifies ZooKeeper I/O (not logical simulation) as TROPIC's dominant
+//! per-transaction overhead (§6.1); these numbers quantify our substitute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tropic_coord::{CoordConfig, CoordService, CreateMode, DistributedQueue};
+use tropic_model::Path;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coord_store");
+    group.sample_size(30);
+
+    group.bench_function("quorum_create_delete", |b| {
+        let svc = CoordService::start(CoordConfig::default());
+        let client = svc.connect("bench");
+        let base = Path::parse("/bench").unwrap();
+        client.create_all(&base).unwrap();
+        let p = base.join("node");
+        b.iter(|| {
+            client.create(&p, &b"payload"[..], CreateMode::Persistent).unwrap();
+            client.delete(&p, None).unwrap();
+        })
+    });
+
+    group.bench_function("quorum_set_data_1kb", |b| {
+        let svc = CoordService::start(CoordConfig::default());
+        let client = svc.connect("bench");
+        let p = Path::parse("/blob").unwrap();
+        client.create(&p, vec![0u8; 1024], CreateMode::Persistent).unwrap();
+        let payload = vec![7u8; 1024];
+        b.iter(|| {
+            client.set_data(&p, payload.clone(), None).unwrap();
+        })
+    });
+
+    group.bench_function("read_get_data", |b| {
+        let svc = CoordService::start(CoordConfig::default());
+        let client = svc.connect("bench");
+        let p = Path::parse("/r").unwrap();
+        client.create(&p, &b"x"[..], CreateMode::Persistent).unwrap();
+        b.iter(|| black_box(client.get_data(&p).unwrap().is_some()))
+    });
+
+    group.bench_function("queue_enqueue_dequeue", |b| {
+        let svc = CoordService::start(CoordConfig::default());
+        let client = svc.connect("bench");
+        let q = DistributedQueue::new(&client, Path::parse("/q").unwrap()).unwrap();
+        b.iter(|| {
+            q.enqueue(&b"item"[..]).unwrap();
+            black_box(q.try_dequeue().unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-bench: multi-granularity lock manager — the paper notes
+//! locking overhead is one of the constant per-transaction costs that keep
+//! throughput independent of deployment scale (§6.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tropic_core::{with_intentions, LockManager, LockMode};
+use tropic_model::Path;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_manager");
+    group.sample_size(30);
+
+    let paths: Vec<Path> = (0..1_000)
+        .map(|i| Path::parse(&format!("/vmRoot/host{i}/vm1")).unwrap())
+        .collect();
+
+    group.bench_function("acquire_release_write_with_intentions", |b| {
+        let mut lm = LockManager::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let reqs = with_intentions(&paths[i % paths.len()], LockMode::W);
+            lm.try_acquire(1, black_box(&reqs)).unwrap();
+            lm.release_all(1);
+            i += 1;
+        })
+    });
+
+    group.bench_function("conflict_detection_under_contention", |b| {
+        let mut lm = LockManager::new();
+        // 500 outstanding writers on distinct hosts.
+        for (txn, path) in paths.iter().take(500).enumerate() {
+            lm.try_acquire(txn as u64 + 10, &with_intentions(path, LockMode::W))
+                .unwrap();
+        }
+        let contended = with_intentions(&paths[250], LockMode::W);
+        b.iter(|| {
+            let result = lm.try_acquire(9_999, black_box(&contended));
+            black_box(result.is_err());
+        })
+    });
+
+    group.bench_function("spawn_lock_footprint", |b| {
+        // The lock set a spawnVM acquires: W on storage + W on host + the
+        // constraint R locks, with intentions.
+        let storage = Path::parse("/storageRoot/storage17").unwrap();
+        let host = Path::parse("/vmRoot/host70").unwrap();
+        let mut lm = LockManager::new();
+        b.iter(|| {
+            let mut reqs = with_intentions(&storage, LockMode::W);
+            reqs.extend(with_intentions(&storage, LockMode::R));
+            reqs.extend(with_intentions(&host, LockMode::W));
+            reqs.extend(with_intentions(&host, LockMode::R));
+            lm.try_acquire(1, black_box(&reqs)).unwrap();
+            lm.release_all(1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-bench: logical-layer simulation of TCloud procedures —
+//! the CPU component of Figure 4, and (with constraints on vs off) the
+//! §6.2 constraint-checking overhead as a micro-measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tropic_core::{rollback_logical, simulate, LockManager, LogicalOutcome, TxnRecord};
+use tropic_model::ConstraintSet;
+use tropic_tcloud::{actions, constraints, procs, TopologySpec};
+
+fn bench(c: &mut Criterion) {
+    let spec = TopologySpec {
+        compute_hosts: 1_000,
+        storage_hosts: 250,
+        routers: 0,
+        storage_capacity_mb: 1_000_000_000,
+        ..Default::default()
+    };
+    let action_registry = actions::all();
+    let full_constraints = constraints::all();
+    let no_constraints = ConstraintSet::new();
+    let spawn = procs::spawn_vm();
+
+    let mut group = c.benchmark_group("logical_simulation");
+    group.sample_size(20);
+
+    for (label, cons) in [
+        ("with_constraints", &full_constraints),
+        ("no_constraints", &no_constraints),
+    ] {
+        group.bench_function(format!("spawn_vm_simulate_{label}"), |b| {
+            let mut tree = spec.build_tree();
+            let mut locks = LockManager::new();
+            let mut i = 0u64;
+            b.iter(|| {
+                let host = (i % 1_000) as usize;
+                let mut rec = TxnRecord::new(
+                    i + 1,
+                    "spawnVM",
+                    spec.spawn_args(&format!("b{i}"), host, 2_048),
+                    0,
+                );
+                let outcome = simulate(
+                    &mut rec,
+                    spawn.as_ref(),
+                    &mut tree,
+                    &action_registry,
+                    cons,
+                    &mut locks,
+                );
+                assert_eq!(outcome, LogicalOutcome::Runnable);
+                // Undo immediately so the tree does not grow across samples.
+                rollback_logical(&rec.log, &mut tree, &action_registry).unwrap();
+                locks.release_all(i + 1);
+                i += 1;
+                black_box(&rec.log);
+            })
+        });
+    }
+
+    group.bench_function("rollback_logical_spawn_log", |b| {
+        let mut tree = spec.build_tree();
+        let mut locks = LockManager::new();
+        let mut rec = TxnRecord::new(1, "spawnVM", spec.spawn_args("rb", 0, 2_048), 0);
+        simulate(
+            &mut rec,
+            spawn.as_ref(),
+            &mut tree,
+            &action_registry,
+            &full_constraints,
+            &mut locks,
+        );
+        let log = rec.log.clone();
+        // Benchmark the undo+redo pair to keep the state stable.
+        b.iter(|| {
+            rollback_logical(&log, &mut tree, &action_registry).unwrap();
+            for r in &log {
+                action_registry
+                    .get(&r.action)
+                    .unwrap()
+                    .apply_logical(&mut tree, &r.object, &r.args)
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-bench: data-model tree operations (lookup, attribute
+//! write, diff) at a ~10k-node scale — the per-action costs inside logical
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tropic_model::{Node, Path, Tree};
+
+fn build_tree(hosts: usize, vms: usize) -> Tree {
+    let mut t = Tree::new();
+    t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+    for h in 0..hosts {
+        let hp = Path::parse(&format!("/vmRoot/host{h}")).unwrap();
+        t.insert(
+            &hp,
+            Node::new("vmHost").with_attr("memCapacity", 32_768i64).with_attr("hypervisor", "xen"),
+        )
+        .unwrap();
+        for v in 0..vms {
+            t.insert(
+                &hp.join(&format!("vm{v}")),
+                Node::new("vm").with_attr("mem", 2_048i64).with_attr("state", "running"),
+            )
+            .unwrap();
+        }
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let tree = build_tree(1_000, 8);
+    let deep = Path::parse("/vmRoot/host512/vm3").unwrap();
+    let mut group = c.benchmark_group("tree_ops");
+    group.sample_size(30);
+
+    group.bench_function("get_deep_path_9k_nodes", |b| {
+        b.iter(|| black_box(tree.get(black_box(&deep)).is_some()))
+    });
+
+    group.bench_function("set_attr", |b| {
+        let mut t = tree.clone();
+        b.iter(|| {
+            t.set_attr(black_box(&deep), "state", "stopped").unwrap();
+        })
+    });
+
+    group.bench_function("insert_remove_vm", |b| {
+        let mut t = tree.clone();
+        let p = Path::parse("/vmRoot/host0/vmx").unwrap();
+        b.iter(|| {
+            t.insert(&p, Node::new("vm").with_attr("mem", 1i64)).unwrap();
+            t.remove(&p).unwrap();
+        })
+    });
+
+    group.bench_function("diff_identical_9k_nodes", |b| {
+        let other = tree.clone();
+        b.iter(|| black_box(tree.diff(&other, &Path::root()).len()))
+    });
+
+    group.bench_function("diff_scoped_one_host", |b| {
+        let mut other = tree.clone();
+        other.set_attr(&deep, "state", "stopped").unwrap();
+        let scope = Path::parse("/vmRoot/host512").unwrap();
+        b.iter(|| black_box(tree.diff(&other, &scope).len()))
+    });
+
+    group.bench_function("snapshot_1k_hosts", |b| {
+        b.iter(|| black_box(tree.to_snapshot().unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

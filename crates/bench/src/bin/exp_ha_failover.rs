@@ -1,0 +1,114 @@
+//! Regenerates the **§6.4 high-availability experiment**: recovery time
+//! after a leader-controller crash, under the hosting workload, with no
+//! transaction lost.
+//!
+//! The paper measures recovery within 12.5 s, dominated by ZooKeeper's
+//! failure-detection time (the session heartbeat interval), and suggests
+//! more aggressive detection shrinks it. We sweep the session timeout and
+//! show recovery ≈ timeout + a small constant (election + state restore),
+//! which extrapolates to the paper's number at its ~10 s ZooKeeper timeout.
+
+use std::time::Duration;
+
+use tropic_coord::CoordConfig;
+use tropic_core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic_tcloud::TopologySpec;
+
+fn run_once(session_timeout_ms: u64) -> (u64, usize, usize) {
+    let spec = TopologySpec {
+        compute_hosts: 16,
+        storage_hosts: 4,
+        routers: 0,
+        storage_capacity_mb: 100_000_000,
+        ..Default::default()
+    };
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 3,
+            workers: 1,
+            coord: CoordConfig {
+                session_timeout_ms,
+                tick_ms: (session_timeout_ms / 10).max(5),
+                ..CoordConfig::default()
+            },
+            ..Default::default()
+        },
+        spec.service(),
+        ExecMode::LogicalOnly,
+    );
+    let client = platform.client();
+
+    // Warm-up workload under the first leader.
+    for i in 0..8 {
+        let o = client
+            .submit_and_wait(
+                "spawnVM",
+                spec.spawn_args(&format!("pre{i}"), i % 16, 2_048),
+                Duration::from_secs(60),
+            )
+            .expect("warmup txn");
+        assert_eq!(o.state, TxnState::Committed);
+    }
+
+    // Crash the leader, keep submitting during the outage.
+    let crash_at = platform.clock().now_ms();
+    platform.crash_leader().expect("a leader to crash");
+    let ids: Vec<_> = (0..8)
+        .map(|i| {
+            client
+                .submit("spawnVM", spec.spawn_args(&format!("post{i}"), i % 16, 2_048))
+                .expect("submit during outage")
+        })
+        .collect();
+    let submitted = ids.len();
+    let mut completed = 0;
+    for id in ids {
+        let o = client.wait(id, Duration::from_secs(120)).expect("completion");
+        assert_eq!(o.state, TxnState::Committed, "{:?}", o.error);
+        completed += 1;
+    }
+    let recovery_ms = platform
+        .metrics()
+        .events()
+        .iter()
+        .filter(|e| e.kind == "recovery-complete" && e.at_ms >= crash_at)
+        .map(|e| e.at_ms - crash_at)
+        .min()
+        .expect("a recovery event");
+    platform.shutdown();
+    (recovery_ms, submitted, completed)
+}
+
+fn main() {
+    println!("High-availability experiment (paper §6.4): controller failover");
+    println!();
+    println!("| session timeout (ms) | recovery time (ms) | txns during outage | lost |");
+    println!("|---------------------:|-------------------:|-------------------:|-----:|");
+    let mut rows = Vec::new();
+    for timeout in [250u64, 500, 1_000, 2_000] {
+        let (recovery_ms, submitted, completed) = run_once(timeout);
+        println!(
+            "| {timeout} | {recovery_ms} | {submitted} | {} |",
+            submitted - completed
+        );
+        rows.push((timeout, recovery_ms));
+    }
+    println!();
+    // Recovery ≈ detection + constant: fit the constant.
+    let overheads: Vec<f64> = rows
+        .iter()
+        .map(|&(t, r)| r as f64 - t as f64)
+        .collect();
+    let mean_overhead = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    println!(
+        "recovery - timeout (election + state restore): {:?} ms, mean {:.0} ms",
+        overheads.iter().map(|o| o.round() as i64).collect::<Vec<_>>(),
+        mean_overhead
+    );
+    println!(
+        "extrapolated to the paper's ~10 s ZooKeeper failure detection: \
+         ~{:.1} s (paper measured 12.5 s, dominated by detection)",
+        (10_000.0 + mean_overhead) / 1_000.0
+    );
+    println!("paper: no transaction submitted during recovery is lost — reproduced above.");
+}

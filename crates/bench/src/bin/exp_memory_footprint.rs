@@ -1,0 +1,73 @@
+//! Regenerates the **§6.1 memory-footprint claim**: the controller's memory
+//! is dominated by the quantity of managed resources (the logical data
+//! model), not by the active workload; the paper's controller sat at a
+//! stable ~5.4 % of 32 GB and extrapolated to a 2-million-VM ceiling.
+
+use tropic_tcloud::TopologySpec;
+
+fn tree_size(hosts: usize, vms_per_host: usize) -> (usize, usize, f64) {
+    let spec = TopologySpec {
+        compute_hosts: hosts,
+        storage_hosts: (hosts / 4).max(1),
+        routers: 0,
+        host_mem_mb: (vms_per_host as i64) * 2_048,
+        storage_capacity_mb: 1_000_000_000,
+        ..Default::default()
+    };
+    let mut tree = spec.build_tree();
+    // Populate every VM slot, as a fully-loaded cloud would be.
+    for h in 0..hosts {
+        let host_path = TopologySpec::host_path(h);
+        for v in 0..vms_per_host {
+            let vm = tropic_model::Node::new("vm")
+                .with_attr("image", format!("vm{h}x{v}-img"))
+                .with_attr("mem", 2_048i64)
+                .with_attr("state", "running")
+                .with_attr("hypervisor", "xen");
+            tree.insert(&host_path.join(&format!("vm{v}")), vm).expect("slot free");
+        }
+    }
+    let nodes = tree.node_count();
+    let bytes = tree.approx_size();
+    (nodes, bytes, bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn main() {
+    println!("Memory-footprint experiment (paper §6.1)");
+    println!();
+    println!("| compute hosts | VMs | model nodes | model size (MiB) | bytes/VM |");
+    println!("|--------------:|----:|------------:|-----------------:|---------:|");
+    let mut per_vm = Vec::new();
+    for hosts in [125usize, 1_250, 12_500] {
+        let vms = hosts * 8;
+        let (nodes, bytes, mib) = tree_size(hosts, 8);
+        println!(
+            "| {hosts} | {vms} | {nodes} | {mib:.1} | {} |",
+            bytes / vms
+        );
+        per_vm.push(bytes as f64 / vms as f64);
+    }
+    println!();
+    // Paper: with their hardware the max manageable scale was 2M VMs in
+    // 32 GB. Project ours from the measured per-VM cost (with the paper's
+    // observed ~10x overhead of a Python object model over raw bytes, our
+    // Rust model is leaner; report our own ceiling).
+    let bytes_per_vm = per_vm.last().copied().unwrap_or(500.0);
+    let ceiling = (32.0 * 1024.0 * 1024.0 * 1024.0) / (bytes_per_vm * 1.5);
+    println!(
+        "measured model cost: {:.0} bytes/VM; projected 32 GB ceiling \
+         (x1.5 for runtime overhead): {:.1} M VMs",
+        bytes_per_vm,
+        ceiling / 1.0e6
+    );
+    println!(
+        "paper: footprint stable vs workload, dominated by resource count; \
+         2 M-VM ceiling at 32 GB."
+    );
+    println!();
+    println!(
+        "workload-independence: the numbers above depend only on the tree \
+         contents; replaying any trace leaves the node count unchanged \
+         except for the VMs it creates."
+    );
+}

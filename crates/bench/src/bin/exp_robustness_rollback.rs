@@ -1,0 +1,118 @@
+//! Regenerates the **§6.3 robustness experiment**: the logical-layer cost
+//! of rolling back transactions whose physical execution fails — the paper
+//! injects exceptions in the last step of VM spawn and migrate and reports
+//! the logical rollback completing in under 9 ms per transaction.
+//!
+//! Method: run the hosting workload against real simulated devices with the
+//! last spawn/migrate step failing every N-th invocation, and measure both
+//! the end-to-end abort handling and the isolated `rollback_logical` cost.
+
+use std::time::{Duration, Instant};
+
+use tropic_core::{
+    rollback_logical, simulate, ExecMode, LockManager, LogicalOutcome, PlatformConfig, Tropic,
+    TxnRecord, TxnState,
+};
+use tropic_devices::{Device, LatencyModel};
+use tropic_tcloud::{actions, constraints, procs, TopologySpec};
+use tropic_workload::{replay_hosting, HostingSpec, LatencyStats};
+
+fn main() {
+    // Part 1: isolated logical-rollback cost, the paper's headline metric.
+    let spec = TopologySpec {
+        compute_hosts: 16,
+        storage_hosts: 4,
+        routers: 0,
+        storage_capacity_mb: 100_000_000,
+        ..Default::default()
+    };
+    let action_registry = actions::all();
+    let constraint_set = constraints::all();
+    let mut tree = spec.build_tree();
+    let mut locks = LockManager::new();
+    let mut rollback_us = Vec::new();
+    for i in 0..500u64 {
+        let host = (i % 16) as usize;
+        let mut rec = TxnRecord::new(i + 1, "spawnVM", spec.spawn_args(&format!("rb{i}"), host, 2_048), 0);
+        let outcome = simulate(
+            &mut rec,
+            procs::spawn_vm().as_ref(),
+            &mut tree,
+            &action_registry,
+            &constraint_set,
+            &mut locks,
+        );
+        assert_eq!(outcome, LogicalOutcome::Runnable);
+        // Physical execution "failed": roll the logical layer back.
+        let t0 = Instant::now();
+        rollback_logical(&rec.log, &mut tree, &action_registry).expect("undo chain");
+        rollback_us.push(t0.elapsed().as_micros() as u64);
+        locks.release_all(i + 1);
+    }
+    let iso = LatencyStats::new(rollback_us);
+    println!("Robustness experiment (paper §6.3): rollback overhead");
+    println!();
+    println!("isolated logical rollback of a 5-action spawnVM log (500 runs):");
+    println!(
+        "  median {} us, p99 {} us, max {} us  (paper bound: < 9 ms)",
+        iso.median(),
+        iso.percentile(99.0),
+        iso.max()
+    );
+    assert!(iso.percentile(99.0) < 9_000, "p99 must stay below the paper's 9 ms");
+
+    // Part 2: end-to-end error handling with faults injected in the last
+    // step of spawn and migrate (the paper's two error scenarios).
+    let devices = spec.build_devices(&LatencyModel::zero());
+    for compute in &devices.computes {
+        // startVM is the final action of both spawnVM and (running) migrate.
+        compute.fault_plan().fail_every_nth("startVM", 4);
+    }
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 1,
+            workers: 2,
+            ..Default::default()
+        },
+        spec.service(),
+        ExecMode::Physical(devices.registry.clone()),
+    );
+    let ops = HostingSpec {
+        operations: 300,
+        hosts: 16,
+        slots_per_host: 8,
+        ..Default::default()
+    }
+    .generate();
+    let report = replay_hosting(
+        &platform,
+        &spec,
+        &ops,
+        Duration::ZERO,
+        2_048,
+        Duration::from_secs(300),
+    );
+    let samples = platform.metrics().samples();
+    let aborted: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.state == TxnState::Aborted)
+        .map(|s| s.latency_ms())
+        .collect();
+    let aborted_stats = LatencyStats::new(aborted);
+    println!();
+    println!(
+        "end-to-end with every 4th startVM failing: {} submitted, {} committed, {} aborted, {} failed",
+        report.submitted, report.committed, report.aborted, report.failed
+    );
+    println!(
+        "aborted-transaction end-to-end latency: median {} ms, p99 {} ms",
+        aborted_stats.median(),
+        aborted_stats.percentile(99.0)
+    );
+    println!();
+    println!(
+        "paper: TROPIC handles transaction errors and rollback efficiently; \
+         logical-layer operations complete in < 9 ms per transaction."
+    );
+    platform.shutdown();
+}

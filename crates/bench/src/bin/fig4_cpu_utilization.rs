@@ -1,0 +1,77 @@
+//! Regenerates **Figure 4** of the paper: controller CPU utilization under
+//! the 1×–5× EC2 workloads.
+//!
+//! The paper's observations to reproduce: utilization is synchronized with
+//! the workload (burst at 0.8 of the duration), rises linearly with the
+//! scale factor, and stays well below saturation even at 5× (the paper
+//! measured 54 % peak; our absolute numbers differ — simulated substrate —
+//! but the linear scaling and the burst shape must hold).
+//!
+//! Knobs: `TROPIC_EC2_DURATION_S` (default 45), `TROPIC_EC2_HOSTS`
+//! (default 1000; the paper's full scale is 12500), `TROPIC_WRITE_LAT_US`
+//! (default 1500 — emulated ZooKeeper write latency in µs).
+
+use std::time::Duration;
+
+use tropic_bench::{env_f64, env_usize, run_ec2_scale, short_ec2_trace};
+use tropic_tcloud::TopologySpec;
+use tropic_workload::sparkline;
+
+fn main() {
+    let duration_s = env_usize("TROPIC_EC2_DURATION_S", 45);
+    let hosts = env_usize("TROPIC_EC2_HOSTS", 1_000);
+    let write_lat = Duration::from_micros(env_f64("TROPIC_WRITE_LAT_US", 1_500.0) as u64);
+    let spec = TopologySpec {
+        compute_hosts: hosts,
+        storage_hosts: (hosts / 4).max(1),
+        routers: 0,
+        host_mem_mb: 16_384,
+        storage_capacity_mb: 1_000_000_000,
+        ..Default::default()
+    };
+    let trace = short_ec2_trace(duration_s);
+    println!(
+        "Figure 4: controller CPU utilization, EC2 workload 1x-5x \
+         ({hosts} hosts, {}s compressed trace, {}us coord write latency)",
+        duration_s,
+        write_lat.as_micros()
+    );
+    println!();
+
+    let bucket_ms = (duration_s as u64 * 1_000 / 12).max(500);
+    let mut peaks = Vec::new();
+    for scale in 1..=5u32 {
+        let run = run_ec2_scale(&spec, &trace, scale, write_lat, bucket_ms);
+        let peak = run.cpu_buckets.iter().cloned().fold(0.0f64, f64::max);
+        let mean = if run.cpu_buckets.is_empty() {
+            0.0
+        } else {
+            run.cpu_buckets.iter().sum::<f64>() / run.cpu_buckets.len() as f64
+        };
+        println!(
+            "{scale}x EC2: {} txns, committed {}, util {} peak {:5.2}% mean {:5.2}%",
+            run.report.submitted,
+            run.report.committed,
+            sparkline(&run.cpu_buckets),
+            peak,
+            mean,
+        );
+        peaks.push(peak);
+    }
+    println!();
+    println!("| scale | peak controller utilization (%) | vs 1x |");
+    println!("|------:|--------------------------------:|------:|");
+    for (i, p) in peaks.iter().enumerate() {
+        println!(
+            "| {}x | {:.2} | {:.2} |",
+            i + 1,
+            p,
+            if peaks[0] > 0.0 { p / peaks[0] } else { 0.0 }
+        );
+    }
+    println!();
+    println!(
+        "paper: utilization synchronized with the workload burst, scaling \
+         linearly 1x-5x, peak 54% at 5x (never saturating)."
+    );
+}

@@ -1,0 +1,376 @@
+//! The replica ensemble and its totally-ordered broadcast.
+//!
+//! A leader replica assigns each write a zxid `(epoch << 32) | counter` and
+//! replicates it to the followers through the [`SimNet`]; the write commits
+//! once a quorum (including the leader) has acknowledged it, following the
+//! protocol sketch of Reed & Junqueira cited by the paper ([21]). When the
+//! leader replica crashes, the surviving replica with the longest log is
+//! elected and lagging replicas sync from it.
+
+use crate::error::{CoordError, CoordResult};
+use crate::net::{NodeId, SimNet};
+use crate::store::{Op, OpResult, StoreEvent, ZnodeStore};
+
+/// A single ensemble replica: an op log plus the store it materializes.
+#[derive(Debug)]
+struct Replica {
+    id: NodeId,
+    alive: bool,
+    log: Vec<(u64, Op)>,
+    store: ZnodeStore,
+    last_zxid: u64,
+}
+
+impl Replica {
+    fn new(id: NodeId) -> Self {
+        Replica {
+            id,
+            alive: true,
+            log: Vec::new(),
+            store: ZnodeStore::new(),
+            last_zxid: 0,
+        }
+    }
+
+    fn append_and_apply(&mut self, zxid: u64, op: &Op) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        self.log.push((zxid, op.clone()));
+        self.last_zxid = zxid;
+        self.store.apply(zxid, op)
+    }
+}
+
+/// Counters describing broadcast activity, reported by experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnsembleStats {
+    /// Committed writes.
+    pub committed: u64,
+    /// Writes rejected for lack of quorum.
+    pub no_quorum: u64,
+    /// Ensemble-internal leader elections.
+    pub elections: u64,
+}
+
+/// A quorum-replicated log of store operations.
+pub struct Ensemble {
+    replicas: Vec<Replica>,
+    net: SimNet,
+    leader: Option<NodeId>,
+    epoch: u64,
+    counter: u64,
+    stats: EnsembleStats,
+}
+
+impl Ensemble {
+    /// Creates an ensemble of `n` replicas (odd sizes make sensible quorums)
+    /// on a fresh simulated network.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1, "ensemble needs at least one replica");
+        let mut e = Ensemble {
+            replicas: (0..n).map(Replica::new).collect(),
+            net: SimNet::new(seed),
+            leader: Some(0),
+            epoch: 1,
+            counter: 0,
+            stats: EnsembleStats::default(),
+        };
+        e.stats.elections = 1;
+        e
+    }
+
+    /// The simulated network, for fault injection.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Quorum size: a strict majority.
+    pub fn quorum(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+
+    /// The current leader replica, if one holds a quorum.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// Broadcast statistics.
+    pub fn stats(&self) -> EnsembleStats {
+        self.stats
+    }
+
+    /// Crashes a replica: it stops acking and serving until restarted.
+    pub fn crash_replica(&mut self, id: NodeId) {
+        if let Some(r) = self.replicas.get_mut(id) {
+            r.alive = false;
+        }
+        if self.leader == Some(id) {
+            self.elect();
+        }
+    }
+
+    /// Restarts a crashed replica, which syncs its log from the leader.
+    pub fn restart_replica(&mut self, id: NodeId) {
+        let Some(leader) = self.leader.or_else(|| {
+            self.elect();
+            self.leader
+        }) else {
+            return;
+        };
+        if id >= self.replicas.len() {
+            return;
+        }
+        let (log, store, last_zxid) = {
+            let l = &self.replicas[leader];
+            (l.log.clone(), l.store.clone(), l.last_zxid)
+        };
+        let r = &mut self.replicas[id];
+        r.alive = true;
+        r.log = log;
+        r.store = store;
+        r.last_zxid = last_zxid;
+    }
+
+    /// Elects the alive replica with the longest log as leader, bumping the
+    /// epoch and syncing reachable followers from it. Called automatically
+    /// when the current leader crashes.
+    fn elect(&mut self) {
+        let new_leader = self
+            .replicas
+            .iter()
+            .filter(|r| r.alive)
+            .max_by_key(|r| (r.last_zxid, std::cmp::Reverse(r.id)))
+            .map(|r| r.id);
+        self.leader = new_leader;
+        if let Some(leader) = new_leader {
+            self.epoch += 1;
+            self.counter = 0;
+            self.stats.elections += 1;
+            // Followers that can reach the new leader sync to its state.
+            let (log, store, last_zxid) = {
+                let l = &self.replicas[leader];
+                (l.log.clone(), l.store.clone(), l.last_zxid)
+            };
+            for id in 0..self.replicas.len() {
+                if id == leader || !self.replicas[id].alive {
+                    continue;
+                }
+                if self.net.deliver(leader, id) && self.replicas[id].last_zxid < last_zxid {
+                    let r = &mut self.replicas[id];
+                    r.log = log.clone();
+                    r.store = store.clone();
+                    r.last_zxid = last_zxid;
+                }
+            }
+        }
+    }
+
+    /// Number of alive replicas the leader can currently reach (itself
+    /// included).
+    fn reachable_from_leader(&self, leader: NodeId) -> Vec<NodeId> {
+        self.replicas
+            .iter()
+            .filter(|r| r.alive)
+            .filter(|r| r.id == leader || self.net.deliver(leader, r.id))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Submits a write through the broadcast protocol.
+    ///
+    /// Returns the leader's apply result and the store events the op
+    /// produced, or [`CoordError::NoQuorum`] when too few replicas ack (in
+    /// which case nothing is applied anywhere).
+    pub fn submit(&mut self, op: Op) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        let Some(leader) = self.leader.filter(|&l| self.replicas[l].alive) else {
+            self.elect();
+            let Some(_) = self.leader else {
+                return (Err(CoordError::Unavailable), Vec::new());
+            };
+            return self.submit(op);
+        };
+
+        // Propose phase: count replicas that receive and ack the proposal.
+        let ackers = self.reachable_from_leader(leader);
+        if ackers.len() < self.quorum() {
+            self.stats.no_quorum += 1;
+            return (
+                Err(CoordError::NoQuorum {
+                    acks: ackers.len(),
+                    needed: self.quorum(),
+                }),
+                Vec::new(),
+            );
+        }
+
+        // Commit phase: assign the zxid and apply on every acking replica.
+        self.counter += 1;
+        let zxid = (self.epoch << 32) | self.counter;
+        let mut leader_result = None;
+        let mut leader_events = Vec::new();
+        for id in ackers {
+            let r = &mut self.replicas[id];
+            let (result, events) = r.append_and_apply(zxid, &op);
+            if id == leader {
+                leader_result = Some(result);
+                leader_events = events;
+            }
+        }
+        self.stats.committed += 1;
+        (leader_result.expect("leader acked"), leader_events)
+    }
+
+    /// Reads from the leader's store. Returns an error when no leader holds
+    /// a quorum.
+    pub fn read<T>(&mut self, f: impl FnOnce(&ZnodeStore) -> T) -> CoordResult<T> {
+        let Some(leader) = self.leader.filter(|&l| self.replicas[l].alive) else {
+            self.elect();
+            let Some(leader) = self.leader else {
+                return Err(CoordError::Unavailable);
+            };
+            return Ok(f(&self.replicas[leader].store));
+        };
+        if self.reachable_from_leader(leader).len() < self.quorum() {
+            return Err(CoordError::NoQuorum {
+                acks: 1,
+                needed: self.quorum(),
+            });
+        }
+        Ok(f(&self.replicas[leader].store))
+    }
+
+    /// Verifies that every alive replica's store matches the leader's.
+    /// Used by invariant tests.
+    pub fn replicas_consistent(&self) -> bool {
+        let Some(leader) = self.leader else {
+            return true;
+        };
+        let reference = &self.replicas[leader];
+        self.replicas
+            .iter()
+            .filter(|r| r.alive && r.last_zxid == reference.last_zxid)
+            .all(|r| r.store.node_count() == reference.store.node_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tropic_model::Path;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn create_op(path: &str) -> Op {
+        Op::Create {
+            path: p(path),
+            data: Bytes::from_static(b"d"),
+            ephemeral_owner: None,
+            sequential: false,
+        }
+    }
+
+    #[test]
+    fn writes_replicate_to_all() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        e.submit(create_op("/a/b")).0.unwrap();
+        for r in &e.replicas {
+            assert_eq!(r.store.node_count(), 3);
+            assert_eq!(r.log.len(), 2);
+        }
+        assert!(e.replicas_consistent());
+        assert_eq!(e.stats().committed, 2);
+    }
+
+    #[test]
+    fn survives_minority_crash() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        e.crash_replica(2);
+        e.submit(create_op("/b")).0.unwrap();
+        assert_eq!(e.replicas[0].store.node_count(), 3);
+        assert_eq!(e.replicas[2].store.node_count(), 2);
+        // Restarted replica catches up.
+        e.restart_replica(2);
+        assert_eq!(e.replicas[2].store.node_count(), 3);
+    }
+
+    #[test]
+    fn leader_crash_triggers_election() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        assert_eq!(e.leader(), Some(0));
+        e.crash_replica(0);
+        assert_ne!(e.leader(), Some(0));
+        assert!(e.leader().is_some());
+        // Writes continue under the new leader with a higher epoch.
+        e.submit(create_op("/b")).0.unwrap();
+        let leader = e.leader().unwrap();
+        assert!(e.replicas[leader].store.exists(&p("/b")));
+        assert!(e.replicas[leader].store.exists(&p("/a")));
+        assert!(e.stats().elections >= 2);
+    }
+
+    #[test]
+    fn majority_crash_blocks_writes() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        e.crash_replica(1);
+        e.crash_replica(2);
+        let (res, _) = e.submit(create_op("/b"));
+        assert!(matches!(res, Err(CoordError::NoQuorum { .. })));
+        // Nothing applied.
+        assert!(!e.replicas[0].store.exists(&p("/b")));
+        // Recovery after restart.
+        e.restart_replica(1);
+        e.submit(create_op("/b")).0.unwrap();
+    }
+
+    #[test]
+    fn partition_isolating_leader_blocks_writes() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        e.net().partition(vec![vec![0], vec![1, 2]]);
+        let (res, _) = e.submit(create_op("/b"));
+        assert!(matches!(res, Err(CoordError::NoQuorum { .. })));
+        e.net().heal();
+        e.submit(create_op("/b")).0.unwrap();
+    }
+
+    #[test]
+    fn all_crashed_is_unavailable() {
+        let mut e = Ensemble::new(1, 1);
+        e.crash_replica(0);
+        let (res, _) = e.submit(create_op("/x"));
+        assert!(matches!(res, Err(CoordError::Unavailable)));
+    }
+
+    #[test]
+    fn zxids_monotonic_across_epochs() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        let z1 = e.replicas[0].last_zxid;
+        e.crash_replica(0);
+        e.submit(create_op("/b")).0.unwrap();
+        let leader = e.leader().unwrap();
+        let z2 = e.replicas[leader].last_zxid;
+        assert!(z2 > z1, "zxid must grow across epochs: {z1} vs {z2}");
+    }
+
+    #[test]
+    fn read_requires_quorum() {
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        let exists = e.read(|s| s.exists(&p("/a"))).unwrap();
+        assert!(exists);
+        e.crash_replica(1);
+        e.crash_replica(2);
+        assert!(e.read(|s| s.exists(&p("/a"))).is_err());
+    }
+}

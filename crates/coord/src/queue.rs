@@ -1,0 +1,233 @@
+//! Distributed queue recipe over the coordination service.
+//!
+//! TROPIC decouples its components through two durable queues, `inputQ` and
+//! `phyQ` (paper Figure 1). Each queue is a znode whose children are
+//! sequentially-numbered persistent items; dequeue claims the lowest item by
+//! deleting it, so exactly one consumer wins even with many workers.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use tropic_model::Path;
+
+use crate::error::{CoordError, CoordResult};
+use crate::service::{CoordClient, CreateMode, WatchKind};
+
+/// A durable multi-producer multi-consumer FIFO queue.
+pub struct DistributedQueue<'a> {
+    client: &'a CoordClient,
+    base: Path,
+}
+
+impl<'a> DistributedQueue<'a> {
+    /// Binds a queue rooted at `base`, creating the base znode if needed.
+    pub fn new(client: &'a CoordClient, base: Path) -> CoordResult<Self> {
+        client.create_all(&base)?;
+        Ok(DistributedQueue { client, base })
+    }
+
+    /// The queue's base path.
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// Appends an item, returning the znode path that identifies it.
+    pub fn enqueue(&self, data: impl Into<Bytes>) -> CoordResult<Path> {
+        self.client
+            .create(&self.base.join("item-"), data, CreateMode::PersistentSequential)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> CoordResult<usize> {
+        Ok(self.client.get_children(&self.base)?.len())
+    }
+
+    /// Returns `true` if the queue has no items.
+    pub fn is_empty(&self) -> CoordResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Attempts to claim the head item. Returns `None` when the queue is
+    /// empty. When several consumers race, the delete succeeds for exactly
+    /// one; losers silently move on to the next item.
+    pub fn try_dequeue(&self) -> CoordResult<Option<(String, Bytes)>> {
+        loop {
+            let children = self.client.get_children(&self.base)?;
+            let Some(head) = children.into_iter().min() else {
+                return Ok(None);
+            };
+            let item_path = self.base.join(&head);
+            let Some((data, _)) = self.client.get_data(&item_path)? else {
+                // Claimed by a competitor between list and read; try again.
+                continue;
+            };
+            match self.client.delete(&item_path, None) {
+                Ok(()) => return Ok(Some((head, data))),
+                Err(CoordError::NoNode(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` for an item, using a children watch to avoid
+    /// busy-polling.
+    pub fn dequeue_timeout(&self, timeout: Duration) -> CoordResult<Option<(String, Bytes)>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(item) = self.try_dequeue()? {
+                return Ok(Some(item));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.client.watch(&self.base, WatchKind::Children)?;
+            // Re-check after registering the watch: an item may have landed
+            // in between, in which case the watch may never fire for it.
+            if let Some(item) = self.try_dequeue()? {
+                return Ok(Some(item));
+            }
+            let _ = self.client.wait_event(deadline - now);
+        }
+    }
+
+    /// Removes a specific item by name. Used by peek-process-remove
+    /// consumers (the controller), where the side effects of processing are
+    /// persisted *before* the item disappears, making a crash in between
+    /// recoverable (the successor re-reads the item and skips idempotently).
+    pub fn remove(&self, name: &str) -> CoordResult<()> {
+        match self.client.delete(&self.base.join(name), None) {
+            Ok(()) | Err(CoordError::NoNode(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads the head item without claiming it.
+    pub fn peek(&self) -> CoordResult<Option<(String, Bytes)>> {
+        let children = self.client.get_children(&self.base)?;
+        let Some(head) = children.into_iter().min() else {
+            return Ok(None);
+        };
+        let item_path = self.base.join(&head);
+        Ok(self
+            .client
+            .get_data(&item_path)?
+            .map(|(data, _)| (head, data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{CoordConfig, CoordService};
+    use std::sync::Arc;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn svc() -> CoordService {
+        CoordService::start(CoordConfig::default())
+    }
+
+    #[test]
+    fn fifo_order() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/inputQ")).unwrap();
+        assert!(q.is_empty().unwrap());
+        q.enqueue(Bytes::from_static(b"a")).unwrap();
+        q.enqueue(Bytes::from_static(b"b")).unwrap();
+        q.enqueue(Bytes::from_static(b"c")).unwrap();
+        assert_eq!(q.len().unwrap(), 3);
+        let (_, d1) = q.try_dequeue().unwrap().unwrap();
+        let (_, d2) = q.try_dequeue().unwrap().unwrap();
+        let (_, d3) = q.try_dequeue().unwrap().unwrap();
+        assert_eq!((&d1[..], &d2[..], &d3[..]), (&b"a"[..], &b"b"[..], &b"c"[..]));
+        assert!(q.try_dequeue().unwrap().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/q")).unwrap();
+        q.enqueue(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(&q.peek().unwrap().unwrap().1[..], b"x");
+        assert_eq!(q.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_consumers_claim_each_item_once() {
+        let svc = Arc::new(svc());
+        let producer = svc.connect("p");
+        let q = DistributedQueue::new(&producer, p("/phyQ")).unwrap();
+        const N: usize = 200;
+        for i in 0..N {
+            q.enqueue(Bytes::from(format!("{i}"))).unwrap();
+        }
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let client = svc.connect(&format!("w{w}"));
+                let q = DistributedQueue::new(&client, p("/phyQ")).unwrap();
+                let mut claimed = Vec::new();
+                while let Some((_, data)) = q.try_dequeue().unwrap() {
+                    claimed.push(String::from_utf8(data.to_vec()).unwrap());
+                }
+                claimed
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|s| s.parse::<usize>().unwrap());
+        assert_eq!(all.len(), N, "each item claimed exactly once");
+        for (i, item) in all.iter().enumerate() {
+            assert_eq!(item, &format!("{i}"));
+        }
+    }
+
+    #[test]
+    fn dequeue_timeout_waits_for_producer() {
+        let svc = Arc::new(svc());
+        let svc2 = Arc::clone(&svc);
+        let consumer = std::thread::spawn(move || {
+            let c = svc2.connect("consumer");
+            let q = DistributedQueue::new(&c, p("/q")).unwrap();
+            q.dequeue_timeout(Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let c = svc.connect("producer");
+        let q = DistributedQueue::new(&c, p("/q")).unwrap();
+        q.enqueue(Bytes::from_static(b"late")).unwrap();
+        let got = consumer.join().unwrap().unwrap();
+        assert_eq!(&got.1[..], b"late");
+    }
+
+    #[test]
+    fn dequeue_timeout_times_out() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/q")).unwrap();
+        let start = std::time::Instant::now();
+        assert!(q
+            .dequeue_timeout(Duration::from_millis(100))
+            .unwrap()
+            .is_none());
+        assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn queue_survives_replica_crash() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/q")).unwrap();
+        q.enqueue(Bytes::from_static(b"durable")).unwrap();
+        svc.crash_replica(0);
+        let (_, data) = q.try_dequeue().unwrap().unwrap();
+        assert_eq!(&data[..], b"durable");
+    }
+}

@@ -1,0 +1,720 @@
+//! The coordination service façade: sessions, watches, and client handles.
+//!
+//! [`CoordService`] wraps an [`Ensemble`] with the ZooKeeper-style session
+//! machinery TROPIC depends on (paper §2.3): clients hold sessions kept
+//! alive by heartbeats; when a session expires, its ephemeral znodes are
+//! purged — which is exactly what lets the surviving controllers detect a
+//! failed leader. Watches are one-shot notifications, as in ZooKeeper.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use tropic_model::{real_clock, Path, SharedClock};
+
+use crate::ensemble::{Ensemble, EnsembleStats};
+use crate::error::{CoordError, CoordResult};
+use crate::store::{Op, OpResult, Stat, StoreEvent};
+
+/// Configuration of a coordination service instance.
+#[derive(Clone, Debug)]
+pub struct CoordConfig {
+    /// Number of ensemble replicas (the paper deploys 3).
+    pub replicas: usize,
+    /// Session timeout: a client silent for this long is declared dead and
+    /// its ephemeral znodes are purged. This dominates controller failover
+    /// time (paper §6.4).
+    pub session_timeout_ms: u64,
+    /// Expiry-check period.
+    pub tick_ms: u64,
+    /// Simulated I/O latency added to every write while the ensemble lock is
+    /// held. Models the ZooKeeper logging cost the paper identifies as the
+    /// dominant overhead (§6.1); writes serialize behind it, bounding global
+    /// write throughput at roughly `1 / write_latency`.
+    pub write_latency: Duration,
+    /// Seed for fault-injection randomness.
+    pub seed: u64,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        CoordConfig {
+            replicas: 3,
+            session_timeout_ms: 2_000,
+            tick_ms: 50,
+            write_latency: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+/// Kinds of one-shot watches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Fires on creation, deletion, or data change of the node itself.
+    Node,
+    /// Fires when the node's set of children changes.
+    Children,
+}
+
+/// A fired watch delivered to a client's event channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The store event that fired the watch.
+    pub event: StoreEvent,
+}
+
+#[derive(Debug)]
+struct Session {
+    #[allow(dead_code)]
+    name: String,
+    last_seen_ms: u64,
+    expired: bool,
+}
+
+#[derive(Default)]
+struct WatchTable {
+    node: HashMap<Path, Vec<u64>>,
+    children: HashMap<Path, Vec<u64>>,
+}
+
+/// Operation counters for the experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Write operations submitted.
+    pub writes: u64,
+    /// Read operations served.
+    pub reads: u64,
+    /// Watch events delivered.
+    pub watch_events: u64,
+    /// Sessions expired.
+    pub expired_sessions: u64,
+}
+
+pub(crate) struct ServiceInner {
+    ensemble: Mutex<Ensemble>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    watches: Mutex<WatchTable>,
+    client_txs: Mutex<HashMap<u64, Sender<WatchEvent>>>,
+    clock: SharedClock,
+    config: CoordConfig,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    stats: Mutex<ServiceStats>,
+}
+
+impl ServiceInner {
+    fn dispatch_events(&self, events: &[StoreEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut watches = self.watches.lock();
+        let client_txs = self.client_txs.lock();
+        let mut fired = 0u64;
+        for event in events {
+            let targets: Vec<u64> = match event {
+                StoreEvent::Created(p) | StoreEvent::Deleted(p) | StoreEvent::DataChanged(p) => {
+                    watches.node.remove(p).unwrap_or_default()
+                }
+                StoreEvent::ChildrenChanged(p) => watches.children.remove(p).unwrap_or_default(),
+            };
+            for client in targets {
+                if let Some(tx) = client_txs.get(&client) {
+                    let _ = tx.send(WatchEvent {
+                        event: event.clone(),
+                    });
+                    fired += 1;
+                }
+            }
+        }
+        drop(client_txs);
+        drop(watches);
+        self.stats.lock().watch_events += fired;
+    }
+
+    fn check_session(&self, session: u64) -> CoordResult<()> {
+        let mut sessions = self.sessions.lock();
+        match sessions.get_mut(&session) {
+            Some(s) if !s.expired => {
+                s.last_seen_ms = self.clock.now_ms();
+                Ok(())
+            }
+            _ => Err(CoordError::SessionExpired),
+        }
+    }
+
+    fn submit(&self, session: u64, op: Op) -> CoordResult<OpResult> {
+        self.check_session(session)?;
+        self.stats.lock().writes += 1;
+        let (result, events) = {
+            let mut ensemble = self.ensemble.lock();
+            // The latency sleep sits inside the ensemble lock on purpose:
+            // ZooKeeper serializes writes through its leader's log, so the
+            // simulated I/O cost must bound *global* write throughput.
+            if !self.config.write_latency.is_zero() {
+                self.clock.sleep(self.config.write_latency);
+            }
+            ensemble.submit(op)
+        };
+        self.dispatch_events(&events);
+        result
+    }
+
+    fn expire_session_locked(&self, session: u64) {
+        {
+            let mut sessions = self.sessions.lock();
+            match sessions.get_mut(&session) {
+                Some(s) if !s.expired => s.expired = true,
+                _ => return,
+            }
+        }
+        self.stats.lock().expired_sessions += 1;
+        let (result, events) = {
+            let mut ensemble = self.ensemble.lock();
+            ensemble.submit(Op::PurgeSession { session })
+        };
+        // Purge is best-effort when the ensemble lacks quorum; the paths
+        // remain until quorum returns (the next successful write or restart
+        // re-runs no purge, matching ZooKeeper, where the purge is part of
+        // the leader log and simply waits for quorum).
+        if result.is_ok() {
+            self.dispatch_events(&events);
+        }
+    }
+}
+
+/// A highly-available coordination service backed by a replica ensemble.
+///
+/// Dropping the service stops its expiry thread.
+pub struct CoordService {
+    inner: Arc<ServiceInner>,
+    expiry_thread: Option<JoinHandle<()>>,
+}
+
+impl CoordService {
+    /// Starts a service with the given configuration on the real clock.
+    pub fn start(config: CoordConfig) -> Self {
+        Self::start_with_clock(config, real_clock())
+    }
+
+    /// Starts a service reading time from `clock` (tests use a manual clock).
+    pub fn start_with_clock(config: CoordConfig, clock: SharedClock) -> Self {
+        let inner = Arc::new(ServiceInner {
+            ensemble: Mutex::new(Ensemble::new(config.replicas, config.seed)),
+            sessions: Mutex::new(HashMap::new()),
+            watches: Mutex::new(WatchTable::default()),
+            client_txs: Mutex::new(HashMap::new()),
+            clock,
+            config,
+            next_session: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(ServiceStats::default()),
+        });
+        let expiry_inner = Arc::clone(&inner);
+        let expiry_thread = std::thread::Builder::new()
+            .name("coord-expiry".into())
+            .spawn(move || {
+                while !expiry_inner.shutdown.load(Ordering::SeqCst) {
+                    expiry_inner.clock.sleep_interruptible(
+                        Duration::from_millis(expiry_inner.config.tick_ms),
+                        &expiry_inner.shutdown,
+                    );
+                    let now = expiry_inner.clock.now_ms();
+                    let timeout = expiry_inner.config.session_timeout_ms;
+                    let stale: Vec<u64> = {
+                        let sessions = expiry_inner.sessions.lock();
+                        sessions
+                            .iter()
+                            .filter(|(_, s)| !s.expired && now.saturating_sub(s.last_seen_ms) > timeout)
+                            .map(|(id, _)| *id)
+                            .collect()
+                    };
+                    for session in stale {
+                        expiry_inner.expire_session_locked(session);
+                    }
+                }
+            })
+            .expect("spawn coord expiry thread");
+        CoordService {
+            inner,
+            expiry_thread: Some(expiry_thread),
+        }
+    }
+
+    /// Opens a client session. `name` labels the session in diagnostics.
+    pub fn connect(&self, name: &str) -> CoordClient {
+        let session = self.inner.next_session.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = unbounded();
+        self.inner.sessions.lock().insert(
+            session,
+            Session {
+                name: name.to_owned(),
+                last_seen_ms: self.inner.clock.now_ms(),
+                expired: false,
+            },
+        );
+        self.inner.client_txs.lock().insert(session, tx);
+        CoordClient {
+            inner: Arc::clone(&self.inner),
+            session,
+            events: rx,
+        }
+    }
+
+    /// Crashes an ensemble replica.
+    pub fn crash_replica(&self, id: usize) {
+        self.inner.ensemble.lock().crash_replica(id);
+    }
+
+    /// Restarts a crashed ensemble replica (it syncs from the leader).
+    pub fn restart_replica(&self, id: usize) {
+        self.inner.ensemble.lock().restart_replica(id);
+    }
+
+    /// Forces a session to expire immediately, as if its heartbeats stopped
+    /// a session-timeout ago. Used by failover tests and the HA experiment.
+    pub fn expire_session(&self, session: u64) {
+        self.inner.expire_session_locked(session);
+    }
+
+    /// Partitions the replica network into groups.
+    pub fn partition(&self, groups: Vec<Vec<usize>>) {
+        self.inner.ensemble.lock().net().partition(groups);
+    }
+
+    /// Heals all replica-network partitions.
+    pub fn heal(&self) {
+        self.inner.ensemble.lock().net().heal();
+    }
+
+    /// Service-level statistics.
+    pub fn stats(&self) -> ServiceStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Ensemble-level statistics.
+    pub fn ensemble_stats(&self) -> EnsembleStats {
+        self.inner.ensemble.lock().stats()
+    }
+
+    /// The configured session timeout in milliseconds.
+    pub fn session_timeout_ms(&self) -> u64 {
+        self.inner.config.session_timeout_ms
+    }
+}
+
+impl Drop for CoordService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.expiry_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How a znode is created.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CreateMode {
+    /// Plain persistent node.
+    Persistent,
+    /// Persistent node with a monotonic sequence suffix.
+    PersistentSequential,
+    /// Deleted when the creating session expires.
+    Ephemeral,
+    /// Ephemeral with a sequence suffix (the election recipe's mode).
+    EphemeralSequential,
+}
+
+/// A client handle bound to one session.
+pub struct CoordClient {
+    inner: Arc<ServiceInner>,
+    session: u64,
+    events: Receiver<WatchEvent>,
+}
+
+impl CoordClient {
+    /// The session identifier.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// Refreshes the session heartbeat.
+    pub fn ping(&self) -> CoordResult<()> {
+        self.inner.check_session(self.session)
+    }
+
+    /// Creates a znode, returning its final path (sequence suffix applied).
+    pub fn create(&self, path: &Path, data: impl Into<Bytes>, mode: CreateMode) -> CoordResult<Path> {
+        let (ephemeral, sequential) = match mode {
+            CreateMode::Persistent => (false, false),
+            CreateMode::PersistentSequential => (false, true),
+            CreateMode::Ephemeral => (true, false),
+            CreateMode::EphemeralSequential => (true, true),
+        };
+        let op = Op::Create {
+            path: path.clone(),
+            data: data.into(),
+            ephemeral_owner: ephemeral.then_some(self.session),
+            sequential,
+        };
+        match self.inner.submit(self.session, op)? {
+            OpResult::Created(p) => Ok(p),
+            other => unreachable!("create returned {other:?}"),
+        }
+    }
+
+    /// Creates every missing node along `path` as a persistent znode.
+    /// Existing prefixes are left untouched.
+    pub fn create_all(&self, path: &Path) -> CoordResult<()> {
+        for prefix in path.ancestors_and_self() {
+            if prefix.is_root() {
+                continue;
+            }
+            match self.create(&prefix, Bytes::new(), CreateMode::Persistent) {
+                Ok(_) | Err(CoordError::NodeExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a znode's data; `expected_version` makes it a compare-and-swap.
+    pub fn set_data(
+        &self,
+        path: &Path,
+        data: impl Into<Bytes>,
+        expected_version: Option<u64>,
+    ) -> CoordResult<u64> {
+        let op = Op::SetData {
+            path: path.clone(),
+            data: data.into(),
+            expected_version,
+        };
+        match self.inner.submit(self.session, op)? {
+            OpResult::Set(v) => Ok(v),
+            other => unreachable!("set returned {other:?}"),
+        }
+    }
+
+    /// Deletes a znode; `expected_version` makes it conditional.
+    pub fn delete(&self, path: &Path, expected_version: Option<u64>) -> CoordResult<()> {
+        let op = Op::Delete {
+            path: path.clone(),
+            expected_version,
+        };
+        match self.inner.submit(self.session, op)? {
+            OpResult::Deleted => Ok(()),
+            other => unreachable!("delete returned {other:?}"),
+        }
+    }
+
+    /// Reads a znode's data and stat, or `None` when absent.
+    pub fn get_data(&self, path: &Path) -> CoordResult<Option<(Bytes, Stat)>> {
+        self.inner.check_session(self.session)?;
+        self.inner.stats.lock().reads += 1;
+        self.inner.ensemble.lock().read(|s| s.get(path))
+    }
+
+    /// Returns `true` if a znode exists at `path`.
+    pub fn exists(&self, path: &Path) -> CoordResult<bool> {
+        self.inner.check_session(self.session)?;
+        self.inner.stats.lock().reads += 1;
+        self.inner.ensemble.lock().read(|s| s.exists(path))
+    }
+
+    /// Lists children in lexicographic order.
+    pub fn get_children(&self, path: &Path) -> CoordResult<Vec<String>> {
+        self.inner.check_session(self.session)?;
+        self.inner.stats.lock().reads += 1;
+        self.inner.ensemble.lock().read(|s| s.children(path))?
+    }
+
+    /// Registers a one-shot watch. `Node` watches fire on create, delete, or
+    /// data change of `path`; `Children` watches fire when the child set of
+    /// `path` changes. Fired watches arrive on [`CoordClient::events`].
+    pub fn watch(&self, path: &Path, kind: WatchKind) -> CoordResult<()> {
+        self.inner.check_session(self.session)?;
+        let mut watches = self.inner.watches.lock();
+        let map = match kind {
+            WatchKind::Node => &mut watches.node,
+            WatchKind::Children => &mut watches.children,
+        };
+        map.entry(path.clone()).or_default().push(self.session);
+        Ok(())
+    }
+
+    /// The channel on which fired watches are delivered.
+    pub fn events(&self) -> &Receiver<WatchEvent> {
+        &self.events
+    }
+
+    /// Waits up to `timeout` for the next watch event.
+    pub fn wait_event(&self, timeout: Duration) -> Option<WatchEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Serializes `value` as JSON into the znode at `path`, creating it if
+    /// missing. Convenience used for transaction records and checkpoints.
+    pub fn put_json<T: serde::Serialize>(&self, path: &Path, value: &T) -> CoordResult<()> {
+        let data = serde_json::to_vec(value).expect("serializable value");
+        match self.set_data(path, data.clone(), None) {
+            Ok(_) => Ok(()),
+            Err(CoordError::NoNode(_)) => {
+                if let Some(parent) = path.parent() {
+                    self.create_all(&parent)?;
+                }
+                match self.create(path, data.clone(), CreateMode::Persistent) {
+                    Ok(_) => Ok(()),
+                    // Lost a create race: fall back to set.
+                    Err(CoordError::NodeExists(_)) => self.set_data(path, data, None).map(|_| ()),
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads and deserializes a JSON znode, or `None` when absent.
+    pub fn get_json<T: serde::de::DeserializeOwned>(&self, path: &Path) -> CoordResult<Option<T>> {
+        match self.get_data(path)? {
+            Some((data, _)) => Ok(serde_json::from_slice(&data).ok()),
+            None => Ok(None),
+        }
+    }
+
+    /// Starts a background heartbeat for this session, pinging at roughly a
+    /// quarter of the session timeout — what a real ZooKeeper client's IO
+    /// thread does. Needed by components that block for long stretches
+    /// (e.g. workers inside slow device calls) but must stay alive. The
+    /// heartbeat stops when the returned guard drops, so a crashed
+    /// component's session still expires naturally.
+    pub fn keepalive(&self) -> KeepAlive {
+        let inner = Arc::clone(&self.inner);
+        let session = self.session;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let interval = Duration::from_millis((inner.config.session_timeout_ms / 4).max(5));
+        let handle = std::thread::Builder::new()
+            .name(format!("coord-keepalive-{session}"))
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    if inner.check_session(session).is_err() {
+                        // Session gone: nothing left to keep alive.
+                        return;
+                    }
+                    // Real-time chunked sleep so dropping the guard returns
+                    // promptly even under a stalled manual clock.
+                    let deadline = std::time::Instant::now() + interval;
+                    while std::time::Instant::now() < deadline {
+                        if stop2.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            })
+            .expect("spawn keepalive thread");
+        KeepAlive {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Closes the session cleanly, deleting its ephemeral nodes.
+    pub fn close(self) {
+        self.inner.expire_session_locked(self.session);
+        self.inner.client_txs.lock().remove(&self.session);
+    }
+}
+
+/// Guard for a background session heartbeat; dropping it stops the pings.
+pub struct KeepAlive {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for KeepAlive {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tropic_model::ManualClock;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn quick_service() -> CoordService {
+        CoordService::start(CoordConfig {
+            session_timeout_ms: 200,
+            tick_ms: 10,
+            ..CoordConfig::default()
+        })
+    }
+
+    #[test]
+    fn create_read_write_delete() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        c.create(&p("/a"), Bytes::from_static(b"1"), CreateMode::Persistent)
+            .unwrap();
+        let (data, stat) = c.get_data(&p("/a")).unwrap().unwrap();
+        assert_eq!(&data[..], b"1");
+        assert_eq!(stat.version, 0);
+        c.set_data(&p("/a"), Bytes::from_static(b"2"), Some(0)).unwrap();
+        assert!(matches!(
+            c.set_data(&p("/a"), Bytes::from_static(b"3"), Some(0)),
+            Err(CoordError::BadVersion { .. })
+        ));
+        c.delete(&p("/a"), None).unwrap();
+        assert!(c.get_data(&p("/a")).unwrap().is_none());
+    }
+
+    #[test]
+    fn create_all_idempotent() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        c.create_all(&p("/x/y/z")).unwrap();
+        c.create_all(&p("/x/y/z")).unwrap();
+        assert!(c.exists(&p("/x/y")).unwrap());
+    }
+
+    #[test]
+    fn watches_fire_once() {
+        let svc = quick_service();
+        let c1 = svc.connect("watcher");
+        let c2 = svc.connect("writer");
+        c2.create(&p("/w"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c1.watch(&p("/w"), WatchKind::Node).unwrap();
+        c2.set_data(&p("/w"), Bytes::from_static(b"x"), None).unwrap();
+        let ev = c1.wait_event(Duration::from_secs(1)).unwrap();
+        assert_eq!(ev.event, StoreEvent::DataChanged(p("/w")));
+        // One-shot: a second write does not fire again.
+        c2.set_data(&p("/w"), Bytes::from_static(b"y"), None).unwrap();
+        assert!(c1.wait_event(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn children_watch() {
+        let svc = quick_service();
+        let c1 = svc.connect("watcher");
+        let c2 = svc.connect("writer");
+        c2.create(&p("/q"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c1.watch(&p("/q"), WatchKind::Children).unwrap();
+        c2.create(&p("/q/i"), Bytes::new(), CreateMode::Persistent).unwrap();
+        let ev = c1.wait_event(Duration::from_secs(1)).unwrap();
+        assert_eq!(ev.event, StoreEvent::ChildrenChanged(p("/q")));
+    }
+
+    #[test]
+    fn ephemeral_removed_on_close() {
+        let svc = quick_service();
+        let c1 = svc.connect("a");
+        let c2 = svc.connect("b");
+        c1.create(&p("/eph"), Bytes::new(), CreateMode::Ephemeral).unwrap();
+        assert!(c2.exists(&p("/eph")).unwrap());
+        c1.close();
+        assert!(!c2.exists(&p("/eph")).unwrap());
+    }
+
+    #[test]
+    fn session_expiry_purges_ephemerals_and_notifies() {
+        let clock = ManualClock::new();
+        let svc = CoordService::start_with_clock(
+            CoordConfig {
+                session_timeout_ms: 500,
+                tick_ms: 50,
+                ..CoordConfig::default()
+            },
+            clock.clone(),
+        );
+        let c1 = svc.connect("leader");
+        let c2 = svc.connect("follower");
+        c1.create(&p("/lead"), Bytes::new(), CreateMode::Ephemeral).unwrap();
+        c2.watch(&p("/lead"), WatchKind::Node).unwrap();
+        // c2 keeps pinging; c1 goes silent.
+        for _ in 0..30 {
+            clock.advance(100);
+            let _ = c2.ping();
+            if c2.wait_event(Duration::from_millis(20)).is_some() {
+                // Deletion observed.
+                assert!(!c2.exists(&p("/lead")).unwrap());
+                assert!(matches!(c1.ping(), Err(CoordError::SessionExpired)));
+                return;
+            }
+        }
+        panic!("ephemeral node was not purged after session expiry");
+    }
+
+    #[test]
+    fn expired_session_rejects_ops() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        svc.expire_session(c.session_id());
+        assert!(matches!(
+            c.create(&p("/x"), Bytes::new(), CreateMode::Persistent),
+            Err(CoordError::SessionExpired)
+        ));
+        assert!(matches!(c.exists(&p("/x")), Err(CoordError::SessionExpired)));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Rec {
+            id: u64,
+            name: String,
+        }
+        let rec = Rec { id: 7, name: "spawnVM".into() };
+        c.put_json(&p("/tropic/txns/7"), &rec).unwrap();
+        // Overwrite works too.
+        c.put_json(&p("/tropic/txns/7"), &rec).unwrap();
+        let back: Rec = c.get_json(&p("/tropic/txns/7")).unwrap().unwrap();
+        assert_eq!(back, rec);
+        let missing: Option<Rec> = c.get_json(&p("/tropic/txns/8")).unwrap();
+        assert!(missing.is_none());
+    }
+
+    #[test]
+    fn replica_crash_transparent_below_quorum_loss() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        c.create(&p("/a"), Bytes::new(), CreateMode::Persistent).unwrap();
+        svc.crash_replica(0);
+        c.create(&p("/b"), Bytes::new(), CreateMode::Persistent).unwrap();
+        svc.crash_replica(1);
+        assert!(matches!(
+            c.create(&p("/c"), Bytes::new(), CreateMode::Persistent),
+            Err(CoordError::NoQuorum { .. })
+        ));
+        svc.restart_replica(1);
+        c.create(&p("/c"), Bytes::new(), CreateMode::Persistent).unwrap();
+        assert!(c.exists(&p("/a")).unwrap());
+        assert!(c.exists(&p("/b")).unwrap());
+    }
+
+    #[test]
+    fn stats_count_ops() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        c.create(&p("/a"), Bytes::new(), CreateMode::Persistent).unwrap();
+        let _ = c.exists(&p("/a")).unwrap();
+        let s = svc.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+    }
+}

@@ -1,0 +1,561 @@
+//! The replicated znode store.
+//!
+//! Each ensemble replica holds one [`ZnodeStore`] and applies the same
+//! totally-ordered sequence of [`Op`]s, so all replicas converge to the same
+//! state. Application is deterministic: sequential-node counters live in the
+//! parent znode and are part of replicated state.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use tropic_model::Path;
+
+use crate::error::{CoordError, CoordResult};
+
+/// Metadata of a znode, in the spirit of ZooKeeper's `Stat`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// Zxid of the transaction that created the node.
+    pub czxid: u64,
+    /// Zxid of the transaction that last modified the node's data.
+    pub mzxid: u64,
+    /// Data version, starting at 0 and bumped by each set.
+    pub version: u64,
+    /// Owning session for ephemeral nodes.
+    pub ephemeral_owner: Option<u64>,
+    /// Number of direct children.
+    pub num_children: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Znode {
+    data: Bytes,
+    czxid: u64,
+    mzxid: u64,
+    version: u64,
+    ephemeral_owner: Option<u64>,
+    /// Monotonic counter for sequential child names.
+    cseq: u64,
+    children: BTreeMap<String, Znode>,
+}
+
+impl Znode {
+    fn new(data: Bytes, zxid: u64, ephemeral_owner: Option<u64>) -> Self {
+        Znode {
+            data,
+            czxid: zxid,
+            mzxid: zxid,
+            version: 0,
+            ephemeral_owner,
+            cseq: 0,
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn stat(&self) -> Stat {
+        Stat {
+            czxid: self.czxid,
+            mzxid: self.mzxid,
+            version: self.version,
+            ephemeral_owner: self.ephemeral_owner,
+            num_children: self.children.len(),
+        }
+    }
+}
+
+/// A write operation replicated through the broadcast protocol.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Create a znode.
+    Create {
+        /// Target path; for sequential nodes this is the prefix.
+        path: Path,
+        /// Initial data.
+        data: Bytes,
+        /// Owning session, making the node ephemeral.
+        ephemeral_owner: Option<u64>,
+        /// Append a monotonically-increasing zero-padded suffix.
+        sequential: bool,
+    },
+    /// Replace a znode's data.
+    SetData {
+        /// Target path.
+        path: Path,
+        /// New data.
+        data: Bytes,
+        /// Required current version (compare-and-swap) if given.
+        expected_version: Option<u64>,
+    },
+    /// Delete a znode (must be childless).
+    Delete {
+        /// Target path.
+        path: Path,
+        /// Required current version if given.
+        expected_version: Option<u64>,
+    },
+    /// Delete all ephemeral znodes owned by an expired session.
+    PurgeSession {
+        /// The expired session.
+        session: u64,
+    },
+}
+
+impl Op {
+    /// Short operation name for logging and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Create { .. } => "create",
+            Op::SetData { .. } => "set",
+            Op::Delete { .. } => "delete",
+            Op::PurgeSession { .. } => "purge_session",
+        }
+    }
+}
+
+/// Result of applying an [`Op`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpResult {
+    /// Node created; carries the final path (with sequence suffix applied).
+    Created(Path),
+    /// Data set; carries the new version.
+    Set(u64),
+    /// Node deleted.
+    Deleted,
+    /// Session purged; carries the paths of deleted ephemerals.
+    Purged(Vec<Path>),
+}
+
+/// A state change notification produced by applying an op. The service layer
+/// matches these against registered watches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreEvent {
+    /// A node was created at the path.
+    Created(Path),
+    /// A node was deleted at the path.
+    Deleted(Path),
+    /// A node's data changed.
+    DataChanged(Path),
+    /// The set of children under the path changed.
+    ChildrenChanged(Path),
+}
+
+/// One replica's copy of the znode tree.
+#[derive(Clone, Debug)]
+pub struct ZnodeStore {
+    root: Znode,
+}
+
+impl Default for ZnodeStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZnodeStore {
+    /// Creates an empty store with a root znode.
+    pub fn new() -> Self {
+        ZnodeStore {
+            root: Znode::new(Bytes::new(), 0, None),
+        }
+    }
+
+    fn get_node(&self, path: &Path) -> Option<&Znode> {
+        let mut cur = &self.root;
+        for seg in path.segments() {
+            cur = cur.children.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    fn get_node_mut(&mut self, path: &Path) -> Option<&mut Znode> {
+        let mut cur = &mut self.root;
+        for seg in path.segments() {
+            cur = cur.children.get_mut(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Reads a znode's data and stat.
+    pub fn get(&self, path: &Path) -> Option<(Bytes, Stat)> {
+        self.get_node(path).map(|n| (n.data.clone(), n.stat()))
+    }
+
+    /// Returns `true` if a znode exists at `path`.
+    pub fn exists(&self, path: &Path) -> bool {
+        self.get_node(path).is_some()
+    }
+
+    /// Names of direct children in lexicographic order.
+    pub fn children(&self, path: &Path) -> CoordResult<Vec<String>> {
+        self.get_node(path)
+            .map(|n| n.children.keys().cloned().collect())
+            .ok_or_else(|| CoordError::NoNode(path.clone()))
+    }
+
+    /// Total number of znodes including the root.
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Znode) -> usize {
+            1 + n.children.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// Paths of all ephemeral znodes owned by `session`.
+    pub fn ephemerals_of(&self, session: u64) -> Vec<Path> {
+        let mut out = Vec::new();
+        fn rec(path: &Path, node: &Znode, session: u64, out: &mut Vec<Path>) {
+            if node.ephemeral_owner == Some(session) {
+                out.push(path.clone());
+            }
+            for (name, child) in &node.children {
+                rec(&path.join(name), child, session, out);
+            }
+        }
+        rec(&Path::root(), &self.root, session, &mut out);
+        out
+    }
+
+    /// Applies a committed op at `zxid`, returning its result and the watch
+    /// events it produced. Deterministic across replicas.
+    pub fn apply(&mut self, zxid: u64, op: &Op) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        match op {
+            Op::Create {
+                path,
+                data,
+                ephemeral_owner,
+                sequential,
+            } => self.apply_create(zxid, path, data.clone(), *ephemeral_owner, *sequential),
+            Op::SetData {
+                path,
+                data,
+                expected_version,
+            } => self.apply_set(zxid, path, data.clone(), *expected_version),
+            Op::Delete {
+                path,
+                expected_version,
+            } => self.apply_delete(path, *expected_version),
+            Op::PurgeSession { session } => self.apply_purge(*session),
+        }
+    }
+
+    fn apply_create(
+        &mut self,
+        zxid: u64,
+        path: &Path,
+        data: Bytes,
+        ephemeral_owner: Option<u64>,
+        sequential: bool,
+    ) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        let Some(base_name) = path.leaf().map(str::to_owned) else {
+            return (Err(CoordError::NodeExists(path.clone())), Vec::new());
+        };
+        let parent_path = path.parent().expect("non-root");
+        let Some(parent) = self.get_node_mut(&parent_path) else {
+            return (Err(CoordError::NoParent(path.clone())), Vec::new());
+        };
+        if parent.ephemeral_owner.is_some() {
+            return (Err(CoordError::EphemeralParent(parent_path)), Vec::new());
+        }
+        let name = if sequential {
+            let seq = parent.cseq;
+            parent.cseq += 1;
+            format!("{base_name}{seq:010}")
+        } else {
+            base_name
+        };
+        if parent.children.contains_key(&name) {
+            return (
+                Err(CoordError::NodeExists(parent_path.join(&name))),
+                Vec::new(),
+            );
+        }
+        parent
+            .children
+            .insert(name.clone(), Znode::new(data, zxid, ephemeral_owner));
+        let final_path = parent_path.join(&name);
+        let events = vec![
+            StoreEvent::Created(final_path.clone()),
+            StoreEvent::ChildrenChanged(parent_path),
+        ];
+        (Ok(OpResult::Created(final_path)), events)
+    }
+
+    fn apply_set(
+        &mut self,
+        zxid: u64,
+        path: &Path,
+        data: Bytes,
+        expected_version: Option<u64>,
+    ) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        let Some(node) = self.get_node_mut(path) else {
+            return (Err(CoordError::NoNode(path.clone())), Vec::new());
+        };
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return (
+                    Err(CoordError::BadVersion {
+                        path: path.clone(),
+                        expected,
+                        actual: node.version,
+                    }),
+                    Vec::new(),
+                );
+            }
+        }
+        node.data = data;
+        node.version += 1;
+        node.mzxid = zxid;
+        let v = node.version;
+        (Ok(OpResult::Set(v)), vec![StoreEvent::DataChanged(path.clone())])
+    }
+
+    fn apply_delete(
+        &mut self,
+        path: &Path,
+        expected_version: Option<u64>,
+    ) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        let Some(node) = self.get_node(path) else {
+            return (Err(CoordError::NoNode(path.clone())), Vec::new());
+        };
+        if !node.children.is_empty() {
+            return (Err(CoordError::NotEmpty(path.clone())), Vec::new());
+        }
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                let actual = node.version;
+                return (
+                    Err(CoordError::BadVersion {
+                        path: path.clone(),
+                        expected,
+                        actual,
+                    }),
+                    Vec::new(),
+                );
+            }
+        }
+        let name = path.leaf().expect("non-root").to_owned();
+        let parent_path = path.parent().expect("non-root");
+        let parent = self.get_node_mut(&parent_path).expect("parent exists");
+        parent.children.remove(&name);
+        let events = vec![
+            StoreEvent::Deleted(path.clone()),
+            StoreEvent::ChildrenChanged(parent_path),
+        ];
+        (Ok(OpResult::Deleted), events)
+    }
+
+    fn apply_purge(&mut self, session: u64) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        // Deepest-first so children are removed before parents.
+        let mut paths = self.ephemerals_of(session);
+        paths.sort_by_key(|p| std::cmp::Reverse(p.depth()));
+        let mut events = Vec::new();
+        let mut deleted = Vec::new();
+        for path in paths {
+            let name = path.leaf().expect("ephemerals are non-root").to_owned();
+            let parent_path = path.parent().expect("non-root");
+            if let Some(parent) = self.get_node_mut(&parent_path) {
+                // Ephemeral nodes have no children (enforced at create), so
+                // removal cannot orphan anything.
+                if parent.children.remove(&name).is_some() {
+                    events.push(StoreEvent::Deleted(path.clone()));
+                    events.push(StoreEvent::ChildrenChanged(parent_path));
+                    deleted.push(path);
+                }
+            }
+        }
+        (Ok(OpResult::Purged(deleted)), events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn create(store: &mut ZnodeStore, zxid: u64, path: &str) -> CoordResult<OpResult> {
+        store
+            .apply(
+                zxid,
+                &Op::Create {
+                    path: p(path),
+                    data: Bytes::from_static(b"x"),
+                    ephemeral_owner: None,
+                    sequential: false,
+                },
+            )
+            .0
+    }
+
+    #[test]
+    fn create_get_delete() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/a").unwrap();
+        create(&mut s, 2, "/a/b").unwrap();
+        let (data, stat) = s.get(&p("/a/b")).unwrap();
+        assert_eq!(&data[..], b"x");
+        assert_eq!(stat.version, 0);
+        assert_eq!(stat.czxid, 2);
+        assert_eq!(s.children(&p("/a")).unwrap(), vec!["b".to_string()]);
+        let (res, events) = s.apply(3, &Op::Delete { path: p("/a/b"), expected_version: None });
+        assert_eq!(res.unwrap(), OpResult::Deleted);
+        assert!(events.contains(&StoreEvent::Deleted(p("/a/b"))));
+        assert!(!s.exists(&p("/a/b")));
+    }
+
+    #[test]
+    fn create_requires_parent_and_uniqueness() {
+        let mut s = ZnodeStore::new();
+        assert!(matches!(
+            create(&mut s, 1, "/a/b"),
+            Err(CoordError::NoParent(_))
+        ));
+        create(&mut s, 1, "/a").unwrap();
+        assert!(matches!(
+            create(&mut s, 2, "/a"),
+            Err(CoordError::NodeExists(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_names_monotonic() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/q").unwrap();
+        let mk = |s: &mut ZnodeStore, zxid| {
+            let (res, _) = s.apply(
+                zxid,
+                &Op::Create {
+                    path: p("/q/item-"),
+                    data: Bytes::new(),
+                    ephemeral_owner: None,
+                    sequential: true,
+                },
+            );
+            match res.unwrap() {
+                OpResult::Created(path) => path,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let a = mk(&mut s, 2);
+        let b = mk(&mut s, 3);
+        assert_eq!(a.leaf(), Some("item-0000000000"));
+        assert_eq!(b.leaf(), Some("item-0000000001"));
+        // Counter survives deletion of earlier items.
+        s.apply(4, &Op::Delete { path: a, expected_version: None }).0.unwrap();
+        let c = mk(&mut s, 5);
+        assert_eq!(c.leaf(), Some("item-0000000002"));
+    }
+
+    #[test]
+    fn set_data_versions_and_cas() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/a").unwrap();
+        let (res, _) = s.apply(
+            2,
+            &Op::SetData {
+                path: p("/a"),
+                data: Bytes::from_static(b"y"),
+                expected_version: Some(0),
+            },
+        );
+        assert_eq!(res.unwrap(), OpResult::Set(1));
+        let (res, _) = s.apply(
+            3,
+            &Op::SetData {
+                path: p("/a"),
+                data: Bytes::from_static(b"z"),
+                expected_version: Some(0),
+            },
+        );
+        assert!(matches!(res, Err(CoordError::BadVersion { actual: 1, .. })));
+        // Unconditional set succeeds.
+        let (res, _) = s.apply(
+            4,
+            &Op::SetData {
+                path: p("/a"),
+                data: Bytes::from_static(b"w"),
+                expected_version: None,
+            },
+        );
+        assert_eq!(res.unwrap(), OpResult::Set(2));
+    }
+
+    #[test]
+    fn delete_guards() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/a").unwrap();
+        create(&mut s, 2, "/a/b").unwrap();
+        assert!(matches!(
+            s.apply(3, &Op::Delete { path: p("/a"), expected_version: None }).0,
+            Err(CoordError::NotEmpty(_))
+        ));
+        assert!(matches!(
+            s.apply(3, &Op::Delete { path: p("/missing"), expected_version: None }).0,
+            Err(CoordError::NoNode(_))
+        ));
+        assert!(matches!(
+            s.apply(3, &Op::Delete { path: p("/a/b"), expected_version: Some(5) }).0,
+            Err(CoordError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn ephemerals_purged_on_session_expiry() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/election").unwrap();
+        for (zxid, session) in [(2u64, 100u64), (3, 100), (4, 200)] {
+            s.apply(
+                zxid,
+                &Op::Create {
+                    path: p("/election/n-"),
+                    data: Bytes::new(),
+                    ephemeral_owner: Some(session),
+                    sequential: true,
+                },
+            )
+            .0
+            .unwrap();
+        }
+        assert_eq!(s.ephemerals_of(100).len(), 2);
+        let (res, events) = s.apply(5, &Op::PurgeSession { session: 100 });
+        match res.unwrap() {
+            OpResult::Purged(paths) => assert_eq!(paths.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(events.iter().filter(|e| matches!(e, StoreEvent::Deleted(_))).count(), 2);
+        assert_eq!(s.ephemerals_of(100).len(), 0);
+        assert_eq!(s.ephemerals_of(200).len(), 1);
+        assert_eq!(s.children(&p("/election")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ephemeral_cannot_have_children() {
+        let mut s = ZnodeStore::new();
+        s.apply(
+            1,
+            &Op::Create {
+                path: p("/eph"),
+                data: Bytes::new(),
+                ephemeral_owner: Some(9),
+                sequential: false,
+            },
+        )
+        .0
+        .unwrap();
+        assert!(matches!(
+            create(&mut s, 2, "/eph/child"),
+            Err(CoordError::EphemeralParent(_))
+        ));
+    }
+
+    #[test]
+    fn node_count() {
+        let mut s = ZnodeStore::new();
+        assert_eq!(s.node_count(), 1);
+        create(&mut s, 1, "/a").unwrap();
+        create(&mut s, 2, "/a/b").unwrap();
+        assert_eq!(s.node_count(), 3);
+    }
+}

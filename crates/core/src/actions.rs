@@ -1,0 +1,203 @@
+//! Action definitions: the dual logical/physical primitives of TROPIC
+//! (paper §2.2).
+//!
+//! Every action is defined twice. Its *logical* effect is a function over
+//! the in-memory data model, applied during simulation; its *physical*
+//! effect is the device API call the worker replays from the execution log.
+//! An action also knows how to derive its *undo* — computed against the
+//! pre-action tree, because undo arguments often need state the action is
+//! about to overwrite.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tropic_model::{Path, Tree, Value};
+
+/// The undo of one action application: an action call to execute in reverse
+/// chronological order on rollback (paper §3.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UndoSpec {
+    /// Object path the undo addresses (usually the forward object).
+    pub object: Path,
+    /// Undo action name.
+    pub action: String,
+    /// Undo arguments.
+    pub args: Vec<Value>,
+}
+
+/// Signature of an action's logical effect: mutate the tree or explain why
+/// the action is invalid.
+pub type LogicalFn = dyn Fn(&mut Tree, &Path, &[Value]) -> Result<(), String> + Send + Sync;
+
+/// Signature of the undo derivation, evaluated against the pre-action tree.
+/// Returning `None` marks the action irreversible.
+pub type UndoFn = dyn Fn(&Tree, &Path, &[Value]) -> Option<UndoSpec> + Send + Sync;
+
+/// A registered action type.
+#[derive(Clone)]
+pub struct ActionDef {
+    name: String,
+    logical: Arc<LogicalFn>,
+    undo: Arc<UndoFn>,
+    description: String,
+}
+
+impl ActionDef {
+    /// Creates an action definition.
+    pub fn new(
+        name: impl Into<String>,
+        logical: impl Fn(&mut Tree, &Path, &[Value]) -> Result<(), String> + Send + Sync + 'static,
+        undo: impl Fn(&Tree, &Path, &[Value]) -> Option<UndoSpec> + Send + Sync + 'static,
+    ) -> Self {
+        ActionDef {
+            name: name.into(),
+            logical: Arc::new(logical),
+            undo: Arc::new(undo),
+            description: String::new(),
+        }
+    }
+
+    /// Adds a human-readable description.
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+
+    /// The action name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Applies the logical effect to `tree`.
+    pub fn apply_logical(&self, tree: &mut Tree, object: &Path, args: &[Value]) -> Result<(), String> {
+        (self.logical)(tree, object, args)
+    }
+
+    /// Derives the undo call from the pre-action tree.
+    pub fn derive_undo(&self, tree: &Tree, object: &Path, args: &[Value]) -> Option<UndoSpec> {
+        (self.undo)(tree, object, args)
+    }
+}
+
+/// The set of actions a platform instance knows (services register theirs
+/// at startup).
+#[derive(Clone, Default)]
+pub struct ActionRegistry {
+    actions: HashMap<String, ActionDef>,
+}
+
+impl ActionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an action, replacing any previous definition of the name.
+    pub fn register(&mut self, def: ActionDef) {
+        self.actions.insert(def.name().to_owned(), def);
+    }
+
+    /// Looks up an action by name.
+    pub fn get(&self, name: &str) -> Option<&ActionDef> {
+        self.actions.get(name)
+    }
+
+    /// Number of registered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` if no actions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Names of all registered actions, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.actions.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tropic_model::Node;
+
+    /// A minimal pair of inverse actions over an integer attribute.
+    fn incr_def() -> ActionDef {
+        ActionDef::new(
+            "incr",
+            |tree, object, args| {
+                let by = args[0].as_int().ok_or("incr needs an int")?;
+                let cur = tree.attr_int(object, "n").map_err(|e| e.to_string())?;
+                tree.set_attr(object, "n", cur + by).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+            |_, object, args| {
+                Some(UndoSpec {
+                    object: object.clone(),
+                    action: "decr".into(),
+                    args: args.to_vec(),
+                })
+            },
+        )
+        .describe("Adds to the counter attribute.")
+    }
+
+    fn tree() -> Tree {
+        let mut t = Tree::new();
+        t.insert(
+            &Path::parse("/c").unwrap(),
+            Node::new("counter").with_attr("n", 10i64),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn logical_apply_and_undo_derivation() {
+        let def = incr_def();
+        let mut t = tree();
+        let c = Path::parse("/c").unwrap();
+        let undo = def.derive_undo(&t, &c, &[Value::Int(5)]).unwrap();
+        def.apply_logical(&mut t, &c, &[Value::Int(5)]).unwrap();
+        assert_eq!(t.attr_int(&c, "n").unwrap(), 15);
+        assert_eq!(undo.action, "decr");
+        assert_eq!(undo.args, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn logical_error_propagates() {
+        let def = incr_def();
+        let mut t = tree();
+        let err = def
+            .apply_logical(&mut t, &Path::parse("/c").unwrap(), &[Value::from("x")])
+            .unwrap_err();
+        assert!(err.contains("int"));
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut reg = ActionRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(incr_def());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("incr").is_some());
+        assert!(reg.get("decr").is_none());
+        assert_eq!(reg.names(), vec!["incr"]);
+        assert_eq!(reg.get("incr").unwrap().description(), "Adds to the counter attribute.");
+    }
+
+    #[test]
+    fn irreversible_action() {
+        let def = ActionDef::new("wipe", |_, _, _| Ok(()), |_, _, _| None);
+        assert!(def.derive_undo(&Tree::new(), &Path::root(), &[]).is_none());
+    }
+}

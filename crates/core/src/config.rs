@@ -1,0 +1,90 @@
+//! Platform and service configuration.
+
+use tropic_coord::CoordConfig;
+use tropic_model::{ConstraintSet, SchemaRegistry, Tree};
+
+use crate::actions::ActionRegistry;
+use crate::proc::ProcRegistry;
+use crate::reconcile::RepairRules;
+
+/// Everything a cloud service contributes to the platform: its data-model
+/// schemas and initial topology, its action and procedure definitions, its
+/// safety constraints, and its repair rules. The paper's TCloud (§5) is one
+/// such service; `tropic-tcloud` builds its `ServiceDefinition`.
+#[derive(Clone, Default)]
+pub struct ServiceDefinition {
+    /// Action definitions (logical effects + undo derivations).
+    pub actions: ActionRegistry,
+    /// Stored procedures.
+    pub procs: ProcRegistry,
+    /// Safety constraints.
+    pub constraints: ConstraintSet,
+    /// Repair rules mapping cross-layer diffs to corrective device calls.
+    pub repair_rules: RepairRules,
+    /// Entity schemas validating the data model.
+    pub schemas: SchemaRegistry,
+    /// The initial logical tree (the provisioned topology).
+    pub initial_tree: Tree,
+}
+
+/// Platform-wide configuration.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Number of controller replicas (the paper runs 3).
+    pub controllers: usize,
+    /// Number of physical workers.
+    pub workers: usize,
+    /// Coordination-service configuration.
+    pub coord: CoordConfig,
+    /// Finalized transactions between logical-layer checkpoints
+    /// (0 disables checkpointing after bootstrap).
+    pub checkpoint_every: u64,
+    /// How long finalized transaction records linger before garbage
+    /// collection, so waiting clients can still read the outcome.
+    pub gc_grace_ms: u64,
+    /// Send TERM to transactions running longer than this (paper §4).
+    pub term_timeout_ms: Option<u64>,
+    /// KILL transactions running longer than this (must exceed the TERM
+    /// timeout to give graceful abort a chance).
+    pub kill_timeout_ms: Option<u64>,
+    /// Controller idle-wait granularity.
+    pub poll_ms: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            controllers: 3,
+            workers: 1,
+            coord: CoordConfig::default(),
+            checkpoint_every: 256,
+            gc_grace_ms: 10_000,
+            term_timeout_ms: None,
+            kill_timeout_ms: None,
+            poll_ms: 25,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_paper_deployment() {
+        let cfg = PlatformConfig::default();
+        assert_eq!(cfg.controllers, 3);
+        assert_eq!(cfg.coord.replicas, 3);
+        assert!(cfg.checkpoint_every > 0);
+        assert!(cfg.term_timeout_ms.is_none());
+    }
+
+    #[test]
+    fn service_definition_default_is_empty() {
+        let svc = ServiceDefinition::default();
+        assert!(svc.actions.is_empty());
+        assert!(svc.procs.is_empty());
+        assert!(svc.constraints.is_empty());
+        assert_eq!(svc.initial_tree.node_count(), 1);
+    }
+}

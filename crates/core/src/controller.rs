@@ -1,0 +1,876 @@
+//! The TROPIC controller: the logical layer's single active brain
+//! (paper §2.2, §3.1).
+//!
+//! Exactly one controller (the election leader) consumes `inputQ`, runs
+//! logical execution, feeds `phyQ`, and finalizes transactions from worker
+//! results. Every state transition is persisted to the coordination store
+//! *before* the step it enables, so any follower can resume from persistent
+//! state alone — the controller's in-memory tree, lock table, and queues are
+//! a cache (paper §2.3).
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tropic_coord::{CoordClient, DistributedQueue, WatchKind};
+use tropic_model::{Path, SharedClock, Tree, Value};
+
+use crate::actions::{ActionDef, ActionRegistry};
+use crate::config::ServiceDefinition;
+use crate::error::PlatformError;
+use crate::logical::{rollback_logical, simulate, LogicalOutcome};
+use crate::locks::LockManager;
+use crate::msg::{layout, AdminResult, InputMsg, PhyTask, Signal};
+use crate::physical::{ExecMode, PhysicalOutcome};
+use crate::reconcile::RepairPlan;
+use crate::stats::{Metrics, TxnSample};
+use crate::txn::{LogRecord, TxnId, TxnRecord, TxnState};
+
+/// Transaction-id namespace for controller-internal records (reloads), kept
+/// disjoint from client-assigned ids.
+const ADMIN_TXN_BASE: TxnId = 1 << 62;
+
+/// The persisted logical-layer checkpoint.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    /// JSON snapshot of the logical tree.
+    pub snapshot: String,
+    /// Every transaction with `lsn <= watermark` is fully reflected in the
+    /// snapshot; recovery replays only logs above it.
+    pub watermark_lsn: u64,
+}
+
+/// Per-controller configuration (derived from the platform config).
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    /// Controller name (diagnostics, election payload).
+    pub name: String,
+    /// Finalized transactions between checkpoints (0 = bootstrap only).
+    pub checkpoint_every: u64,
+    /// Grace period before finalized records are garbage collected.
+    pub gc_grace_ms: u64,
+    /// TERM stalled transactions after this long.
+    pub term_timeout_ms: Option<u64>,
+    /// KILL stalled transactions after this long.
+    pub kill_timeout_ms: Option<u64>,
+    /// Idle-wait granularity.
+    pub poll_ms: u64,
+}
+
+/// The controller state machine. Owns the logical tree and lock table; talks
+/// to the rest of the platform exclusively through the coordination client.
+pub struct Controller<'a> {
+    cfg: ControllerConfig,
+    client: &'a CoordClient,
+    service: Arc<ServiceDefinition>,
+    actions: ActionRegistry,
+    mode: ExecMode,
+    clock: SharedClock,
+    metrics: Metrics,
+
+    tree: Tree,
+    locks: LockManager,
+    todo: VecDeque<TxnId>,
+    records: HashMap<TxnId, TxnRecord>,
+    running: HashSet<TxnId>,
+    started_at: HashMap<TxnId, u64>,
+    term_signaled: HashSet<TxnId>,
+    inconsistent: BTreeSet<Path>,
+    next_lsn: u64,
+    finalized_since_ckpt: u64,
+    gc_queue: VecDeque<(TxnId, u64)>,
+}
+
+impl<'a> Controller<'a> {
+    /// Creates a controller bound to a coordination client. Call
+    /// [`Controller::recover`] before stepping.
+    pub fn new(
+        cfg: ControllerConfig,
+        client: &'a CoordClient,
+        service: Arc<ServiceDefinition>,
+        mode: ExecMode,
+        clock: SharedClock,
+        metrics: Metrics,
+    ) -> Self {
+        let mut actions = service.actions.clone();
+        register_builtin_actions(&mut actions);
+        Controller {
+            cfg,
+            client,
+            service,
+            actions,
+            mode,
+            clock,
+            metrics,
+            tree: Tree::new(),
+            locks: LockManager::new(),
+            todo: VecDeque::new(),
+            records: HashMap::new(),
+            running: HashSet::new(),
+            started_at: HashMap::new(),
+            term_signaled: HashSet::new(),
+            inconsistent: BTreeSet::new(),
+            next_lsn: 1,
+            finalized_since_ckpt: 0,
+            gc_queue: VecDeque::new(),
+        }
+    }
+
+    /// Read-only view of the logical tree (tests and experiments).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of transactions waiting in `todoQ`.
+    pub fn todo_len(&self) -> usize {
+        self.todo.len()
+    }
+
+    /// Number of transactions in physical execution.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (paper §2.3): restore the previous leader's state from the
+    // coordination store, idempotently.
+    // ------------------------------------------------------------------
+
+    /// Restores controller state from persistent storage. On the very first
+    /// leadership in a fresh deployment, bootstraps the checkpoint from the
+    /// service's initial tree.
+    pub fn recover(&mut self) -> Result<(), PlatformError> {
+        self.client.create_all(&layout::txns())?;
+        self.client.create_all(&layout::election())?;
+
+        // 1. Logical tree from the checkpoint (or bootstrap).
+        let ckpt: Option<Checkpoint> = self.client.get_json(&layout::checkpoint())?;
+        let watermark = match ckpt {
+            Some(ckpt) => {
+                self.tree = Tree::from_snapshot(&ckpt.snapshot)
+                    .map_err(|e| PlatformError::Admin(format!("corrupt checkpoint: {e}")))?;
+                ckpt.watermark_lsn
+            }
+            None => {
+                self.tree = self.service.initial_tree.clone();
+                self.service
+                    .schemas
+                    .validate(&self.tree)
+                    .map_err(|e| PlatformError::Admin(format!("initial tree invalid: {e}")))?;
+                let ckpt = Checkpoint {
+                    snapshot: self
+                        .tree
+                        .to_snapshot()
+                        .map_err(|e| PlatformError::Admin(e.to_string()))?,
+                    watermark_lsn: 0,
+                };
+                self.client.put_json(&layout::checkpoint(), &ckpt)?;
+                0
+            }
+        };
+        self.next_lsn = watermark + 1;
+
+        // 2. Load every persisted transaction record.
+        self.records.clear();
+        for child in self.client.get_children(&layout::txns())? {
+            let path = layout::txns().join(&child);
+            if let Some(rec) = self.client.get_json::<TxnRecord>(&path)? {
+                self.records.insert(rec.id, rec);
+            }
+        }
+
+        // 3. Replay logical effects above the watermark in lsn order.
+        let mut replay: Vec<&TxnRecord> = self
+            .records
+            .values()
+            .filter(|r| r.lsn.map(|l| l > watermark).unwrap_or(false))
+            .collect();
+        replay.sort_by_key(|r| r.lsn);
+        let replay: Vec<TxnRecord> = replay.into_iter().cloned().collect();
+        let now = self.clock.now_ms();
+        for rec in &replay {
+            let lsn = rec.lsn.expect("filtered on lsn");
+            for log_rec in &rec.log {
+                if let Some(def) = self.actions.get(&log_rec.action) {
+                    // Replay failures mean the persistent log disagrees with
+                    // the snapshot; quarantine the object rather than halt.
+                    if def
+                        .apply_logical(&mut self.tree, &log_rec.object, &log_rec.args)
+                        .is_err()
+                    {
+                        let _ = self.tree.mark_inconsistent(&log_rec.object, true);
+                        self.inconsistent.insert(log_rec.object.clone());
+                    }
+                }
+            }
+            match rec.state {
+                // In-flight at crash time: effects stay, locks are
+                // re-acquired, and the worker's result will arrive later.
+                TxnState::Started => {
+                    let _ = self.locks.try_acquire(rec.id, &rec.locks);
+                    self.running.insert(rec.id);
+                    self.started_at.insert(rec.id, now);
+                }
+                // Finalized by rollback before the crash: reapply it.
+                TxnState::Aborted | TxnState::Failed => {
+                    let _ = rollback_logical(&rec.log, &mut self.tree, &self.actions);
+                }
+                _ => {}
+            }
+            self.next_lsn = self.next_lsn.max(lsn + 1);
+        }
+
+        // 4. Re-mark persisted inconsistencies.
+        if let Some(paths) = self.client.get_json::<Vec<Path>>(&layout::inconsistent())? {
+            for p in paths {
+                let _ = self.tree.mark_inconsistent(&p, true);
+                self.inconsistent.insert(p);
+            }
+        }
+
+        // 5. Rebuild todoQ from accepted-but-unscheduled transactions.
+        let mut accepted: Vec<TxnId> = self
+            .records
+            .values()
+            .filter(|r| r.state == TxnState::Accepted)
+            .map(|r| r.id)
+            .collect();
+        accepted.sort_unstable();
+        self.todo = accepted.into();
+
+        // 6. Schedule GC for already-finalized records.
+        for rec in self.records.values() {
+            if rec.state.is_final() {
+                self.gc_queue.push_back((rec.id, now));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The leader loop body.
+    // ------------------------------------------------------------------
+
+    /// Performs one unit of controller work: drains a batch of `inputQ`
+    /// messages, schedules from `todoQ`, checks stalled-transaction
+    /// timeouts, and checkpoints when due. Returns `true` if any message was
+    /// processed or transaction scheduled (callers idle-wait when `false`).
+    pub fn step(&mut self) -> Result<bool, PlatformError> {
+        let processed = self.process_input(64)?;
+        let scheduled = self.schedule()?;
+        self.check_timeouts()?;
+        self.maybe_checkpoint()?;
+        Ok(processed > 0 || scheduled > 0)
+    }
+
+    /// Blocks until `inputQ` has an item or `timeout` passes. Uses a
+    /// children watch so idling costs no polling writes.
+    pub fn wait_for_input(&self, timeout: Duration) {
+        let Ok(q) = DistributedQueue::new(self.client, layout::input_q()) else {
+            return;
+        };
+        match q.len() {
+            Ok(0) => {
+                if self.client.watch(&layout::input_q(), WatchKind::Children).is_ok() {
+                    // Re-check after arming the watch to close the race.
+                    if let Ok(0) = q.len() {
+                        let _ = self.client.wait_event(timeout);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn process_input(&mut self, max: usize) -> Result<usize, PlatformError> {
+        let q = DistributedQueue::new(self.client, layout::input_q())?;
+        let mut handled = 0;
+        while handled < max {
+            let Some((name, data)) = q.peek()? else {
+                break;
+            };
+            match serde_json::from_slice::<InputMsg>(&data) {
+                Ok(msg) => self.handle_msg(msg)?,
+                Err(_) => {
+                    self.metrics
+                        .record_event(self.clock.now_ms(), &self.cfg.name, "corrupt-input-dropped");
+                }
+            }
+            q.remove(&name)?;
+            handled += 1;
+        }
+        Ok(handled)
+    }
+
+    fn handle_msg(&mut self, msg: InputMsg) -> Result<(), PlatformError> {
+        match msg {
+            InputMsg::Submit {
+                id,
+                proc_name,
+                args,
+                submitted_ms,
+            } => self.handle_submit(id, proc_name, args, submitted_ms),
+            InputMsg::Result { id, outcome } => self.handle_result(id, outcome),
+            InputMsg::Signal { id, signal } => self.handle_signal(id, signal),
+            InputMsg::Repair { scope, admin_id } => self.handle_repair(scope, admin_id),
+            InputMsg::Reload { scope, admin_id } => self.handle_reload(scope, admin_id),
+        }
+    }
+
+    /// Step 2 of the paper's Figure 2: accept the transaction into `todoQ`.
+    fn handle_submit(
+        &mut self,
+        id: TxnId,
+        proc_name: String,
+        args: Vec<Value>,
+        submitted_ms: u64,
+    ) -> Result<(), PlatformError> {
+        if self.records.contains_key(&id) {
+            // Duplicate delivery after a crash between persist and queue
+            // removal: already accepted.
+            return Ok(());
+        }
+        let mut rec = TxnRecord::new(id, proc_name, args, submitted_ms);
+        rec.state = TxnState::Accepted;
+        self.persist_record(&rec)?;
+        self.records.insert(id, rec);
+        self.todo.push_back(id);
+        Ok(())
+    }
+
+    /// Step 5 of Figure 2: clean up after physical execution.
+    fn handle_result(&mut self, id: TxnId, outcome: PhysicalOutcome) -> Result<(), PlatformError> {
+        let Some(rec) = self.records.get(&id) else {
+            return Ok(());
+        };
+        if rec.state != TxnState::Started {
+            // Already finalized (e.g. by KILL); drop the stale result.
+            return Ok(());
+        }
+        let log = rec.log.clone();
+        match outcome {
+            PhysicalOutcome::Committed => {
+                self.finalize(id, TxnState::Committed, None)?;
+            }
+            PhysicalOutcome::Aborted { failed_seq, error } => {
+                self.rollback_in_logical(&log);
+                self.finalize(
+                    id,
+                    TxnState::Aborted,
+                    Some(format!("physical action #{failed_seq} failed: {error}")),
+                )?;
+            }
+            PhysicalOutcome::Failed {
+                failed_seq,
+                error,
+                undo_failed_seq,
+                undo_error,
+                inconsistent_object,
+            } => {
+                self.rollback_in_logical(&log);
+                self.mark_inconsistent(&inconsistent_object)?;
+                self.finalize(
+                    id,
+                    TxnState::Failed,
+                    Some(format!(
+                        "action #{failed_seq} failed ({error}); undo #{undo_failed_seq} also failed ({undo_error})"
+                    )),
+                )?;
+            }
+            PhysicalOutcome::Killed { .. } => {
+                // The controller killed this transaction already; if we get
+                // here the record is somehow still Started, so abort it the
+                // KILL way for safety.
+                self.kill_logically(id, "worker abandoned after KILL")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_signal(&mut self, id: TxnId, signal: Signal) -> Result<(), PlatformError> {
+        let Some(rec) = self.records.get(&id) else {
+            return Ok(());
+        };
+        if rec.state != TxnState::Started {
+            return Ok(());
+        }
+        match signal {
+            Signal::Term => {
+                self.client.put_json(&layout::signal(id), &Signal::Term)?;
+                self.term_signaled.insert(id);
+            }
+            Signal::Kill => {
+                self.client.put_json(&layout::signal(id), &Signal::Kill)?;
+                self.kill_logically(id, "killed by operator")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The KILL semantics of §4: abort immediately in the logical layer
+    /// only; physical state may now diverge, so every object the execution
+    /// log touches is marked inconsistent pending `repair`.
+    fn kill_logically(&mut self, id: TxnId, reason: &str) -> Result<(), PlatformError> {
+        let Some(rec) = self.records.get(&id) else {
+            return Ok(());
+        };
+        let log = rec.log.clone();
+        self.rollback_in_logical(&log);
+        let mut objects: Vec<Path> = log.iter().map(|r| r.object.clone()).collect();
+        objects.dedup();
+        for object in objects {
+            self.mark_inconsistent(&object)?;
+        }
+        self.finalize(id, TxnState::Aborted, Some(reason.to_owned()))
+    }
+
+    fn rollback_in_logical(&mut self, log: &[LogRecord]) {
+        let t0 = Instant::now();
+        if let Err(e) = rollback_logical(log, &mut self.tree, &self.actions) {
+            // A logical undo that cannot apply means the cached tree is
+            // unreliable; quarantine the affected subtree.
+            if let Some(first) = log.first() {
+                let _ = self.mark_inconsistent(&first.object.clone());
+            }
+            self.metrics.record_event(
+                self.clock.now_ms(),
+                &self.cfg.name,
+                &format!("logical-rollback-error: {e}"),
+            );
+        }
+        self.metrics.add_busy(t0.elapsed());
+    }
+
+    /// Step 3 of Figure 2: schedule from the front of `todoQ` until it
+    /// empties or its head defers on a lock conflict. Returns the number of
+    /// transactions moved to the physical layer or finalized.
+    fn schedule(&mut self) -> Result<usize, PlatformError> {
+        let mut moved = 0;
+        while let Some(&id) = self.todo.front() {
+            let Some(mut rec) = self.records.get(&id).cloned() else {
+                self.todo.pop_front();
+                continue;
+            };
+            let Some(proc_) = self.service.procs.get(&rec.proc_name) else {
+                self.todo.pop_front();
+                self.records.insert(id, rec);
+                self.finalize(
+                    id,
+                    TxnState::Aborted,
+                    Some(format!("unknown procedure `{}`", self.records[&id].proc_name)),
+                )?;
+                moved += 1;
+                continue;
+            };
+            let t0 = Instant::now();
+            let outcome = simulate(
+                &mut rec,
+                proc_.as_ref(),
+                &mut self.tree,
+                &self.actions,
+                &self.service.constraints,
+                &mut self.locks,
+            );
+            self.metrics.add_busy(t0.elapsed());
+            match outcome {
+                LogicalOutcome::Runnable => {
+                    self.todo.pop_front();
+                    rec.state = TxnState::Started;
+                    rec.lsn = Some(self.next_lsn);
+                    self.next_lsn += 1;
+                    rec.locks = self.locks.locks_of(id);
+                    self.persist_record(&rec)?;
+                    self.records.insert(id, rec);
+                    self.running.insert(id);
+                    self.started_at.insert(id, self.clock.now_ms());
+                    let q = DistributedQueue::new(self.client, layout::phy_q())?;
+                    q.enqueue(serde_json::to_vec(&PhyTask { id }).expect("serializable"))?;
+                    moved += 1;
+                }
+                LogicalOutcome::Deferred { .. } => {
+                    // Head-of-line blocking, per the paper's FIFO todoQ: the
+                    // deferred transaction stays at the front for retry.
+                    rec.defer_count += 1;
+                    self.records.insert(id, rec);
+                    self.metrics.record_defer();
+                    break;
+                }
+                LogicalOutcome::Aborted { reason } => {
+                    self.todo.pop_front();
+                    self.records.insert(id, rec);
+                    self.metrics.record_violation();
+                    self.finalize(id, TxnState::Aborted, Some(reason))?;
+                    moved += 1;
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Finalizes a transaction: persist the terminal state, release locks,
+    /// record metrics, and queue the record for GC.
+    fn finalize(
+        &mut self,
+        id: TxnId,
+        state: TxnState,
+        error: Option<String>,
+    ) -> Result<(), PlatformError> {
+        let now = self.clock.now_ms();
+        let Some(rec) = self.records.get_mut(&id) else {
+            return Ok(());
+        };
+        rec.state = state;
+        rec.error = error;
+        rec.finished_ms = Some(now);
+        let rec_clone = rec.clone();
+        self.persist_record(&rec_clone)?;
+        self.locks.release_all(id);
+        self.running.remove(&id);
+        self.started_at.remove(&id);
+        self.term_signaled.remove(&id);
+        self.metrics.record_txn(TxnSample {
+            id,
+            submitted_ms: rec_clone.submitted_ms,
+            finished_ms: now,
+            state,
+            defer_count: rec_clone.defer_count,
+        });
+        self.finalized_since_ckpt += 1;
+        self.gc_queue.push_back((id, now));
+        Ok(())
+    }
+
+    /// TERM, then KILL, transactions stuck in physical execution (paper §4).
+    fn check_timeouts(&mut self) -> Result<(), PlatformError> {
+        let now = self.clock.now_ms();
+        let stalled: Vec<(TxnId, u64)> = self
+            .running
+            .iter()
+            .filter_map(|id| self.started_at.get(id).map(|s| (*id, now.saturating_sub(*s))))
+            .collect();
+        for (id, elapsed) in stalled {
+            if let Some(kill_ms) = self.cfg.kill_timeout_ms {
+                if elapsed > kill_ms {
+                    self.client.put_json(&layout::signal(id), &Signal::Kill)?;
+                    self.kill_logically(id, "killed after stall timeout")?;
+                    continue;
+                }
+            }
+            if let Some(term_ms) = self.cfg.term_timeout_ms {
+                if elapsed > term_ms && !self.term_signaled.contains(&id) {
+                    self.client.put_json(&layout::signal(id), &Signal::Term)?;
+                    self.term_signaled.insert(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Quiescent checkpointing plus garbage collection of old records.
+    fn maybe_checkpoint(&mut self) -> Result<(), PlatformError> {
+        if self.cfg.checkpoint_every == 0
+            || self.finalized_since_ckpt < self.cfg.checkpoint_every
+            || !self.running.is_empty()
+        {
+            return Ok(());
+        }
+        let watermark = self.next_lsn - 1;
+        let ckpt = Checkpoint {
+            snapshot: self
+                .tree
+                .to_snapshot()
+                .map_err(|e| PlatformError::Admin(e.to_string()))?,
+            watermark_lsn: watermark,
+        };
+        self.client.put_json(&layout::checkpoint(), &ckpt)?;
+        self.finalized_since_ckpt = 0;
+        self.metrics.record_checkpoint();
+
+        // GC finalized records fully covered by the checkpoint and older
+        // than the grace period (clients may still be reading outcomes).
+        let now = self.clock.now_ms();
+        while let Some(&(id, finalized_at)) = self.gc_queue.front() {
+            if now.saturating_sub(finalized_at) < self.cfg.gc_grace_ms {
+                break;
+            }
+            self.gc_queue.pop_front();
+            let covered = self
+                .records
+                .get(&id)
+                .map(|r| r.state.is_final() && r.lsn.map(|l| l <= watermark).unwrap_or(true))
+                .unwrap_or(false);
+            if covered {
+                let _ = self.client.delete(&layout::txn(id), None);
+                let _ = self.client.delete(&layout::signal(id), None);
+                self.records.remove(&id);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reconciliation (paper §4).
+    // ------------------------------------------------------------------
+
+    /// `repair`: push the logical layer's view onto drifted devices.
+    fn handle_repair(&mut self, scope: Path, admin_id: u64) -> Result<(), PlatformError> {
+        let result = self.do_repair(&scope);
+        self.client.put_json(&layout::admin(admin_id), &result)?;
+        Ok(())
+    }
+
+    fn do_repair(&mut self, scope: &Path) -> AdminResult {
+        let Some(registry) = self.mode.registry().cloned() else {
+            return AdminResult {
+                ok: false,
+                message: "repair requires physical mode".into(),
+                actions: 0,
+            };
+        };
+        // Repair runs to a fixpoint: some corrections only become possible
+        // after earlier ones (e.g. an image cannot be unimported while a
+        // rogue VM still references it), so we re-diff and re-plan a few
+        // rounds. Convergence — an empty final diff — is the success
+        // criterion; individual call failures (a stopVM on an
+        // already-stopped rogue VM) are benign if the layers converge.
+        let mut executed = 0;
+        let mut errors = Vec::new();
+        let mut unmatched = 0;
+        for _round in 0..3 {
+            let physical = registry.physical_tree();
+            let diffs = self.tree.diff(&physical, scope);
+            if diffs.is_empty() {
+                break;
+            }
+            let plan: RepairPlan = self.service.repair_rules.plan(&diffs, &self.tree);
+            unmatched = plan.unmatched.len();
+            if plan.actions.is_empty() {
+                break;
+            }
+            for call in &plan.actions {
+                match registry.invoke(call) {
+                    Ok(()) => executed += 1,
+                    Err(e) => errors.push(format!("{}: {e}", call.action)),
+                }
+            }
+        }
+        let remaining = self.tree.diff(&registry.physical_tree(), scope);
+        let ok = remaining.is_empty();
+        if ok {
+            self.clear_inconsistent_under(scope);
+        }
+        self.metrics.record_repair();
+        AdminResult {
+            ok,
+            message: if ok && executed == 0 {
+                "layers already consistent".into()
+            } else if ok {
+                format!("repaired with {executed} action(s)")
+            } else {
+                format!(
+                    "{} diff(s) remain, {} unmatched, errors: [{}]",
+                    remaining.len(),
+                    unmatched,
+                    errors.join("; ")
+                )
+            },
+            actions: executed,
+        }
+    }
+
+    /// `reload`: replace the logical subtree with freshly-retrieved physical
+    /// state, under a write lock and full constraint validation.
+    fn handle_reload(&mut self, scope: Path, admin_id: u64) -> Result<(), PlatformError> {
+        let result = self.do_reload(&scope);
+        self.client.put_json(&layout::admin(admin_id), &result)?;
+        Ok(())
+    }
+
+    fn do_reload(&mut self, scope: &Path) -> AdminResult {
+        let Some(registry) = self.mode.registry().cloned() else {
+            return AdminResult {
+                ok: false,
+                message: "reload requires physical mode".into(),
+                actions: 0,
+            };
+        };
+        // Reload behaves like a transaction: it takes a W lock on the scope
+        // so it cannot race outstanding transactions (paper §4).
+        let reload_txn: TxnId = ADMIN_TXN_BASE + self.next_lsn;
+        let requests = crate::locks::with_intentions(scope, crate::locks::LockMode::W);
+        if let Err(c) = self.locks.try_acquire(reload_txn, &requests) {
+            return AdminResult {
+                ok: false,
+                message: format!("reload conflicts with outstanding transaction at {}", c.path),
+                actions: 0,
+            };
+        }
+        let physical = registry.physical_tree();
+        let Some(new_subtree) = physical.get(scope).cloned() else {
+            self.locks.release_all(reload_txn);
+            return AdminResult {
+                ok: false,
+                message: format!("no physical state at {scope}"),
+                actions: 0,
+            };
+        };
+        // Validate on a candidate tree before committing the swap.
+        let mut candidate = self.tree.clone();
+        if candidate.replace(scope, new_subtree.clone()).is_err() {
+            self.locks.release_all(reload_txn);
+            return AdminResult {
+                ok: false,
+                message: format!("logical tree has no node at {scope}"),
+                actions: 0,
+            };
+        }
+        if let Err(v) = self.service.constraints.check_all(&candidate) {
+            self.locks.release_all(reload_txn);
+            return AdminResult {
+                ok: false,
+                message: format!("reload aborted: {v}"),
+                actions: 0,
+            };
+        }
+        let nodes = new_subtree.subtree_size();
+        self.tree = candidate;
+        self.clear_inconsistent_under(scope);
+
+        // Persist the reload as a committed internal transaction so recovery
+        // replays it in lsn order.
+        let snapshot = serde_json::to_string(&new_subtree).expect("serializable node");
+        let mut rec = TxnRecord::new(reload_txn, "__reload", vec![], self.clock.now_ms());
+        rec.state = TxnState::Committed;
+        rec.lsn = Some(self.next_lsn);
+        self.next_lsn += 1;
+        rec.finished_ms = Some(self.clock.now_ms());
+        rec.log = vec![LogRecord {
+            seq: 1,
+            object: scope.clone(),
+            action: "__replaceSubtree".into(),
+            args: vec![Value::from(snapshot)],
+            undo_action: None,
+            undo_object: None,
+            undo_args: vec![],
+        }];
+        let persist = self.persist_record(&rec);
+        self.records.insert(rec.id, rec);
+        self.gc_queue.push_back((reload_txn, self.clock.now_ms()));
+        self.finalized_since_ckpt += 1;
+        self.locks.release_all(reload_txn);
+        self.metrics.record_reload();
+        match persist {
+            Ok(()) => AdminResult {
+                ok: true,
+                message: format!("reloaded {nodes} node(s)"),
+                actions: nodes,
+            },
+            Err(e) => AdminResult {
+                ok: false,
+                message: format!("reload persisted partially: {e}"),
+                actions: nodes,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers.
+    // ------------------------------------------------------------------
+
+    fn persist_record(&self, rec: &TxnRecord) -> Result<(), PlatformError> {
+        self.client.put_json(&layout::txn(rec.id), rec)?;
+        Ok(())
+    }
+
+    fn mark_inconsistent(&mut self, path: &Path) -> Result<(), PlatformError> {
+        if self.tree.mark_inconsistent(path, true).is_ok() {
+            self.inconsistent.insert(path.clone());
+            self.persist_inconsistent()?;
+        }
+        Ok(())
+    }
+
+    fn clear_inconsistent_under(&mut self, scope: &Path) {
+        let cleared: Vec<Path> = self
+            .inconsistent
+            .iter()
+            .filter(|p| scope.contains(p))
+            .cloned()
+            .collect();
+        for p in &cleared {
+            let _ = self.tree.mark_inconsistent(p, false);
+            self.inconsistent.remove(p);
+        }
+        if !cleared.is_empty() {
+            let _ = self.persist_inconsistent();
+        }
+    }
+
+    fn persist_inconsistent(&self) -> Result<(), PlatformError> {
+        let paths: Vec<&Path> = self.inconsistent.iter().collect();
+        self.client.put_json(&layout::inconsistent(), &paths)?;
+        Ok(())
+    }
+}
+
+/// Registers actions the controller itself relies on (currently the reload
+/// subtree swap replayed during recovery).
+fn register_builtin_actions(actions: &mut ActionRegistry) {
+    actions.register(ActionDef::new(
+        "__replaceSubtree",
+        |tree, object, args| {
+            let json = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or("missing subtree snapshot argument")?;
+            let node: tropic_model::Node =
+                serde_json::from_str(json).map_err(|e| e.to_string())?;
+            tree.replace(object, node).map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |_, _, _| None,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_replace_subtree_applies() {
+        let mut actions = ActionRegistry::new();
+        register_builtin_actions(&mut actions);
+        let def = actions.get("__replaceSubtree").unwrap();
+        let mut tree = Tree::new();
+        tree.insert(
+            &Path::parse("/a").unwrap(),
+            tropic_model::Node::new("old"),
+        )
+        .unwrap();
+        let new_node = tropic_model::Node::new("new").with_attr("x", 1i64);
+        let json = serde_json::to_string(&new_node).unwrap();
+        def.apply_logical(
+            &mut tree,
+            &Path::parse("/a").unwrap(),
+            &[Value::from(json)],
+        )
+        .unwrap();
+        assert_eq!(tree.get(&Path::parse("/a").unwrap()).unwrap().entity(), "new");
+        // Irreversible by design.
+        assert!(def
+            .derive_undo(&tree, &Path::parse("/a").unwrap(), &[])
+            .is_none());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = Checkpoint {
+            snapshot: Tree::new().to_snapshot().unwrap(),
+            watermark_lsn: 17,
+        };
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.watermark_lsn, 17);
+        assert!(Tree::from_snapshot(&back.snapshot).is_ok());
+    }
+}

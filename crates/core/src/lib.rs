@@ -1,0 +1,57 @@
+//! # tropic-core
+//!
+//! The TROPIC transactional resource-orchestration platform (Liu, Mao,
+//! Chen, Fernández, Loo, Van der Merwe — USENIX ATC 2012), reproduced in
+//! Rust.
+//!
+//! Orchestration procedures execute as ACID transactions over a
+//! hierarchical data model:
+//!
+//! * **Atomicity** — execution logs with per-action undo; physical failures
+//!   roll back in reverse order ([`physical`]).
+//! * **Consistency** — integrity constraints checked after every simulated
+//!   action in the logical layer ([`logical`], [`proc`]).
+//! * **Isolation** — hierarchical R/W/IR/IW locking with constraint read
+//!   locks ([`locks`]).
+//! * **Durability** — every transaction state transition persists in the
+//!   replicated coordination store before the step it enables
+//!   ([`controller`]).
+//!
+//! The platform runs replicated controllers behind quorum leader election;
+//! failover recovers the leader's state from persistent storage without
+//! losing transactions ([`platform`]). Cross-layer drift caused by volatile
+//! resources is reconciled with `repair` and `reload` ([`reconcile`]), and
+//! stalled transactions are TERMed/KILLed ([`msg::Signal`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod locks;
+pub mod logical;
+pub mod msg;
+pub mod physical;
+pub mod proc;
+pub mod reconcile;
+pub mod stats;
+pub mod txn;
+pub mod worker;
+
+mod platform;
+
+pub use actions::{ActionDef, ActionRegistry, UndoSpec};
+pub use config::{PlatformConfig, ServiceDefinition};
+pub use controller::{Checkpoint, Controller, ControllerConfig};
+pub use error::{PlatformError, ProcError};
+pub use locks::{with_intentions, LockConflict, LockManager, LockMode, LockRequest};
+pub use logical::{rollback_logical, simulate, LogicalOutcome};
+pub use msg::{layout, AdminResult, InputMsg, PhyTask, Signal};
+pub use physical::{execute_physical, ExecMode, PhysicalOutcome};
+pub use platform::{Tropic, TropicClient};
+pub use proc::{FnProcedure, ProcRegistry, StoredProcedure, TxnContext};
+pub use reconcile::{RepairPlan, RepairRules};
+pub use stats::{Counters, Event, Metrics, TxnSample};
+pub use txn::{format_execution_log, LogRecord, TxnId, TxnOutcome, TxnRecord, TxnState};

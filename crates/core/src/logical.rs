@@ -1,0 +1,291 @@
+//! Logical-layer execution: simulation, rollback, and the three scheduling
+//! outcomes of paper Figure 2 (runnable / deferred / aborted).
+
+use tropic_model::{ConstraintSet, Path, Tree};
+
+use crate::actions::ActionRegistry;
+use crate::error::ProcError;
+use crate::locks::LockManager;
+use crate::proc::{StoredProcedure, TxnContext};
+use crate::txn::{LogRecord, TxnRecord};
+
+/// Outcome of simulating a transaction in the logical layer (paper §3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalOutcome {
+    /// No violation, no conflict: logical effects stay applied, locks are
+    /// held, and the transaction proceeds to the physical layer (3C).
+    Runnable,
+    /// A lock conflict with an outstanding transaction: effects were rolled
+    /// back and the transaction returns to the front of `todoQ` (3B).
+    Deferred {
+        /// The contended path.
+        conflict: Path,
+    },
+    /// A constraint violation or procedure error: effects were rolled back
+    /// and the transaction aborts (3A).
+    Aborted {
+        /// Why the transaction aborted.
+        reason: String,
+    },
+}
+
+/// Simulates `txn` by running its stored procedure against the logical tree
+/// (paper §3.1.2).
+///
+/// On success the execution log is stored into `txn.log`, the logical
+/// effects remain applied (the logical layer runs ahead of the physical
+/// layer), and the locks stay held. On conflict or violation all logical
+/// effects are undone via the undo log and every lock is released.
+pub fn simulate(
+    txn: &mut TxnRecord,
+    proc_: &dyn StoredProcedure,
+    tree: &mut Tree,
+    actions: &ActionRegistry,
+    constraints: &ConstraintSet,
+    locks: &mut LockManager,
+) -> LogicalOutcome {
+    let mut ctx = TxnContext::new(txn.id, txn.args.clone(), tree, actions, constraints, locks);
+    let result = proc_.execute(&mut ctx);
+    let log = ctx.into_log();
+    match result {
+        Ok(()) => {
+            txn.log = log;
+            LogicalOutcome::Runnable
+        }
+        Err(e) => {
+            if let Err(undo_err) = rollback_logical(&log, tree, actions) {
+                // An undo that cannot be simulated is an action-definition
+                // bug; quarantine the whole tree rather than run on corrupt
+                // state.
+                let _ = tree.mark_inconsistent(&Path::root(), true);
+                locks.release_all(txn.id);
+                return LogicalOutcome::Aborted {
+                    reason: format!("{e}; logical rollback also failed: {undo_err}"),
+                };
+            }
+            locks.release_all(txn.id);
+            match e {
+                ProcError::Conflict(conflict) => LogicalOutcome::Deferred { conflict },
+                other => LogicalOutcome::Aborted {
+                    reason: other.to_string(),
+                },
+            }
+        }
+    }
+}
+
+/// Rolls back the logical effects of an execution log by applying each undo
+/// action's logical effect in reverse chronological order (paper §3.1.2).
+pub fn rollback_logical(
+    log: &[LogRecord],
+    tree: &mut Tree,
+    actions: &ActionRegistry,
+) -> Result<(), String> {
+    for rec in log.iter().rev() {
+        let Some(undo_action) = &rec.undo_action else {
+            return Err(format!(
+                "log record #{} ({}) is irreversible",
+                rec.seq, rec.action
+            ));
+        };
+        let def = actions
+            .get(undo_action)
+            .ok_or_else(|| format!("undo action `{undo_action}` not registered"))?;
+        let object = rec.undo_object.as_ref().unwrap_or(&rec.object);
+        def.apply_logical(tree, object, &rec.undo_args)
+            .map_err(|e| format!("undo of record #{} failed: {e}", rec.seq))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::{ActionDef, UndoSpec};
+    use crate::proc::FnProcedure;
+    use std::sync::Arc;
+    use tropic_model::{FnConstraint, Node, Value};
+
+    fn actions() -> ActionRegistry {
+        let mut reg = ActionRegistry::new();
+        reg.register(ActionDef::new(
+            "add",
+            |tree, object, args| {
+                let by = args[0].as_int().ok_or("int")?;
+                let cur = tree.attr_int(object, "n").map_err(|e| e.to_string())?;
+                tree.set_attr(object, "n", cur + by).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+            |_, object, args| {
+                Some(UndoSpec {
+                    object: object.clone(),
+                    action: "sub".into(),
+                    args: args.to_vec(),
+                })
+            },
+        ));
+        reg.register(ActionDef::new(
+            "sub",
+            |tree, object, args| {
+                let by = args[0].as_int().ok_or("int")?;
+                let cur = tree.attr_int(object, "n").map_err(|e| e.to_string())?;
+                tree.set_attr(object, "n", cur - by).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+            |_, object, args| {
+                Some(UndoSpec {
+                    object: object.clone(),
+                    action: "add".into(),
+                    args: args.to_vec(),
+                })
+            },
+        ));
+        reg
+    }
+
+    fn tree() -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/c").unwrap(), Node::new("counter").with_attr("n", 0i64))
+            .unwrap();
+        t
+    }
+
+    fn add_proc(amounts: Vec<i64>) -> FnProcedure<impl Fn(&mut TxnContext<'_>) -> Result<(), ProcError> + Send + Sync> {
+        FnProcedure::new("addMany", move |ctx| {
+            let c = Path::parse("/c").unwrap();
+            for a in &amounts {
+                ctx.act(&c, "add", vec![Value::Int(*a)])?;
+            }
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn runnable_keeps_effects_and_locks() {
+        let reg = actions();
+        let cons = ConstraintSet::new();
+        let mut locks = LockManager::new();
+        let mut t = tree();
+        let mut txn = TxnRecord::new(1, "addMany", vec![], 0);
+        let outcome = simulate(&mut txn, &add_proc(vec![3, 4]), &mut t, &reg, &cons, &mut locks);
+        assert_eq!(outcome, LogicalOutcome::Runnable);
+        assert_eq!(t.attr_int(&Path::parse("/c").unwrap(), "n").unwrap(), 7);
+        assert_eq!(txn.log.len(), 2);
+        assert!(!locks.is_empty());
+    }
+
+    #[test]
+    fn violation_rolls_back_everything() {
+        let reg = actions();
+        let mut cons = ConstraintSet::new();
+        cons.register(Arc::new(FnConstraint::new(
+            "max-10",
+            "counter",
+            |tree: &Tree, anchor: &Path| {
+                let n = tree.attr(anchor, "n").and_then(Value::as_int).unwrap_or(0);
+                if n > 10 {
+                    Err(format!("{n} > 10"))
+                } else {
+                    Ok(())
+                }
+            },
+        )));
+        let mut locks = LockManager::new();
+        let mut t = tree();
+        let mut txn = TxnRecord::new(1, "addMany", vec![], 0);
+        // First two adds are fine (5, 9); the third (14) violates.
+        let outcome = simulate(&mut txn, &add_proc(vec![5, 4, 5]), &mut t, &reg, &cons, &mut locks);
+        match outcome {
+            LogicalOutcome::Aborted { reason } => assert!(reason.contains("> 10")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // All effects undone, all locks released.
+        assert_eq!(t.attr_int(&Path::parse("/c").unwrap(), "n").unwrap(), 0);
+        assert!(locks.is_empty());
+    }
+
+    #[test]
+    fn conflict_defers_and_rolls_back() {
+        let reg = actions();
+        let cons = ConstraintSet::new();
+        let mut locks = LockManager::new();
+        let mut t = tree();
+        // Txn 1 runs and holds its locks.
+        let mut txn1 = TxnRecord::new(1, "addMany", vec![], 0);
+        assert_eq!(
+            simulate(&mut txn1, &add_proc(vec![1]), &mut t, &reg, &cons, &mut locks),
+            LogicalOutcome::Runnable
+        );
+        // Txn 2 conflicts on /c, is rolled back and deferred.
+        let mut txn2 = TxnRecord::new(2, "addMany", vec![], 0);
+        let outcome = simulate(&mut txn2, &add_proc(vec![2]), &mut t, &reg, &cons, &mut locks);
+        assert_eq!(
+            outcome,
+            LogicalOutcome::Deferred {
+                conflict: Path::parse("/c").unwrap()
+            }
+        );
+        assert_eq!(t.attr_int(&Path::parse("/c").unwrap(), "n").unwrap(), 1);
+        assert!(locks.locks_of(2).is_empty());
+        assert!(!locks.locks_of(1).is_empty());
+    }
+
+    #[test]
+    fn partial_failure_mid_procedure_rolls_back_prefix() {
+        let reg = actions();
+        let cons = ConstraintSet::new();
+        let mut locks = LockManager::new();
+        let mut t = tree();
+        let proc_ = FnProcedure::new("failsLate", |ctx: &mut TxnContext<'_>| {
+            let c = Path::parse("/c").unwrap();
+            ctx.act(&c, "add", vec![Value::Int(5)])?;
+            Err(ProcError::Logic("no capacity found".into()))
+        });
+        let mut txn = TxnRecord::new(1, "failsLate", vec![], 0);
+        let outcome = simulate(&mut txn, &proc_, &mut t, &reg, &cons, &mut locks);
+        assert!(matches!(outcome, LogicalOutcome::Aborted { .. }));
+        assert_eq!(t.attr_int(&Path::parse("/c").unwrap(), "n").unwrap(), 0);
+        assert!(locks.is_empty());
+    }
+
+    #[test]
+    fn rollback_logical_reverses_in_order() {
+        let reg = actions();
+        let mut t = tree();
+        let c = Path::parse("/c").unwrap();
+        // Apply add(3) then add(4) manually, building the log.
+        let mut log = Vec::new();
+        for (seq, v) in [(1usize, 3i64), (2, 4)] {
+            reg.get("add").unwrap().apply_logical(&mut t, &c, &[Value::Int(v)]).unwrap();
+            log.push(LogRecord {
+                seq,
+                object: c.clone(),
+                action: "add".into(),
+                args: vec![Value::Int(v)],
+                undo_action: Some("sub".into()),
+                undo_object: None,
+                undo_args: vec![Value::Int(v)],
+            });
+        }
+        assert_eq!(t.attr_int(&c, "n").unwrap(), 7);
+        rollback_logical(&log, &mut t, &reg).unwrap();
+        assert_eq!(t.attr_int(&c, "n").unwrap(), 0);
+    }
+
+    #[test]
+    fn rollback_fails_on_irreversible_record() {
+        let reg = actions();
+        let mut t = tree();
+        let log = vec![LogRecord {
+            seq: 1,
+            object: Path::parse("/c").unwrap(),
+            action: "wipe".into(),
+            args: vec![],
+            undo_action: None,
+            undo_object: None,
+            undo_args: vec![],
+        }];
+        let err = rollback_logical(&log, &mut t, &reg).unwrap_err();
+        assert!(err.contains("irreversible"));
+    }
+}

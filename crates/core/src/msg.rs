@@ -1,0 +1,194 @@
+//! Messages flowing through the durable queues and signal znodes.
+//!
+//! Clients and workers talk to the controller exclusively through `inputQ`
+//! (paper Figure 1): clients enqueue transaction submissions, workers
+//! enqueue execution results, and operators enqueue reconciliation requests.
+//! The controller feeds runnable transactions to the workers through `phyQ`.
+
+use serde::{Deserialize, Serialize};
+use tropic_model::{Path, Value};
+
+use crate::physical::PhysicalOutcome;
+use crate::txn::TxnId;
+
+/// Signals for unresponsive transactions (paper §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Signal {
+    /// Graceful abort: the worker stops, undoes the executed prefix, and
+    /// reports an abort, keeping the layers consistent.
+    Term,
+    /// Immediate abort in the logical layer only; the worker abandons the
+    /// transaction and any cross-layer inconsistency is left to `repair`.
+    Kill,
+}
+
+/// A message consumed by the (leader) controller from `inputQ`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum InputMsg {
+    /// A client submitted a transaction.
+    Submit {
+        /// Client-assigned transaction id (ids are unique platform-wide,
+        /// making re-submission after failover idempotent).
+        id: TxnId,
+        /// Stored-procedure name.
+        proc_name: String,
+        /// Procedure arguments.
+        args: Vec<Value>,
+        /// Submission timestamp (platform clock, ms).
+        submitted_ms: u64,
+    },
+    /// A worker finished a transaction's physical execution.
+    Result {
+        /// The transaction.
+        id: TxnId,
+        /// How physical execution ended.
+        outcome: PhysicalOutcome,
+    },
+    /// Operator request: reconcile physical state toward the logical layer
+    /// within `scope` (paper §4, *repair*).
+    Repair {
+        /// Subtree to reconcile.
+        scope: Path,
+        /// Identifier the operator waits on for the result.
+        admin_id: u64,
+    },
+    /// Operator request: replace the logical subtree at `scope` with freshly
+    /// retrieved physical state (paper §4, *reload*).
+    Reload {
+        /// Subtree to reload.
+        scope: Path,
+        /// Identifier the operator waits on for the result.
+        admin_id: u64,
+    },
+    /// Operator request: signal an unresponsive transaction.
+    Signal {
+        /// The transaction.
+        id: TxnId,
+        /// TERM or KILL.
+        signal: Signal,
+    },
+}
+
+/// A task in `phyQ`: the worker loads the full transaction record (with its
+/// execution log) from the coordination store by id.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhyTask {
+    /// The transaction to execute physically.
+    pub id: TxnId,
+}
+
+/// Result of an administrative operation (repair/reload), persisted where
+/// the requesting operator can read it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdminResult {
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Human-readable summary.
+    pub message: String,
+    /// Number of corrective device actions executed (repair) or nodes
+    /// replaced (reload).
+    pub actions: usize,
+}
+
+/// Well-known paths in the coordination store.
+pub mod layout {
+    use tropic_model::Path;
+
+    use crate::txn::TxnId;
+
+    /// Root of all TROPIC state.
+    pub fn root() -> Path {
+        Path::parse("/tropic").expect("static path")
+    }
+
+    /// The client/worker → controller queue.
+    pub fn input_q() -> Path {
+        Path::parse("/tropic/inputQ").expect("static path")
+    }
+
+    /// The controller → workers queue.
+    pub fn phy_q() -> Path {
+        Path::parse("/tropic/phyQ").expect("static path")
+    }
+
+    /// Controller leader-election base.
+    pub fn election() -> Path {
+        Path::parse("/tropic/election").expect("static path")
+    }
+
+    /// Base of per-transaction records.
+    pub fn txns() -> Path {
+        Path::parse("/tropic/txns").expect("static path")
+    }
+
+    /// Record of one transaction.
+    pub fn txn(id: TxnId) -> Path {
+        txns().join(&format!("{id:020}"))
+    }
+
+    /// The logical-layer checkpoint (tree snapshot + watermark).
+    pub fn checkpoint() -> Path {
+        Path::parse("/tropic/checkpoint").expect("static path")
+    }
+
+    /// The persisted set of inconsistency-marked paths.
+    pub fn inconsistent() -> Path {
+        Path::parse("/tropic/inconsistent").expect("static path")
+    }
+
+    /// Signal znode for one transaction.
+    pub fn signal(id: TxnId) -> Path {
+        Path::parse("/tropic/signals")
+            .expect("static path")
+            .join(&format!("{id:020}"))
+    }
+
+    /// Result znode for one administrative operation.
+    pub fn admin(admin_id: u64) -> Path {
+        Path::parse("/tropic/admin")
+            .expect("static path")
+            .join(&format!("{admin_id:020}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_msg_roundtrip() {
+        let msg = InputMsg::Submit {
+            id: 42,
+            proc_name: "spawnVM".into(),
+            args: vec![Value::from("vm1")],
+            submitted_ms: 123,
+        };
+        let json = serde_json::to_vec(&msg).unwrap();
+        let back: InputMsg = serde_json::from_slice(&json).unwrap();
+        match back {
+            InputMsg::Submit { id, proc_name, .. } => {
+                assert_eq!(id, 42);
+                assert_eq!(proc_name, "spawnVM");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_roundtrip() {
+        for s in [Signal::Term, Signal::Kill] {
+            let json = serde_json::to_vec(&s).unwrap();
+            let back: Signal = serde_json::from_slice(&json).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn layout_paths_sort_by_id() {
+        assert!(layout::txn(9) < layout::txn(10));
+        assert!(layout::txn(99) < layout::txn(100));
+        assert_eq!(layout::txn(5).parent().unwrap(), layout::txns());
+        assert!(layout::signal(3).to_string().contains("signals"));
+        assert!(layout::admin(1).to_string().contains("admin"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Platform assembly: replicated controllers, workers, the coordination
+//! service, and the client API (paper Figure 1).
+//!
+//! [`Tropic::start`] brings up the whole stack in-process: a coordination
+//! ensemble, `controllers` controller threads contending for leadership,
+//! and `workers` physical workers. Clients submit stored-procedure calls
+//! and wait for transactional outcomes; operators can crash and restart
+//! controllers, signal transactions, and run reconciliation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tropic_coord::{CoordClient, CoordService, DistributedQueue, LeaderElection, WatchKind};
+use tropic_model::{real_clock, Path, SharedClock, Value};
+
+use crate::config::{PlatformConfig, ServiceDefinition};
+use crate::controller::{Controller, ControllerConfig};
+use crate::error::PlatformError;
+use crate::msg::{layout, AdminResult, InputMsg, Signal};
+use crate::physical::ExecMode;
+use crate::stats::Metrics;
+use crate::txn::{TxnId, TxnOutcome, TxnRecord};
+use crate::worker::run_worker;
+
+struct ControllerHandle {
+    name: String,
+    crash: Arc<AtomicBool>,
+    is_leader: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+struct WorkerHandle {
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A running TROPIC platform.
+pub struct Tropic {
+    coord: Arc<CoordService>,
+    clock: SharedClock,
+    metrics: Metrics,
+    next_txn_id: Arc<AtomicU64>,
+    next_admin_id: Arc<AtomicU64>,
+    controllers: Vec<ControllerHandle>,
+    workers: Vec<WorkerHandle>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Tropic {
+    /// Starts the platform on the real clock.
+    pub fn start(config: PlatformConfig, service: ServiceDefinition, mode: ExecMode) -> Self {
+        Self::start_with_clock(config, service, mode, real_clock())
+    }
+
+    /// Starts the platform reading time from `clock`.
+    pub fn start_with_clock(
+        config: PlatformConfig,
+        service: ServiceDefinition,
+        mode: ExecMode,
+        clock: SharedClock,
+    ) -> Self {
+        service
+            .schemas
+            .validate(&service.initial_tree)
+            .expect("initial tree must satisfy the service schemas");
+        let coord = Arc::new(CoordService::start_with_clock(
+            config.coord.clone(),
+            Arc::clone(&clock),
+        ));
+        let service = Arc::new(service);
+        let metrics = Metrics::new();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut controllers = Vec::new();
+        for i in 0..config.controllers.max(1) {
+            let name = format!("controller-{i}");
+            let crash = Arc::new(AtomicBool::new(false));
+            let is_leader = Arc::new(AtomicBool::new(false));
+            let thread = {
+                let coord = Arc::clone(&coord);
+                let service = Arc::clone(&service);
+                let mode = mode.clone();
+                let clock = Arc::clone(&clock);
+                let metrics = metrics.clone();
+                let stop = Arc::clone(&stop);
+                let crash = Arc::clone(&crash);
+                let is_leader = Arc::clone(&is_leader);
+                let cfg = ControllerConfig {
+                    name: name.clone(),
+                    checkpoint_every: config.checkpoint_every,
+                    gc_grace_ms: config.gc_grace_ms,
+                    term_timeout_ms: config.term_timeout_ms,
+                    kill_timeout_ms: config.kill_timeout_ms,
+                    poll_ms: config.poll_ms,
+                };
+                std::thread::Builder::new()
+                    .name(name.clone())
+                    .spawn(move || {
+                        controller_thread(cfg, coord, service, mode, clock, metrics, stop, crash, is_leader)
+                    })
+                    .expect("spawn controller thread")
+            };
+            controllers.push(ControllerHandle {
+                name,
+                crash,
+                is_leader,
+                thread: Some(thread),
+            });
+        }
+
+        let mut workers = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let name = format!("worker-{i}");
+            let coord = Arc::clone(&coord);
+            let mode = mode.clone();
+            let stop = Arc::clone(&stop);
+            let thread = std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || run_worker(&name, &coord, mode, &stop))
+                .expect("spawn worker thread");
+            workers.push(WorkerHandle {
+                thread: Some(thread),
+            });
+        }
+
+        Tropic {
+            coord,
+            clock,
+            metrics,
+            next_txn_id: Arc::new(AtomicU64::new(1)),
+            next_admin_id: Arc::new(AtomicU64::new(1)),
+            controllers,
+            workers,
+            stop,
+        }
+    }
+
+    /// Opens a client handle for submitting transactions.
+    pub fn client(&self) -> TropicClient {
+        let client = self.coord.connect("tropic-client");
+        let keepalive = client.keepalive();
+        TropicClient {
+            client,
+            _keepalive: keepalive,
+            next_txn_id: Arc::clone(&self.next_txn_id),
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// The shared metrics collector.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The underlying coordination service (fault injection in tests).
+    pub fn coord(&self) -> &CoordService {
+        &self.coord
+    }
+
+    /// The platform clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Index of the controller currently holding leadership, if any.
+    pub fn leader_index(&self) -> Option<usize> {
+        self.controllers
+            .iter()
+            .position(|c| c.is_leader.load(Ordering::SeqCst))
+    }
+
+    /// Name of controller `idx`.
+    pub fn controller_name(&self, idx: usize) -> Option<&str> {
+        self.controllers.get(idx).map(|c| c.name.as_str())
+    }
+
+    /// Simulates a crash of controller `idx`: its thread stops doing any
+    /// work (including session heartbeats), so its ephemeral election node
+    /// expires after the session timeout and a follower takes over — the
+    /// paper's §6.4 failure model. Returns `false` for unknown indices.
+    pub fn crash_controller(&self, idx: usize) -> bool {
+        let Some(c) = self.controllers.get(idx) else {
+            return false;
+        };
+        c.crash.store(true, Ordering::SeqCst);
+        self.metrics
+            .record_event(self.clock.now_ms(), &c.name, "crashed");
+        true
+    }
+
+    /// Crashes the current leader, returning its index.
+    pub fn crash_leader(&self) -> Option<usize> {
+        let idx = self.leader_index()?;
+        self.crash_controller(idx);
+        Some(idx)
+    }
+
+    /// Restarts a crashed controller: it reconnects with a fresh session and
+    /// rejoins the election as a follower.
+    pub fn restart_controller(&self, idx: usize) -> bool {
+        let Some(c) = self.controllers.get(idx) else {
+            return false;
+        };
+        c.crash.store(false, Ordering::SeqCst);
+        self.metrics
+            .record_event(self.clock.now_ms(), &c.name, "restarted");
+        true
+    }
+
+    /// Sends a TERM or KILL signal to a transaction (paper §4).
+    pub fn signal(&self, id: TxnId, signal: Signal) -> Result<(), PlatformError> {
+        let client = self.coord.connect("tropic-signal");
+        let q = DistributedQueue::new(&client, layout::input_q())?;
+        q.enqueue(serde_json::to_vec(&InputMsg::Signal { id, signal }).expect("serializable"))?;
+        Ok(())
+    }
+
+    /// Runs `repair` over `scope` (paper §4), blocking up to `timeout`.
+    pub fn repair(&self, scope: &Path, timeout: Duration) -> Result<AdminResult, PlatformError> {
+        self.admin_op(scope, timeout, true)
+    }
+
+    /// Runs `reload` over `scope` (paper §4), blocking up to `timeout`.
+    pub fn reload(&self, scope: &Path, timeout: Duration) -> Result<AdminResult, PlatformError> {
+        self.admin_op(scope, timeout, false)
+    }
+
+    fn admin_op(
+        &self,
+        scope: &Path,
+        timeout: Duration,
+        repair: bool,
+    ) -> Result<AdminResult, PlatformError> {
+        let admin_id = self.next_admin_id.fetch_add(1, Ordering::SeqCst);
+        let client = self.coord.connect("tropic-admin");
+        let q = DistributedQueue::new(&client, layout::input_q())?;
+        let msg = if repair {
+            InputMsg::Repair {
+                scope: scope.clone(),
+                admin_id,
+            }
+        } else {
+            InputMsg::Reload {
+                scope: scope.clone(),
+                admin_id,
+            }
+        };
+        q.enqueue(serde_json::to_vec(&msg).expect("serializable"))?;
+        let result_path = layout::admin(admin_id);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(result) = client.get_json::<AdminResult>(&result_path)? {
+                return Ok(result);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(PlatformError::Timeout);
+            }
+            let _ = client.watch(&result_path, WatchKind::Node);
+            if let Some(result) = client.get_json::<AdminResult>(&result_path)? {
+                return Ok(result);
+            }
+            let _ = client.wait_event(Duration::from_millis(25));
+        }
+    }
+
+    /// Stops every component and joins their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for c in &mut self.controllers {
+            if let Some(t) = c.thread.take() {
+                let _ = t.join();
+            }
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for Tropic {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A client handle for submitting transactions and awaiting outcomes.
+///
+/// The handle heartbeats its coordination session in the background (as a
+/// real ZooKeeper client would), so it survives arbitrary idle periods.
+pub struct TropicClient {
+    client: CoordClient,
+    _keepalive: tropic_coord::KeepAlive,
+    next_txn_id: Arc<AtomicU64>,
+    clock: SharedClock,
+}
+
+impl TropicClient {
+    /// Submits a stored-procedure call as a transaction (paper Figure 2,
+    /// step 1). Returns the transaction id immediately.
+    pub fn submit(&self, proc_name: &str, args: Vec<Value>) -> Result<TxnId, PlatformError> {
+        let id = self.next_txn_id.fetch_add(1, Ordering::SeqCst);
+        let msg = InputMsg::Submit {
+            id,
+            proc_name: proc_name.to_owned(),
+            args,
+            submitted_ms: self.clock.now_ms(),
+        };
+        let q = DistributedQueue::new(&self.client, layout::input_q())?;
+        q.enqueue(serde_json::to_vec(&msg).expect("serializable"))?;
+        Ok(id)
+    }
+
+    /// Waits for a transaction to reach a terminal state.
+    pub fn wait(&self, id: TxnId, timeout: Duration) -> Result<TxnOutcome, PlatformError> {
+        let path = layout::txn(id);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(rec) = self.client.get_json::<TxnRecord>(&path)? {
+                if rec.state.is_final() {
+                    let latency_ms = rec.latency_ms().unwrap_or(0);
+                    return Ok(TxnOutcome {
+                        id,
+                        state: rec.state,
+                        error: rec.error,
+                        latency_ms,
+                    });
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(PlatformError::Timeout);
+            }
+            let _ = self.client.watch(&path, WatchKind::Node);
+            let _ = self.client.wait_event(Duration::from_millis(25));
+        }
+    }
+
+    /// Submits and waits in one call.
+    pub fn submit_and_wait(
+        &self,
+        proc_name: &str,
+        args: Vec<Value>,
+        timeout: Duration,
+    ) -> Result<TxnOutcome, PlatformError> {
+        let id = self.submit(proc_name, args)?;
+        self.wait(id, timeout)
+    }
+
+    /// Reads the full durable record of a transaction, if still retained.
+    pub fn txn_record(&self, id: TxnId) -> Result<Option<TxnRecord>, PlatformError> {
+        Ok(self.client.get_json(&layout::txn(id))?)
+    }
+
+    /// Keeps the client session alive during long waits driven externally.
+    pub fn ping(&self) -> Result<(), PlatformError> {
+        self.client.ping()?;
+        Ok(())
+    }
+}
+
+/// The controller thread body: connect → elect → recover → lead, forever,
+/// honouring crash/restart flags (paper §2.3's follower-takeover protocol).
+#[allow(clippy::too_many_arguments)]
+fn controller_thread(
+    cfg: ControllerConfig,
+    coord: Arc<CoordService>,
+    service: Arc<ServiceDefinition>,
+    mode: ExecMode,
+    clock: SharedClock,
+    metrics: Metrics,
+    stop: Arc<AtomicBool>,
+    crash: Arc<AtomicBool>,
+    is_leader: Arc<AtomicBool>,
+) {
+    'outer: while !stop.load(Ordering::SeqCst) {
+        // Simulated crash: do absolutely nothing (no heartbeats!) until
+        // restarted. The coordination session expires meanwhile.
+        if crash.load(Ordering::SeqCst) {
+            is_leader.store(false, Ordering::SeqCst);
+            while crash.load(Ordering::SeqCst) && !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            continue;
+        }
+
+        // Fresh session + election candidacy.
+        let client = coord.connect(&cfg.name);
+        let election = match LeaderElection::join(&client, layout::election(), &cfg.name) {
+            Ok(e) => e,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+
+        // Follower: wait for leadership in short slices, heartbeating.
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break 'outer;
+            }
+            if crash.load(Ordering::SeqCst) {
+                continue 'outer;
+            }
+            match election.wait_leadership(Duration::from_millis(50)) {
+                Ok(true) => break,
+                Ok(false) => {
+                    if client.ping().is_err() {
+                        continue 'outer;
+                    }
+                }
+                Err(_) => continue 'outer,
+            }
+        }
+
+        // Leader: recover, then serve. Recovery and repair can block on
+        // long device or deserialization work, so heartbeat from the side;
+        // the guard drops (and heartbeats stop) on every exit path below,
+        // including simulated crashes.
+        let keepalive = client.keepalive();
+        metrics.record_event(clock.now_ms(), &cfg.name, "leader-elected");
+        let mut controller = Controller::new(
+            cfg.clone(),
+            &client,
+            Arc::clone(&service),
+            mode.clone(),
+            Arc::clone(&clock),
+            metrics.clone(),
+        );
+        if controller.recover().is_err() {
+            continue 'outer;
+        }
+        is_leader.store(true, Ordering::SeqCst);
+        metrics.record_event(clock.now_ms(), &cfg.name, "recovery-complete");
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break 'outer;
+            }
+            if crash.load(Ordering::SeqCst) {
+                is_leader.store(false, Ordering::SeqCst);
+                drop(keepalive);
+                continue 'outer;
+            }
+            match controller.step() {
+                Ok(true) => {}
+                Ok(false) => controller.wait_for_input(Duration::from_millis(cfg.poll_ms)),
+                Err(_) => {
+                    // Session expired or quorum lost: resign and retry from
+                    // scratch; persistent state carries everything needed.
+                    is_leader.store(false, Ordering::SeqCst);
+                    metrics.record_event(clock.now_ms(), &cfg.name, "leadership-lost");
+                    continue 'outer;
+                }
+            }
+        }
+    }
+    is_leader.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,144 @@
+//! Physical workers: the threads that straddle the controller/device
+//! boundary (paper §2.2, §3.2).
+//!
+//! Each worker claims transactions from `phyQ` (exactly-once via the
+//! queue's atomic delete), loads the execution log from the coordination
+//! store, replays it against the devices (or skips them in logical-only
+//! mode), and reports the outcome back through `inputQ`. Signals posted by
+//! the controller are polled between actions so stalled transactions can be
+//! TERMed or KILLed (paper §4).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tropic_coord::{CoordService, DistributedQueue};
+
+use crate::msg::{layout, InputMsg, PhyTask, Signal};
+use crate::physical::{execute_physical, ExecMode};
+use crate::txn::TxnRecord;
+
+/// Runs one worker until `stop` becomes true. Designed to be spawned on a
+/// dedicated thread by the platform.
+pub fn run_worker(name: &str, coord: &CoordService, mode: ExecMode, stop: &AtomicBool) {
+    let client = coord.connect(name);
+    // Workers block inside device calls for arbitrarily long; a background
+    // heartbeat keeps the session alive meanwhile (a crashed worker thread
+    // still expires, because the keepalive guard dies with it).
+    let _keepalive = client.keepalive();
+    let Ok(phy_q) = DistributedQueue::new(&client, layout::phy_q()) else {
+        return;
+    };
+    let Ok(input_q) = DistributedQueue::new(&client, layout::input_q()) else {
+        return;
+    };
+    while !stop.load(Ordering::SeqCst) {
+        let item = match phy_q.dequeue_timeout(Duration::from_millis(50)) {
+            Ok(Some((_, data))) => data,
+            Ok(None) => continue,
+            Err(_) => {
+                // Quorum loss or session trouble; back off briefly.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        let Ok(task) = serde_json::from_slice::<PhyTask>(&item) else {
+            continue;
+        };
+        let Ok(Some(rec)) = client.get_json::<TxnRecord>(&layout::txn(task.id)) else {
+            // Record GC'd or unreadable; nothing to execute.
+            continue;
+        };
+        let signal_path = layout::signal(task.id);
+        let outcome = execute_physical(&rec.log, &mode, || {
+            client
+                .get_json::<Signal>(&signal_path)
+                .ok()
+                .flatten()
+        });
+        let msg = InputMsg::Result {
+            id: task.id,
+            outcome,
+        };
+        // Best-effort: if the enqueue fails (quorum loss), the transaction
+        // stalls and the controller's TERM/KILL timeouts take over — the
+        // paper's answer to unresponsive transactions.
+        let _ = input_q.enqueue(serde_json::to_vec(&msg).expect("serializable"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{LogRecord, TxnState};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use tropic_coord::CoordConfig;
+    use tropic_model::{Path, Value};
+
+    fn spawn_worker(
+        coord: Arc<CoordService>,
+        mode: ExecMode,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || run_worker("w-test", &coord, mode, &stop))
+    }
+
+    #[test]
+    fn worker_executes_task_and_reports() {
+        let coord = Arc::new(CoordService::start(CoordConfig::default()));
+        let client = coord.connect("test");
+        // Persist a Started record with a trivial log.
+        let mut rec = TxnRecord::new(5, "noop", vec![], 0);
+        rec.state = TxnState::Started;
+        rec.log = vec![LogRecord {
+            seq: 1,
+            object: Path::parse("/x").unwrap(),
+            action: "anything".into(),
+            args: vec![Value::from("a")],
+            undo_action: Some("undoAnything".into()),
+            undo_object: None,
+            undo_args: vec![],
+        }];
+        client.put_json(&layout::txn(5), &rec).unwrap();
+        let phy_q = DistributedQueue::new(&client, layout::phy_q()).unwrap();
+        phy_q
+            .enqueue(serde_json::to_vec(&PhyTask { id: 5 }).unwrap())
+            .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn_worker(Arc::clone(&coord), ExecMode::LogicalOnly, Arc::clone(&stop));
+
+        // The result lands in inputQ.
+        let input_q = DistributedQueue::new(&client, layout::input_q()).unwrap();
+        let got = input_q.dequeue_timeout(Duration::from_secs(5)).unwrap();
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+        let (_, data) = got.expect("worker result");
+        let msg: InputMsg = serde_json::from_slice(&data).unwrap();
+        match msg {
+            InputMsg::Result { id, outcome } => {
+                assert_eq!(id, 5);
+                assert_eq!(outcome, crate::physical::PhysicalOutcome::Committed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_ignores_corrupt_tasks() {
+        let coord = Arc::new(CoordService::start(CoordConfig::default()));
+        let client = coord.connect("test");
+        let phy_q = DistributedQueue::new(&client, layout::phy_q()).unwrap();
+        phy_q.enqueue(&b"not json"[..]).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn_worker(Arc::clone(&coord), ExecMode::LogicalOnly, Arc::clone(&stop));
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+        // The corrupt item was consumed and produced no result.
+        assert!(phy_q.is_empty().unwrap());
+        let input_q = DistributedQueue::new(&client, layout::input_q()).unwrap();
+        assert!(input_q.is_empty().unwrap());
+    }
+}

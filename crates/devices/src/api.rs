@@ -1,0 +1,104 @@
+//! The device API boundary between TROPIC's physical layer and devices.
+//!
+//! Workers replay execution-log records by calling [`Device::invoke`] with
+//! the action name and arguments recorded in the logical layer (paper §3.2,
+//! Table 1). Every device also exports its current state as a model subtree
+//! ([`Device::export_state`]), which reconciliation compares against the
+//! logical layer (paper §4).
+
+use tropic_model::{Node, Path, Value};
+
+use crate::error::{DeviceError, DeviceResult};
+use crate::fault::FaultPlan;
+
+/// One physical action invocation, addressed to a resource object path as in
+/// the paper's execution logs (Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionCall {
+    /// Resource object path, e.g. `/vmRoot/vmHost3`.
+    pub object: Path,
+    /// Action name, e.g. `createVM`.
+    pub action: String,
+    /// Positional arguments, e.g. `[vmName, vmImage]`.
+    pub args: Vec<Value>,
+}
+
+impl ActionCall {
+    /// Creates an action call.
+    pub fn new(object: Path, action: impl Into<String>, args: Vec<Value>) -> Self {
+        ActionCall {
+            object,
+            action: action.into(),
+            args,
+        }
+    }
+
+    /// Reads positional argument `i` as a string.
+    pub fn arg_str(&self, i: usize) -> DeviceResult<&str> {
+        self.args
+            .get(i)
+            .and_then(Value::as_str)
+            .ok_or_else(|| DeviceError::BadArgument {
+                action: self.action.clone(),
+                message: format!("argument {i} missing or not a string"),
+            })
+    }
+
+    /// Reads positional argument `i` as an integer.
+    pub fn arg_int(&self, i: usize) -> DeviceResult<i64> {
+        self.args
+            .get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| DeviceError::BadArgument {
+                action: self.action.clone(),
+                message: format!("argument {i} missing or not an int"),
+            })
+    }
+}
+
+/// A simulated physical device.
+///
+/// Implementations hold their own state behind interior mutability: the
+/// worker pool invokes actions on shared references.
+pub trait Device: Send + Sync {
+    /// Device name for diagnostics (usually the mount path's leaf).
+    fn name(&self) -> &str;
+
+    /// The path in the data model at which this device's state mounts, e.g.
+    /// `/vmRoot/vmHost3`.
+    fn mount(&self) -> &Path;
+
+    /// Executes one physical action against the device.
+    ///
+    /// Implementations apply their latency model, roll the fault plan, and
+    /// only then mutate state, so an injected fault leaves the device
+    /// unchanged (the action never happened).
+    fn invoke(&self, call: &ActionCall) -> DeviceResult<()>;
+
+    /// Exports the device's current physical state as a model subtree
+    /// rooted at [`Device::mount`].
+    fn export_state(&self) -> Node;
+
+    /// The device's fault-injection plan.
+    fn fault_plan(&self) -> &FaultPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_accessors() {
+        let call = ActionCall::new(
+            Path::parse("/vmRoot/h1").unwrap(),
+            "createVM",
+            vec![Value::from("vm1"), Value::from(2048i64)],
+        );
+        assert_eq!(call.arg_str(0).unwrap(), "vm1");
+        assert_eq!(call.arg_int(1).unwrap(), 2048);
+        assert!(call.arg_str(1).is_err());
+        assert!(call.arg_int(5).is_err());
+        let err = call.arg_str(9).unwrap_err();
+        assert!(err.to_string().contains("createVM"));
+    }
+}

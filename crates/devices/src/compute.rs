@@ -1,0 +1,439 @@
+//! Simulated compute servers (the Xen hosts of the paper's TCloud, §5).
+//!
+//! A compute server imports exported VM images, and creates, starts, stops,
+//! and removes VMs. Out-of-band hooks simulate the volatility of §4: host
+//! reboots that power VMs off behind the controller's back, and operator
+//! changes made without going through TROPIC.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::Mutex;
+use tropic_model::{Node, Path, Value};
+
+use crate::api::{ActionCall, Device};
+use crate::error::{DeviceError, DeviceResult};
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+
+/// Power state of a simulated VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmPower {
+    /// Defined but not running.
+    Stopped,
+    /// Running.
+    Running,
+}
+
+impl VmPower {
+    /// The model-attribute string form (`"stopped"`/`"running"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VmPower::Stopped => "stopped",
+            VmPower::Running => "running",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct VmRec {
+    image: String,
+    mem: i64,
+    power: VmPower,
+    /// Hypervisor the VM was created for; must match the host's (the VM-type
+    /// constraint of §6.2 checks this in the logical layer).
+    hypervisor: String,
+}
+
+#[derive(Debug, Default)]
+struct ComputeState {
+    imported: BTreeSet<String>,
+    vms: BTreeMap<String, VmRec>,
+}
+
+/// A simulated compute server.
+pub struct ComputeServer {
+    name: String,
+    mount: Path,
+    hypervisor: String,
+    mem_capacity: i64,
+    state: Mutex<ComputeState>,
+    faults: FaultPlan,
+    latency: LatencyModel,
+}
+
+impl ComputeServer {
+    /// Creates a compute server mounted at `mount`.
+    pub fn new(
+        mount: Path,
+        hypervisor: impl Into<String>,
+        mem_capacity: i64,
+        latency: LatencyModel,
+    ) -> Self {
+        let name = mount.leaf().unwrap_or("compute").to_owned();
+        ComputeServer {
+            name,
+            mount,
+            hypervisor: hypervisor.into(),
+            mem_capacity,
+            state: Mutex::new(ComputeState::default()),
+            faults: FaultPlan::none(),
+            latency,
+        }
+    }
+
+    /// The hypervisor type (e.g. `"xen"`, `"kvm"`).
+    pub fn hypervisor(&self) -> &str {
+        &self.hypervisor
+    }
+
+    /// Physical memory capacity in MB.
+    pub fn mem_capacity(&self) -> i64 {
+        self.mem_capacity
+    }
+
+    /// Number of VMs currently defined.
+    pub fn vm_count(&self) -> usize {
+        self.state.lock().vms.len()
+    }
+
+    /// Power state of a VM, if it exists.
+    pub fn vm_power(&self, name: &str) -> Option<VmPower> {
+        self.state.lock().vms.get(name).map(|v| v.power)
+    }
+
+    /// Returns `true` if `image` has been imported on this host.
+    pub fn has_imported(&self, image: &str) -> bool {
+        self.state.lock().imported.contains(image)
+    }
+
+    // Out-of-band hooks (paper §4: resource volatility).
+
+    /// Simulates an unexpected host reboot: every running VM is powered off
+    /// without TROPIC's knowledge. Returns the names of affected VMs.
+    pub fn oob_power_cycle(&self) -> Vec<String> {
+        let mut st = self.state.lock();
+        let mut affected = Vec::new();
+        for (name, vm) in st.vms.iter_mut() {
+            if vm.power == VmPower::Running {
+                vm.power = VmPower::Stopped;
+                affected.push(name.clone());
+            }
+        }
+        affected
+    }
+
+    /// Simulates an operator deleting a VM via the device CLI.
+    pub fn oob_remove_vm(&self, name: &str) -> bool {
+        self.state.lock().vms.remove(name).is_some()
+    }
+
+    /// Simulates an operator creating a VM via the device CLI.
+    pub fn oob_create_vm(&self, name: &str, image: &str, mem: i64, running: bool) {
+        self.state.lock().vms.insert(
+            name.to_owned(),
+            VmRec {
+                image: image.to_owned(),
+                mem,
+                power: if running { VmPower::Running } else { VmPower::Stopped },
+                hypervisor: self.hypervisor.clone(),
+            },
+        );
+    }
+
+    fn check_object(&self, call: &ActionCall) -> DeviceResult<()> {
+        if call.object != self.mount {
+            return Err(DeviceError::NoSuchObject(call.object.clone()));
+        }
+        Ok(())
+    }
+
+    fn do_import(&self, call: &ActionCall) -> DeviceResult<()> {
+        let image = call.arg_str(0)?;
+        let mut st = self.state.lock();
+        if !st.imported.insert(image.to_owned()) {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!("image {image} already imported"),
+            });
+        }
+        Ok(())
+    }
+
+    fn do_unimport(&self, call: &ActionCall) -> DeviceResult<()> {
+        let image = call.arg_str(0)?;
+        let mut st = self.state.lock();
+        if st.vms.values().any(|vm| vm.image == image) {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!("image {image} still used by a VM"),
+            });
+        }
+        if !st.imported.remove(image) {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!("image {image} not imported"),
+            });
+        }
+        Ok(())
+    }
+
+    fn do_create_vm(&self, call: &ActionCall) -> DeviceResult<()> {
+        let name = call.arg_str(0)?.to_owned();
+        let image = call.arg_str(1)?.to_owned();
+        let mem = call.arg_int(2)?;
+        let mut st = self.state.lock();
+        if st.vms.contains_key(&name) {
+            return Err(DeviceError::AlreadyExists(self.mount.join(&name)));
+        }
+        if !st.imported.contains(&image) {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!("image {image} not imported on this host"),
+            });
+        }
+        st.vms.insert(
+            name,
+            VmRec {
+                image,
+                mem,
+                power: VmPower::Stopped,
+                hypervisor: self.hypervisor.clone(),
+            },
+        );
+        Ok(())
+    }
+
+    fn do_remove_vm(&self, call: &ActionCall) -> DeviceResult<()> {
+        let name = call.arg_str(0)?;
+        let mut st = self.state.lock();
+        match st.vms.get(name) {
+            None => Err(DeviceError::NoSuchObject(self.mount.join(name))),
+            Some(vm) if vm.power == VmPower::Running => Err(DeviceError::InvalidState {
+                path: self.mount.join(name),
+                message: "cannot remove a running VM".into(),
+            }),
+            Some(_) => {
+                st.vms.remove(name);
+                Ok(())
+            }
+        }
+    }
+
+    fn do_set_power(&self, call: &ActionCall, target: VmPower) -> DeviceResult<()> {
+        let name = call.arg_str(0)?;
+        let mut st = self.state.lock();
+        let vm = st
+            .vms
+            .get_mut(name)
+            .ok_or_else(|| DeviceError::NoSuchObject(self.mount.join(name)))?;
+        if vm.power == target {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.join(name),
+                message: format!("VM already {}", target.as_str()),
+            });
+        }
+        vm.power = target;
+        Ok(())
+    }
+}
+
+impl Device for ComputeServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mount(&self) -> &Path {
+        &self.mount
+    }
+
+    fn invoke(&self, call: &ActionCall) -> DeviceResult<()> {
+        self.check_object(call)?;
+        self.latency.apply(&call.action);
+        if let Some(message) = self.faults.roll(&call.action) {
+            return Err(DeviceError::InjectedFault {
+                action: call.action.clone(),
+                message,
+            });
+        }
+        match call.action.as_str() {
+            "importImage" => self.do_import(call),
+            "unimportImage" => self.do_unimport(call),
+            "createVM" => self.do_create_vm(call),
+            "removeVM" => self.do_remove_vm(call),
+            "startVM" => self.do_set_power(call, VmPower::Running),
+            "stopVM" => self.do_set_power(call, VmPower::Stopped),
+            other => Err(DeviceError::UnknownAction(other.to_owned())),
+        }
+    }
+
+    fn export_state(&self) -> Node {
+        let st = self.state.lock();
+        let mut node = Node::new("vmHost")
+            .with_attr("hypervisor", self.hypervisor.as_str())
+            .with_attr("memCapacity", self.mem_capacity)
+            .with_attr(
+                "importedImages",
+                Value::List(st.imported.iter().map(|s| Value::from(s.as_str())).collect()),
+            );
+        for (name, vm) in &st.vms {
+            node.insert_child(
+                name.clone(),
+                Node::new("vm")
+                    .with_attr("image", vm.image.as_str())
+                    .with_attr("mem", vm.mem)
+                    .with_attr("state", vm.power.as_str())
+                    .with_attr("hypervisor", vm.hypervisor.as_str()),
+            );
+        }
+        node
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> ComputeServer {
+        ComputeServer::new(
+            Path::parse("/vmRoot/h1").unwrap(),
+            "xen",
+            32768,
+            LatencyModel::zero(),
+        )
+    }
+
+    fn call(host: &ComputeServer, action: &str, args: Vec<Value>) -> DeviceResult<()> {
+        host.invoke(&ActionCall::new(host.mount().clone(), action, args))
+    }
+
+    fn spawn_sequence(h: &ComputeServer) {
+        call(h, "importImage", vec!["img1".into()]).unwrap();
+        call(h, "createVM", vec!["vm1".into(), "img1".into(), Value::Int(2048)]).unwrap();
+        call(h, "startVM", vec!["vm1".into()]).unwrap();
+    }
+
+    #[test]
+    fn vm_lifecycle() {
+        let h = host();
+        spawn_sequence(&h);
+        assert_eq!(h.vm_power("vm1"), Some(VmPower::Running));
+        call(&h, "stopVM", vec!["vm1".into()]).unwrap();
+        assert_eq!(h.vm_power("vm1"), Some(VmPower::Stopped));
+        call(&h, "removeVM", vec!["vm1".into()]).unwrap();
+        assert_eq!(h.vm_count(), 0);
+        call(&h, "unimportImage", vec!["img1".into()]).unwrap();
+        assert!(!h.has_imported("img1"));
+    }
+
+    #[test]
+    fn create_requires_imported_image() {
+        let h = host();
+        let err = call(&h, "createVM", vec!["vm1".into(), "img1".into(), Value::Int(512)]).unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidState { .. }));
+    }
+
+    #[test]
+    fn duplicate_creates_rejected() {
+        let h = host();
+        call(&h, "importImage", vec!["i".into()]).unwrap();
+        assert!(matches!(
+            call(&h, "importImage", vec!["i".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        call(&h, "createVM", vec!["v".into(), "i".into(), Value::Int(1)]).unwrap();
+        assert!(matches!(
+            call(&h, "createVM", vec!["v".into(), "i".into(), Value::Int(1)]),
+            Err(DeviceError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn power_transitions_guarded() {
+        let h = host();
+        spawn_sequence(&h);
+        assert!(matches!(
+            call(&h, "startVM", vec!["vm1".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            call(&h, "removeVM", vec!["vm1".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            call(&h, "stopVM", vec!["ghost".into()]),
+            Err(DeviceError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn unimport_blocked_while_in_use() {
+        let h = host();
+        spawn_sequence(&h);
+        assert!(matches!(
+            call(&h, "unimportImage", vec!["img1".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_action_and_wrong_object() {
+        let h = host();
+        assert!(matches!(
+            call(&h, "frobnicate", vec![]),
+            Err(DeviceError::UnknownAction(_))
+        ));
+        let wrong = ActionCall::new(Path::parse("/vmRoot/other").unwrap(), "startVM", vec![]);
+        assert!(matches!(h.invoke(&wrong), Err(DeviceError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn injected_fault_leaves_state_unchanged() {
+        let h = host();
+        call(&h, "importImage", vec!["i".into()]).unwrap();
+        h.fault_plan().fail_once("createVM");
+        let err = call(&h, "createVM", vec!["v".into(), "i".into(), Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DeviceError::InjectedFault { .. }));
+        assert_eq!(h.vm_count(), 0);
+        // Retry succeeds (one-shot).
+        call(&h, "createVM", vec!["v".into(), "i".into(), Value::Int(1)]).unwrap();
+    }
+
+    #[test]
+    fn oob_power_cycle_stops_running_vms() {
+        let h = host();
+        spawn_sequence(&h);
+        let affected = h.oob_power_cycle();
+        assert_eq!(affected, vec!["vm1".to_string()]);
+        assert_eq!(h.vm_power("vm1"), Some(VmPower::Stopped));
+        assert!(h.oob_power_cycle().is_empty());
+    }
+
+    #[test]
+    fn export_state_reflects_vms() {
+        let h = host();
+        spawn_sequence(&h);
+        let node = h.export_state();
+        assert_eq!(node.entity(), "vmHost");
+        assert_eq!(node.attr_str("hypervisor"), Some("xen"));
+        let vm = node.child("vm1").unwrap();
+        assert_eq!(vm.attr_str("state"), Some("running"));
+        assert_eq!(vm.attr_int("mem"), Some(2048));
+        assert_eq!(
+            node.attr("importedImages").unwrap().as_list().unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn oob_create_and_remove() {
+        let h = host();
+        h.oob_create_vm("rogue", "imgX", 512, true);
+        assert_eq!(h.vm_power("rogue"), Some(VmPower::Running));
+        assert!(h.oob_remove_vm("rogue"));
+        assert!(!h.oob_remove_vm("rogue"));
+    }
+}

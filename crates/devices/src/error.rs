@@ -1,0 +1,84 @@
+//! Device-layer errors.
+
+use std::fmt;
+
+use tropic_model::Path;
+
+/// Errors raised by simulated physical devices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The device has no object at the given path.
+    NoSuchObject(Path),
+    /// An object already exists where one would be created.
+    AlreadyExists(Path),
+    /// The action name is not supported by this device.
+    UnknownAction(String),
+    /// An action argument was missing or malformed.
+    BadArgument {
+        /// The action being invoked.
+        action: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The object is in the wrong state for the action (e.g. starting a VM
+    /// that is already running).
+    InvalidState {
+        /// Path of the object.
+        path: Path,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An injected fault: the action failed mid-flight (paper §6.3 injects
+    /// exactly these).
+    InjectedFault {
+        /// The action that failed.
+        action: String,
+        /// Injection context.
+        message: String,
+    },
+    /// The device is unreachable (crashed or powered off).
+    Unreachable(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::NoSuchObject(p) => write!(f, "no such object: {p}"),
+            DeviceError::AlreadyExists(p) => write!(f, "object already exists: {p}"),
+            DeviceError::UnknownAction(a) => write!(f, "unknown action: {a}"),
+            DeviceError::BadArgument { action, message } => {
+                write!(f, "bad argument to {action}: {message}")
+            }
+            DeviceError::InvalidState { path, message } => {
+                write!(f, "invalid state at {path}: {message}")
+            }
+            DeviceError::InjectedFault { action, message } => {
+                write!(f, "injected fault in {action}: {message}")
+            }
+            DeviceError::Unreachable(name) => write!(f, "device unreachable: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Convenience alias for device results.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let p = Path::parse("/vmRoot/h1/vm1").unwrap();
+        assert!(DeviceError::NoSuchObject(p.clone()).to_string().contains("vm1"));
+        assert!(DeviceError::InjectedFault {
+            action: "startVM".into(),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("startVM"));
+        assert!(DeviceError::Unreachable("h1".into()).to_string().contains("h1"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault injection for simulated devices.
+//!
+//! The robustness experiments (paper §6.3) "randomly raise exceptions in the
+//! last step of VM spawn and migrate"; the volatility machinery (§4) must
+//! also cope with devices failing their *undo* actions. A [`FaultPlan`]
+//! scripts both: probabilistic failures per action name, one-shot scheduled
+//! failures, and a fail-everything switch simulating an unreachable device.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counters describing injected behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Actions allowed through.
+    pub passed: u64,
+    /// Actions failed by injection.
+    pub injected: u64,
+}
+
+struct PlanState {
+    /// `(action, probability)` pairs evaluated independently.
+    action_probs: Vec<(String, f64)>,
+    /// Action names that fail exactly once, then are removed.
+    one_shots: Vec<String>,
+    /// Every `n`-th invocation of the named action fails (1-based counting).
+    every_nth: Vec<(String, u64, u64)>,
+    /// When set, every action fails as unreachable.
+    down: bool,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+/// A scriptable fault-injection plan shared by a device.
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// Creates a plan that never injects faults.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Creates an empty plan with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            state: Mutex::new(PlanState {
+                action_probs: Vec::new(),
+                one_shots: Vec::new(),
+                every_nth: Vec::new(),
+                down: false,
+                rng: StdRng::seed_from_u64(seed),
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// Fails invocations of `action` with independent probability `p`.
+    pub fn fail_action_with_prob(&self, action: &str, p: f64) {
+        self.state
+            .lock()
+            .action_probs
+            .push((action.to_owned(), p.clamp(0.0, 1.0)));
+    }
+
+    /// Fails the next invocation of `action`, once.
+    pub fn fail_once(&self, action: &str) {
+        self.state.lock().one_shots.push(action.to_owned());
+    }
+
+    /// Fails every `n`-th invocation of `action` (n = 1 fails every call).
+    pub fn fail_every_nth(&self, action: &str, n: u64) {
+        assert!(n >= 1, "n must be at least 1");
+        self.state.lock().every_nth.push((action.to_owned(), n, 0));
+    }
+
+    /// Marks the device down (unreachable) or back up.
+    pub fn set_down(&self, down: bool) {
+        self.state.lock().down = down;
+    }
+
+    /// Returns `true` if the device is marked down.
+    pub fn is_down(&self) -> bool {
+        self.state.lock().down
+    }
+
+    /// Clears all scripted failures (the device stays up/down as set).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.action_probs.clear();
+        st.one_shots.clear();
+        st.every_nth.clear();
+    }
+
+    /// Decides whether this invocation of `action` fails. Returns a
+    /// description of the injected fault, or `None` to let it pass.
+    pub fn roll(&self, action: &str) -> Option<String> {
+        let mut st = self.state.lock();
+        if st.down {
+            st.stats.injected += 1;
+            return Some("device down".to_owned());
+        }
+        if let Some(idx) = st.one_shots.iter().position(|a| a == action) {
+            st.one_shots.remove(idx);
+            st.stats.injected += 1;
+            return Some("scripted one-shot fault".to_owned());
+        }
+        for i in 0..st.every_nth.len() {
+            if st.every_nth[i].0 == action {
+                st.every_nth[i].2 += 1;
+                let (_, n, count) = st.every_nth[i];
+                if count % n == 0 {
+                    st.stats.injected += 1;
+                    return Some(format!("scripted every-{n}th fault"));
+                }
+            }
+        }
+        let probs: Vec<f64> = st
+            .action_probs
+            .iter()
+            .filter(|(a, _)| a == action)
+            .map(|(_, p)| *p)
+            .collect();
+        for p in probs {
+            if p > 0.0 && st.rng.gen_bool(p) {
+                st.stats.injected += 1;
+                return Some(format!("probabilistic fault (p={p})"));
+            }
+        }
+        st.stats.passed += 1;
+        None
+    }
+
+    /// Snapshot of injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_by_default() {
+        let plan = FaultPlan::none();
+        assert!((0..100).all(|_| plan.roll("startVM").is_none()));
+        assert_eq!(plan.stats().passed, 100);
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let plan = FaultPlan::none();
+        plan.fail_once("startVM");
+        assert!(plan.roll("stopVM").is_none());
+        assert!(plan.roll("startVM").is_some());
+        assert!(plan.roll("startVM").is_none());
+        assert_eq!(plan.stats().injected, 1);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let plan = FaultPlan::none();
+        plan.fail_every_nth("cloneImage", 3);
+        let fails: Vec<bool> = (0..9).map(|_| plan.roll("cloneImage").is_some()).collect();
+        assert_eq!(fails, vec![false, false, true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn probability_one_always_fails() {
+        let plan = FaultPlan::new(1);
+        plan.fail_action_with_prob("createVM", 1.0);
+        assert!((0..10).all(|_| plan.roll("createVM").is_some()));
+        assert!(plan.roll("removeVM").is_none());
+    }
+
+    #[test]
+    fn probability_half_is_probabilistic() {
+        let plan = FaultPlan::new(42);
+        plan.fail_action_with_prob("x", 0.5);
+        let injected = (0..1000).filter(|_| plan.roll("x").is_some()).count();
+        assert!(injected > 300 && injected < 700, "injected {injected}");
+    }
+
+    #[test]
+    fn down_device_fails_everything() {
+        let plan = FaultPlan::none();
+        plan.set_down(true);
+        assert!(plan.is_down());
+        assert!(plan.roll("anything").is_some());
+        plan.set_down(false);
+        assert!(plan.roll("anything").is_none());
+    }
+
+    #[test]
+    fn clear_removes_scripts() {
+        let plan = FaultPlan::none();
+        plan.fail_once("a");
+        plan.fail_every_nth("b", 1);
+        plan.fail_action_with_prob("c", 1.0);
+        plan.clear();
+        assert!(plan.roll("a").is_none());
+        assert!(plan.roll("b").is_none());
+        assert!(plan.roll("c").is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # tropic-devices
+//!
+//! Simulated physical cloud resources for the TROPIC reproduction,
+//! substituting for the paper's ShadowNet testbed (Xen compute servers,
+//! GNBD/DRBD storage servers, Juniper routers — §5).
+//!
+//! Each device implements the [`Device`] trait: it executes named physical
+//! actions (the ones appearing in execution logs, paper Table 1), exports
+//! its state as a data-model subtree for reconciliation (§4), and carries a
+//! [`FaultPlan`] so experiments can inject failures at any step (§6.3) or
+//! mutate state out of band (§4).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tropic_devices::{ActionCall, ComputeServer, Device, DeviceRegistry, LatencyModel};
+//! use tropic_model::{Node, Path, Tree, Value};
+//!
+//! let mut frame = Tree::new();
+//! frame.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+//! let registry = DeviceRegistry::new(frame);
+//! let host = Path::parse("/vmRoot/host1").unwrap();
+//! registry.register(Arc::new(ComputeServer::new(
+//!     host.clone(), "xen", 32_768, LatencyModel::zero(),
+//! )));
+//! registry.invoke(&ActionCall::new(host, "importImage", vec![Value::from("img")])).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod compute;
+pub mod error;
+pub mod fault;
+pub mod latency;
+pub mod network;
+pub mod registry;
+pub mod storage;
+
+pub use api::{ActionCall, Device};
+pub use compute::{ComputeServer, VmPower};
+pub use error::{DeviceError, DeviceResult};
+pub use fault::{FaultPlan, FaultStats};
+pub use latency::LatencyModel;
+pub use network::Router;
+pub use registry::DeviceRegistry;
+pub use storage::StorageServer;

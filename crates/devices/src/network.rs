@@ -1,0 +1,293 @@
+//! Simulated network devices (the Juniper routers with VLANs of §5).
+//!
+//! The paper's `spawnVM` description includes setting up VLANs, software
+//! bridges, and firewalls for inter-VM communication. The [`Router`] models
+//! the programmable switch layer: VLANs are created and removed, and VM
+//! ports attach to them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::Mutex;
+use tropic_model::{Node, Path, Value};
+
+use crate::api::{ActionCall, Device};
+use crate::error::{DeviceError, DeviceResult};
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+
+#[derive(Debug, Default)]
+struct RouterState {
+    /// VLAN id → attached ports.
+    vlans: BTreeMap<i64, BTreeSet<String>>,
+}
+
+/// A simulated router/switch with VLAN support.
+pub struct Router {
+    name: String,
+    mount: Path,
+    max_vlans: usize,
+    state: Mutex<RouterState>,
+    faults: FaultPlan,
+    latency: LatencyModel,
+}
+
+impl Router {
+    /// Creates a router mounted at `mount` supporting up to `max_vlans`
+    /// VLANs (hardware VLAN tables are finite; 4094 is the 802.1Q limit).
+    pub fn new(mount: Path, max_vlans: usize, latency: LatencyModel) -> Self {
+        let name = mount.leaf().unwrap_or("router").to_owned();
+        Router {
+            name,
+            mount,
+            max_vlans,
+            state: Mutex::new(RouterState::default()),
+            faults: FaultPlan::none(),
+            latency,
+        }
+    }
+
+    /// Number of configured VLANs.
+    pub fn vlan_count(&self) -> usize {
+        self.state.lock().vlans.len()
+    }
+
+    /// Returns `true` if the VLAN exists.
+    pub fn has_vlan(&self, id: i64) -> bool {
+        self.state.lock().vlans.contains_key(&id)
+    }
+
+    /// Ports attached to a VLAN.
+    pub fn ports_of(&self, id: i64) -> Vec<String> {
+        self.state
+            .lock()
+            .vlans
+            .get(&id)
+            .map(|ports| ports.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Simulates an operator wiping VLAN config out of band.
+    pub fn oob_clear_vlans(&self) -> usize {
+        let mut st = self.state.lock();
+        let n = st.vlans.len();
+        st.vlans.clear();
+        n
+    }
+
+    fn do_create_vlan(&self, call: &ActionCall) -> DeviceResult<()> {
+        let id = call.arg_int(0)?;
+        if !(1..=4094).contains(&id) {
+            return Err(DeviceError::BadArgument {
+                action: call.action.clone(),
+                message: format!("VLAN id {id} out of 802.1Q range"),
+            });
+        }
+        let mut st = self.state.lock();
+        if st.vlans.contains_key(&id) {
+            return Err(DeviceError::AlreadyExists(self.mount.join(&format!("vlan{id}"))));
+        }
+        if st.vlans.len() >= self.max_vlans {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!("VLAN table full ({} entries)", self.max_vlans),
+            });
+        }
+        st.vlans.insert(id, BTreeSet::new());
+        Ok(())
+    }
+
+    fn do_remove_vlan(&self, call: &ActionCall) -> DeviceResult<()> {
+        let id = call.arg_int(0)?;
+        let mut st = self.state.lock();
+        match st.vlans.get(&id) {
+            None => Err(DeviceError::NoSuchObject(self.mount.join(&format!("vlan{id}")))),
+            Some(ports) if !ports.is_empty() => Err(DeviceError::InvalidState {
+                path: self.mount.join(&format!("vlan{id}")),
+                message: format!("{} ports still attached", ports.len()),
+            }),
+            Some(_) => {
+                st.vlans.remove(&id);
+                Ok(())
+            }
+        }
+    }
+
+    fn do_attach(&self, call: &ActionCall) -> DeviceResult<()> {
+        let id = call.arg_int(0)?;
+        let port = call.arg_str(1)?.to_owned();
+        let mut st = self.state.lock();
+        let ports = st
+            .vlans
+            .get_mut(&id)
+            .ok_or_else(|| DeviceError::NoSuchObject(self.mount.join(&format!("vlan{id}"))))?;
+        if !ports.insert(port.clone()) {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.join(&format!("vlan{id}")),
+                message: format!("port {port} already attached"),
+            });
+        }
+        Ok(())
+    }
+
+    fn do_detach(&self, call: &ActionCall) -> DeviceResult<()> {
+        let id = call.arg_int(0)?;
+        let port = call.arg_str(1)?;
+        let mut st = self.state.lock();
+        let ports = st
+            .vlans
+            .get_mut(&id)
+            .ok_or_else(|| DeviceError::NoSuchObject(self.mount.join(&format!("vlan{id}"))))?;
+        if !ports.remove(port) {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.join(&format!("vlan{id}")),
+                message: format!("port {port} not attached"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Device for Router {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mount(&self) -> &Path {
+        &self.mount
+    }
+
+    fn invoke(&self, call: &ActionCall) -> DeviceResult<()> {
+        if call.object != self.mount {
+            return Err(DeviceError::NoSuchObject(call.object.clone()));
+        }
+        self.latency.apply(&call.action);
+        if let Some(message) = self.faults.roll(&call.action) {
+            return Err(DeviceError::InjectedFault {
+                action: call.action.clone(),
+                message,
+            });
+        }
+        match call.action.as_str() {
+            "createVlan" => self.do_create_vlan(call),
+            "removeVlan" => self.do_remove_vlan(call),
+            "attachPort" => self.do_attach(call),
+            "detachPort" => self.do_detach(call),
+            other => Err(DeviceError::UnknownAction(other.to_owned())),
+        }
+    }
+
+    fn export_state(&self) -> Node {
+        let st = self.state.lock();
+        let mut node = Node::new("router").with_attr("maxVlans", self.max_vlans);
+        for (id, ports) in &st.vlans {
+            node.insert_child(
+                format!("vlan{id}"),
+                Node::new("vlan").with_attr("id", *id).with_attr(
+                    "ports",
+                    Value::List(ports.iter().map(|p| Value::from(p.as_str())).collect()),
+                ),
+            );
+        }
+        node
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        Router::new(Path::parse("/netRoot/r1").unwrap(), 8, LatencyModel::zero())
+    }
+
+    fn call(r: &Router, action: &str, args: Vec<Value>) -> DeviceResult<()> {
+        r.invoke(&ActionCall::new(r.mount().clone(), action, args))
+    }
+
+    #[test]
+    fn vlan_lifecycle() {
+        let r = router();
+        call(&r, "createVlan", vec![Value::Int(100)]).unwrap();
+        assert!(r.has_vlan(100));
+        call(&r, "attachPort", vec![Value::Int(100), "vm1-eth0".into()]).unwrap();
+        assert_eq!(r.ports_of(100), vec!["vm1-eth0".to_string()]);
+        call(&r, "detachPort", vec![Value::Int(100), "vm1-eth0".into()]).unwrap();
+        call(&r, "removeVlan", vec![Value::Int(100)]).unwrap();
+        assert!(!r.has_vlan(100));
+    }
+
+    #[test]
+    fn remove_blocked_with_ports() {
+        let r = router();
+        call(&r, "createVlan", vec![Value::Int(5)]).unwrap();
+        call(&r, "attachPort", vec![Value::Int(5), "p".into()]).unwrap();
+        assert!(matches!(
+            call(&r, "removeVlan", vec![Value::Int(5)]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn vlan_id_range_enforced() {
+        let r = router();
+        assert!(matches!(
+            call(&r, "createVlan", vec![Value::Int(0)]),
+            Err(DeviceError::BadArgument { .. })
+        ));
+        assert!(matches!(
+            call(&r, "createVlan", vec![Value::Int(4095)]),
+            Err(DeviceError::BadArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn vlan_table_capacity() {
+        let r = Router::new(Path::parse("/netRoot/r1").unwrap(), 2, LatencyModel::zero());
+        call(&r, "createVlan", vec![Value::Int(1)]).unwrap();
+        call(&r, "createVlan", vec![Value::Int(2)]).unwrap();
+        assert!(matches!(
+            call(&r, "createVlan", vec![Value::Int(3)]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attach_rejected() {
+        let r = router();
+        call(&r, "createVlan", vec![Value::Int(7)]).unwrap();
+        call(&r, "attachPort", vec![Value::Int(7), "p".into()]).unwrap();
+        assert!(matches!(
+            call(&r, "attachPort", vec![Value::Int(7), "p".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            call(&r, "detachPort", vec![Value::Int(7), "ghost".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn export_state_shape() {
+        let r = router();
+        call(&r, "createVlan", vec![Value::Int(9)]).unwrap();
+        call(&r, "attachPort", vec![Value::Int(9), "p1".into()]).unwrap();
+        let node = r.export_state();
+        assert_eq!(node.entity(), "router");
+        let vlan = node.child("vlan9").unwrap();
+        assert_eq!(vlan.attr_int("id"), Some(9));
+        assert_eq!(vlan.attr("ports").unwrap().as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn oob_clear() {
+        let r = router();
+        call(&r, "createVlan", vec![Value::Int(1)]).unwrap();
+        call(&r, "createVlan", vec![Value::Int(2)]).unwrap();
+        assert_eq!(r.oob_clear_vlans(), 2);
+        assert_eq!(r.vlan_count(), 0);
+    }
+}

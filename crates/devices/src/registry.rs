@@ -1,0 +1,218 @@
+//! The device registry: routes physical actions and assembles the physical
+//! data model.
+//!
+//! Workers resolve every execution-log record's object path to a device
+//! through the registry (paper §3.2). Reconciliation asks the registry for
+//! the full physical tree — the "frame" of non-device nodes (roots such as
+//! `/vmRoot`) plus each device's exported subtree (paper §4).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tropic_model::{Path, Tree};
+
+use crate::api::{ActionCall, Device};
+use crate::error::{DeviceError, DeviceResult};
+
+/// Routes action calls to devices and exports the physical layer's state.
+pub struct DeviceRegistry {
+    /// Non-device scaffolding of the data model (e.g. `/vmRoot` nodes).
+    frame: RwLock<Tree>,
+    devices: RwLock<BTreeMap<Path, Arc<dyn Device>>>,
+}
+
+impl DeviceRegistry {
+    /// Creates a registry whose physical tree starts from `frame` — the
+    /// nodes *above* the device mounts.
+    pub fn new(frame: Tree) -> Self {
+        DeviceRegistry {
+            frame: RwLock::new(frame),
+            devices: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers a device at its mount path.
+    pub fn register(&self, device: Arc<dyn Device>) {
+        self.devices
+            .write()
+            .insert(device.mount().clone(), device);
+    }
+
+    /// Removes (decommissions) the device mounted at `mount`.
+    pub fn deregister(&self, mount: &Path) -> Option<Arc<dyn Device>> {
+        self.devices.write().remove(mount)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.read().len()
+    }
+
+    /// Returns `true` if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.read().is_empty()
+    }
+
+    /// Finds the device owning `object`: the registered mount that equals or
+    /// is an ancestor of the path.
+    pub fn resolve(&self, object: &Path) -> Option<Arc<dyn Device>> {
+        let devices = self.devices.read();
+        // Longest matching mount wins (mounts may nest in exotic setups).
+        devices
+            .iter()
+            .filter(|(mount, _)| mount.contains(object))
+            .max_by_key(|(mount, _)| mount.depth())
+            .map(|(_, d)| Arc::clone(d))
+    }
+
+    /// Routes one action call to its device.
+    pub fn invoke(&self, call: &ActionCall) -> DeviceResult<()> {
+        let device = self
+            .resolve(&call.object)
+            .ok_or_else(|| DeviceError::NoSuchObject(call.object.clone()))?;
+        device.invoke(call)
+    }
+
+    /// Mounts of all registered devices.
+    pub fn mounts(&self) -> Vec<Path> {
+        self.devices.read().keys().cloned().collect()
+    }
+
+    /// Assembles the current physical tree: the frame plus every device's
+    /// exported state. Devices whose mount's parent is missing from the
+    /// frame are skipped (they were registered without scaffolding).
+    pub fn physical_tree(&self) -> Tree {
+        let mut tree = self.frame.read().clone();
+        for (mount, device) in self.devices.read().iter() {
+            let node = device.export_state();
+            if tree.exists(mount) {
+                let _ = tree.replace(mount, node);
+            } else if mount
+                .parent()
+                .map(|parent| tree.exists(&parent))
+                .unwrap_or(false)
+            {
+                let _ = tree.insert(mount, node);
+            }
+        }
+        tree
+    }
+
+    /// Exports the physical state of a single subtree: the device owning
+    /// `scope` (or all devices under it) re-exported into a copy of the
+    /// frame. Returns `None` when no device covers the scope.
+    pub fn physical_subtree(&self, scope: &Path) -> Option<Tree> {
+        let tree = self.physical_tree();
+        tree.get(scope)?;
+        Some(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeServer;
+    use crate::latency::LatencyModel;
+    use crate::storage::StorageServer;
+    use tropic_model::{Node, Value};
+
+    fn frame() -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
+        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
+            .unwrap();
+        t
+    }
+
+    fn registry() -> DeviceRegistry {
+        let reg = DeviceRegistry::new(frame());
+        reg.register(Arc::new(ComputeServer::new(
+            Path::parse("/vmRoot/h1").unwrap(),
+            "xen",
+            32768,
+            LatencyModel::zero(),
+        )));
+        let storage = StorageServer::new(
+            Path::parse("/storageRoot/s1").unwrap(),
+            100_000,
+            LatencyModel::zero(),
+        );
+        storage.install_template("tmpl", 4096);
+        reg.register(Arc::new(storage));
+        reg
+    }
+
+    #[test]
+    fn resolve_by_mount_and_descendant() {
+        let reg = registry();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        assert_eq!(reg.resolve(&h1).unwrap().name(), "h1");
+        // A descendant object (a VM under the host) routes to the host.
+        let vm = Path::parse("/vmRoot/h1/vm1").unwrap();
+        assert_eq!(reg.resolve(&vm).unwrap().name(), "h1");
+        assert!(reg.resolve(&Path::parse("/vmRoot/h2").unwrap()).is_none());
+    }
+
+    #[test]
+    fn invoke_routes_to_device() {
+        let reg = registry();
+        let s1 = Path::parse("/storageRoot/s1").unwrap();
+        reg.invoke(&ActionCall::new(
+            s1.clone(),
+            "cloneImage",
+            vec!["tmpl".into(), "img".into()],
+        ))
+        .unwrap();
+        let err = reg
+            .invoke(&ActionCall::new(
+                Path::parse("/storageRoot/ghost").unwrap(),
+                "cloneImage",
+                vec!["tmpl".into(), "img".into()],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::NoSuchObject(_)));
+    }
+
+    #[test]
+    fn physical_tree_includes_device_state() {
+        let reg = registry();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        reg.invoke(&ActionCall::new(h1.clone(), "importImage", vec!["img".into()]))
+            .unwrap();
+        reg.invoke(&ActionCall::new(
+            h1.clone(),
+            "createVM",
+            vec!["vm1".into(), "img".into(), Value::Int(1024)],
+        ))
+        .unwrap();
+        let tree = reg.physical_tree();
+        assert_eq!(tree.get(&h1).unwrap().entity(), "vmHost");
+        assert!(tree.exists(&Path::parse("/vmRoot/h1/vm1").unwrap()));
+        assert!(tree.exists(&Path::parse("/storageRoot/s1/tmpl").unwrap()));
+    }
+
+    #[test]
+    fn deregister_decommissions() {
+        let reg = registry();
+        assert_eq!(reg.len(), 2);
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        assert!(reg.deregister(&h1).is_some());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.resolve(&h1).is_none());
+        // The physical tree no longer mounts the host.
+        assert!(!reg.physical_tree().exists(&h1));
+    }
+
+    #[test]
+    fn physical_subtree_scoped() {
+        let reg = registry();
+        let scope = Path::parse("/storageRoot").unwrap();
+        let sub = reg.physical_subtree(&scope).unwrap();
+        assert!(sub.exists(&Path::parse("/storageRoot/s1").unwrap()));
+        assert!(reg
+            .physical_subtree(&Path::parse("/unknown").unwrap())
+            .is_none());
+    }
+}

@@ -1,0 +1,419 @@
+//! Simulated storage servers (the GNBD/DRBD-over-LVM hosts of §5).
+//!
+//! A storage server holds VM disk images: templates are cloned into
+//! per-VM images, which are then exported over the (simulated) network so
+//! compute servers can import them — exactly the first two steps of the
+//! paper's `spawnVM` execution log (Table 1).
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use tropic_model::{Node, Path};
+
+use crate::api::{ActionCall, Device};
+use crate::error::{DeviceError, DeviceResult};
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+
+#[derive(Clone, Debug)]
+struct ImageRec {
+    size_mb: i64,
+    template: bool,
+    exported: bool,
+}
+
+#[derive(Debug, Default)]
+struct StorageState {
+    images: BTreeMap<String, ImageRec>,
+}
+
+/// A simulated storage server.
+pub struct StorageServer {
+    name: String,
+    mount: Path,
+    capacity_mb: i64,
+    state: Mutex<StorageState>,
+    faults: FaultPlan,
+    latency: LatencyModel,
+}
+
+impl StorageServer {
+    /// Creates a storage server mounted at `mount` with the given capacity.
+    pub fn new(mount: Path, capacity_mb: i64, latency: LatencyModel) -> Self {
+        let name = mount.leaf().unwrap_or("storage").to_owned();
+        StorageServer {
+            name,
+            mount,
+            capacity_mb,
+            state: Mutex::new(StorageState::default()),
+            faults: FaultPlan::none(),
+            latency,
+        }
+    }
+
+    /// Installs a template image (done at provisioning time, outside any
+    /// transaction).
+    pub fn install_template(&self, name: &str, size_mb: i64) {
+        self.state.lock().images.insert(
+            name.to_owned(),
+            ImageRec {
+                size_mb,
+                template: true,
+                exported: false,
+            },
+        );
+    }
+
+    /// Capacity in MB.
+    pub fn capacity_mb(&self) -> i64 {
+        self.capacity_mb
+    }
+
+    /// Space currently used by images, in MB.
+    pub fn used_mb(&self) -> i64 {
+        self.state.lock().images.values().map(|i| i.size_mb).sum()
+    }
+
+    /// Returns `true` if an image exists.
+    pub fn has_image(&self, name: &str) -> bool {
+        self.state.lock().images.contains_key(name)
+    }
+
+    /// Returns `true` if an image is currently exported.
+    pub fn is_exported(&self, name: &str) -> bool {
+        self.state
+            .lock()
+            .images
+            .get(name)
+            .map(|i| i.exported)
+            .unwrap_or(false)
+    }
+
+    /// Simulates silent image corruption or loss (paper §4 volatility):
+    /// the image disappears out of band.
+    pub fn oob_lose_image(&self, name: &str) -> bool {
+        self.state.lock().images.remove(name).is_some()
+    }
+
+    fn do_clone(&self, call: &ActionCall) -> DeviceResult<()> {
+        let template = call.arg_str(0)?.to_owned();
+        let image = call.arg_str(1)?.to_owned();
+        let mut st = self.state.lock();
+        let Some(src) = st.images.get(&template) else {
+            return Err(DeviceError::NoSuchObject(self.mount.join(&template)));
+        };
+        if !src.template {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.join(&template),
+                message: "clone source is not a template".into(),
+            });
+        }
+        let size = src.size_mb;
+        if st.images.contains_key(&image) {
+            return Err(DeviceError::AlreadyExists(self.mount.join(&image)));
+        }
+        let used: i64 = st.images.values().map(|i| i.size_mb).sum();
+        if used + size > self.capacity_mb {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!(
+                    "insufficient capacity: {used} + {size} > {}",
+                    self.capacity_mb
+                ),
+            });
+        }
+        st.images.insert(
+            image,
+            ImageRec {
+                size_mb: size,
+                template: false,
+                exported: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn do_remove(&self, call: &ActionCall) -> DeviceResult<()> {
+        let image = call.arg_str(0)?;
+        let mut st = self.state.lock();
+        match st.images.get(image) {
+            None => Err(DeviceError::NoSuchObject(self.mount.join(image))),
+            Some(rec) if rec.exported => Err(DeviceError::InvalidState {
+                path: self.mount.join(image),
+                message: "cannot remove an exported image".into(),
+            }),
+            Some(rec) if rec.template => Err(DeviceError::InvalidState {
+                path: self.mount.join(image),
+                message: "cannot remove a template".into(),
+            }),
+            Some(_) => {
+                st.images.remove(image);
+                Ok(())
+            }
+        }
+    }
+
+    /// Recreates an image record from saved metadata. This is the undo of
+    /// `removeImage` (recovering the logical volume from its snapshot), so
+    /// transactions that delete images remain fully reversible.
+    fn do_restore(&self, call: &ActionCall) -> DeviceResult<()> {
+        let image = call.arg_str(0)?.to_owned();
+        let size_mb = call.arg_int(1)?;
+        let template = call.args.get(2).and_then(tropic_model::Value::as_bool).unwrap_or(false);
+        let exported = call.args.get(3).and_then(tropic_model::Value::as_bool).unwrap_or(false);
+        let mut st = self.state.lock();
+        if st.images.contains_key(&image) {
+            return Err(DeviceError::AlreadyExists(self.mount.join(&image)));
+        }
+        let used: i64 = st.images.values().map(|i| i.size_mb).sum();
+        if used + size_mb > self.capacity_mb {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.clone(),
+                message: format!(
+                    "insufficient capacity: {used} + {size_mb} > {}",
+                    self.capacity_mb
+                ),
+            });
+        }
+        st.images.insert(
+            image,
+            ImageRec {
+                size_mb,
+                template,
+                exported,
+            },
+        );
+        Ok(())
+    }
+
+    fn do_set_export(&self, call: &ActionCall, exported: bool) -> DeviceResult<()> {
+        let image = call.arg_str(0)?;
+        let mut st = self.state.lock();
+        let rec = st
+            .images
+            .get_mut(image)
+            .ok_or_else(|| DeviceError::NoSuchObject(self.mount.join(image)))?;
+        if rec.exported == exported {
+            return Err(DeviceError::InvalidState {
+                path: self.mount.join(image),
+                message: format!("image already {}", if exported { "exported" } else { "unexported" }),
+            });
+        }
+        rec.exported = exported;
+        Ok(())
+    }
+}
+
+impl Device for StorageServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mount(&self) -> &Path {
+        &self.mount
+    }
+
+    fn invoke(&self, call: &ActionCall) -> DeviceResult<()> {
+        if call.object != self.mount {
+            return Err(DeviceError::NoSuchObject(call.object.clone()));
+        }
+        self.latency.apply(&call.action);
+        if let Some(message) = self.faults.roll(&call.action) {
+            return Err(DeviceError::InjectedFault {
+                action: call.action.clone(),
+                message,
+            });
+        }
+        match call.action.as_str() {
+            "cloneImage" => self.do_clone(call),
+            "removeImage" => self.do_remove(call),
+            "restoreImage" => self.do_restore(call),
+            "exportImage" => self.do_set_export(call, true),
+            "unexportImage" => self.do_set_export(call, false),
+            other => Err(DeviceError::UnknownAction(other.to_owned())),
+        }
+    }
+
+    fn export_state(&self) -> Node {
+        let st = self.state.lock();
+        let mut node = Node::new("storageHost")
+            .with_attr("capacityMb", self.capacity_mb)
+            .with_attr(
+                "usedMb",
+                st.images.values().map(|i| i.size_mb).sum::<i64>(),
+            );
+        for (name, rec) in &st.images {
+            node.insert_child(
+                name.clone(),
+                Node::new("image")
+                    .with_attr("sizeMb", rec.size_mb)
+                    .with_attr("template", rec.template)
+                    .with_attr("exported", rec.exported),
+            );
+        }
+        node
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tropic_model::Value;
+
+    fn server() -> StorageServer {
+        let s = StorageServer::new(
+            Path::parse("/storageRoot/s1").unwrap(),
+            100_000,
+            LatencyModel::zero(),
+        );
+        s.install_template("template-linux", 8_192);
+        s
+    }
+
+    fn call(s: &StorageServer, action: &str, args: Vec<Value>) -> DeviceResult<()> {
+        s.invoke(&ActionCall::new(s.mount().clone(), action, args))
+    }
+
+    #[test]
+    fn clone_export_unexport_remove() {
+        let s = server();
+        call(&s, "cloneImage", vec!["template-linux".into(), "vm1-img".into()]).unwrap();
+        assert!(s.has_image("vm1-img"));
+        assert_eq!(s.used_mb(), 16_384);
+        call(&s, "exportImage", vec!["vm1-img".into()]).unwrap();
+        assert!(s.is_exported("vm1-img"));
+        call(&s, "unexportImage", vec!["vm1-img".into()]).unwrap();
+        call(&s, "removeImage", vec!["vm1-img".into()]).unwrap();
+        assert!(!s.has_image("vm1-img"));
+        assert_eq!(s.used_mb(), 8_192);
+    }
+
+    #[test]
+    fn clone_guards() {
+        let s = server();
+        assert!(matches!(
+            call(&s, "cloneImage", vec!["ghost".into(), "x".into()]),
+            Err(DeviceError::NoSuchObject(_))
+        ));
+        call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]).unwrap();
+        assert!(matches!(
+            call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]),
+            Err(DeviceError::AlreadyExists(_))
+        ));
+        // Cloning from a non-template image is rejected.
+        assert!(matches!(
+            call(&s, "cloneImage", vec!["a".into(), "b".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let s = StorageServer::new(
+            Path::parse("/storageRoot/tiny").unwrap(),
+            10_000,
+            LatencyModel::zero(),
+        );
+        s.install_template("t", 4_000);
+        call(&s, "cloneImage", vec!["t".into(), "a".into()]).unwrap();
+        let err = call(&s, "cloneImage", vec!["t".into(), "b".into()]).unwrap_err();
+        assert!(err.to_string().contains("insufficient capacity"));
+    }
+
+    #[test]
+    fn remove_guards() {
+        let s = server();
+        call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]).unwrap();
+        call(&s, "exportImage", vec!["a".into()]).unwrap();
+        assert!(matches!(
+            call(&s, "removeImage", vec!["a".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            call(&s, "removeImage", vec!["template-linux".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            call(&s, "removeImage", vec!["ghost".into()]),
+            Err(DeviceError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn export_transitions_guarded() {
+        let s = server();
+        call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]).unwrap();
+        call(&s, "exportImage", vec!["a".into()]).unwrap();
+        assert!(matches!(
+            call(&s, "exportImage", vec!["a".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+        call(&s, "unexportImage", vec!["a".into()]).unwrap();
+        assert!(matches!(
+            call(&s, "unexportImage", vec!["a".into()]),
+            Err(DeviceError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_fault_keeps_state() {
+        let s = server();
+        s.fault_plan().fail_once("cloneImage");
+        assert!(matches!(
+            call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]),
+            Err(DeviceError::InjectedFault { .. })
+        ));
+        assert!(!s.has_image("a"));
+    }
+
+    #[test]
+    fn export_state_shape() {
+        let s = server();
+        call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]).unwrap();
+        call(&s, "exportImage", vec!["a".into()]).unwrap();
+        let node = s.export_state();
+        assert_eq!(node.entity(), "storageHost");
+        assert_eq!(node.attr_int("usedMb"), Some(16_384));
+        assert_eq!(node.child("a").unwrap().attr_bool("exported"), Some(true));
+        assert_eq!(
+            node.child("template-linux").unwrap().attr_bool("template"),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn restore_image_reverses_remove() {
+        let s = server();
+        call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]).unwrap();
+        call(&s, "removeImage", vec!["a".into()]).unwrap();
+        call(
+            &s,
+            "restoreImage",
+            vec!["a".into(), Value::Int(8_192), Value::Bool(false), Value::Bool(false)],
+        )
+        .unwrap();
+        assert!(s.has_image("a"));
+        assert_eq!(s.used_mb(), 16_384);
+        // Restoring an existing image is rejected.
+        assert!(matches!(
+            call(
+                &s,
+                "restoreImage",
+                vec!["a".into(), Value::Int(8_192), Value::Bool(false), Value::Bool(false)],
+            ),
+            Err(DeviceError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn oob_lose_image() {
+        let s = server();
+        call(&s, "cloneImage", vec!["template-linux".into(), "a".into()]).unwrap();
+        assert!(s.oob_lose_image("a"));
+        assert!(!s.has_image("a"));
+    }
+}

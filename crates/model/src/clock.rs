@@ -1,0 +1,187 @@
+//! Time abstraction shared by the coordination service, the platform, and
+//! the experiment harnesses.
+//!
+//! The paper's wall-clock quantities (1-hour traces, 10-second heartbeat
+//! intervals) are impractical in a test suite, so every time-dependent
+//! component reads time through a [`Clock`]. Experiments run on the
+//! [`RealClock`] with scaled-down intervals; unit tests drive a
+//! [`ManualClock`] deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A monotonic clock measured in milliseconds since an arbitrary epoch.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since the clock's epoch.
+    fn now_ms(&self) -> u64;
+
+    /// Blocks the calling thread for `d` (or until the manual clock is
+    /// advanced past the deadline).
+    fn sleep(&self, d: Duration);
+
+    /// Like [`Clock::sleep`] but returns early once `stop` becomes true.
+    /// Background threads use this so shutdown is never blocked on a clock
+    /// that has stopped advancing.
+    fn sleep_interruptible(&self, d: Duration, stop: &std::sync::atomic::AtomicBool);
+}
+
+/// A [`Clock`] backed by [`Instant`] and [`std::thread::sleep`].
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Creates a real clock whose epoch is now.
+    pub fn new() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn sleep_interruptible(&self, d: Duration, stop: &std::sync::atomic::AtomicBool) {
+        let deadline = Instant::now() + d;
+        while !stop.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+        }
+    }
+}
+
+/// A manually-advanced clock for deterministic tests.
+///
+/// `sleep` blocks until another thread advances the clock past the sleeper's
+/// deadline, so multi-threaded components can be driven step by step.
+pub struct ManualClock {
+    now_ms: AtomicU64,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock {
+            now_ms: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Advances the clock by `ms` milliseconds, waking sleepers whose
+    /// deadlines have passed.
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+        let _guard = self.lock.lock();
+        self.cond.notify_all();
+    }
+
+    /// Sets the clock to an absolute time, which must not move backwards.
+    pub fn set(&self, ms: u64) {
+        let prev = self.now_ms.swap(ms, Ordering::SeqCst);
+        debug_assert!(ms >= prev, "manual clock moved backwards");
+        let _guard = self.lock.lock();
+        self.cond.notify_all();
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, d: Duration) {
+        let deadline = self.now_ms().saturating_add(d.as_millis() as u64);
+        let mut guard = self.lock.lock();
+        while self.now_ms() < deadline {
+            // A short real-time timeout guards against lost wakeups if the
+            // advancing thread races the sleeper registering.
+            self.cond
+                .wait_for(&mut guard, Duration::from_millis(50));
+        }
+    }
+
+    fn sleep_interruptible(&self, d: Duration, stop: &std::sync::atomic::AtomicBool) {
+        let deadline = self.now_ms().saturating_add(d.as_millis() as u64);
+        let mut guard = self.lock.lock();
+        while self.now_ms() < deadline && !stop.load(Ordering::SeqCst) {
+            self.cond
+                .wait_for(&mut guard, Duration::from_millis(10));
+        }
+    }
+}
+
+/// A shareable clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Convenience constructor for a shared [`RealClock`].
+pub fn real_clock() -> SharedClock {
+    Arc::new(RealClock::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn real_clock_advances() {
+        let c = RealClock::new();
+        let a = c.now_ms();
+        c.sleep(Duration::from_millis(5));
+        assert!(c.now_ms() >= a);
+    }
+
+    #[test]
+    fn manual_clock_advance_and_set() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(100);
+        assert_eq!(c.now_ms(), 100);
+        c.set(250);
+        assert_eq!(c.now_ms(), 250);
+    }
+
+    #[test]
+    fn manual_clock_wakes_sleeper() {
+        let c = ManualClock::new();
+        let c2 = Arc::clone(&c);
+        let handle = thread::spawn(move || {
+            c2.sleep(Duration::from_millis(500));
+            c2.now_ms()
+        });
+        // Give the sleeper a moment to block, then advance past its deadline.
+        thread::sleep(Duration::from_millis(20));
+        c.advance(600);
+        let woke_at = handle.join().unwrap();
+        assert!(woke_at >= 500);
+    }
+
+    #[test]
+    fn manual_clock_zero_sleep_returns() {
+        let c = ManualClock::new();
+        c.sleep(Duration::from_millis(0));
+    }
+}

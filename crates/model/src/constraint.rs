@@ -1,0 +1,339 @@
+//! Integrity constraints: the safety mechanism of TROPIC (paper §2.2, §3.1).
+//!
+//! Constraints encode service and engineering rules ("aggregate VM memory
+//! must not exceed host capacity"). They anchor at an *entity type*: every
+//! node of that type is a checkpoint where the rule is evaluated against the
+//! node's subtree. The logical layer checks the constraints whose anchor is
+//! an ancestor-or-self of every path touched by an action, aborting the
+//! transaction on violation before anything reaches a physical device.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::path::Path;
+use crate::tree::Tree;
+
+/// A violated constraint, carrying enough context for the abort message the
+/// client receives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstraintViolation {
+    /// Name of the violated constraint.
+    pub constraint: String,
+    /// Anchor node at which the violation was detected.
+    pub path: Path,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constraint `{}` violated at {}: {}",
+            self.constraint, self.path, self.message
+        )
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+/// A global safety rule evaluated at anchor nodes of one entity type.
+pub trait Constraint: Send + Sync {
+    /// Unique constraint name, used in violation reports.
+    fn name(&self) -> &str;
+
+    /// Entity type at whose nodes this constraint anchors (e.g. `"vmHost"`).
+    fn anchor_entity(&self) -> &str;
+
+    /// Checks the rule at `anchor` (a node of type [`Self::anchor_entity`]).
+    ///
+    /// Implementations may inspect the whole subtree below `anchor` and any
+    /// other part of `tree` they need.
+    fn check(&self, tree: &Tree, anchor: &Path) -> Result<(), ConstraintViolation>;
+
+    /// Human-readable description of the rule.
+    fn description(&self) -> &str {
+        ""
+    }
+}
+
+/// A [`Constraint`] built from a closure, convenient for services and tests.
+pub struct FnConstraint<F> {
+    name: String,
+    anchor_entity: String,
+    description: String,
+    check: F,
+}
+
+impl<F> FnConstraint<F>
+where
+    F: Fn(&Tree, &Path) -> Result<(), String> + Send + Sync,
+{
+    /// Creates a closure-backed constraint. The closure returns a violation
+    /// message on failure.
+    pub fn new(
+        name: impl Into<String>,
+        anchor_entity: impl Into<String>,
+        check: F,
+    ) -> Self {
+        FnConstraint {
+            name: name.into(),
+            anchor_entity: anchor_entity.into(),
+            description: String::new(),
+            check,
+        }
+    }
+
+    /// Adds a description.
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+}
+
+impl<F> Constraint for FnConstraint<F>
+where
+    F: Fn(&Tree, &Path) -> Result<(), String> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn anchor_entity(&self) -> &str {
+        &self.anchor_entity
+    }
+
+    fn check(&self, tree: &Tree, anchor: &Path) -> Result<(), ConstraintViolation> {
+        (self.check)(tree, anchor).map_err(|message| ConstraintViolation {
+            constraint: self.name.clone(),
+            path: anchor.clone(),
+            message,
+        })
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+/// The set of constraints registered with a platform instance.
+#[derive(Clone, Default)]
+pub struct ConstraintSet {
+    constraints: Vec<Arc<dyn Constraint>>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a constraint.
+    pub fn register(&mut self, c: Arc<dyn Constraint>) {
+        self.constraints.push(c);
+    }
+
+    /// Number of registered constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Returns `true` if no constraints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Iterates over all constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Constraint>> {
+        self.constraints.iter()
+    }
+
+    /// Returns `true` if any constraint anchors at `entity`.
+    pub fn anchors_at(&self, entity: &str) -> bool {
+        self.constraints.iter().any(|c| c.anchor_entity() == entity)
+    }
+
+    /// Checks all constraints whose anchor node is an ancestor-or-self of
+    /// `touched`. This is the per-action safety check the logical layer runs
+    /// during simulation (paper §3.1.2).
+    pub fn check_touched(&self, tree: &Tree, touched: &Path) -> Result<(), ConstraintViolation> {
+        if self.constraints.is_empty() {
+            return Ok(());
+        }
+        for anchor in touched.ancestors_and_self() {
+            let Some(node) = tree.get(&anchor) else {
+                // The touched path may have been removed by the action (e.g.
+                // `removeVM`); ancestors above the removal point still exist
+                // and are still checked.
+                continue;
+            };
+            for c in &self.constraints {
+                if c.anchor_entity() == node.entity() {
+                    c.check(tree, &anchor)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks every constraint at every matching anchor in the whole tree.
+    /// Used by `reload`, which installs externally-retrieved state and must
+    /// re-establish global safety (paper §4).
+    pub fn check_all(&self, tree: &Tree) -> Result<(), ConstraintViolation> {
+        if self.constraints.is_empty() {
+            return Ok(());
+        }
+        for (path, node) in tree.walk() {
+            for c in &self.constraints {
+                if c.anchor_entity() == node.entity() {
+                    c.check(tree, &path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The highest (closest-to-root) ancestor-or-self of `path` whose entity
+    /// type has a constraint anchored at it.
+    ///
+    /// The lock manager takes a read lock on this node for every write,
+    /// freezing the constraint's whole scope against concurrent writers
+    /// (paper §3.1.3).
+    pub fn highest_constrained_ancestor(&self, tree: &Tree, path: &Path) -> Option<Path> {
+        for anchor in path.ancestors_and_self() {
+            if let Some(node) = tree.get(&anchor) {
+                if self.anchors_at(node.entity()) {
+                    return Some(anchor);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    fn tree() -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h1").unwrap(),
+            Node::new("vmHost").with_attr("memCapacity", 4096i64),
+        )
+        .unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h1/vm1").unwrap(),
+            Node::new("vm").with_attr("mem", 2048i64),
+        )
+        .unwrap();
+        t
+    }
+
+    fn mem_constraint() -> Arc<dyn Constraint> {
+        Arc::new(
+            FnConstraint::new("vm-memory", "vmHost", |tree: &Tree, anchor: &Path| {
+                let host = tree.get(anchor).expect("anchor exists");
+                let cap = host.attr_int("memCapacity").unwrap_or(0);
+                let used: i64 = host
+                    .children()
+                    .filter_map(|(_, vm)| vm.attr_int("mem"))
+                    .sum();
+                if used > cap {
+                    Err(format!("aggregate VM memory {used} exceeds capacity {cap}"))
+                } else {
+                    Ok(())
+                }
+            })
+            .describe("Aggregated VM memory cannot exceed the host's capacity."),
+        )
+    }
+
+    #[test]
+    fn satisfied_constraint_passes() {
+        let mut set = ConstraintSet::new();
+        set.register(mem_constraint());
+        set.check_all(&tree()).unwrap();
+        set.check_touched(&tree(), &Path::parse("/vmRoot/h1/vm1").unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn violation_detected_at_anchor() {
+        let mut t = tree();
+        t.insert(
+            &Path::parse("/vmRoot/h1/vm2").unwrap(),
+            Node::new("vm").with_attr("mem", 3000i64),
+        )
+        .unwrap();
+        let mut set = ConstraintSet::new();
+        set.register(mem_constraint());
+        let err = set
+            .check_touched(&t, &Path::parse("/vmRoot/h1/vm2").unwrap())
+            .unwrap_err();
+        assert_eq!(err.constraint, "vm-memory");
+        assert_eq!(err.path, Path::parse("/vmRoot/h1").unwrap());
+        assert!(err.to_string().contains("exceeds capacity"));
+        assert!(set.check_all(&t).is_err());
+    }
+
+    #[test]
+    fn untouched_scope_not_checked() {
+        let mut t = tree();
+        // Violating state on h1...
+        t.insert(
+            &Path::parse("/vmRoot/h1/vm2").unwrap(),
+            Node::new("vm").with_attr("mem", 9000i64),
+        )
+        .unwrap();
+        // ...but another host's subtree is touched.
+        t.insert(&Path::parse("/vmRoot/h2").unwrap(), Node::new("vmHost"))
+            .unwrap();
+        let mut set = ConstraintSet::new();
+        set.register(mem_constraint());
+        set.check_touched(&t, &Path::parse("/vmRoot/h2").unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn removed_touched_path_checks_ancestors() {
+        let mut t = tree();
+        t.remove(&Path::parse("/vmRoot/h1/vm1").unwrap()).unwrap();
+        let mut set = ConstraintSet::new();
+        set.register(mem_constraint());
+        // The vm1 path no longer exists but its former host anchor is fine.
+        set.check_touched(&t, &Path::parse("/vmRoot/h1/vm1").unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn highest_constrained_ancestor_found() {
+        let t = tree();
+        let mut set = ConstraintSet::new();
+        set.register(mem_constraint());
+        let vm = Path::parse("/vmRoot/h1/vm1").unwrap();
+        assert_eq!(
+            set.highest_constrained_ancestor(&t, &vm),
+            Some(Path::parse("/vmRoot/h1").unwrap())
+        );
+        // A root-anchored constraint takes precedence as "highest".
+        set.register(Arc::new(FnConstraint::new("noop", "root", |_, _| Ok(()))));
+        assert_eq!(set.highest_constrained_ancestor(&t, &vm), Some(Path::root()));
+        // No constraint covers an unrelated entity chain.
+        let empty = ConstraintSet::new();
+        assert_eq!(empty.highest_constrained_ancestor(&t, &vm), None);
+    }
+
+    #[test]
+    fn anchors_at_lookup() {
+        let mut set = ConstraintSet::new();
+        assert!(set.is_empty());
+        set.register(mem_constraint());
+        assert!(set.anchors_at("vmHost"));
+        assert!(!set.anchors_at("vm"));
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the TROPIC data model.
+
+use std::fmt;
+
+use crate::path::Path;
+
+/// Errors produced by data-model operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The referenced path does not exist in the tree.
+    NoSuchPath(Path),
+    /// The parent of a path being inserted does not exist.
+    ParentMissing(Path),
+    /// A node already exists at the path being inserted.
+    DuplicateNode(Path),
+    /// An attribute was absent or had an unexpected type.
+    AttrType {
+        /// Path of the node holding the attribute.
+        path: Path,
+        /// Attribute name.
+        attr: String,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+    },
+    /// A textual path failed to parse.
+    InvalidPath(String),
+    /// A node violated its entity schema.
+    SchemaViolation(String),
+    /// The root node cannot be removed or replaced through node operations.
+    RootImmutable,
+    /// A serialization or deserialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoSuchPath(p) => write!(f, "no such path: {p}"),
+            ModelError::ParentMissing(p) => write!(f, "parent missing for path: {p}"),
+            ModelError::DuplicateNode(p) => write!(f, "node already exists at path: {p}"),
+            ModelError::AttrType {
+                path,
+                attr,
+                expected,
+            } => {
+                write!(f, "attribute `{attr}` at {path} is not of type {expected}")
+            }
+            ModelError::InvalidPath(s) => write!(f, "invalid path: {s:?}"),
+            ModelError::SchemaViolation(s) => write!(f, "schema violation: {s}"),
+            ModelError::RootImmutable => write!(f, "the root node cannot be removed or replaced"),
+            ModelError::Serde(s) => write!(f, "serialization error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias for results returned by model operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let err = ModelError::NoSuchPath(Path::parse("/vmRoot/host1").unwrap());
+        assert!(err.to_string().contains("/vmRoot/host1"));
+    }
+
+    #[test]
+    fn display_attr_type() {
+        let err = ModelError::AttrType {
+            path: Path::root(),
+            attr: "mem".into(),
+            expected: "int",
+        };
+        let s = err.to_string();
+        assert!(s.contains("mem"));
+        assert!(s.contains("int"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(ModelError::RootImmutable);
+        assert!(err.to_string().contains("root"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Resource paths identifying objects in the hierarchical data model.
+//!
+//! A [`Path`] names a node in the tree, e.g. `/vmRoot/vmHost1/vm3`. Paths are
+//! the unit at which the lock manager acquires read/write/intention locks
+//! (paper §3.1.3) and at which execution-log records address resources
+//! (paper Table 1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, ModelResult};
+
+/// A normalized, immutable resource path.
+///
+/// The root path has zero segments and displays as `/`. Segments never
+/// contain `/` and are never empty. Cloning a `Path` is cheap: segments are
+/// reference-counted strings shared between derived paths.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    segs: Arc<[Arc<str>]>,
+}
+
+impl Path {
+    /// The root path `/`.
+    pub fn root() -> Self {
+        Path {
+            segs: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Parses a textual path such as `/vmRoot/vmHost1`.
+    ///
+    /// Leading `/` is required; a trailing `/` is tolerated; empty segments
+    /// are rejected.
+    pub fn parse(s: &str) -> ModelResult<Self> {
+        if !s.starts_with('/') {
+            return Err(ModelError::InvalidPath(s.to_owned()));
+        }
+        let trimmed = s.trim_start_matches('/').trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Ok(Path::root());
+        }
+        let mut segs: Vec<Arc<str>> = Vec::new();
+        for seg in trimmed.split('/') {
+            if seg.is_empty() {
+                return Err(ModelError::InvalidPath(s.to_owned()));
+            }
+            segs.push(Arc::from(seg));
+        }
+        Ok(Path {
+            segs: Arc::from(segs),
+        })
+    }
+
+    /// Builds a path from segment strings. Segments must be non-empty and
+    /// must not contain `/`.
+    pub fn from_segments<I, S>(iter: I) -> ModelResult<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut segs: Vec<Arc<str>> = Vec::new();
+        for seg in iter {
+            let seg = seg.as_ref();
+            if seg.is_empty() || seg.contains('/') {
+                return Err(ModelError::InvalidPath(seg.to_owned()));
+            }
+            segs.push(Arc::from(seg));
+        }
+        Ok(Path {
+            segs: Arc::from(segs),
+        })
+    }
+
+    /// Returns the path's segments in order from the root.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.segs.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of segments; the root has depth 0.
+    pub fn depth(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Returns `true` if this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// The final segment, or `None` for the root.
+    pub fn leaf(&self) -> Option<&str> {
+        self.segs.last().map(|s| s.as_ref())
+    }
+
+    /// The parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.segs.is_empty() {
+            None
+        } else {
+            Some(Path {
+                segs: Arc::from(self.segs[..self.segs.len() - 1].to_vec()),
+            })
+        }
+    }
+
+    /// Extends this path with one child segment.
+    pub fn child(&self, name: &str) -> ModelResult<Path> {
+        if name.is_empty() || name.contains('/') {
+            return Err(ModelError::InvalidPath(name.to_owned()));
+        }
+        let mut segs = self.segs.to_vec();
+        segs.push(Arc::from(name));
+        Ok(Path {
+            segs: Arc::from(segs),
+        })
+    }
+
+    /// Like [`Path::child`] but panics on an invalid segment. Intended for
+    /// statically-known names in service code and tests.
+    pub fn join(&self, name: &str) -> Path {
+        self.child(name)
+            .unwrap_or_else(|_| panic!("invalid path segment {name:?}"))
+    }
+
+    /// All strict ancestors, from the root down to (excluding) `self`.
+    ///
+    /// The root path yields nothing. `/a/b` yields `/` and `/a`.
+    pub fn ancestors(&self) -> Vec<Path> {
+        (0..self.segs.len())
+            .map(|n| Path {
+                segs: Arc::from(self.segs[..n].to_vec()),
+            })
+            .collect()
+    }
+
+    /// All prefixes including `self`, from the root down.
+    pub fn ancestors_and_self(&self) -> Vec<Path> {
+        let mut v = self.ancestors();
+        v.push(self.clone());
+        v
+    }
+
+    /// Returns `true` if `self` is an ancestor of `other` (strictly shorter
+    /// matching prefix).
+    pub fn is_ancestor_of(&self, other: &Path) -> bool {
+        self.segs.len() < other.segs.len()
+            && self
+                .segs
+                .iter()
+                .zip(other.segs.iter())
+                .all(|(a, b)| a == b)
+    }
+
+    /// Returns `true` if `self` equals `other` or is an ancestor of it.
+    pub fn contains(&self, other: &Path) -> bool {
+        self == other || self.is_ancestor_of(other)
+    }
+
+    /// Returns `true` if the two paths are on a common root-to-leaf chain
+    /// (one contains the other), which is when hierarchical locks interact.
+    pub fn related(&self, other: &Path) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segs.is_empty() {
+            return write!(f, "/");
+        }
+        for seg in self.segs.iter() {
+            write!(f, "/{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Path {
+    // The textual form is kept identical to `Display` so paths read naturally
+    // inside derived debug output of larger structures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Serialize for Path {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Path {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Path::parse(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+impl std::str::FromStr for Path {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Path::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p = Path::parse("/vmRoot/vmHost1/vm3").unwrap();
+        assert_eq!(p.to_string(), "/vmRoot/vmHost1/vm3");
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.leaf(), Some("vm3"));
+    }
+
+    #[test]
+    fn root_forms() {
+        assert_eq!(Path::parse("/").unwrap(), Path::root());
+        assert_eq!(Path::root().to_string(), "/");
+        assert!(Path::root().is_root());
+        assert_eq!(Path::root().leaf(), None);
+        assert_eq!(Path::root().parent(), None);
+    }
+
+    #[test]
+    fn trailing_slash_tolerated() {
+        assert_eq!(
+            Path::parse("/a/b/").unwrap(),
+            Path::parse("/a/b").unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        assert!(Path::parse("a/b").is_err());
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("/a//b").is_err());
+        assert!(Path::root().child("").is_err());
+        assert!(Path::root().child("a/b").is_err());
+    }
+
+    #[test]
+    fn parent_child() {
+        let p = Path::parse("/a/b").unwrap();
+        assert_eq!(p.parent().unwrap(), Path::parse("/a").unwrap());
+        assert_eq!(p.parent().unwrap().parent().unwrap(), Path::root());
+        assert_eq!(Path::root().join("a").join("b"), p);
+    }
+
+    #[test]
+    fn ancestors_ordering() {
+        let p = Path::parse("/a/b/c").unwrap();
+        let anc = p.ancestors();
+        assert_eq!(anc.len(), 3);
+        assert_eq!(anc[0], Path::root());
+        assert_eq!(anc[1], Path::parse("/a").unwrap());
+        assert_eq!(anc[2], Path::parse("/a/b").unwrap());
+        let all = p.ancestors_and_self();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], p);
+    }
+
+    #[test]
+    fn ancestry_predicates() {
+        let a = Path::parse("/a").unwrap();
+        let ab = Path::parse("/a/b").unwrap();
+        let ac = Path::parse("/a/c").unwrap();
+        assert!(a.is_ancestor_of(&ab));
+        assert!(!ab.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(a.contains(&a));
+        assert!(a.contains(&ab));
+        assert!(ab.related(&a));
+        assert!(!ab.related(&ac));
+        assert!(Path::root().is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn from_segments() {
+        let p = Path::from_segments(["x", "y"]).unwrap();
+        assert_eq!(p.to_string(), "/x/y");
+        assert!(Path::from_segments(["x", ""]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Path::parse("/a/b").unwrap();
+        let s = serde_json::to_string(&p).unwrap();
+        assert_eq!(s, "\"/a/b\"");
+        let back: Path = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_segment() {
+        let mut v = vec![
+            Path::parse("/b").unwrap(),
+            Path::parse("/a/z").unwrap(),
+            Path::parse("/a").unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0], Path::parse("/a").unwrap());
+        assert_eq!(v[1], Path::parse("/a/z").unwrap());
+        assert_eq!(v[2], Path::parse("/b").unwrap());
+    }
+}

@@ -1,0 +1,172 @@
+//! Read-only query helpers over the data model (paper §2.2).
+//!
+//! Queries inspect logical-layer state without modifying it. Stored
+//! procedures and constraints are built from these helpers; the logical
+//! layer records each queried path so the lock manager can take read locks.
+
+use crate::node::Node;
+use crate::path::Path;
+use crate::tree::Tree;
+use crate::value::Value;
+
+/// Sums an integer attribute over the direct children of `path`. Children
+/// missing the attribute contribute zero.
+pub fn sum_child_attr(tree: &Tree, path: &Path, attr: &str) -> i64 {
+    tree.get(path)
+        .map(|n| n.children().filter_map(|(_, c)| c.attr_int(attr)).sum())
+        .unwrap_or(0)
+}
+
+/// Counts direct children of `path` satisfying `pred`.
+pub fn count_children<F>(tree: &Tree, path: &Path, pred: F) -> usize
+where
+    F: Fn(&Node) -> bool,
+{
+    tree.get(path)
+        .map(|n| n.children().filter(|(_, c)| pred(c)).count())
+        .unwrap_or(0)
+}
+
+/// Counts direct children whose string attribute `attr` equals `value`.
+pub fn count_children_with(tree: &Tree, path: &Path, attr: &str, value: &str) -> usize {
+    count_children(tree, path, |c| c.attr_str(attr) == Some(value))
+}
+
+/// Paths of direct children of `path` satisfying `pred`, in name order.
+pub fn select_children<F>(tree: &Tree, path: &Path, pred: F) -> Vec<Path>
+where
+    F: Fn(&Node) -> bool,
+{
+    tree.get(path)
+        .map(|n| {
+            n.children()
+                .filter(|(_, c)| pred(c))
+                .map(|(name, _)| path.join(name))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Paths of all nodes in the subtree at `scope` (inclusive) whose entity is
+/// `entity` and which satisfy `pred`.
+pub fn select_descendants<F>(tree: &Tree, scope: &Path, entity: &str, pred: F) -> Vec<Path>
+where
+    F: Fn(&Node) -> bool,
+{
+    let Some(root) = tree.get(scope) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    fn rec<F: Fn(&Node) -> bool>(
+        path: Path,
+        node: &Node,
+        entity: &str,
+        pred: &F,
+        out: &mut Vec<Path>,
+    ) {
+        if node.entity() == entity && pred(node) {
+            out.push(path.clone());
+        }
+        for (name, child) in node.children() {
+            rec(path.join(name), child, entity, pred, out);
+        }
+    }
+    rec(scope.clone(), root, entity, &pred, &mut out);
+    out
+}
+
+/// Finds the first child of `path` (in name order) satisfying `pred`.
+pub fn first_child_where<F>(tree: &Tree, path: &Path, pred: F) -> Option<Path>
+where
+    F: Fn(&Node) -> bool,
+{
+    tree.get(path).and_then(|n| {
+        n.children()
+            .find(|(_, c)| pred(c))
+            .map(|(name, _)| path.join(name))
+    })
+}
+
+/// Reads an attribute as a [`Value`], returning `Null` when absent. A total
+/// version of [`Tree::attr`] convenient inside constraint closures.
+pub fn attr_or_null(tree: &Tree, path: &Path, attr: &str) -> Value {
+    tree.attr(path, attr).cloned().unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h1").unwrap(),
+            Node::new("vmHost").with_attr("memCapacity", 8192i64),
+        )
+        .unwrap();
+        for (name, mem, state) in [
+            ("vm1", 1024i64, "running"),
+            ("vm2", 2048, "stopped"),
+            ("vm3", 512, "running"),
+        ] {
+            t.insert(
+                &Path::parse(&format!("/vmRoot/h1/{name}")).unwrap(),
+                Node::new("vm").with_attr("mem", mem).with_attr("state", state),
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sum_child_attr_works() {
+        let t = tree();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        assert_eq!(sum_child_attr(&t, &h1, "mem"), 3584);
+        assert_eq!(sum_child_attr(&t, &h1, "absent"), 0);
+        assert_eq!(sum_child_attr(&t, &Path::parse("/nope").unwrap(), "mem"), 0);
+    }
+
+    #[test]
+    fn count_and_select() {
+        let t = tree();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        assert_eq!(count_children_with(&t, &h1, "state", "running"), 2);
+        assert_eq!(count_children(&t, &h1, |c| c.attr_int("mem").unwrap_or(0) > 1000), 2);
+        let running = select_children(&t, &h1, |c| c.attr_str("state") == Some("running"));
+        assert_eq!(running.len(), 2);
+        assert_eq!(running[0].leaf(), Some("vm1"));
+    }
+
+    #[test]
+    fn select_descendants_scoped() {
+        let t = tree();
+        let all = select_descendants(&t, &Path::root(), "vm", |_| true);
+        assert_eq!(all.len(), 3);
+        let stopped = select_descendants(&t, &Path::parse("/vmRoot").unwrap(), "vm", |n| {
+            n.attr_str("state") == Some("stopped")
+        });
+        assert_eq!(stopped, vec![Path::parse("/vmRoot/h1/vm2").unwrap()]);
+        assert!(select_descendants(&t, &Path::parse("/none").unwrap(), "vm", |_| true).is_empty());
+    }
+
+    #[test]
+    fn first_child_where_finds_in_order() {
+        let t = tree();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        let found = first_child_where(&t, &h1, |c| c.attr_str("state") == Some("running"));
+        assert_eq!(found, Some(Path::parse("/vmRoot/h1/vm1").unwrap()));
+        assert_eq!(first_child_where(&t, &h1, |_| false), None);
+    }
+
+    #[test]
+    fn attr_or_null_total() {
+        let t = tree();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        assert_eq!(attr_or_null(&t, &h1, "memCapacity"), Value::Int(8192));
+        assert_eq!(attr_or_null(&t, &h1, "absent"), Value::Null);
+        assert_eq!(attr_or_null(&t, &Path::parse("/none").unwrap(), "x"), Value::Null);
+    }
+}

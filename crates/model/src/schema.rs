@@ -1,0 +1,374 @@
+//! Entity schemas: the typed skeleton of the semi-structured data model.
+//!
+//! Each tree node is an instance of an *entity* (paper §2.2). An
+//! [`EntitySchema`] declares the attributes an entity carries and which
+//! entity types may appear as its children. A [`SchemaRegistry`] validates
+//! whole trees, which TROPIC uses when loading topologies and when `reload`
+//! installs device state into the logical layer.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, ModelResult};
+use crate::path::Path;
+use crate::tree::Tree;
+use crate::value::Value;
+
+/// The declared type of an attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Boolean attribute.
+    Bool,
+    /// Integer attribute.
+    Int,
+    /// Float attribute (integers are accepted and widened).
+    Float,
+    /// String attribute.
+    Str,
+    /// List attribute.
+    List,
+    /// Map attribute.
+    Map,
+    /// Any value type accepted.
+    Any,
+}
+
+impl AttrType {
+    /// Returns `true` if `value` conforms to this attribute type.
+    pub fn admits(&self, value: &Value) -> bool {
+        match self {
+            AttrType::Bool => matches!(value, Value::Bool(_)),
+            AttrType::Int => matches!(value, Value::Int(_)),
+            AttrType::Float => matches!(value, Value::Float(_) | Value::Int(_)),
+            AttrType::Str => matches!(value, Value::Str(_)),
+            AttrType::List => matches!(value, Value::List(_)),
+            AttrType::Map => matches!(value, Value::Map(_)),
+            AttrType::Any => true,
+        }
+    }
+}
+
+/// Declaration of a single attribute within an entity schema.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttrSchema {
+    /// Attribute value type.
+    pub ty: AttrType,
+    /// Whether the attribute must be present on every instance.
+    pub required: bool,
+    /// Default value applied by [`SchemaRegistry::apply_defaults`].
+    pub default: Option<Value>,
+}
+
+/// Schema for one entity type.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EntitySchema {
+    name: String,
+    attrs: BTreeMap<String, AttrSchema>,
+    child_entities: Vec<String>,
+    description: String,
+}
+
+impl EntitySchema {
+    /// Creates an empty schema for entity type `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        EntitySchema {
+            name: name.into(),
+            attrs: BTreeMap::new(),
+            child_entities: Vec::new(),
+            description: String::new(),
+        }
+    }
+
+    /// Adds a human-readable description.
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+
+    /// Declares a required attribute.
+    pub fn required(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attrs.insert(
+            name.into(),
+            AttrSchema {
+                ty,
+                required: true,
+                default: None,
+            },
+        );
+        self
+    }
+
+    /// Declares an optional attribute.
+    pub fn optional(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attrs.insert(
+            name.into(),
+            AttrSchema {
+                ty,
+                required: false,
+                default: None,
+            },
+        );
+        self
+    }
+
+    /// Declares an optional attribute with a default value.
+    pub fn with_default(
+        mut self,
+        name: impl Into<String>,
+        ty: AttrType,
+        default: impl Into<Value>,
+    ) -> Self {
+        self.attrs.insert(
+            name.into(),
+            AttrSchema {
+                ty,
+                required: false,
+                default: Some(default.into()),
+            },
+        );
+        self
+    }
+
+    /// Declares an allowed child entity type.
+    pub fn child(mut self, entity: impl Into<String>) -> Self {
+        self.child_entities.push(entity.into());
+        self
+    }
+
+    /// The entity type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Declared attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &AttrSchema)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns `true` if `entity` is an allowed child entity type.
+    pub fn allows_child(&self, entity: &str) -> bool {
+        self.child_entities.iter().any(|e| e == entity)
+    }
+}
+
+/// A collection of entity schemas validating trees.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaRegistry {
+    schemas: BTreeMap<String, EntitySchema>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a schema, replacing any previous schema of the same name.
+    pub fn register(&mut self, schema: EntitySchema) {
+        self.schemas.insert(schema.name().to_owned(), schema);
+    }
+
+    /// Looks up the schema for an entity type.
+    pub fn get(&self, entity: &str) -> Option<&EntitySchema> {
+        self.schemas.get(entity)
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Returns `true` if no schemas are registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Validates every node of `tree` against its entity schema.
+    ///
+    /// Nodes whose entity type has no registered schema are accepted: the
+    /// model is semi-structured, and schemas constrain only what they
+    /// declare. Declared attributes must type-check, required attributes
+    /// must be present, and children must be of allowed entity types.
+    pub fn validate(&self, tree: &Tree) -> ModelResult<()> {
+        for (path, node) in tree.walk() {
+            let Some(schema) = self.get(node.entity()) else {
+                continue;
+            };
+            for (attr_name, attr_schema) in schema.attrs() {
+                match node.attr(attr_name) {
+                    Some(v) => {
+                        if !attr_schema.ty.admits(v) {
+                            return Err(ModelError::SchemaViolation(format!(
+                                "{path}: attribute `{attr_name}` has type {}, schema expects {:?}",
+                                v.type_name(),
+                                attr_schema.ty
+                            )));
+                        }
+                    }
+                    None if attr_schema.required => {
+                        return Err(ModelError::SchemaViolation(format!(
+                            "{path}: required attribute `{attr_name}` missing on entity `{}`",
+                            node.entity()
+                        )));
+                    }
+                    None => {}
+                }
+            }
+            for (child_name, child) in node.children() {
+                if !schema.allows_child(child.entity()) {
+                    return Err(ModelError::SchemaViolation(format!(
+                        "{path}: child `{child_name}` has entity `{}`, not allowed under `{}`",
+                        child.entity(),
+                        node.entity()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills in schema defaults for attributes absent from nodes. Returns
+    /// the number of attributes that were defaulted.
+    pub fn apply_defaults(&self, tree: &mut Tree) -> usize {
+        let mut targets: Vec<(Path, String, Value)> = Vec::new();
+        for (path, node) in tree.walk() {
+            let Some(schema) = self.get(node.entity()) else {
+                continue;
+            };
+            for (attr_name, attr_schema) in schema.attrs() {
+                if node.attr(attr_name).is_none() {
+                    if let Some(default) = &attr_schema.default {
+                        targets.push((path.clone(), attr_name.to_owned(), default.clone()));
+                    }
+                }
+            }
+        }
+        let count = targets.len();
+        for (path, attr, value) in targets {
+            // Paths were collected from a walk of this same tree; they exist.
+            let _ = tree.set_attr(&path, attr, value);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    fn registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register(EntitySchema::new("root").child("vmRoot"));
+        reg.register(EntitySchema::new("vmRoot").child("vmHost"));
+        reg.register(
+            EntitySchema::new("vmHost")
+                .describe("A compute server")
+                .required("memCapacity", AttrType::Int)
+                .with_default("hypervisor", AttrType::Str, "xen")
+                .child("vm"),
+        );
+        reg.register(
+            EntitySchema::new("vm")
+                .required("state", AttrType::Str)
+                .required("mem", AttrType::Int),
+        );
+        reg
+    }
+
+    fn valid_tree() -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h1").unwrap(),
+            Node::new("vmHost").with_attr("memCapacity", 32768i64),
+        )
+        .unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h1/vm1").unwrap(),
+            Node::new("vm").with_attr("state", "stopped").with_attr("mem", 1024i64),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn valid_tree_passes() {
+        registry().validate(&valid_tree()).unwrap();
+    }
+
+    #[test]
+    fn missing_required_attr_fails() {
+        let mut t = valid_tree();
+        t.remove_attr(&Path::parse("/vmRoot/h1/vm1").unwrap(), "state")
+            .unwrap();
+        let err = registry().validate(&t).unwrap_err();
+        assert!(err.to_string().contains("state"));
+    }
+
+    #[test]
+    fn wrong_attr_type_fails() {
+        let mut t = valid_tree();
+        t.set_attr(&Path::parse("/vmRoot/h1").unwrap(), "memCapacity", "lots")
+            .unwrap();
+        assert!(registry().validate(&t).is_err());
+    }
+
+    #[test]
+    fn disallowed_child_fails() {
+        let mut t = valid_tree();
+        t.insert(
+            &Path::parse("/vmRoot/h1/disk1").unwrap(),
+            Node::new("volume"),
+        )
+        .unwrap();
+        let err = registry().validate(&t).unwrap_err();
+        assert!(err.to_string().contains("volume"));
+    }
+
+    #[test]
+    fn unknown_entities_accepted() {
+        let mut t = valid_tree();
+        t.insert(
+            &Path::parse("/extraRoot").unwrap(),
+            Node::new("unregisteredEntity"),
+        )
+        .unwrap();
+        // Root schema does not allow `unregisteredEntity` as a child.
+        assert!(registry().validate(&t).is_err());
+        // But without a root schema it passes.
+        let mut reg = registry();
+        reg.register(EntitySchema::new("root").child("vmRoot").child("unregisteredEntity"));
+        reg.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let mut t = valid_tree();
+        let reg = registry();
+        let n = reg.apply_defaults(&mut t);
+        assert_eq!(n, 1);
+        assert_eq!(
+            t.attr_str(&Path::parse("/vmRoot/h1").unwrap(), "hypervisor")
+                .unwrap(),
+            "xen"
+        );
+        // Idempotent.
+        assert_eq!(reg.apply_defaults(&mut t), 0);
+    }
+
+    #[test]
+    fn float_admits_int() {
+        assert!(AttrType::Float.admits(&Value::Int(3)));
+        assert!(AttrType::Float.admits(&Value::Float(3.5)));
+        assert!(!AttrType::Int.admits(&Value::Float(3.5)));
+        assert!(AttrType::Any.admits(&Value::Null));
+    }
+}

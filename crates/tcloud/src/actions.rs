@@ -1,0 +1,946 @@
+//! TCloud's action definitions: the logical twins of the device actions
+//! (paper §2.2 — "each action is defined twice").
+//!
+//! Every logical effect mirrors the corresponding simulated-device semantics
+//! *exactly* (same guards, same attribute updates), so that after a
+//! committed transaction the logical and physical trees diff empty. Undo
+//! derivations produce the undo column of the paper's Table 1.
+
+use tropic_core::{ActionDef, ActionRegistry, UndoSpec};
+use tropic_model::{Node, Path, Tree, Value};
+
+use crate::model::{IMAGE, STATE_RUNNING, STATE_STOPPED, VLAN, VM};
+
+fn get_args_str(args: &[Value], i: usize) -> Result<String, String> {
+    args.get(i)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("argument {i} missing or not a string"))
+}
+
+fn get_args_int(args: &[Value], i: usize) -> Result<i64, String> {
+    args.get(i)
+        .and_then(Value::as_int)
+        .ok_or_else(|| format!("argument {i} missing or not an int"))
+}
+
+fn imported_images(tree: &Tree, host: &Path) -> Vec<String> {
+    tree.attr(host, "importedImages")
+        .and_then(Value::as_list)
+        .map(|l| {
+            l.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn set_imported_images(tree: &mut Tree, host: &Path, images: Vec<String>) -> Result<(), String> {
+    tree.set_attr(
+        host,
+        "importedImages",
+        Value::List(images.into_iter().map(Value::from).collect()),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn adjust_used_mb(tree: &mut Tree, host: &Path, delta: i64) -> Result<(), String> {
+    let used = tree.attr_int(host, "usedMb").map_err(|e| e.to_string())?;
+    tree.set_attr(host, "usedMb", used + delta)
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Storage-host actions.
+// ----------------------------------------------------------------------
+
+/// `cloneImage [template, image]` — clone a template into a new VM image.
+/// Undo: `removeImage [image]`.
+pub fn clone_image() -> ActionDef {
+    ActionDef::new(
+        "cloneImage",
+        |tree, host, args| {
+            let template = get_args_str(args, 0)?;
+            let image = get_args_str(args, 1)?;
+            let tpl_path = host.child(&template).map_err(|e| e.to_string())?;
+            let tpl = tree
+                .get(&tpl_path)
+                .ok_or_else(|| format!("template `{template}` not found on {host}"))?;
+            if tpl.attr_bool("template") != Some(true) {
+                return Err(format!("`{template}` is not a template"));
+            }
+            let size = tpl.attr_int("sizeMb").ok_or("template has no size")?;
+            let img_path = host.child(&image).map_err(|e| e.to_string())?;
+            if tree.exists(&img_path) {
+                return Err(format!("image `{image}` already exists on {host}"));
+            }
+            tree.insert(
+                &img_path,
+                Node::new(IMAGE)
+                    .with_attr("sizeMb", size)
+                    .with_attr("template", false)
+                    .with_attr("exported", false),
+            )
+            .map_err(|e| e.to_string())?;
+            adjust_used_mb(tree, host, size)
+        },
+        |_, host, args| {
+            let image = args.get(1)?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "removeImage".into(),
+                args: vec![Value::from(image)],
+            })
+        },
+    )
+    .describe("Clones a template image into a per-VM disk image on a storage server.")
+}
+
+/// `removeImage [image]` — delete a non-exported, non-template image.
+/// Undo: `restoreImage [image, sizeMb, template, exported]`.
+pub fn remove_image() -> ActionDef {
+    ActionDef::new(
+        "removeImage",
+        |tree, host, args| {
+            let image = get_args_str(args, 0)?;
+            let img_path = host.child(&image).map_err(|e| e.to_string())?;
+            let node = tree
+                .get(&img_path)
+                .ok_or_else(|| format!("image `{image}` not found on {host}"))?;
+            if node.attr_bool("exported") == Some(true) {
+                return Err(format!("image `{image}` is exported"));
+            }
+            if node.attr_bool("template") == Some(true) {
+                return Err(format!("image `{image}` is a template"));
+            }
+            let size = node.attr_int("sizeMb").unwrap_or(0);
+            tree.remove(&img_path).map_err(|e| e.to_string())?;
+            adjust_used_mb(tree, host, -size)
+        },
+        |tree, host, args| {
+            let image = args.first()?.as_str()?;
+            let node = tree.get(&host.child(image).ok()?)?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "restoreImage".into(),
+                args: vec![
+                    Value::from(image),
+                    Value::Int(node.attr_int("sizeMb").unwrap_or(0)),
+                    Value::Bool(node.attr_bool("template").unwrap_or(false)),
+                    Value::Bool(node.attr_bool("exported").unwrap_or(false)),
+                ],
+            })
+        },
+    )
+    .describe("Deletes a VM disk image from a storage server.")
+}
+
+/// `restoreImage [image, sizeMb, template, exported]` — recreate an image
+/// from saved metadata (the undo of `removeImage`). Undo: `removeImage`.
+pub fn restore_image() -> ActionDef {
+    ActionDef::new(
+        "restoreImage",
+        |tree, host, args| {
+            let image = get_args_str(args, 0)?;
+            let size = get_args_int(args, 1)?;
+            let template = args.get(2).and_then(Value::as_bool).unwrap_or(false);
+            let exported = args.get(3).and_then(Value::as_bool).unwrap_or(false);
+            let img_path = host.child(&image).map_err(|e| e.to_string())?;
+            if tree.exists(&img_path) {
+                return Err(format!("image `{image}` already exists on {host}"));
+            }
+            tree.insert(
+                &img_path,
+                Node::new(IMAGE)
+                    .with_attr("sizeMb", size)
+                    .with_attr("template", template)
+                    .with_attr("exported", exported),
+            )
+            .map_err(|e| e.to_string())?;
+            adjust_used_mb(tree, host, size)
+        },
+        |_, host, args| {
+            let image = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "removeImage".into(),
+                args: vec![Value::from(image)],
+            })
+        },
+    )
+    .describe("Recreates an image from metadata; the inverse of removeImage.")
+}
+
+fn set_exported(tree: &mut Tree, host: &Path, image: &str, exported: bool) -> Result<(), String> {
+    let img_path = host.child(image).map_err(|e| e.to_string())?;
+    let node = tree
+        .get(&img_path)
+        .ok_or_else(|| format!("image `{image}` not found on {host}"))?;
+    if node.attr_bool("exported") == Some(exported) {
+        return Err(format!(
+            "image `{image}` already {}",
+            if exported { "exported" } else { "unexported" }
+        ));
+    }
+    tree.set_attr(&img_path, "exported", exported)
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `exportImage [image]` — export an image over the storage network.
+/// Undo: `unexportImage [image]`.
+pub fn export_image() -> ActionDef {
+    ActionDef::new(
+        "exportImage",
+        |tree, host, args| {
+            let image = get_args_str(args, 0)?;
+            set_exported(tree, host, &image, true)
+        },
+        |_, host, args| {
+            let image = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "unexportImage".into(),
+                args: vec![Value::from(image)],
+            })
+        },
+    )
+    .describe("Exports an image as a network block device.")
+}
+
+/// `unexportImage [image]` — stop exporting. Undo: `exportImage [image]`.
+pub fn unexport_image() -> ActionDef {
+    ActionDef::new(
+        "unexportImage",
+        |tree, host, args| {
+            let image = get_args_str(args, 0)?;
+            set_exported(tree, host, &image, false)
+        },
+        |_, host, args| {
+            let image = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "exportImage".into(),
+                args: vec![Value::from(image)],
+            })
+        },
+    )
+    .describe("Withdraws a network block-device export.")
+}
+
+// ----------------------------------------------------------------------
+// Compute-host actions.
+// ----------------------------------------------------------------------
+
+/// `importImage [image]` — attach an exported image on a compute server.
+/// Undo: `unimportImage [image]`.
+pub fn import_image() -> ActionDef {
+    ActionDef::new(
+        "importImage",
+        |tree, host, args| {
+            let image = get_args_str(args, 0)?;
+            let mut images = imported_images(tree, host);
+            if images.contains(&image) {
+                return Err(format!("image `{image}` already imported on {host}"));
+            }
+            // Keep sorted order to mirror the device's BTreeSet export.
+            let pos = images.binary_search(&image).unwrap_err();
+            images.insert(pos, image);
+            set_imported_images(tree, host, images)
+        },
+        |_, host, args| {
+            let image = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "unimportImage".into(),
+                args: vec![Value::from(image)],
+            })
+        },
+    )
+    .describe("Attaches an exported image to a compute server.")
+}
+
+/// `unimportImage [image]` — detach an image (must not back any VM).
+/// Undo: `importImage [image]`.
+pub fn unimport_image() -> ActionDef {
+    ActionDef::new(
+        "unimportImage",
+        |tree, host, args| {
+            let image = get_args_str(args, 0)?;
+            let host_node = tree.get(host).ok_or_else(|| format!("no host at {host}"))?;
+            if host_node
+                .children()
+                .any(|(_, vm)| vm.attr_str("image") == Some(image.as_str()))
+            {
+                return Err(format!("image `{image}` still used by a VM on {host}"));
+            }
+            let mut images = imported_images(tree, host);
+            let Ok(pos) = images.binary_search(&image) else {
+                return Err(format!("image `{image}` not imported on {host}"));
+            };
+            images.remove(pos);
+            set_imported_images(tree, host, images)
+        },
+        |_, host, args| {
+            let image = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "importImage".into(),
+                args: vec![Value::from(image)],
+            })
+        },
+    )
+    .describe("Detaches an image from a compute server.")
+}
+
+/// `createVM [name, image, mem, hypervisor?]` — define a stopped VM.
+///
+/// The optional fourth argument preserves the hypervisor a VM was built for
+/// across migrations; without it the host's hypervisor is stamped. The
+/// VM-type constraint compares this attribute against the host (paper §6.2).
+/// Undo: `removeVM [name]`.
+pub fn create_vm() -> ActionDef {
+    ActionDef::new(
+        "createVM",
+        |tree, host, args| {
+            let name = get_args_str(args, 0)?;
+            let image = get_args_str(args, 1)?;
+            let mem = get_args_int(args, 2)?;
+            let vm_path = host.child(&name).map_err(|e| e.to_string())?;
+            if tree.exists(&vm_path) {
+                return Err(format!("VM `{name}` already exists on {host}"));
+            }
+            if !imported_images(tree, host).contains(&image) {
+                return Err(format!("image `{image}` not imported on {host}"));
+            }
+            let host_hv = tree
+                .attr_str(host, "hypervisor")
+                .map_err(|e| e.to_string())?;
+            let hv = args
+                .get(3)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .unwrap_or(host_hv);
+            tree.insert(
+                &vm_path,
+                Node::new(VM)
+                    .with_attr("image", image)
+                    .with_attr("mem", mem)
+                    .with_attr("state", STATE_STOPPED)
+                    .with_attr("hypervisor", hv),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |_, host, args| {
+            let name = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "removeVM".into(),
+                args: vec![Value::from(name)],
+            })
+        },
+    )
+    .describe("Creates a VM configuration on a compute server.")
+}
+
+/// `removeVM [name]` — delete a stopped VM's configuration.
+/// Undo: `createVM [name, image, mem, hypervisor]` from pre-state.
+pub fn remove_vm() -> ActionDef {
+    ActionDef::new(
+        "removeVM",
+        |tree, host, args| {
+            let name = get_args_str(args, 0)?;
+            let vm_path = host.child(&name).map_err(|e| e.to_string())?;
+            let vm = tree
+                .get(&vm_path)
+                .ok_or_else(|| format!("VM `{name}` not found on {host}"))?;
+            if vm.attr_str("state") == Some(STATE_RUNNING) {
+                return Err(format!("VM `{name}` is running"));
+            }
+            tree.remove(&vm_path).map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |tree, host, args| {
+            let name = args.first()?.as_str()?;
+            let vm = tree.get(&host.child(name).ok()?)?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "createVM".into(),
+                args: vec![
+                    Value::from(name),
+                    Value::from(vm.attr_str("image").unwrap_or("")),
+                    Value::Int(vm.attr_int("mem").unwrap_or(0)),
+                    Value::from(vm.attr_str("hypervisor").unwrap_or("")),
+                ],
+            })
+        },
+    )
+    .describe("Removes a stopped VM's configuration.")
+}
+
+fn set_vm_state(
+    tree: &mut Tree,
+    host: &Path,
+    name: &str,
+    from: &str,
+    to: &str,
+) -> Result<(), String> {
+    let vm_path = host.child(name).map_err(|e| e.to_string())?;
+    let vm = tree
+        .get(&vm_path)
+        .ok_or_else(|| format!("VM `{name}` not found on {host}"))?;
+    let state = vm.attr_str("state").unwrap_or("");
+    if state != from {
+        return Err(format!("VM `{name}` is {state}, expected {from}"));
+    }
+    tree.set_attr(&vm_path, "state", to).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `startVM [name]` — power a stopped VM on. Undo: `stopVM [name]`.
+pub fn start_vm() -> ActionDef {
+    ActionDef::new(
+        "startVM",
+        |tree, host, args| {
+            let name = get_args_str(args, 0)?;
+            set_vm_state(tree, host, &name, STATE_STOPPED, STATE_RUNNING)
+        },
+        |_, host, args| {
+            let name = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "stopVM".into(),
+                args: vec![Value::from(name)],
+            })
+        },
+    )
+    .describe("Starts a VM.")
+}
+
+/// `stopVM [name]` — power a running VM off. Undo: `startVM [name]`.
+pub fn stop_vm() -> ActionDef {
+    ActionDef::new(
+        "stopVM",
+        |tree, host, args| {
+            let name = get_args_str(args, 0)?;
+            set_vm_state(tree, host, &name, STATE_RUNNING, STATE_STOPPED)
+        },
+        |_, host, args| {
+            let name = args.first()?.as_str()?;
+            Some(UndoSpec {
+                object: host.clone(),
+                action: "startVM".into(),
+                args: vec![Value::from(name)],
+            })
+        },
+    )
+    .describe("Stops a VM.")
+}
+
+// ----------------------------------------------------------------------
+// Router actions.
+// ----------------------------------------------------------------------
+
+fn vlan_node_name(id: i64) -> String {
+    format!("vlan{id}")
+}
+
+/// `createVlan [id]` — configure a VLAN. Undo: `removeVlan [id]`.
+pub fn create_vlan() -> ActionDef {
+    ActionDef::new(
+        "createVlan",
+        |tree, router, args| {
+            let id = get_args_int(args, 0)?;
+            if !(1..=4094).contains(&id) {
+                return Err(format!("VLAN id {id} out of 802.1Q range"));
+            }
+            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            if tree.exists(&vlan_path) {
+                return Err(format!("VLAN {id} already exists on {router}"));
+            }
+            tree.insert(
+                &vlan_path,
+                Node::new(VLAN)
+                    .with_attr("id", id)
+                    .with_attr("ports", Vec::<String>::new()),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |_, router, args| {
+            let id = args.first()?.as_int()?;
+            Some(UndoSpec {
+                object: router.clone(),
+                action: "removeVlan".into(),
+                args: vec![Value::Int(id)],
+            })
+        },
+    )
+    .describe("Configures a VLAN on a router.")
+}
+
+/// `removeVlan [id]` — delete an empty VLAN. Undo: `createVlan [id]`.
+pub fn remove_vlan() -> ActionDef {
+    ActionDef::new(
+        "removeVlan",
+        |tree, router, args| {
+            let id = get_args_int(args, 0)?;
+            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            let vlan = tree
+                .get(&vlan_path)
+                .ok_or_else(|| format!("VLAN {id} not found on {router}"))?;
+            let ports = vlan.attr("ports").and_then(Value::as_list).map(<[Value]>::len).unwrap_or(0);
+            if ports > 0 {
+                return Err(format!("VLAN {id} still has {ports} port(s) attached"));
+            }
+            tree.remove(&vlan_path).map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |_, router, args| {
+            let id = args.first()?.as_int()?;
+            Some(UndoSpec {
+                object: router.clone(),
+                action: "createVlan".into(),
+                args: vec![Value::Int(id)],
+            })
+        },
+    )
+    .describe("Removes an empty VLAN from a router.")
+}
+
+fn vlan_ports(tree: &Tree, vlan_path: &Path) -> Vec<String> {
+    tree.attr(vlan_path, "ports")
+        .and_then(Value::as_list)
+        .map(|l| l.iter().filter_map(Value::as_str).map(str::to_owned).collect())
+        .unwrap_or_default()
+}
+
+/// `attachPort [id, port]` — attach a VM port to a VLAN.
+/// Undo: `detachPort [id, port]`.
+pub fn attach_port() -> ActionDef {
+    ActionDef::new(
+        "attachPort",
+        |tree, router, args| {
+            let id = get_args_int(args, 0)?;
+            let port = get_args_str(args, 1)?;
+            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            if !tree.exists(&vlan_path) {
+                return Err(format!("VLAN {id} not found on {router}"));
+            }
+            let mut ports = vlan_ports(tree, &vlan_path);
+            if ports.contains(&port) {
+                return Err(format!("port `{port}` already attached to VLAN {id}"));
+            }
+            let pos = ports.binary_search(&port).unwrap_err();
+            ports.insert(pos, port);
+            tree.set_attr(
+                &vlan_path,
+                "ports",
+                Value::List(ports.into_iter().map(Value::from).collect()),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |_, router, args| {
+            Some(UndoSpec {
+                object: router.clone(),
+                action: "detachPort".into(),
+                args: args.to_vec(),
+            })
+        },
+    )
+    .describe("Attaches a port to a VLAN.")
+}
+
+/// `detachPort [id, port]` — detach a port. Undo: `attachPort [id, port]`.
+pub fn detach_port() -> ActionDef {
+    ActionDef::new(
+        "detachPort",
+        |tree, router, args| {
+            let id = get_args_int(args, 0)?;
+            let port = get_args_str(args, 1)?;
+            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            if !tree.exists(&vlan_path) {
+                return Err(format!("VLAN {id} not found on {router}"));
+            }
+            let mut ports = vlan_ports(tree, &vlan_path);
+            let Ok(pos) = ports.binary_search(&port) else {
+                return Err(format!("port `{port}` not attached to VLAN {id}"));
+            };
+            ports.remove(pos);
+            tree.set_attr(
+                &vlan_path,
+                "ports",
+                Value::List(ports.into_iter().map(Value::from).collect()),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        },
+        |_, router, args| {
+            Some(UndoSpec {
+                object: router.clone(),
+                action: "attachPort".into(),
+                args: args.to_vec(),
+            })
+        },
+    )
+    .describe("Detaches a port from a VLAN.")
+}
+
+/// Registers every TCloud action.
+pub fn all() -> ActionRegistry {
+    let mut reg = ActionRegistry::new();
+    for def in [
+        clone_image(),
+        remove_image(),
+        restore_image(),
+        export_image(),
+        unexport_image(),
+        import_image(),
+        unimport_image(),
+        create_vm(),
+        remove_vm(),
+        start_vm(),
+        stop_vm(),
+        create_vlan(),
+        remove_vlan(),
+        attach_port(),
+        detach_port(),
+    ] {
+        reg.register(def);
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{STORAGE_HOST, VM_HOST};
+
+    fn tree() -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
+            .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot/s0").unwrap(),
+            Node::new(STORAGE_HOST)
+                .with_attr("capacityMb", 100_000i64)
+                .with_attr("usedMb", 8_192i64),
+        )
+        .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot/s0/tmpl").unwrap(),
+            Node::new(IMAGE)
+                .with_attr("sizeMb", 8_192i64)
+                .with_attr("template", true)
+                .with_attr("exported", false),
+        )
+        .unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h0").unwrap(),
+            Node::new(VM_HOST)
+                .with_attr("hypervisor", "xen")
+                .with_attr("memCapacity", 32_768i64)
+                .with_attr("importedImages", Vec::<String>::new()),
+        )
+        .unwrap();
+        t
+    }
+
+    fn s0() -> Path {
+        Path::parse("/storageRoot/s0").unwrap()
+    }
+
+    fn h0() -> Path {
+        Path::parse("/vmRoot/h0").unwrap()
+    }
+
+    #[test]
+    fn clone_then_undo_roundtrips() {
+        let reg = all();
+        let mut t = tree();
+        let args = vec![Value::from("tmpl"), Value::from("img")];
+        let undo = reg
+            .get("cloneImage")
+            .unwrap()
+            .derive_undo(&t, &s0(), &args)
+            .unwrap();
+        reg.get("cloneImage").unwrap().apply_logical(&mut t, &s0(), &args).unwrap();
+        assert!(t.exists(&s0().join("img")));
+        assert_eq!(t.attr_int(&s0(), "usedMb").unwrap(), 16_384);
+        reg.get(&undo.action)
+            .unwrap()
+            .apply_logical(&mut t, &undo.object, &undo.args)
+            .unwrap();
+        assert!(!t.exists(&s0().join("img")));
+        assert_eq!(t.attr_int(&s0(), "usedMb").unwrap(), 8_192);
+    }
+
+    #[test]
+    fn clone_guards() {
+        let reg = all();
+        let mut t = tree();
+        let clone = reg.get("cloneImage").unwrap();
+        assert!(clone
+            .apply_logical(&mut t, &s0(), &[Value::from("ghost"), Value::from("x")])
+            .unwrap_err()
+            .contains("not found"));
+        clone
+            .apply_logical(&mut t, &s0(), &[Value::from("tmpl"), Value::from("a")])
+            .unwrap();
+        // Cloning from a non-template fails.
+        assert!(clone
+            .apply_logical(&mut t, &s0(), &[Value::from("a"), Value::from("b")])
+            .unwrap_err()
+            .contains("not a template"));
+    }
+
+    #[test]
+    fn remove_image_undo_restores_metadata() {
+        let reg = all();
+        let mut t = tree();
+        reg.get("cloneImage")
+            .unwrap()
+            .apply_logical(&mut t, &s0(), &[Value::from("tmpl"), Value::from("img")])
+            .unwrap();
+        reg.get("exportImage")
+            .unwrap()
+            .apply_logical(&mut t, &s0(), &[Value::from("img")])
+            .unwrap();
+        // removeImage refuses exported images.
+        assert!(reg
+            .get("removeImage")
+            .unwrap()
+            .apply_logical(&mut t, &s0(), &[Value::from("img")])
+            .unwrap_err()
+            .contains("exported"));
+        reg.get("unexportImage")
+            .unwrap()
+            .apply_logical(&mut t, &s0(), &[Value::from("img")])
+            .unwrap();
+        let undo = reg
+            .get("removeImage")
+            .unwrap()
+            .derive_undo(&t, &s0(), &[Value::from("img")])
+            .unwrap();
+        assert_eq!(undo.action, "restoreImage");
+        assert_eq!(undo.args[1], Value::Int(8_192));
+        reg.get("removeImage")
+            .unwrap()
+            .apply_logical(&mut t, &s0(), &[Value::from("img")])
+            .unwrap();
+        reg.get(&undo.action)
+            .unwrap()
+            .apply_logical(&mut t, &undo.object, &undo.args)
+            .unwrap();
+        assert!(t.exists(&s0().join("img")));
+    }
+
+    #[test]
+    fn import_create_start_sequence() {
+        let reg = all();
+        let mut t = tree();
+        reg.get("importImage")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("img")])
+            .unwrap();
+        reg.get("createVM")
+            .unwrap()
+            .apply_logical(
+                &mut t,
+                &h0(),
+                &[Value::from("vm1"), Value::from("img"), Value::Int(2048)],
+            )
+            .unwrap();
+        let vm = h0().join("vm1");
+        assert_eq!(t.attr_str(&vm, "state").unwrap(), STATE_STOPPED);
+        assert_eq!(t.attr_str(&vm, "hypervisor").unwrap(), "xen");
+        reg.get("startVM")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("vm1")])
+            .unwrap();
+        assert_eq!(t.attr_str(&vm, "state").unwrap(), STATE_RUNNING);
+        // Starting twice fails; removing a running VM fails.
+        assert!(reg
+            .get("startVM")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("vm1")])
+            .is_err());
+        assert!(reg
+            .get("removeVM")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("vm1")])
+            .unwrap_err()
+            .contains("running"));
+    }
+
+    #[test]
+    fn create_vm_requires_import_and_preserves_hypervisor_arg() {
+        let reg = all();
+        let mut t = tree();
+        assert!(reg
+            .get("createVM")
+            .unwrap()
+            .apply_logical(
+                &mut t,
+                &h0(),
+                &[Value::from("vm1"), Value::from("img"), Value::Int(1)],
+            )
+            .unwrap_err()
+            .contains("not imported"));
+        reg.get("importImage")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("img")])
+            .unwrap();
+        reg.get("createVM")
+            .unwrap()
+            .apply_logical(
+                &mut t,
+                &h0(),
+                &[
+                    Value::from("vm1"),
+                    Value::from("img"),
+                    Value::Int(1),
+                    Value::from("kvm"),
+                ],
+            )
+            .unwrap();
+        // The explicit hypervisor argument is preserved (migration case).
+        assert_eq!(t.attr_str(&h0().join("vm1"), "hypervisor").unwrap(), "kvm");
+    }
+
+    #[test]
+    fn unimport_guarded_by_vm_usage() {
+        let reg = all();
+        let mut t = tree();
+        reg.get("importImage")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("img")])
+            .unwrap();
+        reg.get("createVM")
+            .unwrap()
+            .apply_logical(
+                &mut t,
+                &h0(),
+                &[Value::from("vm1"), Value::from("img"), Value::Int(1)],
+            )
+            .unwrap();
+        assert!(reg
+            .get("unimportImage")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("img")])
+            .unwrap_err()
+            .contains("still used"));
+        reg.get("removeVM")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("vm1")])
+            .unwrap();
+        reg.get("unimportImage")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("img")])
+            .unwrap();
+        assert!(imported_images(&t, &h0()).is_empty());
+    }
+
+    #[test]
+    fn remove_vm_undo_recreates_with_attrs() {
+        let reg = all();
+        let mut t = tree();
+        reg.get("importImage")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("img")])
+            .unwrap();
+        reg.get("createVM")
+            .unwrap()
+            .apply_logical(
+                &mut t,
+                &h0(),
+                &[Value::from("vm1"), Value::from("img"), Value::Int(4096)],
+            )
+            .unwrap();
+        let undo = reg
+            .get("removeVM")
+            .unwrap()
+            .derive_undo(&t, &h0(), &[Value::from("vm1")])
+            .unwrap();
+        assert_eq!(undo.action, "createVM");
+        assert_eq!(undo.args[2], Value::Int(4096));
+        reg.get("removeVM")
+            .unwrap()
+            .apply_logical(&mut t, &h0(), &[Value::from("vm1")])
+            .unwrap();
+        reg.get(&undo.action)
+            .unwrap()
+            .apply_logical(&mut t, &undo.object, &undo.args)
+            .unwrap();
+        assert_eq!(t.attr_int(&h0().join("vm1"), "mem").unwrap(), 4096);
+    }
+
+    #[test]
+    fn vlan_lifecycle_logical() {
+        let reg = all();
+        let mut t = Tree::new();
+        let r = Path::parse("/netRoot/r0").unwrap();
+        t.insert(&Path::parse("/netRoot").unwrap(), Node::new("netRoot")).unwrap();
+        t.insert(&r, Node::new("router").with_attr("maxVlans", 8i64)).unwrap();
+        reg.get("createVlan")
+            .unwrap()
+            .apply_logical(&mut t, &r, &[Value::Int(100)])
+            .unwrap();
+        reg.get("attachPort")
+            .unwrap()
+            .apply_logical(&mut t, &r, &[Value::Int(100), Value::from("vm1-eth0")])
+            .unwrap();
+        // Cannot remove a VLAN with ports.
+        assert!(reg
+            .get("removeVlan")
+            .unwrap()
+            .apply_logical(&mut t, &r, &[Value::Int(100)])
+            .is_err());
+        reg.get("detachPort")
+            .unwrap()
+            .apply_logical(&mut t, &r, &[Value::Int(100), Value::from("vm1-eth0")])
+            .unwrap();
+        reg.get("removeVlan")
+            .unwrap()
+            .apply_logical(&mut t, &r, &[Value::Int(100)])
+            .unwrap();
+        assert!(!t.exists(&r.join("vlan100")));
+        // Out-of-range id rejected.
+        assert!(reg
+            .get("createVlan")
+            .unwrap()
+            .apply_logical(&mut t, &r, &[Value::Int(5000)])
+            .is_err());
+    }
+
+    #[test]
+    fn registry_has_all_actions() {
+        let reg = all();
+        assert_eq!(reg.len(), 15);
+        for name in [
+            "cloneImage",
+            "removeImage",
+            "restoreImage",
+            "exportImage",
+            "unexportImage",
+            "importImage",
+            "unimportImage",
+            "createVM",
+            "removeVM",
+            "startVM",
+            "stopVM",
+            "createVlan",
+            "removeVlan",
+            "attachPort",
+            "detachPort",
+        ] {
+            assert!(reg.get(name).is_some(), "missing {name}");
+        }
+    }
+}

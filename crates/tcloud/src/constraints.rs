@@ -1,0 +1,244 @@
+//! TCloud's safety constraints (paper §2.1, §6.2).
+//!
+//! The two constraints the paper evaluates are here — VM memory (aggregate
+//! VM memory cannot exceed a host's capacity) and VM type (a VM cannot run
+//! on a host with a different hypervisor) — plus storage-capacity and
+//! VLAN-table constraints that guard the other resource families.
+
+use std::sync::Arc;
+
+use tropic_model::{Constraint, ConstraintSet, FnConstraint, Path, Tree, Value};
+
+use crate::model::{ROUTER, STORAGE_HOST, VM_HOST};
+
+/// VM memory constraint (paper §6.2): the sum of child VM memory must not
+/// exceed the host's `memCapacity`.
+pub fn vm_memory() -> Arc<dyn Constraint> {
+    Arc::new(
+        FnConstraint::new("vm-memory", VM_HOST, |tree: &Tree, anchor: &Path| {
+            let host = tree.get(anchor).expect("anchor exists");
+            let capacity = host.attr_int("memCapacity").unwrap_or(0);
+            let used: i64 = host
+                .children()
+                .filter_map(|(_, vm)| vm.attr_int("mem"))
+                .sum();
+            if used > capacity {
+                Err(format!(
+                    "aggregate VM memory {used} MB exceeds host capacity {capacity} MB"
+                ))
+            } else {
+                Ok(())
+            }
+        })
+        .describe("Aggregated VM memory cannot exceed the host's physical memory."),
+    )
+}
+
+/// VM type constraint (paper §6.2): every VM on a host must match the
+/// host's hypervisor; VM migration across hypervisors violates this at the
+/// destination.
+pub fn vm_type() -> Arc<dyn Constraint> {
+    Arc::new(
+        FnConstraint::new("vm-type", VM_HOST, |tree: &Tree, anchor: &Path| {
+            let host = tree.get(anchor).expect("anchor exists");
+            let host_hv = host.attr_str("hypervisor").unwrap_or("");
+            for (name, vm) in host.children() {
+                let vm_hv = vm.attr_str("hypervisor").unwrap_or(host_hv);
+                if vm_hv != host_hv {
+                    return Err(format!(
+                        "VM `{name}` was built for hypervisor `{vm_hv}` but host runs `{host_hv}`"
+                    ));
+                }
+            }
+            Ok(())
+        })
+        .describe("VMs cannot run (or be migrated to) a host with an incompatible hypervisor."),
+    )
+}
+
+/// Storage-capacity constraint: image sizes must fit the server's capacity.
+pub fn storage_capacity() -> Arc<dyn Constraint> {
+    Arc::new(
+        FnConstraint::new("storage-capacity", STORAGE_HOST, |tree: &Tree, anchor: &Path| {
+            let host = tree.get(anchor).expect("anchor exists");
+            let capacity = host.attr_int("capacityMb").unwrap_or(0);
+            let used: i64 = host
+                .children()
+                .filter_map(|(_, img)| img.attr_int("sizeMb"))
+                .sum();
+            if used > capacity {
+                Err(format!(
+                    "images occupy {used} MB, exceeding capacity {capacity} MB"
+                ))
+            } else {
+                Ok(())
+            }
+        })
+        .describe("Aggregated image size cannot exceed the storage server's capacity."),
+    )
+}
+
+/// VLAN-table constraint: a router cannot hold more VLANs than its hardware
+/// table allows.
+pub fn vlan_capacity() -> Arc<dyn Constraint> {
+    Arc::new(
+        FnConstraint::new("vlan-capacity", ROUTER, |tree: &Tree, anchor: &Path| {
+            let router = tree.get(anchor).expect("anchor exists");
+            let max = router.attr_int("maxVlans").unwrap_or(0) as usize;
+            let used = router.child_count();
+            if used > max {
+                Err(format!("{used} VLANs configured, table holds {max}"))
+            } else {
+                Ok(())
+            }
+        })
+        .describe("A router's VLAN table is finite."),
+    )
+}
+
+/// VLAN id uniqueness within a router.
+pub fn vlan_id_unique() -> Arc<dyn Constraint> {
+    Arc::new(
+        FnConstraint::new("vlan-id-unique", ROUTER, |tree: &Tree, anchor: &Path| {
+            let router = tree.get(anchor).expect("anchor exists");
+            let mut seen = std::collections::BTreeSet::new();
+            for (name, vlan) in router.children() {
+                let id = vlan.attr("id").and_then(Value::as_int).unwrap_or(-1);
+                if !seen.insert(id) {
+                    return Err(format!("VLAN `{name}` duplicates id {id}"));
+                }
+            }
+            Ok(())
+        })
+        .describe("VLAN ids are unique per router."),
+    )
+}
+
+/// The full TCloud constraint set.
+pub fn all() -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    set.register(vm_memory());
+    set.register(vm_type());
+    set.register(storage_capacity());
+    set.register(vlan_capacity());
+    set.register(vlan_id_unique());
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tropic_model::Node;
+
+    fn host_tree(capacity: i64, vms: &[(&str, i64, &str)]) -> (Tree, Path) {
+        let mut t = Tree::new();
+        let h = Path::parse("/vmRoot/h0").unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+        t.insert(
+            &h,
+            Node::new(VM_HOST)
+                .with_attr("hypervisor", "xen")
+                .with_attr("memCapacity", capacity),
+        )
+        .unwrap();
+        for (name, mem, hv) in vms {
+            t.insert(
+                &h.join(name),
+                Node::new("vm")
+                    .with_attr("image", "img")
+                    .with_attr("mem", *mem)
+                    .with_attr("state", "stopped")
+                    .with_attr("hypervisor", *hv),
+            )
+            .unwrap();
+        }
+        (t, h)
+    }
+
+    #[test]
+    fn memory_within_capacity_ok() {
+        let (t, h) = host_tree(8192, &[("vm1", 4096, "xen"), ("vm2", 4096, "xen")]);
+        vm_memory().check(&t, &h).unwrap();
+    }
+
+    #[test]
+    fn memory_over_capacity_fails() {
+        let (t, h) = host_tree(8192, &[("vm1", 4096, "xen"), ("vm2", 4097, "xen")]);
+        let err = vm_memory().check(&t, &h).unwrap_err();
+        assert!(err.message.contains("exceeds"));
+        assert_eq!(err.constraint, "vm-memory");
+    }
+
+    #[test]
+    fn hypervisor_mismatch_fails() {
+        let (t, h) = host_tree(8192, &[("vm1", 1024, "kvm")]);
+        let err = vm_type().check(&t, &h).unwrap_err();
+        assert!(err.message.contains("kvm"));
+        let (t2, h2) = host_tree(8192, &[("vm1", 1024, "xen")]);
+        vm_type().check(&t2, &h2).unwrap();
+    }
+
+    #[test]
+    fn storage_capacity_enforced() {
+        let mut t = Tree::new();
+        let s = Path::parse("/storageRoot/s0").unwrap();
+        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
+            .unwrap();
+        t.insert(
+            &s,
+            Node::new(STORAGE_HOST)
+                .with_attr("capacityMb", 10_000i64)
+                .with_attr("usedMb", 0i64),
+        )
+        .unwrap();
+        t.insert(
+            &s.join("a"),
+            Node::new("image")
+                .with_attr("sizeMb", 9_000i64)
+                .with_attr("template", false)
+                .with_attr("exported", false),
+        )
+        .unwrap();
+        storage_capacity().check(&t, &s).unwrap();
+        t.insert(
+            &s.join("b"),
+            Node::new("image")
+                .with_attr("sizeMb", 2_000i64)
+                .with_attr("template", false)
+                .with_attr("exported", false),
+        )
+        .unwrap();
+        assert!(storage_capacity().check(&t, &s).is_err());
+    }
+
+    #[test]
+    fn vlan_constraints() {
+        let mut t = Tree::new();
+        let r = Path::parse("/netRoot/r0").unwrap();
+        t.insert(&Path::parse("/netRoot").unwrap(), Node::new("netRoot")).unwrap();
+        t.insert(&r, Node::new(ROUTER).with_attr("maxVlans", 2i64)).unwrap();
+        let vlan = |id: i64| {
+            Node::new("vlan")
+                .with_attr("id", id)
+                .with_attr("ports", Vec::<String>::new())
+        };
+        t.insert(&r.join("vlan1"), vlan(1)).unwrap();
+        t.insert(&r.join("vlan2"), vlan(2)).unwrap();
+        vlan_capacity().check(&t, &r).unwrap();
+        vlan_id_unique().check(&t, &r).unwrap();
+        t.insert(&r.join("vlan3"), vlan(3)).unwrap();
+        assert!(vlan_capacity().check(&t, &r).is_err());
+        t.remove(&r.join("vlan3")).unwrap();
+        t.insert(&r.join("vlanDup"), vlan(2)).unwrap();
+        assert!(vlan_id_unique().check(&t, &r).is_err());
+    }
+
+    #[test]
+    fn full_set_registers_all() {
+        let set = all();
+        assert_eq!(set.len(), 5);
+        assert!(set.anchors_at(VM_HOST));
+        assert!(set.anchors_at(STORAGE_HOST));
+        assert!(set.anchors_at(ROUTER));
+    }
+}

@@ -1,0 +1,37 @@
+//! # tropic-tcloud
+//!
+//! TCloud: the EC2-like IaaS service the TROPIC paper builds on top of the
+//! platform (§5). It contributes everything a TROPIC service provides:
+//!
+//! * entity **schemas** for compute/storage/network resources ([`model`]),
+//! * **actions** defined twice — logical effect + device call — with
+//!   automatic undo derivation ([`actions`]),
+//! * **stored procedures**: `spawnVM` (the paper's Table 1), `spawnVMAuto`,
+//!   `startVM`, `stopVM`, `destroyVM`, `migrateVM`, `spawnVMNet`
+//!   ([`procs`]),
+//! * **constraints**: VM memory and VM type (§6.2) plus storage and VLAN
+//!   guards ([`constraints`]),
+//! * **repair rules** reconciling device drift (§4) ([`repair`]),
+//! * a **topology builder** matching the paper's deployment shapes
+//!   ([`topology`]).
+//!
+//! ```
+//! use tropic_tcloud::TopologySpec;
+//!
+//! let spec = TopologySpec { compute_hosts: 8, storage_hosts: 2, ..Default::default() };
+//! let service = spec.service();
+//! assert_eq!(service.procs.names().len(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod constraints;
+pub mod model;
+pub mod procs;
+pub mod repair;
+pub mod topology;
+
+pub use procs::image_name;
+pub use topology::{TCloudDevices, TopologySpec};

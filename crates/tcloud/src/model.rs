@@ -1,0 +1,180 @@
+//! TCloud's data-model schemas (paper §5).
+//!
+//! The data center exposes three resource families under the root:
+//! `vmRoot` (compute servers and their VMs), `storageRoot` (storage servers
+//! and disk images), and `netRoot` (routers with VLANs). Entity names and
+//! attribute shapes deliberately match what the simulated devices export,
+//! so logical-vs-physical diffs are empty when the layers agree.
+
+use tropic_model::{AttrType, EntitySchema, SchemaRegistry};
+
+/// Entity name of the tree root.
+pub const ROOT: &str = "root";
+/// Entity of the compute subtree root.
+pub const VM_ROOT: &str = "vmRoot";
+/// Entity of a compute server.
+pub const VM_HOST: &str = "vmHost";
+/// Entity of a virtual machine.
+pub const VM: &str = "vm";
+/// Entity of the storage subtree root.
+pub const STORAGE_ROOT: &str = "storageRoot";
+/// Entity of a storage server.
+pub const STORAGE_HOST: &str = "storageHost";
+/// Entity of a disk image.
+pub const IMAGE: &str = "image";
+/// Entity of the network subtree root.
+pub const NET_ROOT: &str = "netRoot";
+/// Entity of a router.
+pub const ROUTER: &str = "router";
+/// Entity of a VLAN.
+pub const VLAN: &str = "vlan";
+
+/// VM power-state attribute value: running.
+pub const STATE_RUNNING: &str = "running";
+/// VM power-state attribute value: stopped.
+pub const STATE_STOPPED: &str = "stopped";
+
+/// Builds the schema registry for TCloud's data model.
+pub fn schemas() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.register(
+        EntitySchema::new(ROOT)
+            .describe("Data-center root.")
+            .child(VM_ROOT)
+            .child(STORAGE_ROOT)
+            .child(NET_ROOT),
+    );
+    reg.register(
+        EntitySchema::new(VM_ROOT)
+            .describe("Container of compute servers.")
+            .child(VM_HOST),
+    );
+    reg.register(
+        EntitySchema::new(VM_HOST)
+            .describe("A compute server running a hypervisor.")
+            .required("hypervisor", AttrType::Str)
+            .required("memCapacity", AttrType::Int)
+            .with_default("importedImages", AttrType::List, Vec::<String>::new())
+            .child(VM),
+    );
+    reg.register(
+        EntitySchema::new(VM)
+            .describe("A virtual machine.")
+            .required("image", AttrType::Str)
+            .required("mem", AttrType::Int)
+            .required("state", AttrType::Str)
+            .required("hypervisor", AttrType::Str),
+    );
+    reg.register(
+        EntitySchema::new(STORAGE_ROOT)
+            .describe("Container of storage servers.")
+            .child(STORAGE_HOST),
+    );
+    reg.register(
+        EntitySchema::new(STORAGE_HOST)
+            .describe("A storage server exporting block devices.")
+            .required("capacityMb", AttrType::Int)
+            .required("usedMb", AttrType::Int)
+            .child(IMAGE),
+    );
+    reg.register(
+        EntitySchema::new(IMAGE)
+            .describe("A VM disk image or template.")
+            .required("sizeMb", AttrType::Int)
+            .required("template", AttrType::Bool)
+            .required("exported", AttrType::Bool),
+    );
+    reg.register(
+        EntitySchema::new(NET_ROOT)
+            .describe("Container of network devices.")
+            .child(ROUTER),
+    );
+    reg.register(
+        EntitySchema::new(ROUTER)
+            .describe("A programmable switch with VLAN support.")
+            .required("maxVlans", AttrType::Int)
+            .child(VLAN),
+    );
+    reg.register(
+        EntitySchema::new(VLAN)
+            .describe("An 802.1Q VLAN with attached ports.")
+            .required("id", AttrType::Int)
+            .required("ports", AttrType::List),
+    );
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tropic_model::{Node, Path, Tree};
+
+    #[test]
+    fn schema_registry_complete() {
+        let reg = schemas();
+        for entity in [
+            ROOT, VM_ROOT, VM_HOST, VM, STORAGE_ROOT, STORAGE_HOST, IMAGE, NET_ROOT, ROUTER, VLAN,
+        ] {
+            assert!(reg.get(entity).is_some(), "schema missing for {entity}");
+        }
+    }
+
+    #[test]
+    fn valid_topology_passes() {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT)).unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h0").unwrap(),
+            Node::new(VM_HOST)
+                .with_attr("hypervisor", "xen")
+                .with_attr("memCapacity", 32768i64),
+        )
+        .unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h0/vm0").unwrap(),
+            Node::new(VM)
+                .with_attr("image", "img")
+                .with_attr("mem", 2048i64)
+                .with_attr("state", STATE_STOPPED)
+                .with_attr("hypervisor", "xen"),
+        )
+        .unwrap();
+        schemas().validate(&t).unwrap();
+    }
+
+    #[test]
+    fn vm_under_storage_rejected() {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new(STORAGE_ROOT))
+            .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot/s0").unwrap(),
+            Node::new(STORAGE_HOST)
+                .with_attr("capacityMb", 100i64)
+                .with_attr("usedMb", 0i64),
+        )
+        .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot/s0/weird").unwrap(),
+            Node::new(VM)
+                .with_attr("image", "i")
+                .with_attr("mem", 1i64)
+                .with_attr("state", STATE_STOPPED)
+                .with_attr("hypervisor", "xen"),
+        )
+        .unwrap();
+        assert!(schemas().validate(&t).is_err());
+    }
+
+    #[test]
+    fn missing_required_attr_rejected() {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT)).unwrap();
+        t.insert(
+            &Path::parse("/vmRoot/h0").unwrap(),
+            Node::new(VM_HOST).with_attr("hypervisor", "xen"),
+        )
+        .unwrap();
+        assert!(schemas().validate(&t).is_err());
+    }
+}

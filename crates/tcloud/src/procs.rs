@@ -1,0 +1,585 @@
+//! TCloud's stored procedures (paper §5): spawn, start, stop, destroy,
+//! and migrate VMs.
+//!
+//! `spawnVM` reproduces the paper's Table 1 exactly: five actions
+//! (cloneImage, exportImage, importImage, createVM, startVM) whose undo
+//! column (removeImage, unexportImage, unimportImage, removeVM, stopVM) is
+//! derived automatically by the action definitions.
+
+use std::sync::Arc;
+
+use tropic_core::{FnProcedure, ProcError, ProcRegistry, StoredProcedure, TxnContext};
+use tropic_model::{Path, Value};
+
+use crate::model::{STATE_RUNNING, VM, VM_HOST};
+
+/// Derives the per-VM image name used by spawn/destroy/migrate.
+pub fn image_name(vm_name: &str) -> String {
+    format!("{vm_name}-img")
+}
+
+fn parse_path(ctx: &TxnContext<'_>, i: usize) -> Result<Path, ProcError> {
+    let s = ctx.arg_str(i)?;
+    Path::parse(&s).map_err(|e| ProcError::Logic(format!("argument {i}: {e}")))
+}
+
+/// `spawnVM [vmName, template, mem, storageHostPath, vmHostPath]`
+///
+/// The paper's flagship example (§2.1, Table 1): clone a template image on
+/// a storage server, export it, import it on the chosen compute server,
+/// create the VM, and start it.
+pub fn spawn_vm() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("spawnVM", |ctx: &mut TxnContext<'_>| {
+            let vm_name = ctx.arg_str(0)?;
+            let template = ctx.arg_str(1)?;
+            let mem = ctx.arg_int(2)?;
+            let storage = parse_path(ctx, 3)?;
+            let host = parse_path(ctx, 4)?;
+            let image = image_name(&vm_name);
+            ctx.act(&storage, "cloneImage", vec![Value::from(template), Value::from(image.clone())])?;
+            ctx.act(&storage, "exportImage", vec![Value::from(image.clone())])?;
+            ctx.act(&host, "importImage", vec![Value::from(image.clone())])?;
+            ctx.act(
+                &host,
+                "createVM",
+                vec![Value::from(vm_name.clone()), Value::from(image), Value::Int(mem)],
+            )?;
+            ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
+            Ok(())
+        })
+        .describe("Spawns a VM from a template (paper Table 1)."),
+    )
+}
+
+/// `spawnVMAuto [vmName, template, mem]`
+///
+/// Placement variant: picks the first compute server with enough free
+/// memory and a storage server holding the template with enough capacity,
+/// then runs the same five actions. The reads are heuristic (`peek`); the
+/// memory and capacity constraints re-validate the choice under locks.
+pub fn spawn_vm_auto() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("spawnVMAuto", |ctx: &mut TxnContext<'_>| {
+            let vm_name = ctx.arg_str(0)?;
+            let template = ctx.arg_str(1)?;
+            let mem = ctx.arg_int(2)?;
+            let image = image_name(&vm_name);
+
+            let host = ctx
+                .peek(|tree| {
+                    let vm_root = Path::parse("/vmRoot").ok()?;
+                    let root = tree.get(&vm_root)?;
+                    for (name, host) in root.children() {
+                        if host.entity() != VM_HOST {
+                            continue;
+                        }
+                        let cap = host.attr_int("memCapacity").unwrap_or(0);
+                        let used: i64 = host
+                            .children()
+                            .filter_map(|(_, vm)| vm.attr_int("mem"))
+                            .sum();
+                        if used + mem <= cap {
+                            return Some(vm_root.join(name));
+                        }
+                    }
+                    None
+                })
+                .ok_or_else(|| ProcError::Logic("no compute server has enough free memory".into()))?;
+
+            let template_for_search = template.clone();
+            let storage = ctx
+                .peek(|tree| {
+                    let storage_root = Path::parse("/storageRoot").ok()?;
+                    let root = tree.get(&storage_root)?;
+                    for (name, server) in root.children() {
+                        let has_template = server
+                            .child(&template_for_search)
+                            .map(|img| img.attr_bool("template") == Some(true))
+                            .unwrap_or(false);
+                        if !has_template {
+                            continue;
+                        }
+                        let cap = server.attr_int("capacityMb").unwrap_or(0);
+                        let used = server.attr_int("usedMb").unwrap_or(0);
+                        let tpl_size = server
+                            .child(&template_for_search)
+                            .and_then(|img| img.attr_int("sizeMb"))
+                            .unwrap_or(0);
+                        if used + tpl_size <= cap {
+                            return Some(storage_root.join(name));
+                        }
+                    }
+                    None
+                })
+                .ok_or_else(|| {
+                    ProcError::Logic("no storage server holds the template with spare capacity".into())
+                })?;
+
+            ctx.act(&storage, "cloneImage", vec![Value::from(template), Value::from(image.clone())])?;
+            ctx.act(&storage, "exportImage", vec![Value::from(image.clone())])?;
+            ctx.act(&host, "importImage", vec![Value::from(image.clone())])?;
+            ctx.act(
+                &host,
+                "createVM",
+                vec![Value::from(vm_name.clone()), Value::from(image), Value::Int(mem)],
+            )?;
+            ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
+            Ok(())
+        })
+        .describe("Spawns a VM with automatic placement."),
+    )
+}
+
+/// `startVM [vmHostPath, vmName]`.
+pub fn start_vm() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("startVM", |ctx: &mut TxnContext<'_>| {
+            let host = parse_path(ctx, 0)?;
+            let vm_name = ctx.arg_str(1)?;
+            ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
+            Ok(())
+        })
+        .describe("Starts a stopped VM."),
+    )
+}
+
+/// `stopVM [vmHostPath, vmName]`.
+pub fn stop_vm() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("stopVM", |ctx: &mut TxnContext<'_>| {
+            let host = parse_path(ctx, 0)?;
+            let vm_name = ctx.arg_str(1)?;
+            ctx.act(&host, "stopVM", vec![Value::from(vm_name)])?;
+            Ok(())
+        })
+        .describe("Stops a running VM."),
+    )
+}
+
+/// `destroyVM [vmHostPath, vmName, storageHostPath]`
+///
+/// Tears down everything `spawnVM` built, in reverse: stop (if running),
+/// remove the VM, detach the image, withdraw the export, delete the image.
+pub fn destroy_vm() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("destroyVM", |ctx: &mut TxnContext<'_>| {
+            let host = parse_path(ctx, 0)?;
+            let vm_name = ctx.arg_str(1)?;
+            let storage = parse_path(ctx, 2)?;
+            let vm_path = host.join(&vm_name);
+            let (state, image) = ctx.query(&vm_path, |tree| {
+                let vm = tree.get(&vm_path)?;
+                Some((
+                    vm.attr_str("state").unwrap_or("").to_owned(),
+                    vm.attr_str("image").unwrap_or("").to_owned(),
+                ))
+            })?
+            .ok_or_else(|| ProcError::Logic(format!("no VM at {vm_path}")))?;
+            if state == STATE_RUNNING {
+                ctx.act(&host, "stopVM", vec![Value::from(vm_name.clone())])?;
+            }
+            ctx.act(&host, "removeVM", vec![Value::from(vm_name)])?;
+            ctx.act(&host, "unimportImage", vec![Value::from(image.clone())])?;
+            ctx.act(&storage, "unexportImage", vec![Value::from(image.clone())])?;
+            ctx.act(&storage, "removeImage", vec![Value::from(image)])?;
+            Ok(())
+        })
+        .describe("Destroys a VM and reclaims its image."),
+    )
+}
+
+/// `migrateVM [srcHostPath, dstHostPath, vmName]`
+///
+/// Cold migration decomposed into primitive actions: stop at the source
+/// (if running), remove the source configuration, detach the image, attach
+/// it at the destination, recreate the VM — preserving the hypervisor the
+/// VM was built for, so the VM-type constraint (paper §6.2) rejects
+/// cross-hypervisor migrations at the destination — and restart it.
+pub fn migrate_vm() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("migrateVM", |ctx: &mut TxnContext<'_>| {
+            let src = parse_path(ctx, 0)?;
+            let dst = parse_path(ctx, 1)?;
+            let vm_name = ctx.arg_str(2)?;
+            if src == dst {
+                return Err(ProcError::Logic("source and destination are the same host".into()));
+            }
+            let vm_path = src.join(&vm_name);
+            let (state, image, mem, hv) = ctx.query(&vm_path, |tree| {
+                let vm = tree.get(&vm_path)?;
+                if vm.entity() != VM {
+                    return None;
+                }
+                Some((
+                    vm.attr_str("state").unwrap_or("").to_owned(),
+                    vm.attr_str("image").unwrap_or("").to_owned(),
+                    vm.attr_int("mem").unwrap_or(0),
+                    vm.attr_str("hypervisor").unwrap_or("").to_owned(),
+                ))
+            })?
+            .ok_or_else(|| ProcError::Logic(format!("no VM at {vm_path}")))?;
+
+            let was_running = state == STATE_RUNNING;
+            if was_running {
+                ctx.act(&src, "stopVM", vec![Value::from(vm_name.clone())])?;
+            }
+            ctx.act(&src, "removeVM", vec![Value::from(vm_name.clone())])?;
+            ctx.act(&src, "unimportImage", vec![Value::from(image.clone())])?;
+            ctx.act(&dst, "importImage", vec![Value::from(image.clone())])?;
+            ctx.act(
+                &dst,
+                "createVM",
+                vec![
+                    Value::from(vm_name.clone()),
+                    Value::from(image),
+                    Value::Int(mem),
+                    Value::from(hv),
+                ],
+            )?;
+            if was_running {
+                ctx.act(&dst, "startVM", vec![Value::from(vm_name)])?;
+            }
+            Ok(())
+        })
+        .describe("Migrates a VM between compute servers."),
+    )
+}
+
+/// `spawnVMNet [vmName, template, mem, storageHostPath, vmHostPath, routerPath, vlanId]`
+///
+/// The extended spawn of the paper's §2.1 narrative: the five Table-1
+/// actions plus VLAN setup on the programmable switch layer for inter-VM
+/// communication.
+pub fn spawn_vm_net() -> Arc<dyn StoredProcedure> {
+    Arc::new(
+        FnProcedure::new("spawnVMNet", |ctx: &mut TxnContext<'_>| {
+            let vm_name = ctx.arg_str(0)?;
+            let template = ctx.arg_str(1)?;
+            let mem = ctx.arg_int(2)?;
+            let storage = parse_path(ctx, 3)?;
+            let host = parse_path(ctx, 4)?;
+            let router = parse_path(ctx, 5)?;
+            let vlan_id = ctx.arg_int(6)?;
+            let image = image_name(&vm_name);
+            let port = format!("{vm_name}-eth0");
+
+            ctx.act(&storage, "cloneImage", vec![Value::from(template), Value::from(image.clone())])?;
+            ctx.act(&storage, "exportImage", vec![Value::from(image.clone())])?;
+            ctx.act(&host, "importImage", vec![Value::from(image.clone())])?;
+            ctx.act(
+                &host,
+                "createVM",
+                vec![Value::from(vm_name.clone()), Value::from(image), Value::Int(mem)],
+            )?;
+            // Create the VLAN if this VM is its first member.
+            let vlan_exists = ctx.peek(|tree| tree.exists(&router.join(&format!("vlan{vlan_id}"))));
+            if !vlan_exists {
+                ctx.act(&router, "createVlan", vec![Value::Int(vlan_id)])?;
+            }
+            ctx.act(&router, "attachPort", vec![Value::Int(vlan_id), Value::from(port)])?;
+            ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
+            Ok(())
+        })
+        .describe("Spawns a VM and plumbs its VLAN port."),
+    )
+}
+
+/// Registers every TCloud stored procedure.
+pub fn all() -> ProcRegistry {
+    let mut reg = ProcRegistry::new();
+    reg.register(spawn_vm());
+    reg.register(spawn_vm_auto());
+    reg.register(start_vm());
+    reg.register(stop_vm());
+    reg.register(destroy_vm());
+    reg.register(migrate_vm());
+    reg.register(spawn_vm_net());
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{actions, constraints};
+    use tropic_core::{simulate, LockManager, LogicalOutcome, TxnRecord};
+    use tropic_model::Tree;
+
+    fn topology() -> Tree {
+        crate::topology::TopologySpec {
+            compute_hosts: 2,
+            storage_hosts: 1,
+            routers: 1,
+            ..Default::default()
+        }
+        .build_tree()
+    }
+
+    fn run(
+        tree: &mut Tree,
+        locks: &mut LockManager,
+        id: u64,
+        proc_: &Arc<dyn StoredProcedure>,
+        args: Vec<Value>,
+    ) -> (LogicalOutcome, TxnRecord) {
+        let mut rec = TxnRecord::new(id, proc_.name(), args, 0);
+        let action_reg = actions::all();
+        let cons = constraints::all();
+        let outcome = simulate(&mut rec, proc_.as_ref(), tree, &action_reg, &cons, locks);
+        (outcome, rec)
+    }
+
+    fn spawn_args(vm: &str) -> Vec<Value> {
+        vec![
+            Value::from(vm),
+            Value::from("template-linux"),
+            Value::Int(2048),
+            Value::from("/storageRoot/storage0"),
+            Value::from("/vmRoot/host0"),
+        ]
+    }
+
+    #[test]
+    fn spawn_vm_produces_table1_log() {
+        let mut tree = topology();
+        let mut locks = LockManager::new();
+        let (outcome, rec) = run(&mut tree, &mut locks, 1, &spawn_vm(), spawn_args("vm1"));
+        assert_eq!(outcome, LogicalOutcome::Runnable);
+        let actions: Vec<&str> = rec.log.iter().map(|r| r.action.as_str()).collect();
+        assert_eq!(
+            actions,
+            vec!["cloneImage", "exportImage", "importImage", "createVM", "startVM"]
+        );
+        let undos: Vec<&str> = rec
+            .log
+            .iter()
+            .map(|r| r.undo_action.as_deref().unwrap())
+            .collect();
+        assert_eq!(
+            undos,
+            vec!["removeImage", "unexportImage", "unimportImage", "removeVM", "stopVM"]
+        );
+        // Logical effects applied: the VM runs.
+        assert_eq!(
+            tree.attr_str(&Path::parse("/vmRoot/host0/vm1").unwrap(), "state").unwrap(),
+            STATE_RUNNING
+        );
+    }
+
+    #[test]
+    fn spawn_beyond_memory_capacity_aborts() {
+        let mut tree = topology();
+        let mut locks = LockManager::new();
+        // Host capacity is 32768 MB; 16 × 2048 fills it; the 17th violates.
+        for i in 0..16 {
+            let (outcome, rec) =
+                run(&mut tree, &mut locks, i + 1, &spawn_vm(), spawn_args(&format!("vm{i}")));
+            assert_eq!(outcome, LogicalOutcome::Runnable, "spawn {i}");
+            // Release locks as if committed.
+            let _ = rec;
+            locks.release_all(i + 1);
+        }
+        let (outcome, _) = run(&mut tree, &mut locks, 99, &spawn_vm(), spawn_args("vm-over"));
+        match outcome {
+            LogicalOutcome::Aborted { reason } => {
+                assert!(reason.contains("vm-memory"), "{reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Rolled back: no image leftovers.
+        assert!(!tree.exists(&Path::parse("/storageRoot/storage0/vm-over-img").unwrap()));
+    }
+
+    #[test]
+    fn concurrent_spawns_on_same_host_defer() {
+        let mut tree = topology();
+        let mut locks = LockManager::new();
+        let (o1, _) = run(&mut tree, &mut locks, 1, &spawn_vm(), spawn_args("vm1"));
+        assert_eq!(o1, LogicalOutcome::Runnable);
+        // Second spawn on the same host conflicts (constraint R lock on the
+        // host held by txn 1 vs IW needed by txn 2).
+        let (o2, _) = run(&mut tree, &mut locks, 2, &spawn_vm(), spawn_args("vm2"));
+        assert!(matches!(o2, LogicalOutcome::Deferred { .. }), "{o2:?}");
+        // A spawn on the other host proceeds (storage conflicts aside, use a
+        // different image name and host1).
+        let args = vec![
+            Value::from("vm3"),
+            Value::from("template-linux"),
+            Value::Int(2048),
+            Value::from("/storageRoot/storage0"),
+            Value::from("/vmRoot/host1"),
+        ];
+        let (o3, _) = run(&mut tree, &mut locks, 3, &spawn_vm(), args);
+        // Storage host is shared, and txn 1 holds a constraint R lock on it,
+        // so this also defers — the paper's race-condition protection.
+        assert!(matches!(o3, LogicalOutcome::Deferred { .. }), "{o3:?}");
+        // After txn 1 finishes, both succeed.
+        locks.release_all(1);
+        let (o4, _) = run(&mut tree, &mut locks, 4, &spawn_vm(), spawn_args("vm2"));
+        assert_eq!(o4, LogicalOutcome::Runnable);
+    }
+
+    #[test]
+    fn destroy_reverses_spawn() {
+        let mut tree = topology();
+        let mut locks = LockManager::new();
+        let (o, _) = run(&mut tree, &mut locks, 1, &spawn_vm(), spawn_args("vm1"));
+        assert_eq!(o, LogicalOutcome::Runnable);
+        locks.release_all(1);
+        let before = tree.clone();
+        let args = vec![
+            Value::from("/vmRoot/host0"),
+            Value::from("vm1"),
+            Value::from("/storageRoot/storage0"),
+        ];
+        let (o, rec) = run(&mut tree, &mut locks, 2, &destroy_vm(), args);
+        assert_eq!(o, LogicalOutcome::Runnable);
+        assert_eq!(rec.log.len(), 5);
+        assert!(!tree.exists(&Path::parse("/vmRoot/host0/vm1").unwrap()));
+        assert!(!tree.exists(&Path::parse("/storageRoot/storage0/vm1-img").unwrap()));
+        assert_ne!(before, tree);
+    }
+
+    #[test]
+    fn migrate_moves_vm_and_respects_hypervisor() {
+        let mut tree = topology();
+        let mut locks = LockManager::new();
+        run(&mut tree, &mut locks, 1, &spawn_vm(), spawn_args("vm1"));
+        locks.release_all(1);
+        let args = vec![
+            Value::from("/vmRoot/host0"),
+            Value::from("/vmRoot/host1"),
+            Value::from("vm1"),
+        ];
+        let (o, rec) = run(&mut tree, &mut locks, 2, &migrate_vm(), args);
+        assert_eq!(o, LogicalOutcome::Runnable);
+        locks.release_all(2);
+        assert!(!tree.exists(&Path::parse("/vmRoot/host0/vm1").unwrap()));
+        let dst_vm = Path::parse("/vmRoot/host1/vm1").unwrap();
+        assert_eq!(tree.attr_str(&dst_vm, "state").unwrap(), STATE_RUNNING);
+        // The log decomposes into primitive actions.
+        assert!(rec.log.iter().any(|r| r.action == "importImage"));
+        assert!(rec.log.iter().any(|r| r.action == "createVM"));
+    }
+
+    #[test]
+    fn migrate_to_incompatible_hypervisor_aborts() {
+        let mut tree = crate::topology::TopologySpec {
+            compute_hosts: 2,
+            storage_hosts: 1,
+            routers: 0,
+            ..Default::default()
+        }
+        .build_tree();
+        // Make host1 a KVM box.
+        tree.set_attr(&Path::parse("/vmRoot/host1").unwrap(), "hypervisor", "kvm")
+            .unwrap();
+        let mut locks = LockManager::new();
+        run(&mut tree, &mut locks, 1, &spawn_vm(), spawn_args("vm1"));
+        locks.release_all(1);
+        let before_vm = tree
+            .get(&Path::parse("/vmRoot/host0/vm1").unwrap())
+            .cloned()
+            .unwrap();
+        let args = vec![
+            Value::from("/vmRoot/host0"),
+            Value::from("/vmRoot/host1"),
+            Value::from("vm1"),
+        ];
+        let (o, _) = run(&mut tree, &mut locks, 2, &migrate_vm(), args);
+        match o {
+            LogicalOutcome::Aborted { reason } => assert!(reason.contains("vm-type"), "{reason}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fully rolled back: the VM is still on host0, untouched.
+        assert_eq!(
+            tree.get(&Path::parse("/vmRoot/host0/vm1").unwrap()).unwrap(),
+            &before_vm
+        );
+        assert!(!tree.exists(&Path::parse("/vmRoot/host1/vm1").unwrap()));
+    }
+
+    #[test]
+    fn auto_placement_finds_room() {
+        let mut tree = crate::topology::TopologySpec {
+            compute_hosts: 2,
+            storage_hosts: 1,
+            routers: 0,
+            host_mem_mb: 4096,
+            ..Default::default()
+        }
+        .build_tree();
+        let mut locks = LockManager::new();
+        // First two land on host0 (2048 each fills it), third goes to host1.
+        for (i, vm) in ["a", "b", "c"].iter().enumerate() {
+            let args = vec![Value::from(*vm), Value::from("template-linux"), Value::Int(2048)];
+            let (o, _) = run(&mut tree, &mut locks, i as u64 + 1, &spawn_vm_auto(), args);
+            assert_eq!(o, LogicalOutcome::Runnable, "vm {vm}");
+            locks.release_all(i as u64 + 1);
+        }
+        assert!(tree.exists(&Path::parse("/vmRoot/host0/a").unwrap()));
+        assert!(tree.exists(&Path::parse("/vmRoot/host0/b").unwrap()));
+        assert!(tree.exists(&Path::parse("/vmRoot/host1/c").unwrap()));
+        // A fourth VM fills host1...
+        let args = vec![Value::from("d"), Value::from("template-linux"), Value::Int(2048)];
+        let (o, _) = run(&mut tree, &mut locks, 4, &spawn_vm_auto(), args);
+        assert_eq!(o, LogicalOutcome::Runnable);
+        locks.release_all(4);
+        assert!(tree.exists(&Path::parse("/vmRoot/host1/d").unwrap()));
+        // ...after which the cluster is full and placement aborts.
+        let args = vec![Value::from("e"), Value::from("template-linux"), Value::Int(2048)];
+        let (o, _) = run(&mut tree, &mut locks, 9, &spawn_vm_auto(), args);
+        assert!(matches!(o, LogicalOutcome::Aborted { .. }));
+    }
+
+    #[test]
+    fn spawn_with_network_attaches_port() {
+        let mut tree = topology();
+        let mut locks = LockManager::new();
+        let args = vec![
+            Value::from("vm1"),
+            Value::from("template-linux"),
+            Value::Int(2048),
+            Value::from("/storageRoot/storage0"),
+            Value::from("/vmRoot/host0"),
+            Value::from("/netRoot/router0"),
+            Value::Int(100),
+        ];
+        let (o, rec) = run(&mut tree, &mut locks, 1, &spawn_vm_net(), args);
+        assert_eq!(o, LogicalOutcome::Runnable);
+        assert_eq!(rec.log.len(), 7);
+        let vlan = Path::parse("/netRoot/router0/vlan100").unwrap();
+        assert!(tree.exists(&vlan));
+        locks.release_all(1);
+        // A second VM joining the same VLAN skips createVlan.
+        let args = vec![
+            Value::from("vm2"),
+            Value::from("template-linux"),
+            Value::Int(2048),
+            Value::from("/storageRoot/storage0"),
+            Value::from("/vmRoot/host0"),
+            Value::from("/netRoot/router0"),
+            Value::Int(100),
+        ];
+        let (o, rec) = run(&mut tree, &mut locks, 2, &spawn_vm_net(), args);
+        assert_eq!(o, LogicalOutcome::Runnable);
+        assert_eq!(rec.log.len(), 6);
+    }
+
+    #[test]
+    fn registry_complete() {
+        let reg = all();
+        assert_eq!(reg.len(), 7);
+        for name in [
+            "spawnVM",
+            "spawnVMAuto",
+            "startVM",
+            "stopVM",
+            "destroyVM",
+            "migrateVM",
+            "spawnVMNet",
+        ] {
+            assert!(reg.get(name).is_some(), "missing {name}");
+        }
+    }
+}

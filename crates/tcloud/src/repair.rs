@@ -1,0 +1,420 @@
+//! TCloud's repair rules (paper §4).
+//!
+//! Each rule translates one logical-vs-physical difference into corrective
+//! device calls that drive the physical layer back toward the logical
+//! layer's view. The paper's motivating case — a compute server reboots and
+//! its VMs show "stopped" physically while "running" logically — maps to
+//! the VM power rule, which emits `startVM` calls.
+
+use tropic_core::RepairRules;
+use tropic_devices::ActionCall;
+use tropic_model::{DiffEntry, Tree, Value};
+
+use crate::model::{IMAGE, STATE_RUNNING, STATE_STOPPED, VLAN, VM};
+
+fn str_of(v: &Option<Value>) -> Option<&str> {
+    v.as_ref().and_then(Value::as_str)
+}
+
+fn list_of(v: &Option<Value>) -> Vec<String> {
+    v.as_ref()
+        .and_then(Value::as_list)
+        .map(|l| l.iter().filter_map(Value::as_str).map(str::to_owned).collect())
+        .unwrap_or_default()
+}
+
+/// VM power drift: logical `running` vs physical `stopped` → `startVM`
+/// (the §4 reboot scenario), and the reverse → `stopVM`.
+fn vm_power_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
+    let DiffEntry::AttrChanged { path, attr, left, right } = diff else {
+        return Vec::new();
+    };
+    if attr != "state" || logical.get(path).map(|n| n.entity()) != Some(VM) {
+        return Vec::new();
+    }
+    let Some(host) = path.parent() else {
+        return Vec::new();
+    };
+    let vm = path.leaf().expect("vm has a name").to_owned();
+    match (str_of(left), str_of(right)) {
+        (Some(STATE_RUNNING), Some(STATE_STOPPED)) => {
+            vec![ActionCall::new(host, "startVM", vec![Value::from(vm)])]
+        }
+        (Some(STATE_STOPPED), Some(STATE_RUNNING)) => {
+            vec![ActionCall::new(host, "stopVM", vec![Value::from(vm)])]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// A VM missing physically (e.g. wiped by an operator) → recreate it from
+/// the logical attributes, restarting it if the logical state is running.
+fn vm_missing_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
+    let DiffEntry::NodeRemoved { path, entity } = diff else {
+        return Vec::new();
+    };
+    if entity != VM {
+        return Vec::new();
+    }
+    let Some(node) = logical.get(path) else {
+        return Vec::new();
+    };
+    let Some(host) = path.parent() else {
+        return Vec::new();
+    };
+    let vm = path.leaf().expect("named").to_owned();
+    let mut calls = vec![ActionCall::new(
+        host.clone(),
+        "createVM",
+        vec![
+            Value::from(vm.clone()),
+            Value::from(node.attr_str("image").unwrap_or("")),
+            Value::Int(node.attr_int("mem").unwrap_or(0)),
+        ],
+    )];
+    if node.attr_str("state") == Some(STATE_RUNNING) {
+        calls.push(ActionCall::new(host, "startVM", vec![Value::from(vm)]));
+    }
+    calls
+}
+
+/// A VM present physically but unknown logically (rogue out-of-band
+/// creation) → stop and remove it; the logical layer is authoritative.
+fn vm_rogue_rule(diff: &DiffEntry, _logical: &Tree) -> Vec<ActionCall> {
+    let DiffEntry::NodeAdded { path, entity } = diff else {
+        return Vec::new();
+    };
+    if entity != VM {
+        return Vec::new();
+    }
+    let Some(host) = path.parent() else {
+        return Vec::new();
+    };
+    let vm = path.leaf().expect("named").to_owned();
+    vec![
+        // The stop may fail when the rogue VM is already stopped; repair
+        // convergence is judged by the re-diff, not by individual calls.
+        ActionCall::new(host.clone(), "stopVM", vec![Value::from(vm.clone())]),
+        ActionCall::new(host, "removeVM", vec![Value::from(vm)]),
+    ]
+}
+
+/// Image export drift → export/unexport; missing image → restore from
+/// logical metadata; rogue image → remove.
+fn image_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
+    match diff {
+        DiffEntry::AttrChanged { path, attr, left, .. } if attr == "exported" => {
+            if logical.get(path).map(|n| n.entity()) != Some(IMAGE) {
+                return Vec::new();
+            }
+            let Some(storage) = path.parent() else {
+                return Vec::new();
+            };
+            let image = path.leaf().expect("named").to_owned();
+            let action = if left.as_ref().and_then(Value::as_bool) == Some(true) {
+                "exportImage"
+            } else {
+                "unexportImage"
+            };
+            vec![ActionCall::new(storage, action, vec![Value::from(image)])]
+        }
+        DiffEntry::NodeRemoved { path, entity } if entity == IMAGE => {
+            let Some(node) = logical.get(path) else {
+                return Vec::new();
+            };
+            let Some(storage) = path.parent() else {
+                return Vec::new();
+            };
+            vec![ActionCall::new(
+                storage,
+                "restoreImage",
+                vec![
+                    Value::from(path.leaf().expect("named")),
+                    Value::Int(node.attr_int("sizeMb").unwrap_or(0)),
+                    Value::Bool(node.attr_bool("template").unwrap_or(false)),
+                    Value::Bool(node.attr_bool("exported").unwrap_or(false)),
+                ],
+            )]
+        }
+        DiffEntry::NodeAdded { path, entity } if entity == IMAGE => {
+            let Some(storage) = path.parent() else {
+                return Vec::new();
+            };
+            let image = path.leaf().expect("named").to_owned();
+            vec![
+                ActionCall::new(storage.clone(), "unexportImage", vec![Value::from(image.clone())]),
+                ActionCall::new(storage, "removeImage", vec![Value::from(image)]),
+            ]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Imported-image set drift on a compute server → import/unimport the set
+/// difference.
+fn imported_images_rule(diff: &DiffEntry, _logical: &Tree) -> Vec<ActionCall> {
+    let DiffEntry::AttrChanged { path, attr, left, right } = diff else {
+        return Vec::new();
+    };
+    if attr != "importedImages" {
+        return Vec::new();
+    }
+    let want = list_of(left);
+    let have = list_of(right);
+    let mut calls = Vec::new();
+    for image in want.iter().filter(|i| !have.contains(i)) {
+        calls.push(ActionCall::new(
+            path.clone(),
+            "importImage",
+            vec![Value::from(image.as_str())],
+        ));
+    }
+    for image in have.iter().filter(|i| !want.contains(i)) {
+        calls.push(ActionCall::new(
+            path.clone(),
+            "unimportImage",
+            vec![Value::from(image.as_str())],
+        ));
+    }
+    calls
+}
+
+/// VLAN drift: missing VLAN → recreate (with its ports); rogue VLAN →
+/// remove; port-set drift → attach/detach the difference.
+fn vlan_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
+    match diff {
+        DiffEntry::NodeRemoved { path, entity } if entity == VLAN => {
+            let Some(node) = logical.get(path) else {
+                return Vec::new();
+            };
+            let Some(router) = path.parent() else {
+                return Vec::new();
+            };
+            let id = node.attr_int("id").unwrap_or(0);
+            let mut calls = vec![ActionCall::new(router.clone(), "createVlan", vec![Value::Int(id)])];
+            for port in list_of(&node.attr("ports").cloned()) {
+                calls.push(ActionCall::new(
+                    router.clone(),
+                    "attachPort",
+                    vec![Value::Int(id), Value::from(port)],
+                ));
+            }
+            calls
+        }
+        DiffEntry::NodeAdded { path, entity } if entity == VLAN => {
+            let Some(router) = path.parent() else {
+                return Vec::new();
+            };
+            let id: i64 = path
+                .leaf()
+                .and_then(|n| n.strip_prefix("vlan"))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            vec![ActionCall::new(router, "removeVlan", vec![Value::Int(id)])]
+        }
+        DiffEntry::AttrChanged { path, attr, left, right } if attr == "ports" => {
+            if logical.get(path).map(|n| n.entity()) != Some(VLAN) {
+                return Vec::new();
+            }
+            let Some(router) = path.parent() else {
+                return Vec::new();
+            };
+            let id = logical.attr(path, "id").and_then(Value::as_int).unwrap_or(0);
+            let want = list_of(left);
+            let have = list_of(right);
+            let mut calls = Vec::new();
+            for port in want.iter().filter(|p| !have.contains(p)) {
+                calls.push(ActionCall::new(
+                    router.clone(),
+                    "attachPort",
+                    vec![Value::Int(id), Value::from(port.as_str())],
+                ));
+            }
+            for port in have.iter().filter(|p| !want.contains(p)) {
+                calls.push(ActionCall::new(
+                    router.clone(),
+                    "detachPort",
+                    vec![Value::Int(id), Value::from(port.as_str())],
+                ));
+            }
+            calls
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The full TCloud repair rule set.
+pub fn rules() -> RepairRules {
+    let mut rules = RepairRules::new();
+    rules.register(vm_power_rule);
+    rules.register(vm_missing_rule);
+    rules.register(vm_rogue_rule);
+    rules.register(image_rule);
+    rules.register(imported_images_rule);
+    rules.register(vlan_rule);
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologySpec;
+    use tropic_devices::LatencyModel;
+    use tropic_model::Path;
+
+    /// Builds matching layers, applies `mutate` to the devices, and returns
+    /// the planned repair calls.
+    fn plan_after(
+        mutate: impl FnOnce(&crate::topology::TCloudDevices),
+    ) -> (Vec<ActionCall>, Vec<DiffEntry>) {
+        let spec = TopologySpec {
+            compute_hosts: 1,
+            storage_hosts: 1,
+            routers: 1,
+            ..Default::default()
+        };
+        let devices = spec.build_devices(&LatencyModel::zero());
+        // Bring both layers to a common state with one VM running.
+        let h0 = TopologySpec::host_path(0);
+        let s0 = TopologySpec::storage_path(0);
+        for (object, action, args) in [
+            (&s0, "cloneImage", vec![Value::from("template-linux"), Value::from("vm1-img")]),
+            (&s0, "exportImage", vec![Value::from("vm1-img")]),
+            (&h0, "importImage", vec![Value::from("vm1-img")]),
+            (
+                &h0,
+                "createVM",
+                vec![Value::from("vm1"), Value::from("vm1-img"), Value::Int(2048)],
+            ),
+            (&h0, "startVM", vec![Value::from("vm1")]),
+        ] {
+            devices
+                .registry
+                .invoke(&ActionCall::new(object.clone(), action, args))
+                .unwrap();
+        }
+        let logical = devices.registry.physical_tree();
+        mutate(&devices);
+        let physical = devices.registry.physical_tree();
+        let diffs = logical.diff(&physical, &Path::root());
+        let plan = rules().plan(&diffs, &logical);
+        (plan.actions, plan.unmatched)
+    }
+
+    #[test]
+    fn reboot_scenario_starts_vms() {
+        // The paper's §4 example: host reboot powers VMs off.
+        let (actions, unmatched) = plan_after(|d| {
+            d.computes[0].oob_power_cycle();
+        });
+        assert!(unmatched.is_empty());
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].action, "startVM");
+        assert_eq!(actions[0].args[0].as_str(), Some("vm1"));
+    }
+
+    #[test]
+    fn deleted_vm_is_recreated_and_started() {
+        let (actions, _) = plan_after(|d| {
+            d.computes[0].oob_remove_vm("vm1");
+        });
+        let names: Vec<&str> = actions.iter().map(|c| c.action.as_str()).collect();
+        assert_eq!(names, vec!["createVM", "startVM"]);
+    }
+
+    #[test]
+    fn rogue_vm_is_removed() {
+        let (actions, _) = plan_after(|d| {
+            d.computes[0].oob_create_vm("rogue", "vm1-img", 512, true);
+        });
+        let names: Vec<&str> = actions.iter().map(|c| c.action.as_str()).collect();
+        assert_eq!(names, vec!["stopVM", "removeVM"]);
+        assert_eq!(actions[0].args[0].as_str(), Some("rogue"));
+    }
+
+    #[test]
+    fn lost_image_is_restored() {
+        let (actions, _) = plan_after(|d| {
+            // Losing an image also loses its export flag.
+            d.storages[0].oob_lose_image("vm1-img");
+        });
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].action, "restoreImage");
+        // Restored as exported=true, matching the logical layer.
+        assert_eq!(actions[0].args[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn cleared_vlans_are_rebuilt() {
+        let spec = TopologySpec {
+            compute_hosts: 1,
+            storage_hosts: 1,
+            routers: 1,
+            ..Default::default()
+        };
+        let devices = spec.build_devices(&LatencyModel::zero());
+        let r0 = TopologySpec::router_path(0);
+        devices
+            .registry
+            .invoke(&ActionCall::new(r0.clone(), "createVlan", vec![Value::Int(7)]))
+            .unwrap();
+        devices
+            .registry
+            .invoke(&ActionCall::new(
+                r0.clone(),
+                "attachPort",
+                vec![Value::Int(7), Value::from("p1")],
+            ))
+            .unwrap();
+        let logical = devices.registry.physical_tree();
+        devices.routers[0].oob_clear_vlans();
+        let physical = devices.registry.physical_tree();
+        let plan = rules().plan(&logical.diff(&physical, &Path::root()), &logical);
+        let names: Vec<&str> = plan.actions.iter().map(|c| c.action.as_str()).collect();
+        assert_eq!(names, vec!["createVlan", "attachPort"]);
+    }
+
+    #[test]
+    fn executing_plan_converges_layers() {
+        let spec = TopologySpec {
+            compute_hosts: 1,
+            storage_hosts: 1,
+            routers: 1,
+            ..Default::default()
+        };
+        let devices = spec.build_devices(&LatencyModel::zero());
+        let h0 = TopologySpec::host_path(0);
+        let s0 = TopologySpec::storage_path(0);
+        for (object, action, args) in [
+            (&s0, "cloneImage", vec![Value::from("template-linux"), Value::from("vm1-img")]),
+            (&s0, "exportImage", vec![Value::from("vm1-img")]),
+            (&h0, "importImage", vec![Value::from("vm1-img")]),
+            (
+                &h0,
+                "createVM",
+                vec![Value::from("vm1"), Value::from("vm1-img"), Value::Int(2048)],
+            ),
+            (&h0, "startVM", vec![Value::from("vm1")]),
+        ] {
+            devices
+                .registry
+                .invoke(&ActionCall::new(object.clone(), action, args))
+                .unwrap();
+        }
+        let logical = devices.registry.physical_tree();
+        devices.computes[0].oob_power_cycle();
+        devices.computes[0].oob_create_vm("rogue", "vm1-img", 256, false);
+        let physical = devices.registry.physical_tree();
+        let plan = rules().plan(&logical.diff(&physical, &Path::root()), &logical);
+        for call in &plan.actions {
+            // Some calls may legitimately fail (stopVM on a stopped rogue);
+            // convergence is judged by the re-diff below.
+            let _ = devices.registry.invoke(call);
+        }
+        let after = devices.registry.physical_tree();
+        assert!(
+            logical.diff(&after, &Path::root()).is_empty(),
+            "repair must converge the layers"
+        );
+    }
+}

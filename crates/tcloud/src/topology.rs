@@ -1,0 +1,308 @@
+//! Topology construction: the provisioned data center.
+//!
+//! Builds matching *logical* trees and *simulated device* registries for a
+//! TCloud deployment. The paper's performance experiments (§6.1) use
+//! 12,500 compute servers × 8 VMs (100,000 VMs) with 3,125 storage servers
+//! (4 compute servers share a storage server); [`TopologySpec::paper_scale`]
+//! reproduces that shape.
+
+use std::sync::Arc;
+
+use tropic_core::ServiceDefinition;
+use tropic_devices::{ComputeServer, DeviceRegistry, LatencyModel, Router, StorageServer};
+use tropic_model::{Node, Path, Tree, Value};
+
+use crate::model::{
+    schemas, IMAGE, NET_ROOT, ROUTER, STORAGE_HOST, STORAGE_ROOT, VM_HOST, VM_ROOT,
+};
+use crate::{actions, constraints, repair};
+
+/// Parameters of a TCloud deployment.
+#[derive(Clone, Debug)]
+pub struct TopologySpec {
+    /// Number of compute servers.
+    pub compute_hosts: usize,
+    /// Number of storage servers.
+    pub storage_hosts: usize,
+    /// Number of routers.
+    pub routers: usize,
+    /// Physical memory per compute server (MB).
+    pub host_mem_mb: i64,
+    /// Hypervisor type stamped on every compute server.
+    pub hypervisor: String,
+    /// Capacity per storage server (MB).
+    pub storage_capacity_mb: i64,
+    /// Name of the template image installed on every storage server.
+    pub template_name: String,
+    /// Size of the template image (MB).
+    pub template_size_mb: i64,
+    /// VLAN-table size per router.
+    pub max_vlans: i64,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec {
+            compute_hosts: 4,
+            storage_hosts: 1,
+            routers: 1,
+            host_mem_mb: 32_768,
+            hypervisor: "xen".into(),
+            storage_capacity_mb: 300_000,
+            template_name: "template-linux".into(),
+            template_size_mb: 8_192,
+            max_vlans: 4_094,
+        }
+    }
+}
+
+impl TopologySpec {
+    /// The paper's §6.1 scale: 12,500 compute servers (8 × 2 GB VMs each =
+    /// 100,000 VMs), 3,125 storage servers (1 per 4 compute servers).
+    pub fn paper_scale() -> Self {
+        TopologySpec {
+            compute_hosts: 12_500,
+            storage_hosts: 3_125,
+            routers: 8,
+            host_mem_mb: 16_384,
+            ..Default::default()
+        }
+    }
+
+    /// Path of compute server `i`.
+    pub fn host_path(i: usize) -> Path {
+        Path::parse(&format!("/vmRoot/host{i}")).expect("static shape")
+    }
+
+    /// Path of storage server `i`.
+    pub fn storage_path(i: usize) -> Path {
+        Path::parse(&format!("/storageRoot/storage{i}")).expect("static shape")
+    }
+
+    /// Path of router `i`.
+    pub fn router_path(i: usize) -> Path {
+        Path::parse(&format!("/netRoot/router{i}")).expect("static shape")
+    }
+
+    /// The storage server paired with compute server `host` (4:1 as in the
+    /// paper's §6.1 setup).
+    pub fn storage_for_host(&self, host: usize) -> usize {
+        if self.storage_hosts == 0 {
+            0
+        } else {
+            (host / 4).min(self.storage_hosts - 1)
+        }
+    }
+
+    /// The scaffolding above device mounts: root, `vmRoot`, `storageRoot`,
+    /// `netRoot`.
+    pub fn frame(&self) -> Tree {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT))
+            .expect("fresh tree");
+        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new(STORAGE_ROOT))
+            .expect("fresh tree");
+        t.insert(&Path::parse("/netRoot").unwrap(), Node::new(NET_ROOT))
+            .expect("fresh tree");
+        t
+    }
+
+    /// Builds the initial logical tree: every host, storage server (with its
+    /// template image), and router, with no VMs yet.
+    pub fn build_tree(&self) -> Tree {
+        let mut t = self.frame();
+        for i in 0..self.compute_hosts {
+            t.insert(
+                &Self::host_path(i),
+                Node::new(VM_HOST)
+                    .with_attr("hypervisor", self.hypervisor.as_str())
+                    .with_attr("memCapacity", self.host_mem_mb)
+                    .with_attr("importedImages", Vec::<String>::new()),
+            )
+            .expect("unique host names");
+        }
+        for i in 0..self.storage_hosts {
+            t.insert(
+                &Self::storage_path(i),
+                Node::new(STORAGE_HOST)
+                    .with_attr("capacityMb", self.storage_capacity_mb)
+                    .with_attr("usedMb", self.template_size_mb),
+            )
+            .expect("unique storage names");
+            t.insert(
+                &Self::storage_path(i).join(&self.template_name),
+                Node::new(IMAGE)
+                    .with_attr("sizeMb", self.template_size_mb)
+                    .with_attr("template", true)
+                    .with_attr("exported", false),
+            )
+            .expect("template under fresh storage");
+        }
+        for i in 0..self.routers {
+            t.insert(
+                &Self::router_path(i),
+                Node::new(ROUTER).with_attr("maxVlans", self.max_vlans),
+            )
+            .expect("unique router names");
+        }
+        t
+    }
+
+    /// Builds the simulated devices mirroring [`TopologySpec::build_tree`].
+    pub fn build_devices(&self, latency: &LatencyModel) -> TCloudDevices {
+        let registry = Arc::new(DeviceRegistry::new(self.frame()));
+        let mut computes = Vec::with_capacity(self.compute_hosts);
+        for i in 0..self.compute_hosts {
+            let dev = Arc::new(ComputeServer::new(
+                Self::host_path(i),
+                self.hypervisor.clone(),
+                self.host_mem_mb,
+                latency.clone(),
+            ));
+            registry.register(Arc::<ComputeServer>::clone(&dev));
+            computes.push(dev);
+        }
+        let mut storages = Vec::with_capacity(self.storage_hosts);
+        for i in 0..self.storage_hosts {
+            let dev = Arc::new(StorageServer::new(
+                Self::storage_path(i),
+                self.storage_capacity_mb,
+                latency.clone(),
+            ));
+            dev.install_template(&self.template_name, self.template_size_mb);
+            registry.register(Arc::<StorageServer>::clone(&dev));
+            storages.push(dev);
+        }
+        let mut routers = Vec::with_capacity(self.routers);
+        for i in 0..self.routers {
+            let dev = Arc::new(Router::new(
+                Self::router_path(i),
+                self.max_vlans as usize,
+                latency.clone(),
+            ));
+            registry.register(Arc::<Router>::clone(&dev));
+            routers.push(dev);
+        }
+        TCloudDevices {
+            registry,
+            computes,
+            storages,
+            routers,
+        }
+    }
+
+    /// Assembles the complete [`ServiceDefinition`] for this topology.
+    pub fn service(&self) -> ServiceDefinition {
+        ServiceDefinition {
+            actions: actions::all(),
+            procs: crate::procs::all(),
+            constraints: constraints::all(),
+            repair_rules: repair::rules(),
+            schemas: schemas(),
+            initial_tree: self.build_tree(),
+        }
+    }
+
+    /// Standard `spawnVM` arguments for VM `vm_name` on host `host`, using
+    /// the paired storage server.
+    pub fn spawn_args(&self, vm_name: &str, host: usize, mem: i64) -> Vec<Value> {
+        vec![
+            Value::from(vm_name),
+            Value::from(self.template_name.as_str()),
+            Value::Int(mem),
+            Value::from(Self::storage_path(self.storage_for_host(host)).to_string()),
+            Value::from(Self::host_path(host).to_string()),
+        ]
+    }
+}
+
+/// The simulated devices of a TCloud deployment, with typed handles for
+/// fault injection and out-of-band mutation in tests and experiments.
+pub struct TCloudDevices {
+    /// The registry the platform's physical workers route through.
+    pub registry: Arc<DeviceRegistry>,
+    /// Compute servers, indexed like `host{i}`.
+    pub computes: Vec<Arc<ComputeServer>>,
+    /// Storage servers, indexed like `storage{i}`.
+    pub storages: Vec<Arc<StorageServer>>,
+    /// Routers, indexed like `router{i}`.
+    pub routers: Vec<Arc<Router>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_matches_spec() {
+        let spec = TopologySpec {
+            compute_hosts: 3,
+            storage_hosts: 2,
+            routers: 1,
+            ..Default::default()
+        };
+        let t = spec.build_tree();
+        // root + 3 family roots + 3 hosts + 2 storage + 2 templates + 1 router.
+        assert_eq!(t.node_count(), 1 + 3 + 3 + 2 + 2 + 1);
+        schemas().validate(&t).unwrap();
+        constraints::all().check_all(&t).unwrap();
+    }
+
+    #[test]
+    fn devices_mirror_tree() {
+        let spec = TopologySpec {
+            compute_hosts: 2,
+            storage_hosts: 1,
+            routers: 1,
+            ..Default::default()
+        };
+        let devices = spec.build_devices(&LatencyModel::zero());
+        let physical = devices.registry.physical_tree();
+        let logical = spec.build_tree();
+        let diffs = logical.diff(&physical, &Path::root());
+        assert!(diffs.is_empty(), "fresh layers must agree: {diffs:?}");
+    }
+
+    #[test]
+    fn storage_pairing_is_4_to_1() {
+        let spec = TopologySpec {
+            compute_hosts: 12,
+            storage_hosts: 3,
+            ..Default::default()
+        };
+        assert_eq!(spec.storage_for_host(0), 0);
+        assert_eq!(spec.storage_for_host(3), 0);
+        assert_eq!(spec.storage_for_host(4), 1);
+        assert_eq!(spec.storage_for_host(11), 2);
+        // Clamped when hosts outnumber 4×storage.
+        assert_eq!(spec.storage_for_host(100), 2);
+    }
+
+    #[test]
+    fn paper_scale_shape() {
+        let spec = TopologySpec::paper_scale();
+        assert_eq!(spec.compute_hosts, 12_500);
+        assert_eq!(spec.storage_hosts, 3_125);
+        // 8 VMs × 2048 MB fit in a host.
+        assert!(8 * 2_048 <= spec.host_mem_mb);
+    }
+
+    #[test]
+    fn spawn_args_shape() {
+        let spec = TopologySpec::default();
+        let args = spec.spawn_args("vm1", 2, 2_048);
+        assert_eq!(args[0].as_str(), Some("vm1"));
+        assert_eq!(args[3].as_str(), Some("/storageRoot/storage0"));
+        assert_eq!(args[4].as_str(), Some("/vmRoot/host2"));
+    }
+
+    #[test]
+    fn service_definition_assembles() {
+        let svc = TopologySpec::default().service();
+        assert!(!svc.actions.is_empty());
+        assert!(!svc.procs.is_empty());
+        assert!(!svc.constraints.is_empty());
+        assert!(!svc.repair_rules.is_empty());
+        svc.schemas.validate(&svc.initial_tree).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # tropic-workload
+//!
+//! Workload generation and replay for the TROPIC evaluation (§6):
+//!
+//! * [`ec2`] — a synthetic EC2 VM-launch trace calibrated to the paper's
+//!   published statistics (8,417 spawns/hour, mean 2.34/s, peak 14/s at
+//!   0.8 h — Figure 3), with the 1×–5× scaling used by Figures 4 and 5.
+//! * [`hosting`] — a mixed Spawn/Start/Stop/Migrate stream standing in for
+//!   the paper's US hosting-provider trace (§6.2–§6.4).
+//! * [`replay`] — paces traces into a running platform and summarizes the
+//!   outcomes.
+//! * [`stats`] — latency CDFs, utilization series, throughput buckets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ec2;
+pub mod hosting;
+pub mod replay;
+pub mod stats;
+
+pub use ec2::{Ec2Trace, Ec2TraceSpec};
+pub use hosting::{HostingOp, HostingSpec};
+pub use replay::{replay_calls, replay_ec2, replay_hosting, ReplayReport};
+pub use stats::{bucket_counts, sparkline, utilization_series, LatencyStats};

@@ -1,0 +1,198 @@
+//! Statistics helpers for the evaluation figures: latency CDFs (Figure 5),
+//! utilization time-series (Figure 4), and throughput summaries.
+
+/// A latency distribution built from individual samples.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    sorted_ms: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Builds the distribution (sorts a copy of the samples).
+    pub fn new(mut samples_ms: Vec<u64>) -> Self {
+        samples_ms.sort_unstable();
+        LatencyStats {
+            sorted_ms: samples_ms,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted_ms.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_ms.is_empty()
+    }
+
+    /// The `p`-th percentile (0.0–100.0), by nearest-rank.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.sorted_ms.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.sorted_ms.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.sorted_ms.len()) - 1;
+        self.sorted_ms[idx]
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Maximum latency.
+    pub fn max(&self) -> u64 {
+        self.sorted_ms.last().copied().unwrap_or(0)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        if self.sorted_ms.is_empty() {
+            0.0
+        } else {
+            self.sorted_ms.iter().sum::<u64>() as f64 / self.sorted_ms.len() as f64
+        }
+    }
+
+    /// The CDF evaluated at `latency_ms`: fraction of samples ≤ it.
+    pub fn cdf_at(&self, latency_ms: u64) -> f64 {
+        if self.sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted_ms.partition_point(|&s| s <= latency_ms);
+        count as f64 / self.sorted_ms.len() as f64
+    }
+
+    /// `(latency_ms, cumulative_fraction)` points for plotting the CDF of
+    /// Figure 5, one point per distinct latency value.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let n = self.sorted_ms.len();
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = self.sorted_ms[i];
+            let j = self.sorted_ms.partition_point(|&s| s <= v);
+            points.push((v, j as f64 / n as f64));
+            i = j;
+        }
+        points
+    }
+}
+
+/// Converts cumulative busy-time samples into per-bucket utilization
+/// percentages — the Figure 4 series. `samples` are
+/// `(wall_clock_ms, cumulative_busy_ms)` pairs in time order.
+pub fn utilization_series(samples: &[(u64, f64)]) -> Vec<f64> {
+    samples
+        .windows(2)
+        .map(|w| {
+            let wall = (w[1].0 - w[0].0) as f64;
+            if wall <= 0.0 {
+                0.0
+            } else {
+                ((w[1].1 - w[0].1) / wall * 100.0).clamp(0.0, 100.0)
+            }
+        })
+        .collect()
+}
+
+/// Counts events per fixed-width time bucket: used for throughput series.
+/// `times_ms` need not be sorted.
+pub fn bucket_counts(times_ms: &[u64], bucket_ms: u64, duration_ms: u64) -> Vec<u64> {
+    assert!(bucket_ms > 0, "bucket must be positive");
+    let buckets = duration_ms.div_ceil(bucket_ms) as usize;
+    let mut counts = vec![0u64; buckets.max(1)];
+    for &t in times_ms {
+        let idx = ((t / bucket_ms) as usize).min(counts.len() - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Renders a simple ASCII sparkline for terminal reports.
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    if values.is_empty() || max <= 0.0 {
+        return String::new();
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            TICKS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = LatencyStats::new(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.median(), 50);
+        assert_eq!(s.percentile(90.0), 90);
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.percentile(1.0), 10);
+        assert_eq!(s.max(), 100);
+        assert!((s.mean() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = LatencyStats::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.median(), 0);
+        assert_eq!(s.cdf_at(100), 0.0);
+        assert!(s.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let s = LatencyStats::new(vec![5, 5, 7, 12, 12, 12, 40]);
+        assert_eq!(s.cdf_at(4), 0.0);
+        assert!((s.cdf_at(5) - 2.0 / 7.0).abs() < 1e-9);
+        assert!((s.cdf_at(12) - 6.0 / 7.0).abs() < 1e-9);
+        assert_eq!(s.cdf_at(40), 1.0);
+        let points = s.cdf_points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points.last().unwrap().1, 1.0);
+        assert!(points.windows(2).all(|w| w[0].1 < w[1].1 && w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn utilization_from_cumulative_busy() {
+        // 1000 ms buckets; busy grows 200 ms then 800 ms.
+        let samples = vec![(0u64, 0.0), (1_000, 200.0), (2_000, 1_000.0)];
+        let u = utilization_series(&samples);
+        assert_eq!(u.len(), 2);
+        assert!((u[0] - 20.0).abs() < 1e-9);
+        assert!((u[1] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let samples = vec![(0u64, 0.0), (100, 500.0)];
+        assert_eq!(utilization_series(&samples), vec![100.0]);
+    }
+
+    #[test]
+    fn bucket_counting() {
+        let counts = bucket_counts(&[0, 10, 999, 1_000, 2_500], 1_000, 3_000);
+        assert_eq!(counts, vec![3, 1, 1]);
+        // Out-of-range events clamp to the last bucket.
+        let counts = bucket_counts(&[5_000], 1_000, 3_000);
+        assert_eq!(counts, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 50.0, 100.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: bring up a small TCloud on TROPIC, spawn a VM
+//! transactionally, watch a failure roll back cleanly, and inspect the
+//! execution log.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::Duration;
+
+use tropic::core::{format_execution_log, ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic::devices::{Device, LatencyModel};
+use tropic::tcloud::TopologySpec;
+
+fn main() {
+    // A 4-host data center with one storage server and a router.
+    let spec = TopologySpec {
+        compute_hosts: 4,
+        storage_hosts: 1,
+        routers: 1,
+        ..Default::default()
+    };
+    let devices = spec.build_devices(&LatencyModel::tcloud_scaled());
+    let platform = Tropic::start(
+        PlatformConfig::default(), // 3 replicated controllers, as the paper deploys.
+        spec.service(),
+        ExecMode::Physical(devices.registry.clone()),
+    );
+    let client = platform.client();
+
+    // 1. Spawn a VM: one ACID transaction over storage + compute devices.
+    println!("spawning web-1 on host0...");
+    let outcome = client
+        .submit_and_wait("spawnVM", spec.spawn_args("web-1", 0, 2_048), Duration::from_secs(60))
+        .expect("platform reachable");
+    println!("  -> {:?} in {} ms", outcome.state, outcome.latency_ms);
+    assert_eq!(outcome.state, TxnState::Committed);
+    println!(
+        "  host0 runs web-1: {:?}",
+        devices.computes[0].vm_power("web-1")
+    );
+
+    // 2. Inspect the durable execution log (the paper's Table 1).
+    let record = client
+        .txn_record(outcome.id)
+        .expect("coord reachable")
+        .expect("record retained");
+    println!("\nexecution log (paper Table 1):");
+    print!("{}", format_execution_log(&record.log));
+
+    // 3. Inject a failure in the last step; the transaction aborts and
+    //    every earlier action is undone — no orphaned image, no half-built
+    //    VM (the paper's §2.1 robustness goal).
+    println!("\nspawning doomed-1 with an injected startVM failure...");
+    devices.computes[1].fault_plan().fail_once("startVM");
+    let outcome = client
+        .submit_and_wait("spawnVM", spec.spawn_args("doomed-1", 1, 2_048), Duration::from_secs(60))
+        .expect("platform reachable");
+    println!("  -> {:?}: {}", outcome.state, outcome.error.unwrap_or_default());
+    assert_eq!(outcome.state, TxnState::Aborted);
+    println!(
+        "  no leftovers: host1 has {} VMs, storage has doomed-1-img: {}",
+        devices.computes[1].vm_count(),
+        devices.storages[0].has_image("doomed-1-img"),
+    );
+
+    // 4. Migrate web-1 to another host, transactionally.
+    println!("\nmigrating web-1 host0 -> host2...");
+    let outcome = client
+        .submit_and_wait(
+            "migrateVM",
+            vec!["/vmRoot/host0".into(), "/vmRoot/host2".into(), "web-1".into()],
+            Duration::from_secs(60),
+        )
+        .expect("platform reachable");
+    println!("  -> {:?} in {} ms", outcome.state, outcome.latency_ms);
+    println!(
+        "  host0: {:?}, host2: {:?}",
+        devices.computes[0].vm_power("web-1"),
+        devices.computes[2].vm_power("web-1"),
+    );
+
+    platform.shutdown();
+    println!("\ndone.");
+}

@@ -1,0 +1,44 @@
+//! # tropic
+//!
+//! Umbrella crate for the Rust reproduction of **TROPIC: Transactional
+//! Resource Orchestration Platform In the Cloud** (Liu, Mao, Chen,
+//! Fernández, Loo, Van der Merwe — USENIX ATC 2012).
+//!
+//! Re-exports the whole stack:
+//!
+//! * [`model`] — hierarchical data model, constraints, schemas, clock;
+//! * [`coord`] — replicated coordination service (ZooKeeper substitute);
+//! * [`devices`] — simulated compute/storage/network devices;
+//! * [`core`] — the transactional orchestration platform itself;
+//! * [`tcloud`] — the EC2-like TCloud service built on the platform;
+//! * [`workload`] — EC2/hosting workload generators and replay.
+//!
+//! ```
+//! use std::time::Duration;
+//! use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnState};
+//! use tropic::tcloud::TopologySpec;
+//!
+//! let spec = TopologySpec { compute_hosts: 2, storage_hosts: 1, routers: 0, ..Default::default() };
+//! let devices = spec.build_devices(&tropic::devices::LatencyModel::zero());
+//! let platform = Tropic::start(
+//!     PlatformConfig { controllers: 1, ..Default::default() },
+//!     spec.service(),
+//!     ExecMode::Physical(devices.registry.clone()),
+//! );
+//! let client = platform.client();
+//! let outcome = client
+//!     .submit_and_wait("spawnVM", spec.spawn_args("web1", 0, 2048), Duration::from_secs(30))
+//!     .unwrap();
+//! assert_eq!(outcome.state, TxnState::Committed);
+//! platform.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tropic_coord as coord;
+pub use tropic_core as core;
+pub use tropic_devices as devices;
+pub use tropic_model as model;
+pub use tropic_tcloud as tcloud;
+pub use tropic_workload as workload;

@@ -1,0 +1,237 @@
+//! End-to-end transactions against simulated devices: the full
+//! client → inputQ → controller → phyQ → worker → devices pipeline,
+//! verifying that committed transactions leave the logical and physical
+//! layers in agreement.
+
+use std::time::Duration;
+
+use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic::devices::LatencyModel;
+use tropic::model::{Path, Value};
+use tropic::tcloud::{TCloudDevices, TopologySpec};
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn start(spec: &TopologySpec) -> (Tropic, TCloudDevices) {
+    let devices = spec.build_devices(&LatencyModel::zero());
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 1,
+            workers: 2,
+            ..Default::default()
+        },
+        spec.service(),
+        ExecMode::Physical(devices.registry.clone()),
+    );
+    (platform, devices)
+}
+
+fn small_spec() -> TopologySpec {
+    TopologySpec {
+        compute_hosts: 2,
+        storage_hosts: 1,
+        routers: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn spawn_commits_on_devices() {
+    let spec = small_spec();
+    let (platform, devices) = start(&spec);
+    let client = platform.client();
+    let outcome = client
+        .submit_and_wait("spawnVM", spec.spawn_args("web1", 0, 2048), WAIT)
+        .unwrap();
+    assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
+
+    // The device really runs the VM.
+    assert_eq!(
+        devices.computes[0].vm_power("web1"),
+        Some(tropic::devices::VmPower::Running)
+    );
+    assert!(devices.storages[0].has_image("web1-img"));
+    assert!(devices.storages[0].is_exported("web1-img"));
+    platform.shutdown();
+}
+
+#[test]
+fn spawn_then_destroy_restores_original_state() {
+    let spec = small_spec();
+    let (platform, devices) = start(&spec);
+    let before = devices.registry.physical_tree();
+    let client = platform.client();
+    let spawn = client
+        .submit_and_wait("spawnVM", spec.spawn_args("tmp", 1, 4096), WAIT)
+        .unwrap();
+    assert_eq!(spawn.state, TxnState::Committed);
+    let destroy = client
+        .submit_and_wait(
+            "destroyVM",
+            vec![
+                Value::from("/vmRoot/host1"),
+                Value::from("tmp"),
+                Value::from("/storageRoot/storage0"),
+            ],
+            WAIT,
+        )
+        .unwrap();
+    assert_eq!(destroy.state, TxnState::Committed, "{:?}", destroy.error);
+    let after = devices.registry.physical_tree();
+    assert!(
+        before.diff(&after, &Path::root()).is_empty(),
+        "destroy must return the cloud to its pre-spawn state"
+    );
+    platform.shutdown();
+}
+
+#[test]
+fn migrate_moves_vm_across_hosts() {
+    let spec = small_spec();
+    let (platform, devices) = start(&spec);
+    let client = platform.client();
+    client
+        .submit_and_wait("spawnVM", spec.spawn_args("mv1", 0, 2048), WAIT)
+        .unwrap();
+    let outcome = client
+        .submit_and_wait(
+            "migrateVM",
+            vec![
+                Value::from("/vmRoot/host0"),
+                Value::from("/vmRoot/host1"),
+                Value::from("mv1"),
+            ],
+            WAIT,
+        )
+        .unwrap();
+    assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
+    assert_eq!(devices.computes[0].vm_power("mv1"), None);
+    assert_eq!(
+        devices.computes[1].vm_power("mv1"),
+        Some(tropic::devices::VmPower::Running)
+    );
+    platform.shutdown();
+}
+
+#[test]
+fn stop_start_cycle() {
+    let spec = small_spec();
+    let (platform, devices) = start(&spec);
+    let client = platform.client();
+    client
+        .submit_and_wait("spawnVM", spec.spawn_args("cyc", 0, 2048), WAIT)
+        .unwrap();
+    let host = Value::from("/vmRoot/host0");
+    let stop = client
+        .submit_and_wait("stopVM", vec![host.clone(), Value::from("cyc")], WAIT)
+        .unwrap();
+    assert_eq!(stop.state, TxnState::Committed);
+    assert_eq!(
+        devices.computes[0].vm_power("cyc"),
+        Some(tropic::devices::VmPower::Stopped)
+    );
+    let start = client
+        .submit_and_wait("startVM", vec![host, Value::from("cyc")], WAIT)
+        .unwrap();
+    assert_eq!(start.state, TxnState::Committed);
+    // Stopping an already-stopped VM aborts cleanly (logical guard).
+    client
+        .submit_and_wait(
+            "stopVM",
+            vec![Value::from("/vmRoot/host0"), Value::from("cyc")],
+            WAIT,
+        )
+        .unwrap();
+    let again = client
+        .submit_and_wait(
+            "startVM",
+            vec![Value::from("/vmRoot/host0"), Value::from("cyc")],
+            WAIT,
+        )
+        .unwrap();
+    assert_eq!(again.state, TxnState::Committed);
+    platform.shutdown();
+}
+
+#[test]
+fn spawn_with_network_plumbs_vlan() {
+    let spec = small_spec();
+    let (platform, devices) = start(&spec);
+    let client = platform.client();
+    let outcome = client
+        .submit_and_wait(
+            "spawnVMNet",
+            vec![
+                Value::from("net1"),
+                Value::from("template-linux"),
+                Value::Int(2048),
+                Value::from("/storageRoot/storage0"),
+                Value::from("/vmRoot/host0"),
+                Value::from("/netRoot/router0"),
+                Value::Int(42),
+            ],
+            WAIT,
+        )
+        .unwrap();
+    assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
+    assert!(devices.routers[0].has_vlan(42));
+    assert_eq!(devices.routers[0].ports_of(42), vec!["net1-eth0".to_string()]);
+    platform.shutdown();
+}
+
+#[test]
+fn unknown_procedure_aborts() {
+    let spec = small_spec();
+    let (platform, _devices) = start(&spec);
+    let client = platform.client();
+    let outcome = client
+        .submit_and_wait("noSuchProc", vec![], WAIT)
+        .unwrap();
+    assert_eq!(outcome.state, TxnState::Aborted);
+    assert!(outcome.error.unwrap().contains("unknown procedure"));
+    platform.shutdown();
+}
+
+#[test]
+fn committed_layers_agree_after_mixed_workload() {
+    let spec = TopologySpec {
+        compute_hosts: 3,
+        storage_hosts: 1,
+        routers: 0,
+        ..Default::default()
+    };
+    let (platform, devices) = start(&spec);
+    let client = platform.client();
+    for i in 0..6 {
+        client
+            .submit_and_wait("spawnVM", spec.spawn_args(&format!("m{i}"), i % 3, 2048), WAIT)
+            .unwrap();
+    }
+    client
+        .submit_and_wait(
+            "migrateVM",
+            vec![
+                Value::from("/vmRoot/host0"),
+                Value::from("/vmRoot/host2"),
+                Value::from("m0"),
+            ],
+            WAIT,
+        )
+        .unwrap();
+    client
+        .submit_and_wait(
+            "stopVM",
+            vec![Value::from("/vmRoot/host1"), Value::from("m1")],
+            WAIT,
+        )
+        .unwrap();
+
+    // Verify the physical layer matches what the logical layer believes by
+    // reloading nothing and diffing through an admin repair no-op: a repair
+    // over the whole tree reports the layers already consistent.
+    let result = platform.repair(&Path::root(), WAIT).unwrap();
+    assert!(result.ok, "{}", result.message);
+    assert_eq!(result.actions, 0, "no corrective actions were needed");
+    let _ = devices;
+    platform.shutdown();
+}

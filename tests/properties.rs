@@ -1,0 +1,317 @@
+//! Property-based tests (proptest) for the core invariants:
+//! path algebra, tree/diff/snapshot laws, lock-compatibility laws, and the
+//! atomicity identity — simulate followed by logical rollback leaves the
+//! data model bit-for-bit unchanged.
+
+use proptest::prelude::*;
+
+use tropic::core::{
+    rollback_logical, simulate, with_intentions, LockManager, LockMode, LogicalOutcome, TxnRecord,
+};
+use tropic::model::{Node, Path, Tree, Value};
+use tropic::tcloud::{actions, constraints, procs, TopologySpec};
+
+// ---------------------------------------------------------------------
+// Path algebra.
+// ---------------------------------------------------------------------
+
+fn segment() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,12}"
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    prop::collection::vec(segment(), 0..6)
+        .prop_map(|segs| Path::from_segments(segs).expect("valid segments"))
+}
+
+proptest! {
+    #[test]
+    fn path_parse_display_roundtrip(p in path_strategy()) {
+        let text = p.to_string();
+        let back = Path::parse(&text).unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn path_ancestors_are_strict_prefixes(p in path_strategy()) {
+        let ancestors = p.ancestors();
+        prop_assert_eq!(ancestors.len(), p.depth());
+        for (i, a) in ancestors.iter().enumerate() {
+            prop_assert_eq!(a.depth(), i);
+            prop_assert!(a.is_ancestor_of(&p));
+            prop_assert!(!p.is_ancestor_of(a));
+            prop_assert!(a.contains(&p));
+        }
+    }
+
+    #[test]
+    fn path_child_parent_inverse(p in path_strategy(), name in segment()) {
+        let child = p.child(&name).unwrap();
+        prop_assert_eq!(child.parent().unwrap(), p.clone());
+        prop_assert_eq!(child.leaf().unwrap(), name.as_str());
+        prop_assert!(p.is_ancestor_of(&child));
+    }
+
+    #[test]
+    fn path_related_is_symmetric(a in path_strategy(), b in path_strategy()) {
+        prop_assert_eq!(a.related(&b), b.related(&a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree laws.
+// ---------------------------------------------------------------------
+
+/// A small random tree: hosts with random attribute values and VM children.
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    prop::collection::vec(
+        (segment(), 0i64..100_000, prop::collection::vec((segment(), 0i64..10_000), 0..4)),
+        0..6,
+    )
+    .prop_map(|hosts| {
+        let mut t = Tree::new();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+        for (hname, cap, vms) in hosts {
+            let hpath = Path::parse("/vmRoot").unwrap().join(&hname);
+            if t.exists(&hpath) {
+                continue;
+            }
+            t.insert(&hpath, Node::new("vmHost").with_attr("memCapacity", cap))
+                .unwrap();
+            for (vname, mem) in vms {
+                let vpath = hpath.join(&vname);
+                if !t.exists(&vpath) {
+                    t.insert(&vpath, Node::new("vm").with_attr("mem", mem)).unwrap();
+                }
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_snapshot_roundtrip(t in tree_strategy()) {
+        let snap = t.to_snapshot().unwrap();
+        let back = Tree::from_snapshot(&snap).unwrap();
+        prop_assert_eq!(&t, &back);
+        prop_assert!(t.diff(&back, &Path::root()).is_empty());
+    }
+
+    #[test]
+    fn tree_diff_self_is_empty(t in tree_strategy()) {
+        prop_assert!(t.diff(&t.clone(), &Path::root()).is_empty());
+    }
+
+    #[test]
+    fn tree_diff_detects_any_attr_change(t in tree_strategy(), x in 0i64..1_000_000) {
+        // Pick the deepest node and change an attribute; the diff must
+        // report exactly one entry at that path.
+        let paths: Vec<Path> = t.walk().into_iter().map(|(p, _)| p).collect();
+        let target = paths.last().unwrap().clone();
+        let mut other = t.clone();
+        other.set_attr(&target, "probe", x).unwrap();
+        let diffs = t.diff(&other, &Path::root());
+        prop_assert_eq!(diffs.len(), 1);
+        prop_assert_eq!(diffs[0].path(), &target);
+    }
+
+    #[test]
+    fn tree_insert_remove_identity(t in tree_strategy(), name in segment(), mem in 0i64..4_096) {
+        let mut mutated = t.clone();
+        let target = Path::parse("/vmRoot").unwrap().join(&name);
+        prop_assume!(!mutated.exists(&target));
+        mutated
+            .insert(&target, Node::new("vmHost").with_attr("memCapacity", mem))
+            .unwrap();
+        prop_assert!(mutated.exists(&target));
+        mutated.remove(&target).unwrap();
+        prop_assert_eq!(mutated, t);
+    }
+
+    #[test]
+    fn node_count_matches_walk(t in tree_strategy()) {
+        prop_assert_eq!(t.node_count(), t.walk().len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-manager laws.
+// ---------------------------------------------------------------------
+
+fn mode_strategy() -> impl Strategy<Value = LockMode> {
+    prop_oneof![
+        Just(LockMode::R),
+        Just(LockMode::W),
+        Just(LockMode::IR),
+        Just(LockMode::IW),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lock_compatibility_symmetric(a in mode_strategy(), b in mode_strategy()) {
+        prop_assert_eq!(a.compatible(b), b.compatible(a));
+    }
+
+    #[test]
+    fn writers_on_unrelated_paths_never_conflict(a in path_strategy(), b in path_strategy()) {
+        prop_assume!(!a.related(&b));
+        let mut lm = LockManager::new();
+        lm.try_acquire(1, &with_intentions(&a, LockMode::W)).unwrap();
+        prop_assert!(lm.try_acquire(2, &with_intentions(&b, LockMode::W)).is_ok());
+    }
+
+    #[test]
+    fn writers_on_related_paths_always_conflict(a in path_strategy(), rest in prop::collection::vec(segment(), 0..3)) {
+        let mut b = a.clone();
+        for seg in &rest {
+            b = b.join(seg);
+        }
+        let mut lm = LockManager::new();
+        lm.try_acquire(1, &with_intentions(&a, LockMode::W)).unwrap();
+        prop_assert!(lm.try_acquire(2, &with_intentions(&b, LockMode::W)).is_err());
+    }
+
+    #[test]
+    fn release_restores_acquirability(p in path_strategy(), m in mode_strategy()) {
+        let mut lm = LockManager::new();
+        lm.try_acquire(1, &with_intentions(&p, LockMode::W)).unwrap();
+        lm.release_all(1);
+        prop_assert!(lm.is_empty());
+        prop_assert!(lm.try_acquire(2, &with_intentions(&p, m)).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomicity identity: simulate + rollback = identity on the data model.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    Spawn(u8, u8),
+    Stop(u8, u8),
+    Start(u8, u8),
+    Migrate(u8, u8, u8),
+    Destroy(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u8..4).prop_map(|(h, v)| Op::Spawn(h, v)),
+        (0u8..3, 0u8..4).prop_map(|(h, v)| Op::Stop(h, v)),
+        (0u8..3, 0u8..4).prop_map(|(h, v)| Op::Start(h, v)),
+        (0u8..3, 0u8..3, 0u8..4).prop_map(|(s, d, v)| Op::Migrate(s, d, v)),
+        (0u8..3, 0u8..4).prop_map(|(h, v)| Op::Destroy(h, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Run a random operation sequence; for each operation, simulating and
+    /// then logically rolling back must restore the exact pre-transaction
+    /// tree, regardless of whether the simulation would have been runnable.
+    #[test]
+    fn simulate_then_rollback_is_identity(ops in prop::collection::vec(op_strategy(), 1..12)) {
+        let spec = TopologySpec {
+            compute_hosts: 3,
+            storage_hosts: 1,
+            routers: 0,
+            ..Default::default()
+        };
+        let action_registry = actions::all();
+        let constraint_set = constraints::all();
+        let proc_registry = procs::all();
+        let mut tree = spec.build_tree();
+        let mut locks = LockManager::new();
+        let mut txn_id = 0u64;
+
+        for op in &ops {
+            txn_id += 1;
+            let (name, args) = match op {
+                Op::Spawn(h, v) => (
+                    "spawnVM",
+                    spec.spawn_args(&format!("vm{v}"), *h as usize, 2_048),
+                ),
+                Op::Stop(h, v) => (
+                    "stopVM",
+                    vec![
+                        Value::from(TopologySpec::host_path(*h as usize).to_string()),
+                        Value::from(format!("vm{v}")),
+                    ],
+                ),
+                Op::Start(h, v) => (
+                    "startVM",
+                    vec![
+                        Value::from(TopologySpec::host_path(*h as usize).to_string()),
+                        Value::from(format!("vm{v}")),
+                    ],
+                ),
+                Op::Migrate(s, d, v) => (
+                    "migrateVM",
+                    vec![
+                        Value::from(TopologySpec::host_path(*s as usize).to_string()),
+                        Value::from(TopologySpec::host_path(*d as usize).to_string()),
+                        Value::from(format!("vm{v}")),
+                    ],
+                ),
+                Op::Destroy(h, v) => (
+                    "destroyVM",
+                    vec![
+                        Value::from(TopologySpec::host_path(*h as usize).to_string()),
+                        Value::from(format!("vm{v}")),
+                        Value::from(TopologySpec::storage_path(0).to_string()),
+                    ],
+                ),
+            };
+            let proc_ = proc_registry.get(name).unwrap();
+            let before = tree.clone();
+            let mut rec = TxnRecord::new(txn_id, name, args, 0);
+            let outcome = simulate(
+                &mut rec,
+                proc_.as_ref(),
+                &mut tree,
+                &action_registry,
+                &constraint_set,
+                &mut locks,
+            );
+            match outcome {
+                LogicalOutcome::Runnable => {
+                    // Roll the transaction back, as if physical execution
+                    // failed; the tree must be exactly the pre-state.
+                    rollback_logical(&rec.log, &mut tree, &action_registry).unwrap();
+                    locks.release_all(txn_id);
+                    prop_assert_eq!(&tree, &before, "op {:?} not perfectly undone", op);
+                    // Then re-apply and keep it (let state evolve so later
+                    // ops in the sequence see interesting trees).
+                    for r in &rec.log {
+                        action_registry
+                            .get(&r.action)
+                            .unwrap()
+                            .apply_logical(&mut tree, &r.object, &r.args)
+                            .unwrap();
+                    }
+                    locks.release_all(txn_id);
+                }
+                LogicalOutcome::Aborted { .. } | LogicalOutcome::Deferred { .. } => {
+                    // Aborted/deferred transactions must have no effect.
+                    prop_assert_eq!(&tree, &before, "aborted op {:?} left effects", op);
+                    prop_assert!(locks.locks_of(txn_id).is_empty());
+                }
+            }
+        }
+    }
+
+    /// The EC2 trace scaler multiplies every statistic consistently.
+    #[test]
+    fn ec2_scaling_is_linear(factor in 1u32..6) {
+        let base = tropic::workload::Ec2TraceSpec::default().generate();
+        let scaled = base.scaled(factor);
+        prop_assert_eq!(scaled.total(), base.total() * u64::from(factor));
+        prop_assert_eq!(scaled.peak().0, base.peak().0 * factor);
+        prop_assert_eq!(scaled.duration_s(), base.duration_s());
+    }
+}
