@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: everything a PR must keep green, in dependency order.
+#
+# Usage: ./ci.sh [--no-clippy]
+#   --no-clippy   skip the clippy pass (e.g. when the component is absent)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "=== $* ==="
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo bench --no-run
+run cargo build --examples
+run cargo fmt --check
+
+if [[ "${1:-}" != "--no-clippy" ]] && cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy -q --all-targets -- -D warnings
+fi
+
+echo
+echo "CI green."

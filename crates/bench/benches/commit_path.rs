@@ -53,9 +53,7 @@ fn bench(c: &mut Criterion) {
                     vec![
                         tropic_model::Value::from(TopologySpec::host_path(host).to_string()),
                         tropic_model::Value::from(vm.as_str()),
-                        tropic_model::Value::from(
-                            TopologySpec::storage_path(host / 4).to_string(),
-                        ),
+                        tropic_model::Value::from(TopologySpec::storage_path(host / 4).to_string()),
                     ],
                     Duration::from_secs(60),
                 )

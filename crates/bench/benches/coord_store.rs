@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
         client.create_all(&base).unwrap();
         let p = base.join("node");
         b.iter(|| {
-            client.create(&p, &b"payload"[..], CreateMode::Persistent).unwrap();
+            client
+                .create(&p, &b"payload"[..], CreateMode::Persistent)
+                .unwrap();
             client.delete(&p, None).unwrap();
         })
     });
@@ -27,7 +29,9 @@ fn bench(c: &mut Criterion) {
         let svc = CoordService::start(CoordConfig::default());
         let client = svc.connect("bench");
         let p = Path::parse("/blob").unwrap();
-        client.create(&p, vec![0u8; 1024], CreateMode::Persistent).unwrap();
+        client
+            .create(&p, vec![0u8; 1024], CreateMode::Persistent)
+            .unwrap();
         let payload = vec![7u8; 1024];
         b.iter(|| {
             client.set_data(&p, payload.clone(), None).unwrap();
@@ -38,7 +42,9 @@ fn bench(c: &mut Criterion) {
         let svc = CoordService::start(CoordConfig::default());
         let client = svc.connect("bench");
         let p = Path::parse("/r").unwrap();
-        client.create(&p, &b"x"[..], CreateMode::Persistent).unwrap();
+        client
+            .create(&p, &b"x"[..], CreateMode::Persistent)
+            .unwrap();
         b.iter(|| black_box(client.get_data(&p).unwrap().is_some()))
     });
 

@@ -8,18 +8,23 @@ use tropic_model::{Node, Path, Tree};
 
 fn build_tree(hosts: usize, vms: usize) -> Tree {
     let mut t = Tree::new();
-    t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+    t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+        .unwrap();
     for h in 0..hosts {
         let hp = Path::parse(&format!("/vmRoot/host{h}")).unwrap();
         t.insert(
             &hp,
-            Node::new("vmHost").with_attr("memCapacity", 32_768i64).with_attr("hypervisor", "xen"),
+            Node::new("vmHost")
+                .with_attr("memCapacity", 32_768i64)
+                .with_attr("hypervisor", "xen"),
         )
         .unwrap();
         for v in 0..vms {
             t.insert(
                 &hp.join(&format!("vm{v}")),
-                Node::new("vm").with_attr("mem", 2_048i64).with_attr("state", "running"),
+                Node::new("vm")
+                    .with_attr("mem", 2_048i64)
+                    .with_attr("state", "running"),
             )
             .unwrap();
         }
@@ -48,7 +53,8 @@ fn bench(c: &mut Criterion) {
         let mut t = tree.clone();
         let p = Path::parse("/vmRoot/host0/vmx").unwrap();
         b.iter(|| {
-            t.insert(&p, Node::new("vm").with_attr("mem", 1i64)).unwrap();
+            t.insert(&p, Node::new("vm").with_attr("mem", 1i64))
+                .unwrap();
             t.remove(&p).unwrap();
         })
     });

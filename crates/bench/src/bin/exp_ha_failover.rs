@@ -56,14 +56,19 @@ fn run_once(session_timeout_ms: u64) -> (u64, usize, usize) {
     let ids: Vec<_> = (0..8)
         .map(|i| {
             client
-                .submit("spawnVM", spec.spawn_args(&format!("post{i}"), i % 16, 2_048))
+                .submit(
+                    "spawnVM",
+                    spec.spawn_args(&format!("post{i}"), i % 16, 2_048),
+                )
                 .expect("submit during outage")
         })
         .collect();
     let submitted = ids.len();
     let mut completed = 0;
     for id in ids {
-        let o = client.wait(id, Duration::from_secs(120)).expect("completion");
+        let o = client
+            .wait(id, Duration::from_secs(120))
+            .expect("completion");
         assert_eq!(o.state, TxnState::Committed, "{:?}", o.error);
         completed += 1;
     }
@@ -95,14 +100,14 @@ fn main() {
     }
     println!();
     // Recovery ≈ detection + constant: fit the constant.
-    let overheads: Vec<f64> = rows
-        .iter()
-        .map(|&(t, r)| r as f64 - t as f64)
-        .collect();
+    let overheads: Vec<f64> = rows.iter().map(|&(t, r)| r as f64 - t as f64).collect();
     let mean_overhead = overheads.iter().sum::<f64>() / overheads.len() as f64;
     println!(
         "recovery - timeout (election + state restore): {:?} ms, mean {:.0} ms",
-        overheads.iter().map(|o| o.round() as i64).collect::<Vec<_>>(),
+        overheads
+            .iter()
+            .map(|o| o.round() as i64)
+            .collect::<Vec<_>>(),
         mean_overhead
     );
     println!(

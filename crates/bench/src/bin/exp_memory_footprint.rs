@@ -24,7 +24,8 @@ fn tree_size(hosts: usize, vms_per_host: usize) -> (usize, usize, f64) {
                 .with_attr("mem", 2_048i64)
                 .with_attr("state", "running")
                 .with_attr("hypervisor", "xen");
-            tree.insert(&host_path.join(&format!("vm{v}")), vm).expect("slot free");
+            tree.insert(&host_path.join(&format!("vm{v}")), vm)
+                .expect("slot free");
         }
     }
     let nodes = tree.node_count();
@@ -41,10 +42,7 @@ fn main() {
     for hosts in [125usize, 1_250, 12_500] {
         let vms = hosts * 8;
         let (nodes, bytes, mib) = tree_size(hosts, 8);
-        println!(
-            "| {hosts} | {vms} | {nodes} | {mib:.1} | {} |",
-            bytes / vms
-        );
+        println!("| {hosts} | {vms} | {nodes} | {mib:.1} | {} |", bytes / vms);
         per_vm.push(bytes as f64 / vms as f64);
     }
     println!();

@@ -33,7 +33,12 @@ fn main() {
     let mut rollback_us = Vec::new();
     for i in 0..500u64 {
         let host = (i % 16) as usize;
-        let mut rec = TxnRecord::new(i + 1, "spawnVM", spec.spawn_args(&format!("rb{i}"), host, 2_048), 0);
+        let mut rec = TxnRecord::new(
+            i + 1,
+            "spawnVM",
+            spec.spawn_args(&format!("rb{i}"), host, 2_048),
+            0,
+        );
         let outcome = simulate(
             &mut rec,
             procs::spawn_vm().as_ref(),
@@ -59,7 +64,10 @@ fn main() {
         iso.percentile(99.0),
         iso.max()
     );
-    assert!(iso.percentile(99.0) < 9_000, "p99 must stay below the paper's 9 ms");
+    assert!(
+        iso.percentile(99.0) < 9_000,
+        "p99 must stay below the paper's 9 ms"
+    );
 
     // Part 2: end-to-end error handling with faults injected in the last
     // step of spawn and migrate (the paper's two error scenarios).

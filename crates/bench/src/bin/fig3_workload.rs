@@ -29,8 +29,5 @@ fn main() {
     println!("| total spawns (1 h) | 8417 | {} |", trace.total());
     println!("| mean rate (/s) | 2.34 | {:.2} |", trace.mean_rate());
     println!("| peak rate (/s) | 14 | {peak} |");
-    println!(
-        "| peak position (h) | 0.8 | {:.2} |",
-        at as f64 / 3_600.0
-    );
+    println!("| peak position (h) | 0.8 | {:.2} |", at as f64 / 3_600.0);
 }

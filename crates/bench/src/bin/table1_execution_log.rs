@@ -10,8 +10,11 @@ fn main() {
     // Build the minimal data model of Table 1: one storage host holding the
     // template, one VM host.
     let mut tree = Tree::new();
-    tree.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
-        .unwrap();
+    tree.insert(
+        &Path::parse("/storageRoot").unwrap(),
+        Node::new("storageRoot"),
+    )
+    .unwrap();
     tree.insert(
         &Path::parse("/storageRoot/storageHost").unwrap(),
         Node::new("storageHost")
@@ -27,7 +30,8 @@ fn main() {
             .with_attr("exported", false),
     )
     .unwrap();
-    tree.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+    tree.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+        .unwrap();
     tree.insert(
         &Path::parse("/vmRoot/vmHost").unwrap(),
         Node::new("vmHost")
@@ -56,7 +60,11 @@ fn main() {
         &constraint_set,
         &mut locks,
     );
-    assert_eq!(outcome, LogicalOutcome::Runnable, "spawnVM must simulate cleanly");
+    assert_eq!(
+        outcome,
+        LogicalOutcome::Runnable,
+        "spawnVM must simulate cleanly"
+    );
 
     println!("Table 1: execution log for spawnVM (paper §3.1.2)");
     println!();

@@ -83,7 +83,9 @@ mod tests {
     #[test]
     fn display_variants() {
         let p = Path::parse("/tropic/txns").unwrap();
-        assert!(CoordError::NoNode(p.clone()).to_string().contains("/tropic/txns"));
+        assert!(CoordError::NoNode(p.clone())
+            .to_string()
+            .contains("/tropic/txns"));
         assert!(CoordError::BadVersion {
             path: p,
             expected: 1,

@@ -33,8 +33,11 @@ impl<'a> DistributedQueue<'a> {
 
     /// Appends an item, returning the znode path that identifies it.
     pub fn enqueue(&self, data: impl Into<Bytes>) -> CoordResult<Path> {
-        self.client
-            .create(&self.base.join("item-"), data, CreateMode::PersistentSequential)
+        self.client.create(
+            &self.base.join("item-"),
+            data,
+            CreateMode::PersistentSequential,
+        )
     }
 
     /// Number of queued items.
@@ -143,7 +146,10 @@ mod tests {
         let (_, d1) = q.try_dequeue().unwrap().unwrap();
         let (_, d2) = q.try_dequeue().unwrap().unwrap();
         let (_, d3) = q.try_dequeue().unwrap().unwrap();
-        assert_eq!((&d1[..], &d2[..], &d3[..]), (&b"a"[..], &b"b"[..], &b"c"[..]));
+        assert_eq!(
+            (&d1[..], &d2[..], &d3[..]),
+            (&b"a"[..], &b"b"[..], &b"c"[..])
+        );
         assert!(q.try_dequeue().unwrap().is_none());
     }
 

@@ -230,7 +230,9 @@ impl CoordService {
                         let sessions = expiry_inner.sessions.lock();
                         sessions
                             .iter()
-                            .filter(|(_, s)| !s.expired && now.saturating_sub(s.last_seen_ms) > timeout)
+                            .filter(|(_, s)| {
+                                !s.expired && now.saturating_sub(s.last_seen_ms) > timeout
+                            })
                             .map(|(id, _)| *id)
                             .collect()
                     };
@@ -349,7 +351,12 @@ impl CoordClient {
     }
 
     /// Creates a znode, returning its final path (sequence suffix applied).
-    pub fn create(&self, path: &Path, data: impl Into<Bytes>, mode: CreateMode) -> CoordResult<Path> {
+    pub fn create(
+        &self,
+        path: &Path,
+        data: impl Into<Bytes>,
+        mode: CreateMode,
+    ) -> CoordResult<Path> {
         let (ephemeral, sequential) = match mode {
             CreateMode::Persistent => (false, false),
             CreateMode::PersistentSequential => (false, true),
@@ -573,7 +580,8 @@ mod tests {
         let (data, stat) = c.get_data(&p("/a")).unwrap().unwrap();
         assert_eq!(&data[..], b"1");
         assert_eq!(stat.version, 0);
-        c.set_data(&p("/a"), Bytes::from_static(b"2"), Some(0)).unwrap();
+        c.set_data(&p("/a"), Bytes::from_static(b"2"), Some(0))
+            .unwrap();
         assert!(matches!(
             c.set_data(&p("/a"), Bytes::from_static(b"3"), Some(0)),
             Err(CoordError::BadVersion { .. })
@@ -596,13 +604,16 @@ mod tests {
         let svc = quick_service();
         let c1 = svc.connect("watcher");
         let c2 = svc.connect("writer");
-        c2.create(&p("/w"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c2.create(&p("/w"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         c1.watch(&p("/w"), WatchKind::Node).unwrap();
-        c2.set_data(&p("/w"), Bytes::from_static(b"x"), None).unwrap();
+        c2.set_data(&p("/w"), Bytes::from_static(b"x"), None)
+            .unwrap();
         let ev = c1.wait_event(Duration::from_secs(1)).unwrap();
         assert_eq!(ev.event, StoreEvent::DataChanged(p("/w")));
         // One-shot: a second write does not fire again.
-        c2.set_data(&p("/w"), Bytes::from_static(b"y"), None).unwrap();
+        c2.set_data(&p("/w"), Bytes::from_static(b"y"), None)
+            .unwrap();
         assert!(c1.wait_event(Duration::from_millis(50)).is_none());
     }
 
@@ -611,9 +622,11 @@ mod tests {
         let svc = quick_service();
         let c1 = svc.connect("watcher");
         let c2 = svc.connect("writer");
-        c2.create(&p("/q"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c2.create(&p("/q"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         c1.watch(&p("/q"), WatchKind::Children).unwrap();
-        c2.create(&p("/q/i"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c2.create(&p("/q/i"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         let ev = c1.wait_event(Duration::from_secs(1)).unwrap();
         assert_eq!(ev.event, StoreEvent::ChildrenChanged(p("/q")));
     }
@@ -623,7 +636,8 @@ mod tests {
         let svc = quick_service();
         let c1 = svc.connect("a");
         let c2 = svc.connect("b");
-        c1.create(&p("/eph"), Bytes::new(), CreateMode::Ephemeral).unwrap();
+        c1.create(&p("/eph"), Bytes::new(), CreateMode::Ephemeral)
+            .unwrap();
         assert!(c2.exists(&p("/eph")).unwrap());
         c1.close();
         assert!(!c2.exists(&p("/eph")).unwrap());
@@ -642,7 +656,8 @@ mod tests {
         );
         let c1 = svc.connect("leader");
         let c2 = svc.connect("follower");
-        c1.create(&p("/lead"), Bytes::new(), CreateMode::Ephemeral).unwrap();
+        c1.create(&p("/lead"), Bytes::new(), CreateMode::Ephemeral)
+            .unwrap();
         c2.watch(&p("/lead"), WatchKind::Node).unwrap();
         // c2 keeps pinging; c1 goes silent.
         for _ in 0..30 {
@@ -667,7 +682,10 @@ mod tests {
             c.create(&p("/x"), Bytes::new(), CreateMode::Persistent),
             Err(CoordError::SessionExpired)
         ));
-        assert!(matches!(c.exists(&p("/x")), Err(CoordError::SessionExpired)));
+        assert!(matches!(
+            c.exists(&p("/x")),
+            Err(CoordError::SessionExpired)
+        ));
     }
 
     #[test]
@@ -679,7 +697,10 @@ mod tests {
             id: u64,
             name: String,
         }
-        let rec = Rec { id: 7, name: "spawnVM".into() };
+        let rec = Rec {
+            id: 7,
+            name: "spawnVM".into(),
+        };
         c.put_json(&p("/tropic/txns/7"), &rec).unwrap();
         // Overwrite works too.
         c.put_json(&p("/tropic/txns/7"), &rec).unwrap();
@@ -693,16 +714,19 @@ mod tests {
     fn replica_crash_transparent_below_quorum_loss() {
         let svc = quick_service();
         let c = svc.connect("t");
-        c.create(&p("/a"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c.create(&p("/a"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         svc.crash_replica(0);
-        c.create(&p("/b"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c.create(&p("/b"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         svc.crash_replica(1);
         assert!(matches!(
             c.create(&p("/c"), Bytes::new(), CreateMode::Persistent),
             Err(CoordError::NoQuorum { .. })
         ));
         svc.restart_replica(1);
-        c.create(&p("/c"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c.create(&p("/c"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         assert!(c.exists(&p("/a")).unwrap());
         assert!(c.exists(&p("/b")).unwrap());
     }
@@ -711,7 +735,8 @@ mod tests {
     fn stats_count_ops() {
         let svc = quick_service();
         let c = svc.connect("t");
-        c.create(&p("/a"), Bytes::new(), CreateMode::Persistent).unwrap();
+        c.create(&p("/a"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
         let _ = c.exists(&p("/a")).unwrap();
         let s = svc.stats();
         assert_eq!(s.writes, 1);

@@ -306,7 +306,10 @@ impl ZnodeStore {
         node.version += 1;
         node.mzxid = zxid;
         let v = node.version;
-        (Ok(OpResult::Set(v)), vec![StoreEvent::DataChanged(path.clone())])
+        (
+            Ok(OpResult::Set(v)),
+            vec![StoreEvent::DataChanged(path.clone())],
+        )
     }
 
     fn apply_delete(
@@ -399,7 +402,13 @@ mod tests {
         assert_eq!(stat.version, 0);
         assert_eq!(stat.czxid, 2);
         assert_eq!(s.children(&p("/a")).unwrap(), vec!["b".to_string()]);
-        let (res, events) = s.apply(3, &Op::Delete { path: p("/a/b"), expected_version: None });
+        let (res, events) = s.apply(
+            3,
+            &Op::Delete {
+                path: p("/a/b"),
+                expected_version: None,
+            },
+        );
         assert_eq!(res.unwrap(), OpResult::Deleted);
         assert!(events.contains(&StoreEvent::Deleted(p("/a/b"))));
         assert!(!s.exists(&p("/a/b")));
@@ -443,7 +452,15 @@ mod tests {
         assert_eq!(a.leaf(), Some("item-0000000000"));
         assert_eq!(b.leaf(), Some("item-0000000001"));
         // Counter survives deletion of earlier items.
-        s.apply(4, &Op::Delete { path: a, expected_version: None }).0.unwrap();
+        s.apply(
+            4,
+            &Op::Delete {
+                path: a,
+                expected_version: None,
+            },
+        )
+        .0
+        .unwrap();
         let c = mk(&mut s, 5);
         assert_eq!(c.leaf(), Some("item-0000000002"));
     }
@@ -488,15 +505,36 @@ mod tests {
         create(&mut s, 1, "/a").unwrap();
         create(&mut s, 2, "/a/b").unwrap();
         assert!(matches!(
-            s.apply(3, &Op::Delete { path: p("/a"), expected_version: None }).0,
+            s.apply(
+                3,
+                &Op::Delete {
+                    path: p("/a"),
+                    expected_version: None
+                }
+            )
+            .0,
             Err(CoordError::NotEmpty(_))
         ));
         assert!(matches!(
-            s.apply(3, &Op::Delete { path: p("/missing"), expected_version: None }).0,
+            s.apply(
+                3,
+                &Op::Delete {
+                    path: p("/missing"),
+                    expected_version: None
+                }
+            )
+            .0,
             Err(CoordError::NoNode(_))
         ));
         assert!(matches!(
-            s.apply(3, &Op::Delete { path: p("/a/b"), expected_version: Some(5) }).0,
+            s.apply(
+                3,
+                &Op::Delete {
+                    path: p("/a/b"),
+                    expected_version: Some(5)
+                }
+            )
+            .0,
             Err(CoordError::BadVersion { .. })
         ));
     }
@@ -524,7 +562,13 @@ mod tests {
             OpResult::Purged(paths) => assert_eq!(paths.len(), 2),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(events.iter().filter(|e| matches!(e, StoreEvent::Deleted(_))).count(), 2);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, StoreEvent::Deleted(_)))
+                .count(),
+            2
+        );
         assert_eq!(s.ephemerals_of(100).len(), 0);
         assert_eq!(s.ephemerals_of(200).len(), 1);
         assert_eq!(s.children(&p("/election")).unwrap().len(), 1);

@@ -74,7 +74,12 @@ impl ActionDef {
     }
 
     /// Applies the logical effect to `tree`.
-    pub fn apply_logical(&self, tree: &mut Tree, object: &Path, args: &[Value]) -> Result<(), String> {
+    pub fn apply_logical(
+        &self,
+        tree: &mut Tree,
+        object: &Path,
+        args: &[Value],
+    ) -> Result<(), String> {
         (self.logical)(tree, object, args)
     }
 
@@ -137,7 +142,8 @@ mod tests {
             |tree, object, args| {
                 let by = args[0].as_int().ok_or("incr needs an int")?;
                 let cur = tree.attr_int(object, "n").map_err(|e| e.to_string())?;
-                tree.set_attr(object, "n", cur + by).map_err(|e| e.to_string())?;
+                tree.set_attr(object, "n", cur + by)
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
             |_, object, args| {
@@ -192,7 +198,10 @@ mod tests {
         assert!(reg.get("incr").is_some());
         assert!(reg.get("decr").is_none());
         assert_eq!(reg.names(), vec!["incr"]);
-        assert_eq!(reg.get("incr").unwrap().description(), "Adds to the counter attribute.");
+        assert_eq!(
+            reg.get("incr").unwrap().description(),
+            "Adds to the counter attribute."
+        );
     }
 
     #[test]

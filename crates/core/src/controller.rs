@@ -18,8 +18,8 @@ use tropic_model::{Path, SharedClock, Tree, Value};
 use crate::actions::{ActionDef, ActionRegistry};
 use crate::config::ServiceDefinition;
 use crate::error::PlatformError;
-use crate::logical::{rollback_logical, simulate, LogicalOutcome};
 use crate::locks::LockManager;
+use crate::logical::{rollback_logical, simulate, LogicalOutcome};
 use crate::msg::{layout, AdminResult, InputMsg, PhyTask, Signal};
 use crate::physical::{ExecMode, PhysicalOutcome};
 use crate::reconcile::RepairPlan;
@@ -269,16 +269,17 @@ impl<'a> Controller<'a> {
         let Ok(q) = DistributedQueue::new(self.client, layout::input_q()) else {
             return;
         };
-        match q.len() {
-            Ok(0) => {
-                if self.client.watch(&layout::input_q(), WatchKind::Children).is_ok() {
-                    // Re-check after arming the watch to close the race.
-                    if let Ok(0) = q.len() {
-                        let _ = self.client.wait_event(timeout);
-                    }
+        if let Ok(0) = q.len() {
+            if self
+                .client
+                .watch(&layout::input_q(), WatchKind::Children)
+                .is_ok()
+            {
+                // Re-check after arming the watch to close the race.
+                if let Ok(0) = q.len() {
+                    let _ = self.client.wait_event(timeout);
                 }
             }
-            _ => {}
         }
     }
 
@@ -292,8 +293,11 @@ impl<'a> Controller<'a> {
             match serde_json::from_slice::<InputMsg>(&data) {
                 Ok(msg) => self.handle_msg(msg)?,
                 Err(_) => {
-                    self.metrics
-                        .record_event(self.clock.now_ms(), &self.cfg.name, "corrupt-input-dropped");
+                    self.metrics.record_event(
+                        self.clock.now_ms(),
+                        &self.cfg.name,
+                        "corrupt-input-dropped",
+                    );
                 }
             }
             q.remove(&name)?;
@@ -457,7 +461,10 @@ impl<'a> Controller<'a> {
                 self.finalize(
                     id,
                     TxnState::Aborted,
-                    Some(format!("unknown procedure `{}`", self.records[&id].proc_name)),
+                    Some(format!(
+                        "unknown procedure `{}`",
+                        self.records[&id].proc_name
+                    )),
                 )?;
                 moved += 1;
                 continue;
@@ -546,7 +553,11 @@ impl<'a> Controller<'a> {
         let stalled: Vec<(TxnId, u64)> = self
             .running
             .iter()
-            .filter_map(|id| self.started_at.get(id).map(|s| (*id, now.saturating_sub(*s))))
+            .filter_map(|id| {
+                self.started_at
+                    .get(id)
+                    .map(|s| (*id, now.saturating_sub(*s)))
+            })
             .collect();
         for (id, elapsed) in stalled {
             if let Some(kill_ms) = self.cfg.kill_timeout_ms {
@@ -701,7 +712,10 @@ impl<'a> Controller<'a> {
         if let Err(c) = self.locks.try_acquire(reload_txn, &requests) {
             return AdminResult {
                 ok: false,
-                message: format!("reload conflicts with outstanding transaction at {}", c.path),
+                message: format!(
+                    "reload conflicts with outstanding transaction at {}",
+                    c.path
+                ),
                 actions: 0,
             };
         }
@@ -823,8 +837,7 @@ fn register_builtin_actions(actions: &mut ActionRegistry) {
                 .first()
                 .and_then(Value::as_str)
                 .ok_or("missing subtree snapshot argument")?;
-            let node: tropic_model::Node =
-                serde_json::from_str(json).map_err(|e| e.to_string())?;
+            let node: tropic_model::Node = serde_json::from_str(json).map_err(|e| e.to_string())?;
             tree.replace(object, node).map_err(|e| e.to_string())?;
             Ok(())
         },
@@ -842,20 +855,16 @@ mod tests {
         register_builtin_actions(&mut actions);
         let def = actions.get("__replaceSubtree").unwrap();
         let mut tree = Tree::new();
-        tree.insert(
-            &Path::parse("/a").unwrap(),
-            tropic_model::Node::new("old"),
-        )
-        .unwrap();
+        tree.insert(&Path::parse("/a").unwrap(), tropic_model::Node::new("old"))
+            .unwrap();
         let new_node = tropic_model::Node::new("new").with_attr("x", 1i64);
         let json = serde_json::to_string(&new_node).unwrap();
-        def.apply_logical(
-            &mut tree,
-            &Path::parse("/a").unwrap(),
-            &[Value::from(json)],
-        )
-        .unwrap();
-        assert_eq!(tree.get(&Path::parse("/a").unwrap()).unwrap().entity(), "new");
+        def.apply_logical(&mut tree, &Path::parse("/a").unwrap(), &[Value::from(json)])
+            .unwrap();
+        assert_eq!(
+            tree.get(&Path::parse("/a").unwrap()).unwrap().entity(),
+            "new"
+        );
         // Irreversible by design.
         assert!(def
             .derive_undo(&tree, &Path::parse("/a").unwrap(), &[])

@@ -95,9 +95,13 @@ mod tests {
     #[test]
     fn proc_error_display() {
         let p = Path::parse("/vmRoot/h1").unwrap();
-        assert!(ProcError::Conflict(p.clone()).to_string().contains("conflict"));
+        assert!(ProcError::Conflict(p.clone())
+            .to_string()
+            .contains("conflict"));
         assert!(ProcError::Inconsistent(p).to_string().contains("reconcile"));
-        assert!(ProcError::Logic("no host".into()).to_string().contains("no host"));
+        assert!(ProcError::Logic("no host".into())
+            .to_string()
+            .contains("no host"));
     }
 
     #[test]

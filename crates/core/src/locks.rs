@@ -105,7 +105,11 @@ impl LockManager {
     /// A transaction never conflicts with itself; re-acquisition and
     /// upgrades are permitted as long as no *other* holder is incompatible.
     /// On conflict nothing is acquired and the first conflict is returned.
-    pub fn try_acquire(&mut self, txn: TxnId, requests: &[LockRequest]) -> Result<(), LockConflict> {
+    pub fn try_acquire(
+        &mut self,
+        txn: TxnId,
+        requests: &[LockRequest],
+    ) -> Result<(), LockConflict> {
         for (path, mode) in requests {
             if let Some(holders) = self.table.get(path) {
                 for (&holder, &bits) in holders {
@@ -209,7 +213,10 @@ mod tests {
         assert_eq!(reqs[2], (p("/vmRoot/h1"), LockMode::IW));
         assert_eq!(reqs[3], (p("/vmRoot/h1/vm1"), LockMode::W));
         let reads = with_intentions(&p("/a"), LockMode::R);
-        assert_eq!(reads, vec![(Path::root(), LockMode::IR), (p("/a"), LockMode::R)]);
+        assert_eq!(
+            reads,
+            vec![(Path::root(), LockMode::IR), (p("/a"), LockMode::R)]
+        );
     }
 
     #[test]
@@ -296,17 +303,22 @@ mod tests {
     #[test]
     fn release_unblocks() {
         let mut lm = LockManager::new();
-        lm.try_acquire(1, &with_intentions(&p("/a"), LockMode::W)).unwrap();
-        assert!(lm.try_acquire(2, &with_intentions(&p("/a"), LockMode::W)).is_err());
+        lm.try_acquire(1, &with_intentions(&p("/a"), LockMode::W))
+            .unwrap();
+        assert!(lm
+            .try_acquire(2, &with_intentions(&p("/a"), LockMode::W))
+            .is_err());
         lm.release_all(1);
         assert!(lm.is_empty());
-        lm.try_acquire(2, &with_intentions(&p("/a"), LockMode::W)).unwrap();
+        lm.try_acquire(2, &with_intentions(&p("/a"), LockMode::W))
+            .unwrap();
     }
 
     #[test]
     fn locks_of_reports_held_modes() {
         let mut lm = LockManager::new();
-        lm.try_acquire(1, &with_intentions(&p("/a/b"), LockMode::W)).unwrap();
+        lm.try_acquire(1, &with_intentions(&p("/a/b"), LockMode::W))
+            .unwrap();
         let mut locks = lm.locks_of(1);
         locks.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(locks.len(), 3);
@@ -321,6 +333,8 @@ mod tests {
             lm.try_acquire(txn, &with_intentions(&p("/a"), LockMode::R))
                 .unwrap();
         }
-        assert!(lm.try_acquire(6, &with_intentions(&p("/a"), LockMode::W)).is_err());
+        assert!(lm
+            .try_acquire(6, &with_intentions(&p("/a"), LockMode::W))
+            .is_err());
     }
 }

@@ -113,7 +113,8 @@ mod tests {
             |tree, object, args| {
                 let by = args[0].as_int().ok_or("int")?;
                 let cur = tree.attr_int(object, "n").map_err(|e| e.to_string())?;
-                tree.set_attr(object, "n", cur + by).map_err(|e| e.to_string())?;
+                tree.set_attr(object, "n", cur + by)
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
             |_, object, args| {
@@ -129,7 +130,8 @@ mod tests {
             |tree, object, args| {
                 let by = args[0].as_int().ok_or("int")?;
                 let cur = tree.attr_int(object, "n").map_err(|e| e.to_string())?;
-                tree.set_attr(object, "n", cur - by).map_err(|e| e.to_string())?;
+                tree.set_attr(object, "n", cur - by)
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
             |_, object, args| {
@@ -145,12 +147,17 @@ mod tests {
 
     fn tree() -> Tree {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/c").unwrap(), Node::new("counter").with_attr("n", 0i64))
-            .unwrap();
+        t.insert(
+            &Path::parse("/c").unwrap(),
+            Node::new("counter").with_attr("n", 0i64),
+        )
+        .unwrap();
         t
     }
 
-    fn add_proc(amounts: Vec<i64>) -> FnProcedure<impl Fn(&mut TxnContext<'_>) -> Result<(), ProcError> + Send + Sync> {
+    fn add_proc(
+        amounts: Vec<i64>,
+    ) -> FnProcedure<impl Fn(&mut TxnContext<'_>) -> Result<(), ProcError> + Send + Sync> {
         FnProcedure::new("addMany", move |ctx| {
             let c = Path::parse("/c").unwrap();
             for a in &amounts {
@@ -167,7 +174,14 @@ mod tests {
         let mut locks = LockManager::new();
         let mut t = tree();
         let mut txn = TxnRecord::new(1, "addMany", vec![], 0);
-        let outcome = simulate(&mut txn, &add_proc(vec![3, 4]), &mut t, &reg, &cons, &mut locks);
+        let outcome = simulate(
+            &mut txn,
+            &add_proc(vec![3, 4]),
+            &mut t,
+            &reg,
+            &cons,
+            &mut locks,
+        );
         assert_eq!(outcome, LogicalOutcome::Runnable);
         assert_eq!(t.attr_int(&Path::parse("/c").unwrap(), "n").unwrap(), 7);
         assert_eq!(txn.log.len(), 2);
@@ -194,7 +208,14 @@ mod tests {
         let mut t = tree();
         let mut txn = TxnRecord::new(1, "addMany", vec![], 0);
         // First two adds are fine (5, 9); the third (14) violates.
-        let outcome = simulate(&mut txn, &add_proc(vec![5, 4, 5]), &mut t, &reg, &cons, &mut locks);
+        let outcome = simulate(
+            &mut txn,
+            &add_proc(vec![5, 4, 5]),
+            &mut t,
+            &reg,
+            &cons,
+            &mut locks,
+        );
         match outcome {
             LogicalOutcome::Aborted { reason } => assert!(reason.contains("> 10")),
             other => panic!("unexpected {other:?}"),
@@ -213,12 +234,26 @@ mod tests {
         // Txn 1 runs and holds its locks.
         let mut txn1 = TxnRecord::new(1, "addMany", vec![], 0);
         assert_eq!(
-            simulate(&mut txn1, &add_proc(vec![1]), &mut t, &reg, &cons, &mut locks),
+            simulate(
+                &mut txn1,
+                &add_proc(vec![1]),
+                &mut t,
+                &reg,
+                &cons,
+                &mut locks
+            ),
             LogicalOutcome::Runnable
         );
         // Txn 2 conflicts on /c, is rolled back and deferred.
         let mut txn2 = TxnRecord::new(2, "addMany", vec![], 0);
-        let outcome = simulate(&mut txn2, &add_proc(vec![2]), &mut t, &reg, &cons, &mut locks);
+        let outcome = simulate(
+            &mut txn2,
+            &add_proc(vec![2]),
+            &mut t,
+            &reg,
+            &cons,
+            &mut locks,
+        );
         assert_eq!(
             outcome,
             LogicalOutcome::Deferred {
@@ -256,7 +291,10 @@ mod tests {
         // Apply add(3) then add(4) manually, building the log.
         let mut log = Vec::new();
         for (seq, v) in [(1usize, 3i64), (2, 4)] {
-            reg.get("add").unwrap().apply_logical(&mut t, &c, &[Value::Int(v)]).unwrap();
+            reg.get("add")
+                .unwrap()
+                .apply_logical(&mut t, &c, &[Value::Int(v)])
+                .unwrap();
             log.push(LogRecord {
                 seq,
                 object: c.clone(),

@@ -163,7 +163,10 @@ mod tests {
             .insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
             .unwrap();
         frame
-            .insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
+            .insert(
+                &Path::parse("/storageRoot").unwrap(),
+                Node::new("storageRoot"),
+            )
             .unwrap();
         let reg = DeviceRegistry::new(frame);
         let storage = StorageServer::new(
@@ -186,7 +189,12 @@ mod tests {
     fn spawn_log() -> Vec<LogRecord> {
         let s1 = Path::parse("/storageRoot/s1").unwrap();
         let h1 = Path::parse("/vmRoot/h1").unwrap();
-        let rec = |seq: usize, object: &Path, action: &str, args: Vec<Value>, undo: &str, undo_args: Vec<Value>| LogRecord {
+        let rec = |seq: usize,
+                   object: &Path,
+                   action: &str,
+                   args: Vec<Value>,
+                   undo: &str,
+                   undo_args: Vec<Value>| LogRecord {
             seq,
             object: object.clone(),
             action: action.into(),
@@ -196,9 +204,30 @@ mod tests {
             undo_args,
         };
         vec![
-            rec(1, &s1, "cloneImage", vec!["tmpl".into(), "img".into()], "removeImage", vec!["img".into()]),
-            rec(2, &s1, "exportImage", vec!["img".into()], "unexportImage", vec!["img".into()]),
-            rec(3, &h1, "importImage", vec!["img".into()], "unimportImage", vec!["img".into()]),
+            rec(
+                1,
+                &s1,
+                "cloneImage",
+                vec!["tmpl".into(), "img".into()],
+                "removeImage",
+                vec!["img".into()],
+            ),
+            rec(
+                2,
+                &s1,
+                "exportImage",
+                vec!["img".into()],
+                "unexportImage",
+                vec!["img".into()],
+            ),
+            rec(
+                3,
+                &h1,
+                "importImage",
+                vec!["img".into()],
+                "unimportImage",
+                vec!["img".into()],
+            ),
             rec(
                 4,
                 &h1,
@@ -207,7 +236,14 @@ mod tests {
                 "removeVM",
                 vec!["vm1".into()],
             ),
-            rec(5, &h1, "startVM", vec!["vm1".into()], "stopVM", vec!["vm1".into()]),
+            rec(
+                5,
+                &h1,
+                "startVM",
+                vec!["vm1".into()],
+                "stopVM",
+                vec!["vm1".into()],
+            ),
         ]
     }
 

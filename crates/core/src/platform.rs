@@ -97,7 +97,9 @@ impl Tropic {
                 std::thread::Builder::new()
                     .name(name.clone())
                     .spawn(move || {
-                        controller_thread(cfg, coord, service, mode, clock, metrics, stop, crash, is_leader)
+                        controller_thread(
+                            cfg, coord, service, mode, clock, metrics, stop, crash, is_leader,
+                        )
                     })
                     .expect("spawn controller thread")
             };

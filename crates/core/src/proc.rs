@@ -198,11 +198,7 @@ impl<'a> TxnContext<'a> {
     /// Runs a read-only query at `path` under a read lock (paper §2.2:
     /// queries provide read-only access; the lock manager acquires R and IR
     /// locks for them, §3.1.3).
-    pub fn query<T>(
-        &mut self,
-        path: &Path,
-        f: impl FnOnce(&Tree) -> T,
-    ) -> Result<T, ProcError> {
+    pub fn query<T>(&mut self, path: &Path, f: impl FnOnce(&Tree) -> T) -> Result<T, ProcError> {
         if self.tree.is_inconsistent(path) {
             return Err(ProcError::Inconsistent(path.clone()));
         }
@@ -222,12 +218,7 @@ impl<'a> TxnContext<'a> {
     /// A lock conflict surfaces as [`ProcError::Conflict`] (the scheduler
     /// defers the transaction); a violated constraint as
     /// [`ProcError::Violation`] (the transaction aborts).
-    pub fn act(
-        &mut self,
-        object: &Path,
-        action: &str,
-        args: Vec<Value>,
-    ) -> Result<(), ProcError> {
+    pub fn act(&mut self, object: &Path, action: &str, args: Vec<Value>) -> Result<(), ProcError> {
         if self.tree.is_inconsistent(object) {
             return Err(ProcError::Inconsistent(object.clone()));
         }
@@ -238,7 +229,10 @@ impl<'a> TxnContext<'a> {
             .clone();
 
         let mut requests: Vec<LockRequest> = with_intentions(object, LockMode::W);
-        if let Some(anchor) = self.constraints.highest_constrained_ancestor(self.tree, object) {
+        if let Some(anchor) = self
+            .constraints
+            .highest_constrained_ancestor(self.tree, object)
+        {
             requests.extend(with_intentions(&anchor, LockMode::R));
         }
         self.acquire(requests)?;
@@ -301,10 +295,16 @@ mod tests {
 
     fn tree() -> Tree {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/a").unwrap(), Node::new("box").with_attr("n", 1i64))
-            .unwrap();
-        t.insert(&Path::parse("/b").unwrap(), Node::new("box").with_attr("n", 2i64))
-            .unwrap();
+        t.insert(
+            &Path::parse("/a").unwrap(),
+            Node::new("box").with_attr("n", 1i64),
+        )
+        .unwrap();
+        t.insert(
+            &Path::parse("/b").unwrap(),
+            Node::new("box").with_attr("n", 2i64),
+        )
+        .unwrap();
         t
     }
 
@@ -411,7 +411,9 @@ mod tests {
         let a = Path::parse("/a").unwrap();
         {
             let mut ctx = TxnContext::new(1, vec![], &mut t, &reg, &cons, &mut locks);
-            let n = ctx.query(&a, |tree| tree.attr_int(&a, "n").unwrap()).unwrap();
+            let n = ctx
+                .query(&a, |tree| tree.attr_int(&a, "n").unwrap())
+                .unwrap();
             assert_eq!(n, 1);
         }
         assert!(locks.holds(1, &a, LockMode::R));

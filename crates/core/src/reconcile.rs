@@ -106,7 +106,13 @@ mod tests {
     fn start_vm_rule() -> RepairRules {
         let mut rules = RepairRules::new();
         rules.register(|diff, logical| {
-            let DiffEntry::AttrChanged { path, attr, left, right } = diff else {
+            let DiffEntry::AttrChanged {
+                path,
+                attr,
+                left,
+                right,
+            } = diff
+            else {
                 return Vec::new();
             };
             if attr != "state"
@@ -157,9 +163,7 @@ mod tests {
     fn first_matching_rule_wins() {
         let mut rules = start_vm_rule();
         // A later rule that would also match never fires.
-        rules.register(|_, _| {
-            vec![ActionCall::new(Path::root(), "shouldNotRun", vec![])]
-        });
+        rules.register(|_, _| vec![ActionCall::new(Path::root(), "shouldNotRun", vec![])]);
         let diffs = vec![DiffEntry::AttrChanged {
             path: Path::parse("/vmRoot/h1/vm1").unwrap(),
             attr: "state".into(),

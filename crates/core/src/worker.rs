@@ -50,10 +50,7 @@ pub fn run_worker(name: &str, coord: &CoordService, mode: ExecMode, stop: &Atomi
         };
         let signal_path = layout::signal(task.id);
         let outcome = execute_physical(&rec.log, &mode, || {
-            client
-                .get_json::<Signal>(&signal_path)
-                .ok()
-                .flatten()
+            client.get_json::<Signal>(&signal_path).ok().flatten()
         });
         let msg = InputMsg::Result {
             id: task.id,

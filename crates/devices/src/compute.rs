@@ -134,7 +134,11 @@ impl ComputeServer {
             VmRec {
                 image: image.to_owned(),
                 mem,
-                power: if running { VmPower::Running } else { VmPower::Stopped },
+                power: if running {
+                    VmPower::Running
+                } else {
+                    VmPower::Stopped
+                },
                 hypervisor: self.hypervisor.clone(),
             },
         );
@@ -273,7 +277,12 @@ impl Device for ComputeServer {
             .with_attr("memCapacity", self.mem_capacity)
             .with_attr(
                 "importedImages",
-                Value::List(st.imported.iter().map(|s| Value::from(s.as_str())).collect()),
+                Value::List(
+                    st.imported
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
             );
         for (name, vm) in &st.vms {
             node.insert_child(
@@ -312,7 +321,12 @@ mod tests {
 
     fn spawn_sequence(h: &ComputeServer) {
         call(h, "importImage", vec!["img1".into()]).unwrap();
-        call(h, "createVM", vec!["vm1".into(), "img1".into(), Value::Int(2048)]).unwrap();
+        call(
+            h,
+            "createVM",
+            vec!["vm1".into(), "img1".into(), Value::Int(2048)],
+        )
+        .unwrap();
         call(h, "startVM", vec!["vm1".into()]).unwrap();
     }
 
@@ -332,7 +346,12 @@ mod tests {
     #[test]
     fn create_requires_imported_image() {
         let h = host();
-        let err = call(&h, "createVM", vec!["vm1".into(), "img1".into(), Value::Int(512)]).unwrap_err();
+        let err = call(
+            &h,
+            "createVM",
+            vec!["vm1".into(), "img1".into(), Value::Int(512)],
+        )
+        .unwrap_err();
         assert!(matches!(err, DeviceError::InvalidState { .. }));
     }
 
@@ -387,7 +406,10 @@ mod tests {
             Err(DeviceError::UnknownAction(_))
         ));
         let wrong = ActionCall::new(Path::parse("/vmRoot/other").unwrap(), "startVM", vec![]);
-        assert!(matches!(h.invoke(&wrong), Err(DeviceError::NoSuchObject(_))));
+        assert!(matches!(
+            h.invoke(&wrong),
+            Err(DeviceError::NoSuchObject(_))
+        ));
     }
 
     #[test]
@@ -423,7 +445,11 @@ mod tests {
         assert_eq!(vm.attr_str("state"), Some("running"));
         assert_eq!(vm.attr_int("mem"), Some(2048));
         assert_eq!(
-            node.attr("importedImages").unwrap().as_list().unwrap().len(),
+            node.attr("importedImages")
+                .unwrap()
+                .as_list()
+                .unwrap()
+                .len(),
             1
         );
     }

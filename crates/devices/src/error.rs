@@ -72,13 +72,17 @@ mod tests {
     #[test]
     fn display_variants() {
         let p = Path::parse("/vmRoot/h1/vm1").unwrap();
-        assert!(DeviceError::NoSuchObject(p.clone()).to_string().contains("vm1"));
+        assert!(DeviceError::NoSuchObject(p.clone())
+            .to_string()
+            .contains("vm1"));
         assert!(DeviceError::InjectedFault {
             action: "startVM".into(),
             message: "boom".into()
         }
         .to_string()
         .contains("startVM"));
-        assert!(DeviceError::Unreachable("h1".into()).to_string().contains("h1"));
+        assert!(DeviceError::Unreachable("h1".into())
+            .to_string()
+            .contains("h1"));
     }
 }

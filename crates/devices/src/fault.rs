@@ -171,7 +171,10 @@ mod tests {
         let plan = FaultPlan::none();
         plan.fail_every_nth("cloneImage", 3);
         let fails: Vec<bool> = (0..9).map(|_| plan.roll("cloneImage").is_some()).collect();
-        assert_eq!(fails, vec![false, false, true, false, false, true, false, false, true]);
+        assert_eq!(
+            fails,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
     }
 
     #[test]

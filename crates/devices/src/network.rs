@@ -84,7 +84,9 @@ impl Router {
         }
         let mut st = self.state.lock();
         if st.vlans.contains_key(&id) {
-            return Err(DeviceError::AlreadyExists(self.mount.join(&format!("vlan{id}"))));
+            return Err(DeviceError::AlreadyExists(
+                self.mount.join(&format!("vlan{id}")),
+            ));
         }
         if st.vlans.len() >= self.max_vlans {
             return Err(DeviceError::InvalidState {
@@ -100,7 +102,9 @@ impl Router {
         let id = call.arg_int(0)?;
         let mut st = self.state.lock();
         match st.vlans.get(&id) {
-            None => Err(DeviceError::NoSuchObject(self.mount.join(&format!("vlan{id}")))),
+            None => Err(DeviceError::NoSuchObject(
+                self.mount.join(&format!("vlan{id}")),
+            )),
             Some(ports) if !ports.is_empty() => Err(DeviceError::InvalidState {
                 path: self.mount.join(&format!("vlan{id}")),
                 message: format!("{} ports still attached", ports.len()),

@@ -34,9 +34,7 @@ impl DeviceRegistry {
 
     /// Registers a device at its mount path.
     pub fn register(&self, device: Arc<dyn Device>) {
-        self.devices
-            .write()
-            .insert(device.mount().clone(), device);
+        self.devices.write().insert(device.mount().clone(), device);
     }
 
     /// Removes (decommissions) the device mounted at `mount`.
@@ -121,8 +119,11 @@ mod tests {
         let mut t = Tree::new();
         t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
             .unwrap();
-        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
-            .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot").unwrap(),
+            Node::new("storageRoot"),
+        )
+        .unwrap();
         t
     }
 
@@ -179,8 +180,12 @@ mod tests {
     fn physical_tree_includes_device_state() {
         let reg = registry();
         let h1 = Path::parse("/vmRoot/h1").unwrap();
-        reg.invoke(&ActionCall::new(h1.clone(), "importImage", vec!["img".into()]))
-            .unwrap();
+        reg.invoke(&ActionCall::new(
+            h1.clone(),
+            "importImage",
+            vec!["img".into()],
+        ))
+        .unwrap();
         reg.invoke(&ActionCall::new(
             h1.clone(),
             "createVM",

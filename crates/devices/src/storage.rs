@@ -159,8 +159,16 @@ impl StorageServer {
     fn do_restore(&self, call: &ActionCall) -> DeviceResult<()> {
         let image = call.arg_str(0)?.to_owned();
         let size_mb = call.arg_int(1)?;
-        let template = call.args.get(2).and_then(tropic_model::Value::as_bool).unwrap_or(false);
-        let exported = call.args.get(3).and_then(tropic_model::Value::as_bool).unwrap_or(false);
+        let template = call
+            .args
+            .get(2)
+            .and_then(tropic_model::Value::as_bool)
+            .unwrap_or(false);
+        let exported = call
+            .args
+            .get(3)
+            .and_then(tropic_model::Value::as_bool)
+            .unwrap_or(false);
         let mut st = self.state.lock();
         if st.images.contains_key(&image) {
             return Err(DeviceError::AlreadyExists(self.mount.join(&image)));
@@ -196,7 +204,10 @@ impl StorageServer {
         if rec.exported == exported {
             return Err(DeviceError::InvalidState {
                 path: self.mount.join(image),
-                message: format!("image already {}", if exported { "exported" } else { "unexported" }),
+                message: format!(
+                    "image already {}",
+                    if exported { "exported" } else { "unexported" }
+                ),
             });
         }
         rec.exported = exported;
@@ -238,10 +249,7 @@ impl Device for StorageServer {
         let st = self.state.lock();
         let mut node = Node::new("storageHost")
             .with_attr("capacityMb", self.capacity_mb)
-            .with_attr(
-                "usedMb",
-                st.images.values().map(|i| i.size_mb).sum::<i64>(),
-            );
+            .with_attr("usedMb", st.images.values().map(|i| i.size_mb).sum::<i64>());
         for (name, rec) in &st.images {
             node.insert_child(
                 name.clone(),
@@ -281,7 +289,12 @@ mod tests {
     #[test]
     fn clone_export_unexport_remove() {
         let s = server();
-        call(&s, "cloneImage", vec!["template-linux".into(), "vm1-img".into()]).unwrap();
+        call(
+            &s,
+            "cloneImage",
+            vec!["template-linux".into(), "vm1-img".into()],
+        )
+        .unwrap();
         assert!(s.has_image("vm1-img"));
         assert_eq!(s.used_mb(), 16_384);
         call(&s, "exportImage", vec!["vm1-img".into()]).unwrap();
@@ -393,7 +406,12 @@ mod tests {
         call(
             &s,
             "restoreImage",
-            vec!["a".into(), Value::Int(8_192), Value::Bool(false), Value::Bool(false)],
+            vec![
+                "a".into(),
+                Value::Int(8_192),
+                Value::Bool(false),
+                Value::Bool(false),
+            ],
         )
         .unwrap();
         assert!(s.has_image("a"));
@@ -403,7 +421,12 @@ mod tests {
             call(
                 &s,
                 "restoreImage",
-                vec!["a".into(), Value::Int(8_192), Value::Bool(false), Value::Bool(false)],
+                vec![
+                    "a".into(),
+                    Value::Int(8_192),
+                    Value::Bool(false),
+                    Value::Bool(false)
+                ],
             ),
             Err(DeviceError::AlreadyExists(_))
         ));

@@ -118,8 +118,7 @@ impl Clock for ManualClock {
         while self.now_ms() < deadline {
             // A short real-time timeout guards against lost wakeups if the
             // advancing thread races the sleeper registering.
-            self.cond
-                .wait_for(&mut guard, Duration::from_millis(50));
+            self.cond.wait_for(&mut guard, Duration::from_millis(50));
         }
     }
 
@@ -127,8 +126,7 @@ impl Clock for ManualClock {
         let deadline = self.now_ms().saturating_add(d.as_millis() as u64);
         let mut guard = self.lock.lock();
         while self.now_ms() < deadline && !stop.load(Ordering::SeqCst) {
-            self.cond
-                .wait_for(&mut guard, Duration::from_millis(10));
+            self.cond.wait_for(&mut guard, Duration::from_millis(10));
         }
     }
 }

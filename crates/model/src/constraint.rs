@@ -71,11 +71,7 @@ where
 {
     /// Creates a closure-backed constraint. The closure returns a violation
     /// message on failure.
-    pub fn new(
-        name: impl Into<String>,
-        anchor_entity: impl Into<String>,
-        check: F,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, anchor_entity: impl Into<String>, check: F) -> Self {
         FnConstraint {
             name: name.into(),
             anchor_entity: anchor_entity.into(),
@@ -321,7 +317,10 @@ mod tests {
         );
         // A root-anchored constraint takes precedence as "highest".
         set.register(Arc::new(FnConstraint::new("noop", "root", |_, _| Ok(()))));
-        assert_eq!(set.highest_constrained_ancestor(&t, &vm), Some(Path::root()));
+        assert_eq!(
+            set.highest_constrained_ancestor(&t, &vm),
+            Some(Path::root())
+        );
         // No constraint covers an unrelated entity chain.
         let empty = ConstraintSet::new();
         assert_eq!(empty.highest_constrained_ancestor(&t, &vm), None);

@@ -172,7 +172,9 @@ mod tests {
 
     #[test]
     fn attrs_basic() {
-        let mut n = Node::new("vm").with_attr("mem", 2048i64).with_attr("state", "stopped");
+        let mut n = Node::new("vm")
+            .with_attr("mem", 2048i64)
+            .with_attr("state", "stopped");
         assert_eq!(n.entity(), "vm");
         assert_eq!(n.attr_int("mem"), Some(2048));
         assert_eq!(n.attr_str("state"), Some("stopped"));

@@ -146,11 +146,7 @@ impl Path {
     /// matching prefix).
     pub fn is_ancestor_of(&self, other: &Path) -> bool {
         self.segs.len() < other.segs.len()
-            && self
-                .segs
-                .iter()
-                .zip(other.segs.iter())
-                .all(|(a, b)| a == b)
+            && self.segs.iter().zip(other.segs.iter()).all(|(a, b)| a == b)
     }
 
     /// Returns `true` if `self` equals `other` or is an ancestor of it.
@@ -229,10 +225,7 @@ mod tests {
 
     #[test]
     fn trailing_slash_tolerated() {
-        assert_eq!(
-            Path::parse("/a/b/").unwrap(),
-            Path::parse("/a/b").unwrap()
-        );
+        assert_eq!(Path::parse("/a/b/").unwrap(), Path::parse("/a/b").unwrap());
     }
 
     #[test]
@@ -298,7 +291,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic_by_segment() {
-        let mut v = vec![
+        let mut v = [
             Path::parse("/b").unwrap(),
             Path::parse("/a/z").unwrap(),
             Path::parse("/a").unwrap(),

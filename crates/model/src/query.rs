@@ -113,7 +113,9 @@ mod tests {
         ] {
             t.insert(
                 &Path::parse(&format!("/vmRoot/h1/{name}")).unwrap(),
-                Node::new("vm").with_attr("mem", mem).with_attr("state", state),
+                Node::new("vm")
+                    .with_attr("mem", mem)
+                    .with_attr("state", state),
             )
             .unwrap();
         }
@@ -134,7 +136,10 @@ mod tests {
         let t = tree();
         let h1 = Path::parse("/vmRoot/h1").unwrap();
         assert_eq!(count_children_with(&t, &h1, "state", "running"), 2);
-        assert_eq!(count_children(&t, &h1, |c| c.attr_int("mem").unwrap_or(0) > 1000), 2);
+        assert_eq!(
+            count_children(&t, &h1, |c| c.attr_int("mem").unwrap_or(0) > 1000),
+            2
+        );
         let running = select_children(&t, &h1, |c| c.attr_str("state") == Some("running"));
         assert_eq!(running.len(), 2);
         assert_eq!(running[0].leaf(), Some("vm1"));
@@ -167,6 +172,9 @@ mod tests {
         let h1 = Path::parse("/vmRoot/h1").unwrap();
         assert_eq!(attr_or_null(&t, &h1, "memCapacity"), Value::Int(8192));
         assert_eq!(attr_or_null(&t, &h1, "absent"), Value::Null);
-        assert_eq!(attr_or_null(&t, &Path::parse("/none").unwrap(), "x"), Value::Null);
+        assert_eq!(
+            attr_or_null(&t, &Path::parse("/none").unwrap(), "x"),
+            Value::Null
+        );
     }
 }

@@ -202,15 +202,14 @@ impl SchemaRegistry {
             };
             for (attr_name, attr_schema) in schema.attrs() {
                 match node.attr(attr_name) {
-                    Some(v) => {
-                        if !attr_schema.ty.admits(v) {
-                            return Err(ModelError::SchemaViolation(format!(
-                                "{path}: attribute `{attr_name}` has type {}, schema expects {:?}",
-                                v.type_name(),
-                                attr_schema.ty
-                            )));
-                        }
+                    Some(v) if !attr_schema.ty.admits(v) => {
+                        return Err(ModelError::SchemaViolation(format!(
+                            "{path}: attribute `{attr_name}` has type {}, schema expects {:?}",
+                            v.type_name(),
+                            attr_schema.ty
+                        )));
                     }
+                    Some(_) => {}
                     None if attr_schema.required => {
                         return Err(ModelError::SchemaViolation(format!(
                             "{path}: required attribute `{attr_name}` missing on entity `{}`",
@@ -293,7 +292,9 @@ mod tests {
         .unwrap();
         t.insert(
             &Path::parse("/vmRoot/h1/vm1").unwrap(),
-            Node::new("vm").with_attr("state", "stopped").with_attr("mem", 1024i64),
+            Node::new("vm")
+                .with_attr("state", "stopped")
+                .with_attr("mem", 1024i64),
         )
         .unwrap();
         t
@@ -345,7 +346,11 @@ mod tests {
         assert!(registry().validate(&t).is_err());
         // But without a root schema it passes.
         let mut reg = registry();
-        reg.register(EntitySchema::new("root").child("vmRoot").child("unregisteredEntity"));
+        reg.register(
+            EntitySchema::new("root")
+                .child("vmRoot")
+                .child("unregisteredEntity"),
+        );
         reg.validate(&t).unwrap();
     }
 

@@ -121,7 +121,8 @@ impl Tree {
 
     /// Looks up a node, returning a [`ModelError::NoSuchPath`] when absent.
     pub fn require(&self, path: &Path) -> ModelResult<&Node> {
-        self.get(path).ok_or_else(|| ModelError::NoSuchPath(path.clone()))
+        self.get(path)
+            .ok_or_else(|| ModelError::NoSuchPath(path.clone()))
     }
 
     /// Looks up a node mutably, returning an error when absent.
@@ -387,7 +388,9 @@ mod tests {
         .unwrap();
         t.insert(
             &Path::parse("/vmRoot/host1/vm1").unwrap(),
-            Node::new("vm").with_attr("state", "running").with_attr("mem", 2048i64),
+            Node::new("vm")
+                .with_attr("state", "running")
+                .with_attr("mem", 2048i64),
         )
         .unwrap();
         t
@@ -439,10 +442,7 @@ mod tests {
         let old = t.set_attr(&p, "state", "stopped").unwrap();
         assert_eq!(old, Some(Value::Str("running".into())));
         assert_eq!(t.attr_str(&p, "state").unwrap(), "stopped");
-        assert_eq!(
-            t.remove_attr(&p, "mem").unwrap(),
-            Some(Value::Int(2048))
-        );
+        assert_eq!(t.remove_attr(&p, "mem").unwrap(), Some(Value::Int(2048)));
     }
 
     #[test]
@@ -505,7 +505,12 @@ mod tests {
         let d = a.diff(&b, &Path::root());
         assert_eq!(d.len(), 1);
         match &d[0] {
-            DiffEntry::AttrChanged { path, attr, left, right } => {
+            DiffEntry::AttrChanged {
+                path,
+                attr,
+                left,
+                right,
+            } => {
                 assert_eq!(path, &vm);
                 assert_eq!(attr, "state");
                 assert_eq!(left.as_ref().unwrap().as_str(), Some("running"));
@@ -521,13 +526,16 @@ mod tests {
         let mut b = sample();
         let vm2 = Path::parse("/vmRoot/host1/vm2").unwrap();
         b.insert(&vm2, Node::new("vm")).unwrap();
-        b.remove(&Path::parse("/vmRoot/host1/vm1").unwrap()).unwrap();
+        b.remove(&Path::parse("/vmRoot/host1/vm1").unwrap())
+            .unwrap();
         let d = a.diff(&b, &Path::root());
         assert_eq!(d.len(), 2);
-        assert!(d.iter().any(|e| matches!(e, DiffEntry::NodeAdded { path, .. } if path == &vm2)));
         assert!(d
             .iter()
-            .any(|e| matches!(e, DiffEntry::NodeRemoved { path, .. } if path.leaf() == Some("vm1"))));
+            .any(|e| matches!(e, DiffEntry::NodeAdded { path, .. } if path == &vm2)));
+        assert!(d.iter().any(
+            |e| matches!(e, DiffEntry::NodeRemoved { path, .. } if path.leaf() == Some("vm1"))
+        ));
     }
 
     #[test]
@@ -551,7 +559,9 @@ mod tests {
         let mut replacement = Node::new("storageHost").with_attr("memCapacity", 32768i64);
         replacement.insert_child(
             "vm1",
-            Node::new("vm").with_attr("state", "running").with_attr("mem", 2048i64),
+            Node::new("vm")
+                .with_attr("state", "running")
+                .with_attr("mem", 2048i64),
         );
         b.replace(&host, replacement).unwrap();
         let d = a.diff(&b, &Path::root());

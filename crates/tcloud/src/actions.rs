@@ -397,7 +397,8 @@ fn set_vm_state(
     if state != from {
         return Err(format!("VM `{name}` is {state}, expected {from}"));
     }
-    tree.set_attr(&vm_path, "state", to).map_err(|e| e.to_string())?;
+    tree.set_attr(&vm_path, "state", to)
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -458,7 +459,9 @@ pub fn create_vlan() -> ActionDef {
             if !(1..=4094).contains(&id) {
                 return Err(format!("VLAN id {id} out of 802.1Q range"));
             }
-            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            let vlan_path = router
+                .child(&vlan_node_name(id))
+                .map_err(|e| e.to_string())?;
             if tree.exists(&vlan_path) {
                 return Err(format!("VLAN {id} already exists on {router}"));
             }
@@ -489,11 +492,17 @@ pub fn remove_vlan() -> ActionDef {
         "removeVlan",
         |tree, router, args| {
             let id = get_args_int(args, 0)?;
-            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            let vlan_path = router
+                .child(&vlan_node_name(id))
+                .map_err(|e| e.to_string())?;
             let vlan = tree
                 .get(&vlan_path)
                 .ok_or_else(|| format!("VLAN {id} not found on {router}"))?;
-            let ports = vlan.attr("ports").and_then(Value::as_list).map(<[Value]>::len).unwrap_or(0);
+            let ports = vlan
+                .attr("ports")
+                .and_then(Value::as_list)
+                .map(<[Value]>::len)
+                .unwrap_or(0);
             if ports > 0 {
                 return Err(format!("VLAN {id} still has {ports} port(s) attached"));
             }
@@ -515,7 +524,12 @@ pub fn remove_vlan() -> ActionDef {
 fn vlan_ports(tree: &Tree, vlan_path: &Path) -> Vec<String> {
     tree.attr(vlan_path, "ports")
         .and_then(Value::as_list)
-        .map(|l| l.iter().filter_map(Value::as_str).map(str::to_owned).collect())
+        .map(|l| {
+            l.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_owned)
+                .collect()
+        })
         .unwrap_or_default()
 }
 
@@ -527,7 +541,9 @@ pub fn attach_port() -> ActionDef {
         |tree, router, args| {
             let id = get_args_int(args, 0)?;
             let port = get_args_str(args, 1)?;
-            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            let vlan_path = router
+                .child(&vlan_node_name(id))
+                .map_err(|e| e.to_string())?;
             if !tree.exists(&vlan_path) {
                 return Err(format!("VLAN {id} not found on {router}"));
             }
@@ -563,7 +579,9 @@ pub fn detach_port() -> ActionDef {
         |tree, router, args| {
             let id = get_args_int(args, 0)?;
             let port = get_args_str(args, 1)?;
-            let vlan_path = router.child(&vlan_node_name(id)).map_err(|e| e.to_string())?;
+            let vlan_path = router
+                .child(&vlan_node_name(id))
+                .map_err(|e| e.to_string())?;
             if !tree.exists(&vlan_path) {
                 return Err(format!("VLAN {id} not found on {router}"));
             }
@@ -623,8 +641,11 @@ mod tests {
 
     fn tree() -> Tree {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
-            .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot").unwrap(),
+            Node::new("storageRoot"),
+        )
+        .unwrap();
         t.insert(
             &Path::parse("/storageRoot/s0").unwrap(),
             Node::new(STORAGE_HOST)
@@ -640,7 +661,8 @@ mod tests {
                 .with_attr("exported", false),
         )
         .unwrap();
-        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
         t.insert(
             &Path::parse("/vmRoot/h0").unwrap(),
             Node::new(VM_HOST)
@@ -670,7 +692,10 @@ mod tests {
             .unwrap()
             .derive_undo(&t, &s0(), &args)
             .unwrap();
-        reg.get("cloneImage").unwrap().apply_logical(&mut t, &s0(), &args).unwrap();
+        reg.get("cloneImage")
+            .unwrap()
+            .apply_logical(&mut t, &s0(), &args)
+            .unwrap();
         assert!(t.exists(&s0().join("img")));
         assert_eq!(t.attr_int(&s0(), "usedMb").unwrap(), 16_384);
         reg.get(&undo.action)
@@ -886,8 +911,10 @@ mod tests {
         let reg = all();
         let mut t = Tree::new();
         let r = Path::parse("/netRoot/r0").unwrap();
-        t.insert(&Path::parse("/netRoot").unwrap(), Node::new("netRoot")).unwrap();
-        t.insert(&r, Node::new("router").with_attr("maxVlans", 8i64)).unwrap();
+        t.insert(&Path::parse("/netRoot").unwrap(), Node::new("netRoot"))
+            .unwrap();
+        t.insert(&r, Node::new("router").with_attr("maxVlans", 8i64))
+            .unwrap();
         reg.get("createVlan")
             .unwrap()
             .apply_logical(&mut t, &r, &[Value::Int(100)])

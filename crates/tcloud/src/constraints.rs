@@ -59,21 +59,25 @@ pub fn vm_type() -> Arc<dyn Constraint> {
 /// Storage-capacity constraint: image sizes must fit the server's capacity.
 pub fn storage_capacity() -> Arc<dyn Constraint> {
     Arc::new(
-        FnConstraint::new("storage-capacity", STORAGE_HOST, |tree: &Tree, anchor: &Path| {
-            let host = tree.get(anchor).expect("anchor exists");
-            let capacity = host.attr_int("capacityMb").unwrap_or(0);
-            let used: i64 = host
-                .children()
-                .filter_map(|(_, img)| img.attr_int("sizeMb"))
-                .sum();
-            if used > capacity {
-                Err(format!(
-                    "images occupy {used} MB, exceeding capacity {capacity} MB"
-                ))
-            } else {
-                Ok(())
-            }
-        })
+        FnConstraint::new(
+            "storage-capacity",
+            STORAGE_HOST,
+            |tree: &Tree, anchor: &Path| {
+                let host = tree.get(anchor).expect("anchor exists");
+                let capacity = host.attr_int("capacityMb").unwrap_or(0);
+                let used: i64 = host
+                    .children()
+                    .filter_map(|(_, img)| img.attr_int("sizeMb"))
+                    .sum();
+                if used > capacity {
+                    Err(format!(
+                        "images occupy {used} MB, exceeding capacity {capacity} MB"
+                    ))
+                } else {
+                    Ok(())
+                }
+            },
+        )
         .describe("Aggregated image size cannot exceed the storage server's capacity."),
     )
 }
@@ -133,7 +137,8 @@ mod tests {
     fn host_tree(capacity: i64, vms: &[(&str, i64, &str)]) -> (Tree, Path) {
         let mut t = Tree::new();
         let h = Path::parse("/vmRoot/h0").unwrap();
-        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
         t.insert(
             &h,
             Node::new(VM_HOST)
@@ -182,8 +187,11 @@ mod tests {
     fn storage_capacity_enforced() {
         let mut t = Tree::new();
         let s = Path::parse("/storageRoot/s0").unwrap();
-        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new("storageRoot"))
-            .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot").unwrap(),
+            Node::new("storageRoot"),
+        )
+        .unwrap();
         t.insert(
             &s,
             Node::new(STORAGE_HOST)
@@ -215,8 +223,10 @@ mod tests {
     fn vlan_constraints() {
         let mut t = Tree::new();
         let r = Path::parse("/netRoot/r0").unwrap();
-        t.insert(&Path::parse("/netRoot").unwrap(), Node::new("netRoot")).unwrap();
-        t.insert(&r, Node::new(ROUTER).with_attr("maxVlans", 2i64)).unwrap();
+        t.insert(&Path::parse("/netRoot").unwrap(), Node::new("netRoot"))
+            .unwrap();
+        t.insert(&r, Node::new(ROUTER).with_attr("maxVlans", 2i64))
+            .unwrap();
         let vlan = |id: i64| {
             Node::new("vlan")
                 .with_attr("id", id)

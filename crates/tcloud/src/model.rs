@@ -113,7 +113,16 @@ mod tests {
     fn schema_registry_complete() {
         let reg = schemas();
         for entity in [
-            ROOT, VM_ROOT, VM_HOST, VM, STORAGE_ROOT, STORAGE_HOST, IMAGE, NET_ROOT, ROUTER, VLAN,
+            ROOT,
+            VM_ROOT,
+            VM_HOST,
+            VM,
+            STORAGE_ROOT,
+            STORAGE_HOST,
+            IMAGE,
+            NET_ROOT,
+            ROUTER,
+            VLAN,
         ] {
             assert!(reg.get(entity).is_some(), "schema missing for {entity}");
         }
@@ -122,7 +131,8 @@ mod tests {
     #[test]
     fn valid_topology_passes() {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT)).unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT))
+            .unwrap();
         t.insert(
             &Path::parse("/vmRoot/h0").unwrap(),
             Node::new(VM_HOST)
@@ -145,8 +155,11 @@ mod tests {
     #[test]
     fn vm_under_storage_rejected() {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new(STORAGE_ROOT))
-            .unwrap();
+        t.insert(
+            &Path::parse("/storageRoot").unwrap(),
+            Node::new(STORAGE_ROOT),
+        )
+        .unwrap();
         t.insert(
             &Path::parse("/storageRoot/s0").unwrap(),
             Node::new(STORAGE_HOST)
@@ -169,7 +182,8 @@ mod tests {
     #[test]
     fn missing_required_attr_rejected() {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT)).unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT))
+            .unwrap();
         t.insert(
             &Path::parse("/vmRoot/h0").unwrap(),
             Node::new(VM_HOST).with_attr("hypervisor", "xen"),

@@ -37,13 +37,21 @@ pub fn spawn_vm() -> Arc<dyn StoredProcedure> {
             let storage = parse_path(ctx, 3)?;
             let host = parse_path(ctx, 4)?;
             let image = image_name(&vm_name);
-            ctx.act(&storage, "cloneImage", vec![Value::from(template), Value::from(image.clone())])?;
+            ctx.act(
+                &storage,
+                "cloneImage",
+                vec![Value::from(template), Value::from(image.clone())],
+            )?;
             ctx.act(&storage, "exportImage", vec![Value::from(image.clone())])?;
             ctx.act(&host, "importImage", vec![Value::from(image.clone())])?;
             ctx.act(
                 &host,
                 "createVM",
-                vec![Value::from(vm_name.clone()), Value::from(image), Value::Int(mem)],
+                vec![
+                    Value::from(vm_name.clone()),
+                    Value::from(image),
+                    Value::Int(mem),
+                ],
             )?;
             ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
             Ok(())
@@ -85,7 +93,9 @@ pub fn spawn_vm_auto() -> Arc<dyn StoredProcedure> {
                     }
                     None
                 })
-                .ok_or_else(|| ProcError::Logic("no compute server has enough free memory".into()))?;
+                .ok_or_else(|| {
+                    ProcError::Logic("no compute server has enough free memory".into())
+                })?;
 
             let template_for_search = template.clone();
             let storage = ctx
@@ -113,16 +123,26 @@ pub fn spawn_vm_auto() -> Arc<dyn StoredProcedure> {
                     None
                 })
                 .ok_or_else(|| {
-                    ProcError::Logic("no storage server holds the template with spare capacity".into())
+                    ProcError::Logic(
+                        "no storage server holds the template with spare capacity".into(),
+                    )
                 })?;
 
-            ctx.act(&storage, "cloneImage", vec![Value::from(template), Value::from(image.clone())])?;
+            ctx.act(
+                &storage,
+                "cloneImage",
+                vec![Value::from(template), Value::from(image.clone())],
+            )?;
             ctx.act(&storage, "exportImage", vec![Value::from(image.clone())])?;
             ctx.act(&host, "importImage", vec![Value::from(image.clone())])?;
             ctx.act(
                 &host,
                 "createVM",
-                vec![Value::from(vm_name.clone()), Value::from(image), Value::Int(mem)],
+                vec![
+                    Value::from(vm_name.clone()),
+                    Value::from(image),
+                    Value::Int(mem),
+                ],
             )?;
             ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
             Ok(())
@@ -168,14 +188,15 @@ pub fn destroy_vm() -> Arc<dyn StoredProcedure> {
             let vm_name = ctx.arg_str(1)?;
             let storage = parse_path(ctx, 2)?;
             let vm_path = host.join(&vm_name);
-            let (state, image) = ctx.query(&vm_path, |tree| {
-                let vm = tree.get(&vm_path)?;
-                Some((
-                    vm.attr_str("state").unwrap_or("").to_owned(),
-                    vm.attr_str("image").unwrap_or("").to_owned(),
-                ))
-            })?
-            .ok_or_else(|| ProcError::Logic(format!("no VM at {vm_path}")))?;
+            let (state, image) = ctx
+                .query(&vm_path, |tree| {
+                    let vm = tree.get(&vm_path)?;
+                    Some((
+                        vm.attr_str("state").unwrap_or("").to_owned(),
+                        vm.attr_str("image").unwrap_or("").to_owned(),
+                    ))
+                })?
+                .ok_or_else(|| ProcError::Logic(format!("no VM at {vm_path}")))?;
             if state == STATE_RUNNING {
                 ctx.act(&host, "stopVM", vec![Value::from(vm_name.clone())])?;
             }
@@ -203,22 +224,25 @@ pub fn migrate_vm() -> Arc<dyn StoredProcedure> {
             let dst = parse_path(ctx, 1)?;
             let vm_name = ctx.arg_str(2)?;
             if src == dst {
-                return Err(ProcError::Logic("source and destination are the same host".into()));
+                return Err(ProcError::Logic(
+                    "source and destination are the same host".into(),
+                ));
             }
             let vm_path = src.join(&vm_name);
-            let (state, image, mem, hv) = ctx.query(&vm_path, |tree| {
-                let vm = tree.get(&vm_path)?;
-                if vm.entity() != VM {
-                    return None;
-                }
-                Some((
-                    vm.attr_str("state").unwrap_or("").to_owned(),
-                    vm.attr_str("image").unwrap_or("").to_owned(),
-                    vm.attr_int("mem").unwrap_or(0),
-                    vm.attr_str("hypervisor").unwrap_or("").to_owned(),
-                ))
-            })?
-            .ok_or_else(|| ProcError::Logic(format!("no VM at {vm_path}")))?;
+            let (state, image, mem, hv) = ctx
+                .query(&vm_path, |tree| {
+                    let vm = tree.get(&vm_path)?;
+                    if vm.entity() != VM {
+                        return None;
+                    }
+                    Some((
+                        vm.attr_str("state").unwrap_or("").to_owned(),
+                        vm.attr_str("image").unwrap_or("").to_owned(),
+                        vm.attr_int("mem").unwrap_or(0),
+                        vm.attr_str("hypervisor").unwrap_or("").to_owned(),
+                    ))
+                })?
+                .ok_or_else(|| ProcError::Logic(format!("no VM at {vm_path}")))?;
 
             let was_running = state == STATE_RUNNING;
             if was_running {
@@ -264,20 +288,32 @@ pub fn spawn_vm_net() -> Arc<dyn StoredProcedure> {
             let image = image_name(&vm_name);
             let port = format!("{vm_name}-eth0");
 
-            ctx.act(&storage, "cloneImage", vec![Value::from(template), Value::from(image.clone())])?;
+            ctx.act(
+                &storage,
+                "cloneImage",
+                vec![Value::from(template), Value::from(image.clone())],
+            )?;
             ctx.act(&storage, "exportImage", vec![Value::from(image.clone())])?;
             ctx.act(&host, "importImage", vec![Value::from(image.clone())])?;
             ctx.act(
                 &host,
                 "createVM",
-                vec![Value::from(vm_name.clone()), Value::from(image), Value::Int(mem)],
+                vec![
+                    Value::from(vm_name.clone()),
+                    Value::from(image),
+                    Value::Int(mem),
+                ],
             )?;
             // Create the VLAN if this VM is its first member.
             let vlan_exists = ctx.peek(|tree| tree.exists(&router.join(&format!("vlan{vlan_id}"))));
             if !vlan_exists {
                 ctx.act(&router, "createVlan", vec![Value::Int(vlan_id)])?;
             }
-            ctx.act(&router, "attachPort", vec![Value::Int(vlan_id), Value::from(port)])?;
+            ctx.act(
+                &router,
+                "attachPort",
+                vec![Value::Int(vlan_id), Value::from(port)],
+            )?;
             ctx.act(&host, "startVM", vec![Value::from(vm_name)])?;
             Ok(())
         })
@@ -348,7 +384,13 @@ mod tests {
         let actions: Vec<&str> = rec.log.iter().map(|r| r.action.as_str()).collect();
         assert_eq!(
             actions,
-            vec!["cloneImage", "exportImage", "importImage", "createVM", "startVM"]
+            vec![
+                "cloneImage",
+                "exportImage",
+                "importImage",
+                "createVM",
+                "startVM"
+            ]
         );
         let undos: Vec<&str> = rec
             .log
@@ -357,11 +399,18 @@ mod tests {
             .collect();
         assert_eq!(
             undos,
-            vec!["removeImage", "unexportImage", "unimportImage", "removeVM", "stopVM"]
+            vec![
+                "removeImage",
+                "unexportImage",
+                "unimportImage",
+                "removeVM",
+                "stopVM"
+            ]
         );
         // Logical effects applied: the VM runs.
         assert_eq!(
-            tree.attr_str(&Path::parse("/vmRoot/host0/vm1").unwrap(), "state").unwrap(),
+            tree.attr_str(&Path::parse("/vmRoot/host0/vm1").unwrap(), "state")
+                .unwrap(),
             STATE_RUNNING
         );
     }
@@ -372,14 +421,25 @@ mod tests {
         let mut locks = LockManager::new();
         // Host capacity is 32768 MB; 16 × 2048 fills it; the 17th violates.
         for i in 0..16 {
-            let (outcome, rec) =
-                run(&mut tree, &mut locks, i + 1, &spawn_vm(), spawn_args(&format!("vm{i}")));
+            let (outcome, rec) = run(
+                &mut tree,
+                &mut locks,
+                i + 1,
+                &spawn_vm(),
+                spawn_args(&format!("vm{i}")),
+            );
             assert_eq!(outcome, LogicalOutcome::Runnable, "spawn {i}");
             // Release locks as if committed.
             let _ = rec;
             locks.release_all(i + 1);
         }
-        let (outcome, _) = run(&mut tree, &mut locks, 99, &spawn_vm(), spawn_args("vm-over"));
+        let (outcome, _) = run(
+            &mut tree,
+            &mut locks,
+            99,
+            &spawn_vm(),
+            spawn_args("vm-over"),
+        );
         match outcome {
             LogicalOutcome::Aborted { reason } => {
                 assert!(reason.contains("vm-memory"), "{reason}")
@@ -493,7 +553,8 @@ mod tests {
         }
         // Fully rolled back: the VM is still on host0, untouched.
         assert_eq!(
-            tree.get(&Path::parse("/vmRoot/host0/vm1").unwrap()).unwrap(),
+            tree.get(&Path::parse("/vmRoot/host0/vm1").unwrap())
+                .unwrap(),
             &before_vm
         );
         assert!(!tree.exists(&Path::parse("/vmRoot/host1/vm1").unwrap()));
@@ -512,7 +573,11 @@ mod tests {
         let mut locks = LockManager::new();
         // First two land on host0 (2048 each fills it), third goes to host1.
         for (i, vm) in ["a", "b", "c"].iter().enumerate() {
-            let args = vec![Value::from(*vm), Value::from("template-linux"), Value::Int(2048)];
+            let args = vec![
+                Value::from(*vm),
+                Value::from("template-linux"),
+                Value::Int(2048),
+            ];
             let (o, _) = run(&mut tree, &mut locks, i as u64 + 1, &spawn_vm_auto(), args);
             assert_eq!(o, LogicalOutcome::Runnable, "vm {vm}");
             locks.release_all(i as u64 + 1);
@@ -521,13 +586,21 @@ mod tests {
         assert!(tree.exists(&Path::parse("/vmRoot/host0/b").unwrap()));
         assert!(tree.exists(&Path::parse("/vmRoot/host1/c").unwrap()));
         // A fourth VM fills host1...
-        let args = vec![Value::from("d"), Value::from("template-linux"), Value::Int(2048)];
+        let args = vec![
+            Value::from("d"),
+            Value::from("template-linux"),
+            Value::Int(2048),
+        ];
         let (o, _) = run(&mut tree, &mut locks, 4, &spawn_vm_auto(), args);
         assert_eq!(o, LogicalOutcome::Runnable);
         locks.release_all(4);
         assert!(tree.exists(&Path::parse("/vmRoot/host1/d").unwrap()));
         // ...after which the cluster is full and placement aborts.
-        let args = vec![Value::from("e"), Value::from("template-linux"), Value::Int(2048)];
+        let args = vec![
+            Value::from("e"),
+            Value::from("template-linux"),
+            Value::Int(2048),
+        ];
         let (o, _) = run(&mut tree, &mut locks, 9, &spawn_vm_auto(), args);
         assert!(matches!(o, LogicalOutcome::Aborted { .. }));
     }

@@ -19,14 +19,25 @@ fn str_of(v: &Option<Value>) -> Option<&str> {
 fn list_of(v: &Option<Value>) -> Vec<String> {
     v.as_ref()
         .and_then(Value::as_list)
-        .map(|l| l.iter().filter_map(Value::as_str).map(str::to_owned).collect())
+        .map(|l| {
+            l.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_owned)
+                .collect()
+        })
         .unwrap_or_default()
 }
 
 /// VM power drift: logical `running` vs physical `stopped` → `startVM`
 /// (the §4 reboot scenario), and the reverse → `stopVM`.
 fn vm_power_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
-    let DiffEntry::AttrChanged { path, attr, left, right } = diff else {
+    let DiffEntry::AttrChanged {
+        path,
+        attr,
+        left,
+        right,
+    } = diff
+    else {
         return Vec::new();
     };
     if attr != "state" || logical.get(path).map(|n| n.entity()) != Some(VM) {
@@ -103,7 +114,9 @@ fn vm_rogue_rule(diff: &DiffEntry, _logical: &Tree) -> Vec<ActionCall> {
 /// logical metadata; rogue image → remove.
 fn image_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
     match diff {
-        DiffEntry::AttrChanged { path, attr, left, .. } if attr == "exported" => {
+        DiffEntry::AttrChanged {
+            path, attr, left, ..
+        } if attr == "exported" => {
             if logical.get(path).map(|n| n.entity()) != Some(IMAGE) {
                 return Vec::new();
             }
@@ -142,7 +155,11 @@ fn image_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
             };
             let image = path.leaf().expect("named").to_owned();
             vec![
-                ActionCall::new(storage.clone(), "unexportImage", vec![Value::from(image.clone())]),
+                ActionCall::new(
+                    storage.clone(),
+                    "unexportImage",
+                    vec![Value::from(image.clone())],
+                ),
                 ActionCall::new(storage, "removeImage", vec![Value::from(image)]),
             ]
         }
@@ -153,7 +170,13 @@ fn image_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
 /// Imported-image set drift on a compute server → import/unimport the set
 /// difference.
 fn imported_images_rule(diff: &DiffEntry, _logical: &Tree) -> Vec<ActionCall> {
-    let DiffEntry::AttrChanged { path, attr, left, right } = diff else {
+    let DiffEntry::AttrChanged {
+        path,
+        attr,
+        left,
+        right,
+    } = diff
+    else {
         return Vec::new();
     };
     if attr != "importedImages" {
@@ -191,7 +214,11 @@ fn vlan_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
                 return Vec::new();
             };
             let id = node.attr_int("id").unwrap_or(0);
-            let mut calls = vec![ActionCall::new(router.clone(), "createVlan", vec![Value::Int(id)])];
+            let mut calls = vec![ActionCall::new(
+                router.clone(),
+                "createVlan",
+                vec![Value::Int(id)],
+            )];
             for port in list_of(&node.attr("ports").cloned()) {
                 calls.push(ActionCall::new(
                     router.clone(),
@@ -212,14 +239,22 @@ fn vlan_rule(diff: &DiffEntry, logical: &Tree) -> Vec<ActionCall> {
                 .unwrap_or(0);
             vec![ActionCall::new(router, "removeVlan", vec![Value::Int(id)])]
         }
-        DiffEntry::AttrChanged { path, attr, left, right } if attr == "ports" => {
+        DiffEntry::AttrChanged {
+            path,
+            attr,
+            left,
+            right,
+        } if attr == "ports" => {
             if logical.get(path).map(|n| n.entity()) != Some(VLAN) {
                 return Vec::new();
             }
             let Some(router) = path.parent() else {
                 return Vec::new();
             };
-            let id = logical.attr(path, "id").and_then(Value::as_int).unwrap_or(0);
+            let id = logical
+                .attr(path, "id")
+                .and_then(Value::as_int)
+                .unwrap_or(0);
             let want = list_of(left);
             let have = list_of(right);
             let mut calls = Vec::new();
@@ -278,7 +313,11 @@ mod tests {
         let h0 = TopologySpec::host_path(0);
         let s0 = TopologySpec::storage_path(0);
         for (object, action, args) in [
-            (&s0, "cloneImage", vec![Value::from("template-linux"), Value::from("vm1-img")]),
+            (
+                &s0,
+                "cloneImage",
+                vec![Value::from("template-linux"), Value::from("vm1-img")],
+            ),
             (&s0, "exportImage", vec![Value::from("vm1-img")]),
             (&h0, "importImage", vec![Value::from("vm1-img")]),
             (
@@ -356,7 +395,11 @@ mod tests {
         let r0 = TopologySpec::router_path(0);
         devices
             .registry
-            .invoke(&ActionCall::new(r0.clone(), "createVlan", vec![Value::Int(7)]))
+            .invoke(&ActionCall::new(
+                r0.clone(),
+                "createVlan",
+                vec![Value::Int(7)],
+            ))
             .unwrap();
         devices
             .registry
@@ -386,7 +429,11 @@ mod tests {
         let h0 = TopologySpec::host_path(0);
         let s0 = TopologySpec::storage_path(0);
         for (object, action, args) in [
-            (&s0, "cloneImage", vec![Value::from("template-linux"), Value::from("vm1-img")]),
+            (
+                &s0,
+                "cloneImage",
+                vec![Value::from("template-linux"), Value::from("vm1-img")],
+            ),
             (&s0, "exportImage", vec![Value::from("vm1-img")]),
             (&h0, "importImage", vec![Value::from("vm1-img")]),
             (

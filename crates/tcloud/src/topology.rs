@@ -100,8 +100,11 @@ impl TopologySpec {
         let mut t = Tree::new();
         t.insert(&Path::parse("/vmRoot").unwrap(), Node::new(VM_ROOT))
             .expect("fresh tree");
-        t.insert(&Path::parse("/storageRoot").unwrap(), Node::new(STORAGE_ROOT))
-            .expect("fresh tree");
+        t.insert(
+            &Path::parse("/storageRoot").unwrap(),
+            Node::new(STORAGE_ROOT),
+        )
+        .expect("fresh tree");
         t.insert(&Path::parse("/netRoot").unwrap(), Node::new(NET_ROOT))
             .expect("fresh tree");
         t

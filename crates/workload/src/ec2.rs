@@ -47,7 +47,8 @@ impl Ec2TraceSpec {
     pub fn rate_at(&self, t: usize) -> f64 {
         let dt = t as f64 - self.burst_center_s;
         self.base_rate
-            + self.burst_amplitude * (-dt * dt / (2.0 * self.burst_sigma_s * self.burst_sigma_s)).exp()
+            + self.burst_amplitude
+                * (-dt * dt / (2.0 * self.burst_sigma_s * self.burst_sigma_s)).exp()
     }
 
     /// Generates the trace: each second's count is the rate curve plus
@@ -204,7 +205,10 @@ mod tests {
         let spec = Ec2TraceSpec::default();
         for (t, &c) in trace.per_second().iter().enumerate() {
             let rate = spec.rate_at(t);
-            assert!((f64::from(c) - rate).abs() <= 2.6, "t={t}: count {c} vs rate {rate}");
+            assert!(
+                (f64::from(c) - rate).abs() <= 2.6,
+                "t={t}: count {c} vs rate {rate}"
+            );
         }
     }
 }

@@ -274,7 +274,7 @@ mod tests {
         }
         .generate();
         let mut state: HashMap<String, (usize, bool)> = HashMap::new(); // vm -> (host, running)
-        let mut per_host = vec![0usize; 4];
+        let mut per_host = [0usize; 4];
         for op in &ops {
             match op {
                 HostingOp::Spawn { vm, host } => {
@@ -311,11 +311,20 @@ mod tests {
     #[test]
     fn proc_names_map_to_tcloud() {
         assert_eq!(
-            HostingOp::Spawn { vm: "a".into(), host: 0 }.proc_name(),
+            HostingOp::Spawn {
+                vm: "a".into(),
+                host: 0
+            }
+            .proc_name(),
             "spawnVM"
         );
         assert_eq!(
-            HostingOp::Migrate { vm: "a".into(), src: 0, dst: 1 }.proc_name(),
+            HostingOp::Migrate {
+                vm: "a".into(),
+                src: 0,
+                dst: 1
+            }
+            .proc_name(),
             "migrateVM"
         );
     }

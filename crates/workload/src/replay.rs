@@ -80,7 +80,10 @@ pub fn replay_ec2(
             per_host[host] += 1;
             let name = format!("vm{vm_counter}");
             vm_counter += 1;
-            if client.submit("spawnVM", spec.spawn_args(&name, host, vm_mem_mb)).is_ok() {
+            if client
+                .submit("spawnVM", spec.spawn_args(&name, host, vm_mem_mb))
+                .is_ok()
+            {
                 submitted += 1;
             }
         }
@@ -201,8 +204,8 @@ fn report(platform: &Tropic, submitted: usize, before: usize, start: Instant) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tropic_core::{ExecMode, PlatformConfig, Tropic};
     use tropic_coord::CoordConfig;
+    use tropic_core::{ExecMode, PlatformConfig, Tropic};
 
     fn small_platform() -> (Tropic, TopologySpec) {
         let spec = TopologySpec {
@@ -245,10 +248,23 @@ mod tests {
     fn hosting_replay_preserves_order() {
         let (platform, spec) = small_platform();
         let ops = vec![
-            HostingOp::Spawn { vm: "a".into(), host: 0 },
-            HostingOp::Stop { vm: "a".into(), host: 0 },
-            HostingOp::Start { vm: "a".into(), host: 0 },
-            HostingOp::Migrate { vm: "a".into(), src: 0, dst: 1 },
+            HostingOp::Spawn {
+                vm: "a".into(),
+                host: 0,
+            },
+            HostingOp::Stop {
+                vm: "a".into(),
+                host: 0,
+            },
+            HostingOp::Start {
+                vm: "a".into(),
+                host: 0,
+            },
+            HostingOp::Migrate {
+                vm: "a".into(),
+                src: 0,
+                dst: 1,
+            },
         ];
         let report = replay_hosting(
             &platform,

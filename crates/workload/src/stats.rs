@@ -160,7 +160,9 @@ mod tests {
         let points = s.cdf_points();
         assert_eq!(points.len(), 4);
         assert_eq!(points.last().unwrap().1, 1.0);
-        assert!(points.windows(2).all(|w| w[0].1 < w[1].1 && w[0].0 < w[1].0));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].1 < w[1].1 && w[0].0 < w[1].0));
     }
 
     #[test]

@@ -59,7 +59,14 @@ fn main() {
     );
 
     println!("\nreplaying at real time against 200 hosts...");
-    let report = replay_ec2(&platform, &spec, &trace, 1.0, 2_048, Duration::from_secs(120));
+    let report = replay_ec2(
+        &platform,
+        &spec,
+        &trace,
+        1.0,
+        2_048,
+        Duration::from_secs(120),
+    );
     println!(
         "submitted {} | committed {} | aborted {} | wall {} ms",
         report.submitted, report.committed, report.aborted, report.wall_ms

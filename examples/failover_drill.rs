@@ -60,13 +60,18 @@ fn main() {
     let ids: Vec<_> = (0..6)
         .map(|i| {
             client
-                .submit("spawnVM", spec.spawn_args(&format!("post{i}"), i % 8, 2_048))
+                .submit(
+                    "spawnVM",
+                    spec.spawn_args(&format!("post{i}"), i % 8, 2_048),
+                )
                 .expect("queue durable")
         })
         .collect();
 
     for (i, id) in ids.iter().enumerate() {
-        let o = client.wait(*id, Duration::from_secs(60)).expect("completion");
+        let o = client
+            .wait(*id, Duration::from_secs(60))
+            .expect("completion");
         println!("  post{i}: {:?} ({} ms)", o.state, o.latency_ms);
         assert_eq!(o.state, TxnState::Committed, "no transaction may be lost");
     }

@@ -29,7 +29,11 @@ fn main() {
     // 1. Spawn a VM: one ACID transaction over storage + compute devices.
     println!("spawning web-1 on host0...");
     let outcome = client
-        .submit_and_wait("spawnVM", spec.spawn_args("web-1", 0, 2_048), Duration::from_secs(60))
+        .submit_and_wait(
+            "spawnVM",
+            spec.spawn_args("web-1", 0, 2_048),
+            Duration::from_secs(60),
+        )
         .expect("platform reachable");
     println!("  -> {:?} in {} ms", outcome.state, outcome.latency_ms);
     assert_eq!(outcome.state, TxnState::Committed);
@@ -52,9 +56,17 @@ fn main() {
     println!("\nspawning doomed-1 with an injected startVM failure...");
     devices.computes[1].fault_plan().fail_once("startVM");
     let outcome = client
-        .submit_and_wait("spawnVM", spec.spawn_args("doomed-1", 1, 2_048), Duration::from_secs(60))
+        .submit_and_wait(
+            "spawnVM",
+            spec.spawn_args("doomed-1", 1, 2_048),
+            Duration::from_secs(60),
+        )
         .expect("platform reachable");
-    println!("  -> {:?}: {}", outcome.state, outcome.error.unwrap_or_default());
+    println!(
+        "  -> {:?}: {}",
+        outcome.state,
+        outcome.error.unwrap_or_default()
+    );
     assert_eq!(outcome.state, TxnState::Aborted);
     println!(
         "  no leftovers: host1 has {} VMs, storage has doomed-1-img: {}",
@@ -67,7 +79,11 @@ fn main() {
     let outcome = client
         .submit_and_wait(
             "migrateVM",
-            vec!["/vmRoot/host0".into(), "/vmRoot/host2".into(), "web-1".into()],
+            vec![
+                "/vmRoot/host0".into(),
+                "/vmRoot/host2".into(),
+                "web-1".into(),
+            ],
             Duration::from_secs(60),
         )
         .expect("platform reachable");

@@ -49,9 +49,15 @@ fn main() {
     let affected = devices.computes[0].oob_power_cycle();
     println!("  physically stopped: {affected:?}");
     let result = platform
-        .repair(&Path::parse("/vmRoot/host0").unwrap(), Duration::from_secs(30))
+        .repair(
+            &Path::parse("/vmRoot/host0").unwrap(),
+            Duration::from_secs(30),
+        )
         .expect("repair");
-    println!("  repair: {} ({} corrective actions)", result.message, result.actions);
+    println!(
+        "  repair: {} ({} corrective actions)",
+        result.message, result.actions
+    );
     println!(
         "  app0 is {:?} again",
         devices.computes[0].vm_power("app0").unwrap()
@@ -61,8 +67,13 @@ fn main() {
     println!("\nscenario 2: an operator creates a rogue VM and deletes an image via the CLI");
     devices.computes[1].oob_create_vm("rogue", "app0-img", 512, true);
     devices.storages[0].oob_lose_image("app1-img");
-    let result = platform.repair(&Path::root(), Duration::from_secs(30)).expect("repair");
-    println!("  repair: {} ({} corrective actions)", result.message, result.actions);
+    let result = platform
+        .repair(&Path::root(), Duration::from_secs(30))
+        .expect("repair");
+    println!(
+        "  repair: {} ({} corrective actions)",
+        result.message, result.actions
+    );
     println!(
         "  rogue gone: {}, app1-img restored: {}",
         devices.computes[1].vm_power("rogue").is_none(),
@@ -73,7 +84,10 @@ fn main() {
     println!("\nscenario 3: adopting an externally-provisioned VM via reload");
     devices.computes[2].oob_create_vm("legacy", "legacy-img", 1_024, true);
     let result = platform
-        .reload(&Path::parse("/vmRoot/host2").unwrap(), Duration::from_secs(30))
+        .reload(
+            &Path::parse("/vmRoot/host2").unwrap(),
+            Duration::from_secs(30),
+        )
         .expect("reload");
     println!("  reload: {}", result.message);
     let o = client
@@ -93,16 +107,26 @@ fn main() {
     std::thread::sleep(Duration::from_millis(300));
     platform.signal(id, Signal::Kill).expect("signal");
     let o = client.wait(id, Duration::from_secs(30)).expect("outcome");
-    println!("  stuck txn -> {:?} ({})", o.state, o.error.unwrap_or_default());
+    println!(
+        "  stuck txn -> {:?} ({})",
+        o.state,
+        o.error.unwrap_or_default()
+    );
     // The abandoned physical prefix (cloned/exported image) is drift now.
     std::thread::sleep(Duration::from_secs(3));
-    let result = platform.repair(&Path::root(), Duration::from_secs(30)).expect("repair");
+    let result = platform
+        .repair(&Path::root(), Duration::from_secs(30))
+        .expect("repair");
     println!(
         "  repair after KILL: {} ({} corrective actions)",
         result.message, result.actions
     );
     let o = client
-        .submit_and_wait("spawnVM", spec.spawn_args("fresh", 1, 2_048), Duration::from_secs(60))
+        .submit_and_wait(
+            "spawnVM",
+            spec.spawn_args("fresh", 1, 2_048),
+            Duration::from_secs(60),
+        )
         .expect("txn");
     println!("  host1 healthy again: spawn fresh -> {:?}", o.state);
 

@@ -80,11 +80,7 @@ fn migrate_error_in_last_step_rolls_back() {
     let outcome = client
         .submit_and_wait(
             "migrateVM",
-            vec![
-                "/vmRoot/host0".into(),
-                "/vmRoot/host1".into(),
-                "mig".into(),
-            ],
+            vec!["/vmRoot/host0".into(), "/vmRoot/host1".into(), "mig".into()],
             WAIT,
         )
         .unwrap();
@@ -168,7 +164,13 @@ fn undo_failure_marks_inconsistent_and_repair_recovers() {
 fn random_fault_injection_never_leaks_partial_state() {
     // Sweep the fault over every step of spawnVM; after each aborted
     // attempt the physical layer must equal its pre-transaction state.
-    let actions = ["cloneImage", "exportImage", "importImage", "createVM", "startVM"];
+    let actions = [
+        "cloneImage",
+        "exportImage",
+        "importImage",
+        "createVM",
+        "startVM",
+    ];
     for (i, action) in actions.iter().enumerate() {
         let spec = spec();
         let (platform, devices) = start(&spec);

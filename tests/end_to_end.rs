@@ -175,7 +175,10 @@ fn spawn_with_network_plumbs_vlan() {
         .unwrap();
     assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
     assert!(devices.routers[0].has_vlan(42));
-    assert_eq!(devices.routers[0].ports_of(42), vec!["net1-eth0".to_string()]);
+    assert_eq!(
+        devices.routers[0].ports_of(42),
+        vec!["net1-eth0".to_string()]
+    );
     platform.shutdown();
 }
 
@@ -184,9 +187,7 @@ fn unknown_procedure_aborts() {
     let spec = small_spec();
     let (platform, _devices) = start(&spec);
     let client = platform.client();
-    let outcome = client
-        .submit_and_wait("noSuchProc", vec![], WAIT)
-        .unwrap();
+    let outcome = client.submit_and_wait("noSuchProc", vec![], WAIT).unwrap();
     assert_eq!(outcome.state, TxnState::Aborted);
     assert!(outcome.error.unwrap().contains("unknown procedure"));
     platform.shutdown();
@@ -204,7 +205,11 @@ fn committed_layers_agree_after_mixed_workload() {
     let client = platform.client();
     for i in 0..6 {
         client
-            .submit_and_wait("spawnVM", spec.spawn_args(&format!("m{i}"), i % 3, 2048), WAIT)
+            .submit_and_wait(
+                "spawnVM",
+                spec.spawn_args(&format!("m{i}"), i % 3, 2048),
+                WAIT,
+            )
             .unwrap();
     }
     client

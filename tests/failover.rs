@@ -103,7 +103,11 @@ fn state_survives_failover_memory_accounting_intact() {
     let o = client
         .submit_and_wait("spawnVM", spec.spawn_args("big2", 0, 3_072), WAIT)
         .unwrap();
-    assert_eq!(o.state, TxnState::Aborted, "recovered state must reject overcommit");
+    assert_eq!(
+        o.state,
+        TxnState::Aborted,
+        "recovered state must reject overcommit"
+    );
     assert!(o.error.unwrap().contains("vm-memory"));
     platform.shutdown();
 }
@@ -121,7 +125,11 @@ fn repeated_failovers_and_restart() {
     let mut crashed = Vec::new();
     for round in 0..2 {
         let o = client
-            .submit_and_wait("spawnVM", spec.spawn_args(&format!("r{round}"), round, 2_048), WAIT)
+            .submit_and_wait(
+                "spawnVM",
+                spec.spawn_args(&format!("r{round}"), round, 2_048),
+                WAIT,
+            )
             .unwrap();
         assert_eq!(o.state, TxnState::Committed, "round {round}: {:?}", o.error);
         let idx = platform.crash_leader().expect("leader to crash");

@@ -40,14 +40,22 @@ fn overcommit_race_resolved_by_constraint() {
     let (platform, devices) = start(&spec, 2);
     let client = platform.client();
     // Two 3 GB VMs race for a 4 GB host.
-    let a = client.submit("spawnVM", spec.spawn_args("racer-a", 0, 3_072)).unwrap();
-    let b = client.submit("spawnVM", spec.spawn_args("racer-b", 0, 3_072)).unwrap();
+    let a = client
+        .submit("spawnVM", spec.spawn_args("racer-a", 0, 3_072))
+        .unwrap();
+    let b = client
+        .submit("spawnVM", spec.spawn_args("racer-b", 0, 3_072))
+        .unwrap();
     let oa = client.wait(a, WAIT).unwrap();
     let ob = client.wait(b, WAIT).unwrap();
     let states = [oa.state, ob.state];
     assert!(states.contains(&TxnState::Committed), "{oa:?} {ob:?}");
     assert!(states.contains(&TxnState::Aborted), "{oa:?} {ob:?}");
-    let aborted = if oa.state == TxnState::Aborted { &oa } else { &ob };
+    let aborted = if oa.state == TxnState::Aborted {
+        &oa
+    } else {
+        &ob
+    };
     assert!(aborted.error.as_ref().unwrap().contains("vm-memory"));
     // The device holds exactly one VM.
     assert_eq!(devices.computes[0].vm_count(), 1);
@@ -95,7 +103,11 @@ fn cross_hypervisor_migration_rejected_before_devices() {
     let mut service = spec.service();
     service
         .initial_tree
-        .set_attr(&tropic::model::Path::parse("/vmRoot/host1").unwrap(), "hypervisor", "kvm")
+        .set_attr(
+            &tropic::model::Path::parse("/vmRoot/host1").unwrap(),
+            "hypervisor",
+            "kvm",
+        )
         .unwrap();
     // Note: the physical host1 still reports "xen"; for this test only the
     // logical attribute matters because the constraint checks logically.

@@ -65,12 +65,17 @@ proptest! {
 /// A small random tree: hosts with random attribute values and VM children.
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     prop::collection::vec(
-        (segment(), 0i64..100_000, prop::collection::vec((segment(), 0i64..10_000), 0..4)),
+        (
+            segment(),
+            0i64..100_000,
+            prop::collection::vec((segment(), 0i64..10_000), 0..4),
+        ),
         0..6,
     )
     .prop_map(|hosts| {
         let mut t = Tree::new();
-        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot")).unwrap();
+        t.insert(&Path::parse("/vmRoot").unwrap(), Node::new("vmRoot"))
+            .unwrap();
         for (hname, cap, vms) in hosts {
             let hpath = Path::parse("/vmRoot").unwrap().join(&hname);
             if t.exists(&hpath) {
@@ -81,7 +86,8 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
             for (vname, mem) in vms {
                 let vpath = hpath.join(&vname);
                 if !t.exists(&vpath) {
-                    t.insert(&vpath, Node::new("vm").with_attr("mem", mem)).unwrap();
+                    t.insert(&vpath, Node::new("vm").with_attr("mem", mem))
+                        .unwrap();
                 }
             }
         }

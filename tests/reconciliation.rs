@@ -88,7 +88,10 @@ fn repair_removes_rogue_vm_and_restores_lost_image() {
     assert!(result.ok, "{}", result.message);
     assert_eq!(devices.computes[1].vm_count(), 0, "rogue VM removed");
     assert!(devices.storages[0].has_image("legit-img"), "image restored");
-    assert!(devices.storages[0].is_exported("legit-img"), "export restored");
+    assert!(
+        devices.storages[0].is_exported("legit-img"),
+        "export restored"
+    );
     platform.shutdown();
 }
 
@@ -158,7 +161,9 @@ fn term_signal_aborts_stalled_transaction_cleanly() {
     let (platform, devices) = start_with_latency(&spec, latency);
     let before = devices.registry.physical_tree();
     let client = platform.client();
-    let id = client.submit("spawnVM", spec.spawn_args("slow", 0, 2_048)).unwrap();
+    let id = client
+        .submit("spawnVM", spec.spawn_args("slow", 0, 2_048))
+        .unwrap();
     // Give the worker time to reach the slow action, then TERM.
     std::thread::sleep(Duration::from_millis(500));
     platform.signal(id, Signal::Term).unwrap();
@@ -182,7 +187,9 @@ fn kill_signal_leaves_drift_that_repair_heals() {
     let latency = LatencyModel::zero().with_action("createVM", Duration::from_secs(3));
     let (platform, devices) = start_with_latency(&spec, latency);
     let client = platform.client();
-    let id = client.submit("spawnVM", spec.spawn_args("kild", 0, 2_048)).unwrap();
+    let id = client
+        .submit("spawnVM", spec.spawn_args("kild", 0, 2_048))
+        .unwrap();
     std::thread::sleep(Duration::from_millis(500));
     platform.signal(id, Signal::Kill).unwrap();
     let o = client.wait(id, WAIT).unwrap();
@@ -224,7 +231,9 @@ fn stall_timeouts_fire_automatically() {
         ExecMode::Physical(devices.registry.clone()),
     );
     let client = platform.client();
-    let id = client.submit("spawnVM", spec.spawn_args("stuck", 0, 2_048)).unwrap();
+    let id = client
+        .submit("spawnVM", spec.spawn_args("stuck", 0, 2_048))
+        .unwrap();
     let o = client.wait(id, WAIT).unwrap();
     // TERM cannot interrupt the 30 s device call in progress (signals are
     // polled between actions), so the KILL path finalizes the transaction.

@@ -1,0 +1,172 @@
+//! Minimal vendored stand-in for `criterion`.
+//!
+//! Offline replacement implementing the subset this workspace's benches
+//! use: [`Criterion::benchmark_group`], group-level `sample_size` /
+//! `measurement_time`, `bench_function` with a [`Bencher`] whose `iter`
+//! measures wall-clock time, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Reports mean per-iteration time to stdout;
+//! there is no statistical analysis, HTML report, or CLI filtering beyond
+//! ignoring unknown flags (so `cargo bench -- --test` style invocations
+//! still run).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 50,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        run_benchmark(&name.into(), sample_size, measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Finishes the group (display symmetry with real criterion).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iterations: 0,
+        budget: measurement_time,
+        samples: sample_size.max(1),
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let mean = bencher.total
+        / u32::try_from(bencher.iterations.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+    println!(
+        "  {name}: mean {mean:?} over {} iterations",
+        bencher.iterations
+    );
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    budget: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    ///
+    /// Runs a couple of warm-up iterations, then measures batches until the
+    /// sample count is reached or the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore harness flags such as `--bench`/`--test`.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,494 @@
+//! Minimal vendored stand-in for `proptest`.
+//!
+//! Offline replacement implementing the subset this workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`, strategies
+//! for integer ranges, tuples, `Just`, `prop::collection::vec`, simple
+//! character-class regex string strategies (`"[a-z]{1,12}"`), the
+//! [`prop_oneof!`] union, and the [`proptest!`] / `prop_assert*` macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the generated inputs' debug representation. Generation is
+//! deterministic per test (fixed base seed + case index).
+
+#![forbid(unsafe_code)]
+
+// Re-exported for the `proptest!` macro expansion, which runs in crates
+// that do not themselves depend on `rand`.
+#[doc(hidden)]
+pub use rand;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy for heterogeneous unions.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    /// Uniform choice between boxed alternatives (used by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over one or more alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// String strategy from a character-class regex (`"[a-z0-9]{1,12}"`).
+    ///
+    /// Supported syntax: literal characters, `[...]` classes with ranges
+    /// (a trailing or leading `-` is literal), and `{n}` / `{m,n}`
+    /// quantifiers on the preceding atom. Anything else panics.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        use rand::Rng;
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: a character class or a literal.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("proptest stub: unclosed `[` in {pattern:?}"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            } else {
+                let c = chars[i];
+                assert!(
+                    !"(){}|*+?.\\^$".contains(c),
+                    "proptest stub: unsupported regex syntax {c:?} in {pattern:?}"
+                );
+                i += 1;
+                vec![c]
+            };
+            // Parse an optional {n} / {m,n} quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("proptest stub: unclosed `{{` in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("quantifier lower bound"),
+                        n.trim().parse::<usize>().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..count {
+                let idx = rng.gen_range(0..alphabet.len());
+                out.push(alphabet[idx]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(
+            !class.is_empty(),
+            "proptest stub: empty class in {pattern:?}"
+        );
+        assert!(
+            class[0] != '^',
+            "proptest stub: negated classes unsupported in {pattern:?}"
+        );
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                assert!(lo <= hi, "proptest stub: bad range in {pattern:?}");
+                for c in lo..=hi {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(class[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s of values from `element` with a length sampled
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case driving machinery used by the [`proptest!`](crate::proptest) macro.
+
+    /// Per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate and run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it doesn't count.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type for one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`).
+
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// Each function body runs once per generated case; `prop_assert*` failures
+/// panic with the offending inputs, `prop_assume!` rejections are retried
+/// (up to 20× the case count before giving up).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $config; $($rest)*);
+    };
+    (@run $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                // Deterministic per-test seed derived from the test name.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed ^= u64::from(b);
+                    seed = seed.wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut passed: u32 = 0;
+                let mut attempts: u64 = 0;
+                let max_attempts = u64::from(config.cases) * 20;
+                while passed < config.cases {
+                    attempts += 1;
+                    if attempts > max_attempts {
+                        panic!(
+                            "proptest stub: too many rejected cases in `{}` ({} attempts)",
+                            stringify!($name),
+                            attempts - 1
+                        );
+                    }
+                    let mut rng =
+                        <$crate::strategy::TestRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            seed ^ attempts,
+                        );
+                    $(
+                        let generated = $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                        let input_repr = format!("{:?}", generated);
+                        let $arg = generated;
+                    )*
+                    let result: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match result {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => continue,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            let _ = &input_repr;
+                            panic!(
+                                "proptest stub: case {} of `{}` failed: {}\nlast input: {}",
+                                passed + 1,
+                                stringify!($name),
+                                msg,
+                                input_repr
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}

@@ -1,0 +1,319 @@
+//! `Serialize`/`Deserialize` impls for the std types this workspace uses.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+use crate::content::Content;
+use crate::de::{Deserialize, DeserializeOwned, Deserializer, Error as DeErrorTrait};
+use crate::ser::{to_content, Error as SerErrorTrait, Serialize, Serializer};
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                let i = c
+                    .as_i64()
+                    .ok_or_else(|| D::Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i)
+                    .map_err(|_| D::Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                let u = c
+                    .as_u64()
+                    .ok_or_else(|| D::Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u)
+                    .map_err(|_| D::Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                let f = c
+                    .as_f64()
+                    .ok_or_else(|| D::Error::custom(concat!("expected ", stringify!($t))))?;
+                Ok(f as $t)
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            _ => Err(D::Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            _ => Err(D::Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("non-empty")),
+            _ => Err(D::Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            _ => Err(D::Error::custom("expected null")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => crate::de::from_content(other)
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(|v| to_content(v))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(S::Error::custom)?;
+        serializer.serialize_content(Content::Seq(items))
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| crate::de::from_content(c).map_err(D::Error::custom))
+                .collect(),
+            _ => Err(D::Error::custom("expected array")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_content(&self.$n).map_err(S::Error::custom)?),+];
+                serializer.serialize_content(Content::Seq(items))
+            }
+        }
+        impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            {
+                                let _ = $n;
+                                let item = it
+                                    .next()
+                                    .ok_or_else(|| D::Error::custom("tuple too short"))?;
+                                crate::de::from_content::<$t>(item).map_err(D::Error::custom)?
+                            },
+                        )+))
+                    }
+                    _ => Err(D::Error::custom("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((k.clone(), to_content(v).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, c)| Ok((k, crate::de::from_content(c).map_err(D::Error::custom)?)))
+                .collect(),
+            _ => Err(D::Error::custom("expected object")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut entries = Vec::with_capacity(keys.len());
+        for k in keys {
+            entries.push((k.clone(), to_content(&self[k]).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, c)| Ok((k, crate::de::from_content(c).map_err(D::Error::custom)?)))
+                .collect(),
+            _ => Err(D::Error::custom("expected object")),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(mut m) => {
+                let secs = crate::content::take(&mut m, "secs")
+                    .and_then(|c| c.as_u64())
+                    .ok_or_else(|| D::Error::custom("missing `secs` for Duration"))?;
+                let nanos = crate::content::take(&mut m, "nanos")
+                    .and_then(|c| c.as_u64())
+                    .ok_or_else(|| D::Error::custom("missing `nanos` for Duration"))?;
+                let nanos = u32::try_from(nanos)
+                    .map_err(|_| D::Error::custom("`nanos` out of range for Duration"))?;
+                Ok(Duration::new(secs, nanos))
+            }
+            _ => Err(D::Error::custom("expected object for Duration")),
+        }
+    }
+}

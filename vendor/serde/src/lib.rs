@@ -1,0 +1,217 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements a compatible-enough subset of serde's API for this workspace:
+//! the [`Serialize`]/[`Deserialize`] traits over a value-based data model
+//! ([`content::Content`]), the [`Serializer`]/[`Deserializer`] driver traits,
+//! and re-exported derive macros from the vendored `serde_derive`.
+//!
+//! The data model intentionally mirrors JSON; the vendored `serde_json`
+//! crate is the only driver in the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod content {
+    //! The intermediate value model all (de)serialization flows through.
+
+    /// A JSON-shaped intermediate value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Content {
+        /// JSON `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer.
+        I64(i64),
+        /// An unsigned integer.
+        U64(u64),
+        /// A float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Seq(Vec<Content>),
+        /// An object; insertion order is preserved.
+        Map(Vec<(String, Content)>),
+    }
+
+    impl Content {
+        /// Coerces any numeric content to `i64` when exactly representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Content::I64(i) => Some(*i),
+                Content::U64(u) => i64::try_from(*u).ok(),
+                Content::F64(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i64),
+                _ => None,
+            }
+        }
+
+        /// Coerces any numeric content to `u64` when exactly representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Content::U64(u) => Some(*u),
+                Content::I64(i) => u64::try_from(*i).ok(),
+                Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.9e19 => Some(*f as u64),
+                _ => None,
+            }
+        }
+
+        /// Coerces any numeric content to `f64`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Content::F64(f) => Some(*f),
+                Content::I64(i) => Some(*i as f64),
+                Content::U64(u) => Some(*u as f64),
+                _ => None,
+            }
+        }
+    }
+
+    /// Removes and returns the value under `key` from an object's entry list.
+    pub fn take(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+        let idx = map.iter().position(|(k, _)| k == key)?;
+        Some(map.remove(idx).1)
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the mini data model.
+
+    use super::content::Content;
+
+    /// Error raised by serializers; mirrors `serde::ser::Error`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can consume a [`Content`] tree.
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error type raised by the format.
+        type Error: Error;
+
+        /// Serializes a complete [`Content`] tree.
+        fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Str(v.to_owned()))
+        }
+    }
+
+    /// A value that can describe itself to any [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// Error type for the in-memory [`ContentSerializer`].
+    #[derive(Debug)]
+    pub struct SerError(pub String);
+
+    impl std::fmt::Display for SerError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for SerError {}
+
+    impl Error for SerError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            SerError(msg.to_string())
+        }
+    }
+
+    /// The identity serializer: captures the [`Content`] tree itself.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = SerError;
+
+        fn serialize_content(self, content: Content) -> Result<Content, SerError> {
+            Ok(content)
+        }
+    }
+
+    /// Serializes any value to the intermediate [`Content`] model.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, SerError> {
+        value.serialize(ContentSerializer)
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the mini data model.
+
+    use super::content::Content;
+
+    /// Error raised by deserializers; mirrors `serde::de::Error`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can produce a [`Content`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type raised by the format.
+        type Error: Error;
+
+        /// Parses the complete input into a [`Content`] tree.
+        fn deserialize_content(self) -> Result<Content, Self::Error>;
+    }
+
+    /// A value constructible from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A value deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Error type for the in-memory [`ContentDeserializer`].
+    #[derive(Debug)]
+    pub struct DeError(pub String);
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// The identity deserializer: replays a captured [`Content`] tree.
+    pub struct ContentDeserializer(pub Content);
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = DeError;
+
+        fn deserialize_content(self) -> Result<Content, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Deserializes any owned value from the intermediate [`Content`] model.
+    pub fn from_content<T: DeserializeOwned>(content: Content) -> Result<T, DeError> {
+        T::deserialize(ContentDeserializer(content))
+    }
+}
+
+// The trait and the derive macro share the `serde::Serialize` /
+// `serde::Deserialize` names, as in real serde (separate namespaces).
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

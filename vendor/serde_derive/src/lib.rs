@@ -1,0 +1,491 @@
+//! Minimal vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements just enough of `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the type shapes this workspace actually uses: non-generic structs with
+//! named fields (supporting `#[serde(default)]`) and non-generic enums with
+//! unit, tuple, and struct variants, encoded in the externally-tagged JSON
+//! representation `serde_json` uses by default.
+//!
+//! The derive input is parsed directly from the raw `proc_macro` token stream
+//! (no `syn`/`quote`), and the generated impls target the value-based data
+//! model in the vendored `serde` crate.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes a leading run of outer attributes, reporting whether any of them
+/// was `#[serde(default)]`.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(id)) = inner.next() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(a) = t {
+                                        if a.to_string() == "default" {
+                                            has_default = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility prefix.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes type tokens up to (and including) a top-level `,`, tracking
+/// angle-bracket depth so commas inside generics don't terminate the field.
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' && !prev_dash {
+                    angle -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+    }
+}
+
+/// Splits a parenthesised tuple-variant body into its field count.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    let mut saw_any = false;
+    for tt in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == ',' && angle == 0 {
+                count += 1;
+            } else if c == '<' {
+                angle += 1;
+            } else if c == '>' && !prev_dash {
+                angle -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: unexpected token in fields: {other}"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: unexpected token in variants: {other}"),
+            None => break,
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the trailing comma, if any (discriminants are unsupported).
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                "struct" => {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive stub: expected struct name, got {other:?}"),
+                    };
+                    match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Shape::Struct {
+                                name,
+                                fields: parse_fields(g.stream()),
+                            };
+                        }
+                        other => panic!(
+                            "serde_derive stub: only non-generic structs with named fields are \
+                             supported (struct {name}, got {other:?})"
+                        ),
+                    }
+                }
+                "enum" => {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive stub: expected enum name, got {other:?}"),
+                    };
+                    match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Shape::Enum {
+                                name,
+                                variants: parse_variants(g.stream()),
+                            };
+                        }
+                        other => panic!(
+                            "serde_derive stub: only non-generic enums are supported \
+                             (enum {name}, got {other:?})"
+                        ),
+                    }
+                }
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn struct_body_to_content(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::new();
+    out.push_str("let mut __m: Vec<(String, ::serde::content::Content)> = Vec::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.push((\"{f}\".to_string(), ::serde::ser::to_content(&{prefix}{f})\
+             .map_err(::serde::ser::Error::custom)?));\n",
+            f = f.name,
+            prefix = access_prefix,
+        ));
+    }
+    out.push_str("::serde::content::Content::Map(__m)\n");
+    out
+}
+
+fn struct_fields_from_map(ty_and_variant: &str, ctor: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("::core::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"missing field `{}` for `{}`\"))",
+                f.name, ty_and_variant
+            )
+        };
+        out.push_str(&format!(
+            "{f}: match ::serde::content::take(&mut __m, \"{f}\") {{\n\
+             ::core::option::Option::Some(__v) => ::serde::de::from_content(__v)\
+             .map_err(::serde::de::Error::custom)?,\n\
+             ::core::option::Option::None => {missing},\n}},\n",
+            f = f.name,
+        ));
+    }
+    out.push_str("})\n");
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let body = struct_body_to_content(&fields, "self.");
+            format!(
+                "#[allow(unused_mut, clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let __content = {{ {body} }};\n\
+                 serializer.serialize_content(__content)\n}}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::content::Content::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::content::Content::Map(vec![\
+                         (\"{v}\".to_string(), ::serde::ser::to_content(__f0)\
+                         .map_err(::serde::ser::Error::custom)?)]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| {
+                                format!(
+                                    "::serde::ser::to_content({b})\
+                                     .map_err(::serde::ser::Error::custom)?"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => ::serde::content::Content::Map(vec![\
+                             (\"{v}\".to_string(), ::serde::content::Content::Seq(\
+                             vec![{items}]))]),\n",
+                            v = v.name,
+                            binders = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::ser::to_content({f})\
+                                     .map_err(::serde::ser::Error::custom)?)",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::content::Content::Map(vec![\
+                             (\"{v}\".to_string(), ::serde::content::Content::Map(\
+                             vec![{items}]))]),\n",
+                            v = v.name,
+                            binders = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[allow(unused_mut, clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let __content = match self {{\n{arms}}};\n\
+                 serializer.serialize_content(__content)\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let body = struct_fields_from_map(&name, &name, &fields);
+            format!(
+                "#[allow(unused_mut, unused_variables, clippy::all)]\n\
+                 impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 let __c = deserializer.deserialize_content()?;\n\
+                 let mut __m = match __c {{\n\
+                 ::serde::content::Content::Map(__m) => __m,\n\
+                 _ => return ::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected a JSON object for struct `{name}`\")),\n}};\n\
+                 {body}\n}}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::de::from_content(__v)\
+                         .map_err(::serde::de::Error::custom)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut pops = String::new();
+                        for i in (0..*n).rev() {
+                            pops.push_str(&format!(
+                                "let __f{i} = __seq.pop().expect(\"length checked\");\n"
+                            ));
+                        }
+                        let args: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::de::from_content(__f{i})\
+                                     .map_err(::serde::de::Error::custom)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let mut __seq = match __v {{\n\
+                             ::serde::content::Content::Seq(__s) => __s,\n\
+                             _ => return ::core::result::Result::Err(::serde::de::Error::custom(\
+                             \"expected a JSON array for variant `{name}::{v}`\")),\n}};\n\
+                             if __seq.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::de::Error::custom(\
+                             \"wrong tuple length for variant `{name}::{v}`\"));\n}}\n\
+                             {pops}\
+                             ::core::result::Result::Ok({name}::{v}({args}))\n}}\n",
+                            v = v.name,
+                            args = args.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!("{name}::{v}", v = v.name);
+                        let body = struct_fields_from_map(&ctor, &ctor, fields);
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let mut __m = match __v {{\n\
+                             ::serde::content::Content::Map(__m) => __m,\n\
+                             _ => return ::core::result::Result::Err(::serde::de::Error::custom(\
+                             \"expected a JSON object for variant `{name}::{v}`\")),\n}};\n\
+                             {body}\n}}\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[allow(unused_mut, unused_variables, unreachable_patterns, clippy::all)]\n\
+                 impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 let __c = deserializer.deserialize_content()?;\n\
+                 match __c {{\n\
+                 ::serde::content::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 &format!(\"unknown unit variant `{{}}` for enum `{name}`\", __other))),\n}},\n\
+                 ::serde::content::Content::Map(mut __m) => {{\n\
+                 if __m.len() != 1 {{\n\
+                 return ::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected a single-key JSON object for enum `{name}`\"));\n}}\n\
+                 let (__k, __v) = __m.remove(0);\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 &format!(\"unknown variant `{{}}` for enum `{name}`\", __other))),\n}}\n}}\n\
+                 _ => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"invalid JSON representation for enum `{name}`\")),\n}}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
