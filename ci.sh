@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: everything a PR must keep green, in dependency order.
 #
-# Usage: ./ci.sh [--no-clippy]
-#   --no-clippy   skip the clippy pass (e.g. when the component is absent)
+# Usage: ./ci.sh [--no-clippy | --bench-snapshot]
+#   --no-clippy       skip the clippy pass (e.g. when the component is absent)
+#   --bench-snapshot  run the commit_path and coord_store benches in quick
+#                     mode, write BENCH_commit_path.json (the perf-trajectory
+#                     data point), and gate on the group-commit speedup
+#                     (TROPIC_BENCH_MIN_SPEEDUP, default 1.5)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,6 +15,73 @@ run() {
     echo "=== $* ==="
     "$@"
 }
+
+bench_snapshot() {
+    local out="BENCH_commit_path.json"
+    local raw
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' RETURN
+
+    TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench commit_path
+    TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench coord_store
+
+    local min_speedup="${TROPIC_BENCH_MIN_SPEEDUP:-1.5}"
+    awk -v min_speedup="$min_speedup" '
+        # Input lines: {"name":"group/bench","mean_ns":N,"iterations":I}
+        {
+            line = $0
+            gsub(/[{}"]/, "", line)
+            split(line, kv, ",")
+            name = ""; mean = 0; iters = 0
+            for (i in kv) {
+                split(kv[i], pair, ":")
+                if (pair[1] == "name") name = pair[2]
+                if (pair[1] == "mean_ns") mean = pair[2] + 0
+                if (pair[1] == "iterations") iters = pair[2] + 0
+            }
+            if (name == "") next
+            names[++n] = name; means[name] = mean; iter_count[name] = iters
+        }
+        END {
+            before = means["commit_path/per_record"]
+            after = means["commit_path/group_commit"]
+            if (before == 0 || after == 0) {
+                print "bench snapshot missing commit_path results" > "/dev/stderr"
+                exit 1
+            }
+            speedup = before / after
+            printf "{\n  \"bench\": \"commit_path\",\n  \"mode\": \"quick\",\n"
+            printf "  \"results\": [\n"
+            for (i = 1; i <= n; i++) {
+                name = names[i]
+                printf "    {\"name\": \"%s\", \"mean_ns\": %d, \"iterations\": %d, \"throughput_per_sec\": %.2f}%s\n", \
+                    name, means[name], iter_count[name], 1e9 / means[name], (i < n ? "," : "")
+            }
+            printf "  ],\n"
+            printf "  \"group_commit\": {\n"
+            printf "    \"per_record_mean_ns\": %d,\n", before
+            printf "    \"group_commit_mean_ns\": %d,\n", after
+            printf "    \"speedup\": %.3f,\n", speedup
+            printf "    \"min_speedup\": %.2f\n", min_speedup
+            printf "  }\n}\n"
+            if (speedup < min_speedup) {
+                printf "perf gate FAILED: group-commit speedup %.3f < %.2f\n", speedup, min_speedup > "/dev/stderr"
+                exit 2
+            }
+        }
+    ' "$raw" > "$out" || { cat "$out"; exit 1; }
+
+    echo
+    echo "=== $out ==="
+    cat "$out"
+    echo
+    echo "Perf gate passed."
+}
+
+if [[ "${1:-}" == "--bench-snapshot" ]]; then
+    bench_snapshot
+    exit 0
+fi
 
 run cargo build --release
 run cargo test -q

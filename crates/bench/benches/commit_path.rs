@@ -2,31 +2,61 @@
 //! the whole platform (submit → logical execution → phyQ → worker →
 //! result → cleanup), in logical-only mode — the per-transaction cost
 //! underlying the Figure 4/5 runs.
+//!
+//! Two variants measure the group-commit payoff under a modeled
+//! coordination-log write latency (the ZooKeeper I/O the paper identifies
+//! as the dominant per-transaction overhead, §6.1):
+//!
+//! * `per_record`  — every controller/worker state transition is its own
+//!   quorum write (the pre-group-commit commit path).
+//! * `group_commit` — each scheduling round flushes as one atomic multi.
+//!
+//! `ci.sh --bench-snapshot` records both means in `BENCH_commit_path.json`
+//! and gates on their ratio.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use tropic_coord::CoordConfig;
 use tropic_core::{ExecMode, PlatformConfig, Tropic, TxnState};
 use tropic_tcloud::TopologySpec;
 
-fn bench(c: &mut Criterion) {
-    let spec = TopologySpec {
+/// Simulated replicated-log write latency (a disk-era ZooKeeper forced log
+/// write, §6.1). Every quorum write pays it; group commit amortizes it
+/// across a whole round.
+const WRITE_LATENCY: Duration = Duration::from_millis(1);
+
+fn spec() -> TopologySpec {
+    TopologySpec {
         compute_hosts: 64,
         storage_hosts: 16,
         routers: 0,
         storage_capacity_mb: 1_000_000_000,
         host_mem_mb: 1_000_000,
         ..Default::default()
-    };
-    let platform = Tropic::start(
+    }
+}
+
+fn platform(group_commit: bool) -> Tropic {
+    Tropic::start(
         PlatformConfig {
             controllers: 1,
             workers: 1,
             checkpoint_every: 0,
+            group_commit,
+            coord: CoordConfig {
+                write_latency: WRITE_LATENCY,
+                ..CoordConfig::default()
+            },
             ..Default::default()
         },
-        spec.service(),
+        spec().service(),
         ExecMode::LogicalOnly,
-    );
+    )
+}
+
+fn bench_variant(c: &mut Criterion, name: &str, group_commit: bool) {
+    let spec = spec();
+    let platform = platform(group_commit);
     let client = platform.client();
 
     let mut group = c.benchmark_group("commit_path");
@@ -35,7 +65,7 @@ fn bench(c: &mut Criterion) {
     let mut i = 0u64;
     // Spawn + destroy per iteration keeps resource usage flat no matter how
     // many iterations criterion decides to run.
-    group.bench_function("spawn_destroy_round_trip", |b| {
+    group.bench_function(name, |b| {
         b.iter(|| {
             let host = (i % 64) as usize;
             let vm = format!("cp{i}");
@@ -64,6 +94,12 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
     platform.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    // The baseline first, so a snapshot always has the "before" number.
+    bench_variant(c, "per_record", false);
+    bench_variant(c, "group_commit", true);
 }
 
 criterion_group!(benches, bench);

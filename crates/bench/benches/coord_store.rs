@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tropic_coord::{CoordConfig, CoordService, CreateMode, DistributedQueue};
+use tropic_coord::{CoordConfig, CoordService, CreateMode, DistributedQueue, Op};
 use tropic_model::Path;
 
 fn bench(c: &mut Criterion) {
@@ -55,6 +55,48 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             q.enqueue(&b"item"[..]).unwrap();
             black_box(q.try_dequeue().unwrap());
+        })
+    });
+
+    // 16 sets issued one write at a time vs. as one atomic multi — the raw
+    // broadcast-amortization the controller's group commit builds on. Both
+    // variants share one setup so the comparison can never skew.
+    fn seeded_paths() -> (CoordService, tropic_coord::CoordClient, Vec<Path>) {
+        let svc = CoordService::start(CoordConfig::default());
+        let client = svc.connect("bench");
+        let paths: Vec<Path> = (0..16)
+            .map(|i| {
+                let p = Path::parse(&format!("/n{i}")).unwrap();
+                client
+                    .create(&p, &b"0"[..], CreateMode::Persistent)
+                    .unwrap();
+                p
+            })
+            .collect();
+        (svc, client, paths)
+    }
+
+    group.bench_function("set_16_per_record", |b| {
+        let (_svc, client, paths) = seeded_paths();
+        b.iter(|| {
+            for p in &paths {
+                client.set_data(p, &b"x"[..], None).unwrap();
+            }
+        })
+    });
+
+    group.bench_function("set_16_multi", |b| {
+        let (_svc, client, paths) = seeded_paths();
+        b.iter(|| {
+            let ops: Vec<Op> = paths
+                .iter()
+                .map(|p| Op::SetData {
+                    path: p.clone(),
+                    data: bytes::Bytes::from_static(b"x"),
+                    expected_version: None,
+                })
+                .collect();
+            client.multi(ops).unwrap();
         })
     });
     group.finish();

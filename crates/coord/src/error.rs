@@ -42,6 +42,16 @@ pub enum CoordError {
     },
     /// The whole ensemble is down.
     Unavailable,
+    /// A sub-operation of an atomic batch failed; none of the batch was
+    /// applied.
+    MultiFailed {
+        /// Index of the failing sub-operation within the batch.
+        index: usize,
+        /// Why that sub-operation failed.
+        cause: Box<CoordError>,
+    },
+    /// Atomic batches cannot contain other batches.
+    NestedMulti,
 }
 
 impl fmt::Display for CoordError {
@@ -67,6 +77,10 @@ impl fmt::Display for CoordError {
                 write!(f, "no quorum: {acks} acks, {needed} needed")
             }
             CoordError::Unavailable => write!(f, "coordination service unavailable"),
+            CoordError::MultiFailed { index, cause } => {
+                write!(f, "multi op #{index} failed ({cause}); batch not applied")
+            }
+            CoordError::NestedMulti => write!(f, "multi ops cannot nest"),
         }
     }
 }

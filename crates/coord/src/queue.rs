@@ -5,6 +5,7 @@
 //! sequentially-numbered persistent items; dequeue claims the lowest item by
 //! deleting it, so exactly one consumer wins even with many workers.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -12,6 +13,7 @@ use tropic_model::Path;
 
 use crate::error::{CoordError, CoordResult};
 use crate::service::{CoordClient, CreateMode, WatchKind};
+use crate::store::Op;
 
 /// A durable multi-producer multi-consumer FIFO queue.
 pub struct DistributedQueue<'a> {
@@ -38,6 +40,123 @@ impl<'a> DistributedQueue<'a> {
             data,
             CreateMode::PersistentSequential,
         )
+    }
+
+    /// Appends several items as one atomic batch (one replicated write);
+    /// either every item lands, in order, or none does.
+    pub fn enqueue_many(
+        &self,
+        items: impl IntoIterator<Item = impl Into<Bytes>>,
+    ) -> CoordResult<()> {
+        let ops: Vec<Op> = items.into_iter().map(|d| self.enqueue_op(d)).collect();
+        self.client.multi(ops)?;
+        Ok(())
+    }
+
+    /// The [`Op`] that [`DistributedQueue::enqueue`] would submit, for
+    /// inclusion in a caller-assembled atomic batch.
+    pub fn enqueue_op(&self, data: impl Into<Bytes>) -> Op {
+        Op::Create {
+            path: self.base.join("item-"),
+            data: data.into(),
+            ephemeral_owner: None,
+            sequential: true,
+        }
+    }
+
+    /// The [`Op`] that removes the named item, for inclusion in a
+    /// caller-assembled atomic batch. Unlike [`DistributedQueue::remove`],
+    /// a missing item fails the whole batch — callers batch removals only
+    /// for items they exclusively own (the leader's peeked inputs).
+    pub fn remove_op(&self, name: &str) -> Op {
+        Op::Delete {
+            path: self.base.join(name),
+            expected_version: None,
+        }
+    }
+
+    /// Path of the item znode with the given name.
+    pub fn item_path(&self, name: &str) -> Path {
+        self.base.join(name)
+    }
+
+    /// Names of all queued items in FIFO (lexicographic) order.
+    pub fn item_names(&self) -> CoordResult<Vec<String>> {
+        self.client.get_children(&self.base)
+    }
+
+    /// Reads one item's payload by name, or `None` when already claimed.
+    pub fn get(&self, name: &str) -> CoordResult<Option<Bytes>> {
+        Ok(self
+            .client
+            .get_data(&self.base.join(name))?
+            .map(|(data, _)| data))
+    }
+
+    /// Claims up to `max` items from the head of the queue in one atomic
+    /// batch (a multi of deletes), preserving FIFO order. When a competing
+    /// consumer steals any candidate between the read and the claim, the
+    /// whole claim fails benignly and is retried against the new head.
+    /// Returns an empty vector when the queue is empty.
+    pub fn try_dequeue_batch(&self, max: usize) -> CoordResult<Vec<(String, Bytes)>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        loop {
+            let names = self.item_names()?;
+            let mut claim: Vec<(String, Bytes)> = Vec::new();
+            for name in names.into_iter().take(max) {
+                match self.client.get_data(&self.base.join(&name))? {
+                    Some((data, _)) => claim.push((name, data)),
+                    // Claimed by a competitor between list and read.
+                    None => continue,
+                }
+            }
+            if claim.is_empty() {
+                return Ok(Vec::new());
+            }
+            let deletes: Vec<Op> = claim.iter().map(|(name, _)| self.remove_op(name)).collect();
+            match self.client.multi(deletes) {
+                Ok(_) => return Ok(claim),
+                // Lost a race for at least one item: nothing was claimed
+                // (the batch is atomic); retry from the fresh head.
+                Err(CoordError::MultiFailed { cause, .. })
+                    if matches!(*cause, CoordError::NoNode(_)) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks until the queue is likely non-empty, `timeout` passes, or
+    /// `stop` becomes true — without claiming anything. Arms one children
+    /// watch and then waits on the client's event channel in short slices,
+    /// so idling costs no store writes and a shutdown flag interrupts the
+    /// wait within one slice regardless of how long `timeout` is.
+    pub fn await_items(&self, timeout: Duration, stop: &AtomicBool) -> CoordResult<()> {
+        if self.len()? > 0 {
+            return Ok(());
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        self.client.watch(&self.base, WatchKind::Children)?;
+        // Re-check after registering the watch: an item may have landed in
+        // between, in which case the watch may never fire for it.
+        if self.len()? > 0 {
+            return Ok(());
+        }
+        while !stop.load(Ordering::SeqCst) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(());
+            }
+            let slice = (deadline - now).min(Duration::from_millis(25));
+            if self.client.wait_event(slice).is_some() {
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// Number of queued items.
@@ -224,6 +343,82 @@ mod tests {
             .unwrap()
             .is_none());
         assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn enqueue_many_is_fifo_and_atomic() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/q")).unwrap();
+        let writes_before = svc.stats().writes;
+        q.enqueue_many([&b"a"[..], &b"b"[..], &b"c"[..]]).unwrap();
+        assert_eq!(
+            svc.stats().writes,
+            writes_before + 1,
+            "batch enqueue is one write"
+        );
+        let items = q.try_dequeue_batch(10).unwrap();
+        let datas: Vec<&[u8]> = items.iter().map(|(_, d)| &d[..]).collect();
+        assert_eq!(datas, vec![&b"a"[..], &b"b"[..], &b"c"[..]]);
+        assert!(q.is_empty().unwrap());
+    }
+
+    #[test]
+    fn dequeue_batch_respects_max_and_order() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/q")).unwrap();
+        for i in 0..5 {
+            q.enqueue(Bytes::from(format!("{i}"))).unwrap();
+        }
+        let first = q.try_dequeue_batch(2).unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(&first[0].1[..], b"0");
+        assert_eq!(&first[1].1[..], b"1");
+        assert_eq!(q.len().unwrap(), 3);
+        assert!(q.try_dequeue_batch(0).unwrap().is_empty());
+        assert_eq!(q.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn concurrent_batch_consumers_claim_each_item_once() {
+        let svc = Arc::new(svc());
+        let producer = svc.connect("p");
+        let q = DistributedQueue::new(&producer, p("/phyQ")).unwrap();
+        const N: usize = 120;
+        for i in 0..N {
+            q.enqueue(Bytes::from(format!("{i}"))).unwrap();
+        }
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let client = svc.connect(&format!("w{w}"));
+                let q = DistributedQueue::new(&client, p("/phyQ")).unwrap();
+                let mut claimed = Vec::new();
+                loop {
+                    let batch = q.try_dequeue_batch(3).unwrap();
+                    if batch.is_empty() {
+                        break;
+                    }
+                    claimed.extend(
+                        batch
+                            .into_iter()
+                            .map(|(_, d)| String::from_utf8(d.to_vec()).unwrap()),
+                    );
+                }
+                claimed
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|s| s.parse::<usize>().unwrap());
+        assert_eq!(all.len(), N, "each item claimed exactly once");
+        for (i, item) in all.iter().enumerate() {
+            assert_eq!(item, &format!("{i}"));
+        }
     }
 
     #[test]

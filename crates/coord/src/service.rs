@@ -86,7 +86,7 @@ struct WatchTable {
 /// Operation counters for the experiments.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
-    /// Write operations submitted.
+    /// Write operations submitted (a multi batch counts once).
     pub writes: u64,
     /// Read operations served.
     pub reads: u64,
@@ -94,6 +94,10 @@ pub struct ServiceStats {
     pub watch_events: u64,
     /// Sessions expired.
     pub expired_sessions: u64,
+    /// Atomic multi batches submitted.
+    pub multis: u64,
+    /// Sub-operations carried inside multi batches.
+    pub batched_ops: u64,
 }
 
 pub(crate) struct ServiceInner {
@@ -150,7 +154,14 @@ impl ServiceInner {
 
     fn submit(&self, session: u64, op: Op) -> CoordResult<OpResult> {
         self.check_session(session)?;
-        self.stats.lock().writes += 1;
+        {
+            let mut stats = self.stats.lock();
+            stats.writes += 1;
+            if let Op::Multi { ops } = &op {
+                stats.multis += 1;
+                stats.batched_ops += ops.len() as u64;
+            }
+        }
         let (result, events) = {
             let mut ensemble = self.ensemble.lock();
             // The latency sleep sits inside the ensemble lock on purpose:
@@ -376,10 +387,12 @@ impl CoordClient {
     }
 
     /// Creates every missing node along `path` as a persistent znode.
-    /// Existing prefixes are left untouched.
+    /// Existing prefixes are left untouched — probed with a cheap quorum
+    /// read first, so re-binding well-known paths (queues, record roots)
+    /// costs no writes; the create still tolerates losing a race.
     pub fn create_all(&self, path: &Path) -> CoordResult<()> {
         for prefix in path.ancestors_and_self() {
-            if prefix.is_root() {
+            if prefix.is_root() || self.exists(&prefix)? {
                 continue;
             }
             match self.create(&prefix, Bytes::new(), CreateMode::Persistent) {
@@ -388,6 +401,21 @@ impl CoordClient {
             }
         }
         Ok(())
+    }
+
+    /// Submits a batch of write operations as one atomic unit (the
+    /// group-commit primitive): the batch replicates as a single broadcast,
+    /// pays the write latency once, and either every sub-operation applies
+    /// or none does ([`CoordError::MultiFailed`] reports the first failure).
+    /// An empty batch is a no-op that never touches the ensemble.
+    pub fn multi(&self, ops: Vec<Op>) -> CoordResult<Vec<OpResult>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.inner.submit(self.session, Op::Multi { ops })? {
+            OpResult::Multi(results) => Ok(results),
+            other => unreachable!("multi returned {other:?}"),
+        }
     }
 
     /// Writes a znode's data; `expected_version` makes it a compare-and-swap.
@@ -741,5 +769,94 @@ mod tests {
         let s = svc.stats();
         assert_eq!(s.writes, 1);
         assert_eq!(s.reads, 1);
+    }
+
+    #[test]
+    fn multi_round_trip_and_stats() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        let results = c
+            .multi(vec![
+                Op::Create {
+                    path: p("/batch"),
+                    data: Bytes::from_static(b"1"),
+                    ephemeral_owner: None,
+                    sequential: false,
+                },
+                Op::SetData {
+                    path: p("/batch"),
+                    data: Bytes::from_static(b"2"),
+                    expected_version: None,
+                },
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let (data, stat) = c.get_data(&p("/batch")).unwrap().unwrap();
+        assert_eq!(&data[..], b"2");
+        assert_eq!(stat.version, 1);
+        let s = svc.stats();
+        assert_eq!(s.writes, 1, "a batch is one write");
+        assert_eq!(s.multis, 1);
+        assert_eq!(s.batched_ops, 2);
+        // Empty batches never touch the ensemble.
+        assert!(c.multi(Vec::new()).unwrap().is_empty());
+        assert_eq!(svc.stats().writes, 1);
+    }
+
+    #[test]
+    fn multi_failure_applies_nothing_and_fires_no_watches() {
+        let svc = quick_service();
+        let c = svc.connect("writer");
+        let w = svc.connect("watcher");
+        c.create(&p("/seen"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
+        w.watch(&p("/seen"), WatchKind::Node).unwrap();
+        let err = c
+            .multi(vec![
+                Op::SetData {
+                    path: p("/seen"),
+                    data: Bytes::from_static(b"x"),
+                    expected_version: None,
+                },
+                Op::Delete {
+                    path: p("/missing"),
+                    expected_version: None,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CoordError::MultiFailed { index: 1, .. }));
+        let (data, stat) = c.get_data(&p("/seen")).unwrap().unwrap();
+        assert!(data.is_empty());
+        assert_eq!(stat.version, 0);
+        assert!(
+            w.wait_event(Duration::from_millis(50)).is_none(),
+            "failed batch must not fire watches"
+        );
+    }
+
+    #[test]
+    fn multi_batch_replicates_atomically_across_crash() {
+        let svc = quick_service();
+        let c = svc.connect("t");
+        c.multi(vec![
+            Op::Create {
+                path: p("/a"),
+                data: Bytes::new(),
+                ephemeral_owner: None,
+                sequential: false,
+            },
+            Op::Create {
+                path: p("/b"),
+                data: Bytes::new(),
+                ephemeral_owner: None,
+                sequential: false,
+            },
+        ])
+        .unwrap();
+        // The batch committed as one unit; a replica crash + leader change
+        // still shows both effects.
+        svc.crash_replica(0);
+        assert!(c.exists(&p("/a")).unwrap());
+        assert!(c.exists(&p("/b")).unwrap());
     }
 }

@@ -27,7 +27,7 @@ pub struct Stat {
     pub num_children: usize,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Znode {
     data: Bytes,
     czxid: u64,
@@ -98,6 +98,14 @@ pub enum Op {
         /// The expired session.
         session: u64,
     },
+    /// Apply a batch of operations atomically: either every sub-operation
+    /// succeeds, or the store is left byte-identical to its pre-batch state.
+    /// Replicated as one broadcast unit, so the batch is also atomic with
+    /// respect to crashes and follower sync (group commit). Must not nest.
+    Multi {
+        /// The sub-operations, applied in order.
+        ops: Vec<Op>,
+    },
 }
 
 impl Op {
@@ -108,6 +116,7 @@ impl Op {
             Op::SetData { .. } => "set",
             Op::Delete { .. } => "delete",
             Op::PurgeSession { .. } => "purge_session",
+            Op::Multi { .. } => "multi",
         }
     }
 }
@@ -123,6 +132,8 @@ pub enum OpResult {
     Deleted,
     /// Session purged; carries the paths of deleted ephemerals.
     Purged(Vec<Path>),
+    /// Batch applied; carries each sub-operation's result in order.
+    Multi(Vec<OpResult>),
 }
 
 /// A state change notification produced by applying an op. The service layer
@@ -139,8 +150,31 @@ pub enum StoreEvent {
     ChildrenChanged(Path),
 }
 
+/// Inverse of one applied sub-operation, journaled by [`Op::Multi`] so a
+/// failing batch can be reverted to a byte-identical pre-batch state.
+enum Undo {
+    /// Remove the node created at `path`; restore the parent's sequential
+    /// counter when the create consumed one.
+    Created {
+        path: Path,
+        prev_parent_cseq: Option<u64>,
+    },
+    /// Restore a node's previous data, version, and mzxid.
+    Set {
+        path: Path,
+        data: Bytes,
+        version: u64,
+        mzxid: u64,
+    },
+    /// Re-insert a deleted node (leaf at deletion time, so no subtree).
+    Deleted { path: Path, node: Znode },
+    /// Re-insert purged ephemerals. Order is irrelevant: ephemerals are
+    /// enforced childless, so no purged node can be another's parent.
+    Purged { nodes: Vec<(Path, Znode)> },
+}
+
 /// One replica's copy of the znode tree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ZnodeStore {
     root: Znode,
 }
@@ -235,6 +269,166 @@ impl ZnodeStore {
                 expected_version,
             } => self.apply_delete(path, *expected_version),
             Op::PurgeSession { session } => self.apply_purge(*session),
+            Op::Multi { ops } => self.apply_multi(zxid, ops),
+        }
+    }
+
+    /// Applies a batch all-or-nothing: sub-ops are applied in order with an
+    /// undo journal; the first failure reverts every earlier sub-op (in
+    /// reverse order) and reports [`CoordError::MultiFailed`] with the
+    /// failing index. No events are emitted for a failed batch. Nested
+    /// batches are rejected before anything is applied.
+    fn apply_multi(&mut self, zxid: u64, ops: &[Op]) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        if let Some(index) = ops.iter().position(|op| matches!(op, Op::Multi { .. })) {
+            return (
+                Err(CoordError::MultiFailed {
+                    index,
+                    cause: Box::new(CoordError::NestedMulti),
+                }),
+                Vec::new(),
+            );
+        }
+        let mut results = Vec::with_capacity(ops.len());
+        let mut events = Vec::new();
+        let mut undos: Vec<Undo> = Vec::with_capacity(ops.len());
+        for (index, op) in ops.iter().enumerate() {
+            // Journal the inverse *before* applying: failed sub-ops mutate
+            // nothing (checked below via the apply result), so only applied
+            // ops need reverting.
+            let undo = self.journal_undo(op);
+            let (result, evs) = self.apply(zxid, op);
+            match result {
+                Ok(r) => {
+                    undos.push(self.finish_undo(undo, &r));
+                    results.push(r);
+                    events.extend(evs);
+                }
+                Err(cause) => {
+                    self.revert(undos);
+                    return (
+                        Err(CoordError::MultiFailed {
+                            index,
+                            cause: Box::new(cause),
+                        }),
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+        (Ok(OpResult::Multi(results)), events)
+    }
+
+    /// Captures the pre-apply state a sub-op's inverse needs. The created
+    /// path of a sequential create is only known post-apply; see
+    /// [`ZnodeStore::finish_undo`].
+    fn journal_undo(&self, op: &Op) -> Undo {
+        match op {
+            Op::Create {
+                path, sequential, ..
+            } => Undo::Created {
+                path: path.clone(), // placeholder; finish_undo fills the final path
+                prev_parent_cseq: sequential
+                    .then(|| {
+                        path.parent()
+                            .and_then(|pp| self.get_node(&pp))
+                            .map(|n| n.cseq)
+                    })
+                    .flatten(),
+            },
+            Op::SetData { path, .. } => match self.get_node(path) {
+                Some(n) => Undo::Set {
+                    path: path.clone(),
+                    data: n.data.clone(),
+                    version: n.version,
+                    mzxid: n.mzxid,
+                },
+                // The apply will fail with NoNode; journal a no-op shape.
+                None => Undo::Purged { nodes: Vec::new() },
+            },
+            Op::Delete { path, .. } => match self.get_node(path) {
+                Some(n) => Undo::Deleted {
+                    path: path.clone(),
+                    node: n.clone(),
+                },
+                None => Undo::Purged { nodes: Vec::new() },
+            },
+            Op::PurgeSession { session } => Undo::Purged {
+                nodes: self
+                    .ephemerals_of(*session)
+                    .into_iter()
+                    .filter_map(|p| self.get_node(&p).cloned().map(|n| (p, n)))
+                    .collect(),
+            },
+            Op::Multi { .. } => unreachable!("nested multi rejected earlier"),
+        }
+    }
+
+    /// Completes an undo entry with post-apply information (the final path
+    /// of a sequential create).
+    fn finish_undo(&self, undo: Undo, result: &OpResult) -> Undo {
+        match (undo, result) {
+            (
+                Undo::Created {
+                    prev_parent_cseq, ..
+                },
+                OpResult::Created(final_path),
+            ) => Undo::Created {
+                path: final_path.clone(),
+                prev_parent_cseq,
+            },
+            (undo, _) => undo,
+        }
+    }
+
+    /// Reverts journaled sub-ops in reverse order, restoring the pre-batch
+    /// state exactly (data, versions, zxids, and sequential counters).
+    fn revert(&mut self, undos: Vec<Undo>) {
+        for undo in undos.into_iter().rev() {
+            match undo {
+                Undo::Created {
+                    path,
+                    prev_parent_cseq,
+                } => {
+                    let name = path.leaf().expect("created nodes are non-root").to_owned();
+                    let parent_path = path.parent().expect("non-root");
+                    if let Some(parent) = self.get_node_mut(&parent_path) {
+                        parent.children.remove(&name);
+                        if let Some(cseq) = prev_parent_cseq {
+                            parent.cseq = cseq;
+                        }
+                    }
+                }
+                Undo::Set {
+                    path,
+                    data,
+                    version,
+                    mzxid,
+                } => {
+                    if let Some(node) = self.get_node_mut(&path) {
+                        node.data = data;
+                        node.version = version;
+                        node.mzxid = mzxid;
+                    }
+                }
+                Undo::Deleted { path, node } => {
+                    self.reinsert(&path, node);
+                }
+                Undo::Purged { nodes } => {
+                    // Childless by the ephemeral invariant, so any
+                    // re-insertion order restores the exact tree.
+                    for (path, node) in nodes.into_iter().rev() {
+                        self.reinsert(&path, node);
+                    }
+                }
+            }
+        }
+    }
+
+    fn reinsert(&mut self, path: &Path, node: Znode) {
+        let name = path.leaf().expect("non-root").to_owned();
+        let parent_path = path.parent().expect("non-root");
+        if let Some(parent) = self.get_node_mut(&parent_path) {
+            parent.children.insert(name, node);
         }
     }
 
@@ -257,18 +451,28 @@ impl ZnodeStore {
             return (Err(CoordError::EphemeralParent(parent_path)), Vec::new());
         }
         let name = if sequential {
-            let seq = parent.cseq;
-            parent.cseq += 1;
-            format!("{base_name}{seq:010}")
+            // Skip over any literal child squatting on the next sequential
+            // name, so a collision can never fail (or wedge) the counter.
+            // The skip commits with the create and reverts with the batch's
+            // undo journal, keeping failed ops side-effect free (required
+            // by Multi's atomicity) and replicas deterministic.
+            let mut seq = parent.cseq;
+            let mut name = format!("{base_name}{seq:010}");
+            while parent.children.contains_key(&name) {
+                seq += 1;
+                name = format!("{base_name}{seq:010}");
+            }
+            parent.cseq = seq + 1;
+            name
         } else {
+            if parent.children.contains_key(&base_name) {
+                return (
+                    Err(CoordError::NodeExists(parent_path.join(&base_name))),
+                    Vec::new(),
+                );
+            }
             base_name
         };
-        if parent.children.contains_key(&name) {
-            return (
-                Err(CoordError::NodeExists(parent_path.join(&name))),
-                Vec::new(),
-            );
-        }
         parent
             .children
             .insert(name.clone(), Znode::new(data, zxid, ephemeral_owner));
@@ -601,5 +805,228 @@ mod tests {
         create(&mut s, 1, "/a").unwrap();
         create(&mut s, 2, "/a/b").unwrap();
         assert_eq!(s.node_count(), 3);
+    }
+
+    fn create_op(path: &str, sequential: bool) -> Op {
+        Op::Create {
+            path: p(path),
+            data: Bytes::from_static(b"m"),
+            ephemeral_owner: None,
+            sequential,
+        }
+    }
+
+    #[test]
+    fn multi_applies_all_and_concatenates_events() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/q").unwrap();
+        let (res, events) = s.apply(
+            2,
+            &Op::Multi {
+                ops: vec![
+                    create_op("/a", false),
+                    create_op("/q/item-", true),
+                    Op::SetData {
+                        path: p("/a"),
+                        data: Bytes::from_static(b"v"),
+                        expected_version: Some(0),
+                    },
+                ],
+            },
+        );
+        let results = match res.unwrap() {
+            OpResult::Multi(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], OpResult::Created(p("/a")));
+        assert_eq!(results[1], OpResult::Created(p("/q/item-0000000000")));
+        assert_eq!(results[2], OpResult::Set(1));
+        assert!(events.contains(&StoreEvent::Created(p("/a"))));
+        assert!(events.contains(&StoreEvent::DataChanged(p("/a"))));
+        // Sub-ops share the batch's zxid.
+        assert_eq!(s.get(&p("/a")).unwrap().1.czxid, 2);
+        assert_eq!(s.get(&p("/a")).unwrap().1.mzxid, 2);
+    }
+
+    #[test]
+    fn multi_partial_failure_restores_store_byte_identical() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/q").unwrap();
+        create(&mut s, 2, "/victim").unwrap();
+        s.apply(
+            3,
+            &Op::Create {
+                path: p("/q/item-"),
+                data: Bytes::new(),
+                ephemeral_owner: None,
+                sequential: true,
+            },
+        )
+        .0
+        .unwrap();
+        let before = s.clone();
+        // Creates, a set, a delete, and a sequential create all succeed,
+        // then the last op fails on a version check.
+        let (res, events) = s.apply(
+            4,
+            &Op::Multi {
+                ops: vec![
+                    create_op("/a", false),
+                    create_op("/q/item-", true),
+                    Op::SetData {
+                        path: p("/victim"),
+                        data: Bytes::from_static(b"changed"),
+                        expected_version: None,
+                    },
+                    Op::Delete {
+                        path: p("/q/item-0000000000"),
+                        expected_version: None,
+                    },
+                    Op::SetData {
+                        path: p("/a"),
+                        data: Bytes::from_static(b"v"),
+                        expected_version: Some(99),
+                    },
+                ],
+            },
+        );
+        match res {
+            Err(CoordError::MultiFailed { index: 4, cause }) => {
+                assert!(matches!(*cause, CoordError::BadVersion { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(events.is_empty(), "failed batch must emit no events");
+        assert_eq!(s, before, "store must be byte-identical after revert");
+        assert_eq!(format!("{s:?}"), format!("{before:?}"));
+        // The reverted sequential counter hands out the same name again.
+        let (res, _) = s.apply(5, &create_op("/q/item-", true));
+        assert_eq!(res.unwrap(), OpResult::Created(p("/q/item-0000000001")));
+    }
+
+    #[test]
+    fn multi_first_op_failure_applies_nothing() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/exists").unwrap();
+        let before = s.clone();
+        let (res, _) = s.apply(
+            2,
+            &Op::Multi {
+                ops: vec![create_op("/exists", false), create_op("/never", false)],
+            },
+        );
+        match res {
+            Err(CoordError::MultiFailed { index: 0, cause }) => {
+                assert!(matches!(*cause, CoordError::NodeExists(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s, before);
+        assert!(!s.exists(&p("/never")));
+    }
+
+    #[test]
+    fn multi_rejects_nesting() {
+        let mut s = ZnodeStore::new();
+        let before = s.clone();
+        let (res, _) = s.apply(
+            1,
+            &Op::Multi {
+                ops: vec![create_op("/a", false), Op::Multi { ops: Vec::new() }],
+            },
+        );
+        match res {
+            Err(CoordError::MultiFailed { index: 1, cause }) => {
+                assert!(matches!(*cause, CoordError::NestedMulti));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s, before, "nesting is rejected before any op applies");
+    }
+
+    #[test]
+    fn multi_purge_reverted_exactly() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/eph-parent").unwrap();
+        for zxid in 2..4u64 {
+            s.apply(
+                zxid,
+                &Op::Create {
+                    path: p("/eph-parent/n-"),
+                    data: Bytes::from_static(b"e"),
+                    ephemeral_owner: Some(7),
+                    sequential: true,
+                },
+            )
+            .0
+            .unwrap();
+        }
+        let before = s.clone();
+        let (res, _) = s.apply(
+            5,
+            &Op::Multi {
+                ops: vec![
+                    Op::PurgeSession { session: 7 },
+                    Op::Delete {
+                        path: p("/missing"),
+                        expected_version: None,
+                    },
+                ],
+            },
+        );
+        assert!(matches!(res, Err(CoordError::MultiFailed { index: 1, .. })));
+        assert_eq!(s, before);
+        assert_eq!(s.ephemerals_of(7).len(), 2);
+    }
+
+    #[test]
+    fn empty_multi_is_a_successful_noop() {
+        let mut s = ZnodeStore::new();
+        let before = s.clone();
+        let (res, events) = s.apply(1, &Op::Multi { ops: Vec::new() });
+        assert_eq!(res.unwrap(), OpResult::Multi(Vec::new()));
+        assert!(events.is_empty());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn sequential_create_skips_literal_collisions() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/q").unwrap();
+        // A literal child squats on the counter's next name; sequential
+        // creates skip past it instead of failing (a permanent NodeExists
+        // here would wedge every queue built on sequential nodes).
+        create(&mut s, 2, "/q/item-0000000000").unwrap();
+        let (res, _) = s.apply(3, &create_op("/q/item-", true));
+        assert_eq!(res.unwrap(), OpResult::Created(p("/q/item-0000000001")));
+        let (res, _) = s.apply(4, &create_op("/q/item-", true));
+        assert_eq!(res.unwrap(), OpResult::Created(p("/q/item-0000000002")));
+    }
+
+    #[test]
+    fn reverted_sequential_skip_is_restored_exactly() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/q").unwrap();
+        create(&mut s, 2, "/q/item-0000000000").unwrap();
+        let before = s.clone();
+        // The batch's sequential create skips to suffix 1, then the batch
+        // fails; the revert must restore the pre-skip counter.
+        let (res, _) = s.apply(
+            3,
+            &Op::Multi {
+                ops: vec![
+                    create_op("/q/item-", true),
+                    Op::Delete {
+                        path: p("/missing"),
+                        expected_version: None,
+                    },
+                ],
+            },
+        );
+        assert!(matches!(res, Err(CoordError::MultiFailed { index: 1, .. })));
+        assert_eq!(s, before);
+        let (res, _) = s.apply(4, &create_op("/q/item-", true));
+        assert_eq!(res.unwrap(), OpResult::Created(p("/q/item-0000000001")));
     }
 }

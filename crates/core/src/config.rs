@@ -49,6 +49,11 @@ pub struct PlatformConfig {
     pub kill_timeout_ms: Option<u64>,
     /// Controller idle-wait granularity.
     pub poll_ms: u64,
+    /// Group commit: the controller flushes each scheduling round's writes
+    /// as one atomic coordination-store multi, and workers claim/report in
+    /// batches. Disable to fall back to per-record writes (the
+    /// `commit_path` bench measures both).
+    pub group_commit: bool,
 }
 
 impl Default for PlatformConfig {
@@ -62,6 +67,7 @@ impl Default for PlatformConfig {
             term_timeout_ms: None,
             kill_timeout_ms: None,
             poll_ms: 25,
+            group_commit: true,
         }
     }
 }
@@ -77,6 +83,7 @@ mod tests {
         assert_eq!(cfg.coord.replicas, 3);
         assert!(cfg.checkpoint_every > 0);
         assert!(cfg.term_timeout_ms.is_none());
+        assert!(cfg.group_commit, "group commit is the default commit path");
     }
 
     #[test]

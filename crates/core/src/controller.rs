@@ -7,12 +7,23 @@
 //! *before* the step it enables, so any follower can resume from persistent
 //! state alone — the controller's in-memory tree, lock table, and queues are
 //! a cache (paper §2.3).
+//!
+//! ## Group commit
+//!
+//! With [`ControllerConfig::group_commit`] enabled (the default), the hot
+//! path's writes — transaction records, `inputQ` removals, `phyQ` moves —
+//! accumulate in a [`RoundBatch`] over one scheduling round and flush as a
+//! single atomic coordination-store multi. A follower resuming from
+//! persistent state therefore sees either the whole round or none of it,
+//! which is strictly stronger than the record-at-a-time window, and the
+//! replicated log pays its (dominant, §6.1) per-write cost once per round
+//! instead of once per record.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tropic_coord::{CoordClient, DistributedQueue, WatchKind};
+use tropic_coord::{CoordClient, CoordError, CreateMode, DistributedQueue, Op, WatchKind};
 use tropic_model::{Path, SharedClock, Tree, Value};
 
 use crate::actions::{ActionDef, ActionRegistry};
@@ -55,6 +66,83 @@ pub struct ControllerConfig {
     pub kill_timeout_ms: Option<u64>,
     /// Idle-wait granularity.
     pub poll_ms: u64,
+    /// Accumulate each scheduling round's writes and flush them as one
+    /// atomic multi (group commit) instead of per-record writes.
+    pub group_commit: bool,
+}
+
+/// The group-commit write buffer: one scheduling round's record puts, queue
+/// removals, and queue appends, flushed as a single atomic multi. Repeated
+/// puts to the same path coalesce (a record accepted and started in the
+/// same round persists once, already `Started`); within a round the
+/// controller's in-memory state is authoritative, and a crash before the
+/// flush simply re-runs the round from the pre-round persistent state.
+struct RoundBatch {
+    enabled: bool,
+    ops: Vec<Op>,
+    /// Index into `ops` of the coalescible put for a path.
+    puts: HashMap<Path, usize>,
+}
+
+impl RoundBatch {
+    fn new(enabled: bool) -> Self {
+        RoundBatch {
+            enabled,
+            ops: Vec::new(),
+            puts: HashMap::new(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Buffers a full-data write. `exists` picks create vs. set for the
+    /// first put of a path; later puts in the round overwrite its payload.
+    fn put(&mut self, path: Path, data: Vec<u8>, exists: bool) {
+        if let Some(&i) = self.puts.get(&path) {
+            match &mut self.ops[i] {
+                Op::Create { data: d, .. } | Op::SetData { data: d, .. } => *d = data.into(),
+                other => unreachable!("puts index points at a non-put op {other:?}"),
+            }
+            return;
+        }
+        let op = if exists {
+            Op::SetData {
+                path: path.clone(),
+                data: data.into(),
+                expected_version: None,
+            }
+        } else {
+            Op::Create {
+                path: path.clone(),
+                data: data.into(),
+                ephemeral_owner: None,
+                sequential: false,
+            }
+        };
+        self.puts.insert(path, self.ops.len());
+        self.ops.push(op);
+    }
+
+    /// Buffers a deletion of a path this leader exclusively owns.
+    fn delete(&mut self, path: Path) {
+        self.puts.remove(&path);
+        self.ops.push(Op::Delete {
+            path,
+            expected_version: None,
+        });
+    }
+
+    /// Buffers an arbitrary op (sequential queue appends).
+    fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn take(&mut self) -> Vec<Op> {
+        self.puts.clear();
+        std::mem::take(&mut self.ops)
+    }
 }
 
 /// The controller state machine. Owns the logical tree and lock table; talks
@@ -79,6 +167,11 @@ pub struct Controller<'a> {
     next_lsn: u64,
     finalized_since_ckpt: u64,
     gc_queue: VecDeque<(TxnId, u64)>,
+    batch: RoundBatch,
+    /// Transaction ids whose record znode exists (create vs. set hint).
+    persisted: HashSet<TxnId>,
+    /// Whether the inconsistent-set znode exists yet.
+    inconsistent_persisted: bool,
 }
 
 impl<'a> Controller<'a> {
@@ -94,6 +187,7 @@ impl<'a> Controller<'a> {
     ) -> Self {
         let mut actions = service.actions.clone();
         register_builtin_actions(&mut actions);
+        let group_commit = cfg.group_commit;
         Controller {
             cfg,
             client,
@@ -113,6 +207,9 @@ impl<'a> Controller<'a> {
             next_lsn: 1,
             finalized_since_ckpt: 0,
             gc_queue: VecDeque::new(),
+            batch: RoundBatch::new(group_commit),
+            persisted: HashSet::new(),
+            inconsistent_persisted: false,
         }
     }
 
@@ -142,6 +239,13 @@ impl<'a> Controller<'a> {
     pub fn recover(&mut self) -> Result<(), PlatformError> {
         self.client.create_all(&layout::txns())?;
         self.client.create_all(&layout::election())?;
+        // Queue roots must exist before the round batch appends items to
+        // them (batched creates have no create-parents fallback).
+        self.client.create_all(&layout::input_q())?;
+        self.client.create_all(&layout::phy_q())?;
+        self.batch.take();
+        self.persisted.clear();
+        self.inconsistent_persisted = self.client.exists(&layout::inconsistent())?;
 
         // 1. Logical tree from the checkpoint (or bootstrap).
         let ckpt: Option<Checkpoint> = self.client.get_json(&layout::checkpoint())?;
@@ -175,6 +279,7 @@ impl<'a> Controller<'a> {
         for child in self.client.get_children(&layout::txns())? {
             let path = layout::txns().join(&child);
             if let Some(rec) = self.client.get_json::<TxnRecord>(&path)? {
+                self.persisted.insert(rec.id);
                 self.records.insert(rec.id, rec);
             }
         }
@@ -259,8 +364,24 @@ impl<'a> Controller<'a> {
         let processed = self.process_input(64)?;
         let scheduled = self.schedule()?;
         self.check_timeouts()?;
+        // The group-commit flush: everything the round decided becomes
+        // durable — and visible to workers and clients — atomically, before
+        // any step it enables (checkpointing covers only flushed state).
+        self.flush_round()?;
         self.maybe_checkpoint()?;
         Ok(processed > 0 || scheduled > 0)
+    }
+
+    /// Flushes the round's buffered writes as one atomic multi. On failure
+    /// the in-memory state is ahead of persistence; the caller resigns
+    /// leadership and the next leader recovers from the pre-round state, so
+    /// the store never exposes a partial round.
+    fn flush_round(&mut self) -> Result<(), PlatformError> {
+        let ops = self.batch.take();
+        if !ops.is_empty() {
+            self.client.multi(ops)?;
+        }
+        Ok(())
     }
 
     /// Blocks until `inputQ` has an item or `timeout` passes. Uses a
@@ -285,10 +406,15 @@ impl<'a> Controller<'a> {
 
     fn process_input(&mut self, max: usize) -> Result<usize, PlatformError> {
         let q = DistributedQueue::new(self.client, layout::input_q())?;
+        // One listing for the whole round: under group commit the removals
+        // are buffered until the flush, so a peek loop would re-serve the
+        // same head forever.
+        let mut names = q.item_names()?;
+        names.truncate(max);
         let mut handled = 0;
-        while handled < max {
-            let Some((name, data)) = q.peek()? else {
-                break;
+        for name in names {
+            let Some(data) = q.get(&name)? else {
+                continue;
             };
             match serde_json::from_slice::<InputMsg>(&data) {
                 Ok(msg) => self.handle_msg(msg)?,
@@ -300,7 +426,11 @@ impl<'a> Controller<'a> {
                     );
                 }
             }
-            q.remove(&name)?;
+            if self.batch.enabled() {
+                self.batch.delete(q.item_path(&name));
+            } else {
+                q.remove(&name)?;
+            }
             handled += 1;
         }
         Ok(handled)
@@ -490,8 +620,15 @@ impl<'a> Controller<'a> {
                     self.records.insert(id, rec);
                     self.running.insert(id);
                     self.started_at.insert(id, self.clock.now_ms());
+                    let task = serde_json::to_vec(&PhyTask { id }).expect("serializable");
                     let q = DistributedQueue::new(self.client, layout::phy_q())?;
-                    q.enqueue(serde_json::to_vec(&PhyTask { id }).expect("serializable"))?;
+                    if self.batch.enabled() {
+                        // The task becomes visible to workers atomically
+                        // with the Started record at the round flush.
+                        self.batch.push(q.enqueue_op(task));
+                    } else {
+                        q.enqueue(task)?;
+                    }
                     moved += 1;
                 }
                 LogicalOutcome::Deferred { .. } => {
@@ -614,6 +751,7 @@ impl<'a> Controller<'a> {
                 let _ = self.client.delete(&layout::txn(id), None);
                 let _ = self.client.delete(&layout::signal(id), None);
                 self.records.remove(&id);
+                self.persisted.remove(&id);
             }
         }
         Ok(())
@@ -791,8 +929,49 @@ impl<'a> Controller<'a> {
     // Helpers.
     // ------------------------------------------------------------------
 
-    fn persist_record(&self, rec: &TxnRecord) -> Result<(), PlatformError> {
-        self.client.put_json(&layout::txn(rec.id), rec)?;
+    /// Writes `data` to `path` — buffered into the round batch under group
+    /// commit, immediately otherwise. `exists` picks create vs. set; the
+    /// immediate path self-corrects a stale hint, the batched path lets the
+    /// flush fail and leadership recovery resolve it.
+    fn write_znode(
+        &mut self,
+        path: Path,
+        data: Vec<u8>,
+        exists: bool,
+    ) -> Result<(), PlatformError> {
+        if self.batch.enabled() {
+            self.batch.put(path, data, exists);
+            return Ok(());
+        }
+        if exists {
+            match self.client.set_data(&path, data.clone(), None) {
+                Ok(_) => Ok(()),
+                Err(CoordError::NoNode(_)) => {
+                    self.client.create(&path, data, CreateMode::Persistent)?;
+                    Ok(())
+                }
+                Err(e) => Err(e.into()),
+            }
+        } else {
+            match self
+                .client
+                .create(&path, data.clone(), CreateMode::Persistent)
+            {
+                Ok(_) => Ok(()),
+                Err(CoordError::NodeExists(_)) => {
+                    self.client.set_data(&path, data, None)?;
+                    Ok(())
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+    }
+
+    fn persist_record(&mut self, rec: &TxnRecord) -> Result<(), PlatformError> {
+        let data = serde_json::to_vec(rec).expect("serializable record");
+        let exists = self.persisted.contains(&rec.id);
+        self.write_znode(layout::txn(rec.id), data, exists)?;
+        self.persisted.insert(rec.id);
         Ok(())
     }
 
@@ -820,9 +999,12 @@ impl<'a> Controller<'a> {
         }
     }
 
-    fn persist_inconsistent(&self) -> Result<(), PlatformError> {
+    fn persist_inconsistent(&mut self) -> Result<(), PlatformError> {
         let paths: Vec<&Path> = self.inconsistent.iter().collect();
-        self.client.put_json(&layout::inconsistent(), &paths)?;
+        let data = serde_json::to_vec(&paths).expect("serializable paths");
+        let exists = self.inconsistent_persisted;
+        self.write_znode(layout::inconsistent(), data, exists)?;
+        self.inconsistent_persisted = true;
         Ok(())
     }
 }

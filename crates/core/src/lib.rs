@@ -55,3 +55,4 @@ pub use proc::{FnProcedure, ProcRegistry, StoredProcedure, TxnContext};
 pub use reconcile::{RepairPlan, RepairRules};
 pub use stats::{Counters, Event, Metrics, TxnSample};
 pub use txn::{format_execution_log, LogRecord, TxnId, TxnOutcome, TxnRecord, TxnState};
+pub use worker::{run_worker, run_worker_with, WorkerOptions};

@@ -22,7 +22,7 @@ use crate::msg::{layout, AdminResult, InputMsg, Signal};
 use crate::physical::ExecMode;
 use crate::stats::Metrics;
 use crate::txn::{TxnId, TxnOutcome, TxnRecord};
-use crate::worker::run_worker;
+use crate::worker::{run_worker_with, WorkerOptions};
 
 struct ControllerHandle {
     name: String,
@@ -93,6 +93,7 @@ impl Tropic {
                     term_timeout_ms: config.term_timeout_ms,
                     kill_timeout_ms: config.kill_timeout_ms,
                     poll_ms: config.poll_ms,
+                    group_commit: config.group_commit,
                 };
                 std::thread::Builder::new()
                     .name(name.clone())
@@ -117,9 +118,13 @@ impl Tropic {
             let coord = Arc::clone(&coord);
             let mode = mode.clone();
             let stop = Arc::clone(&stop);
+            let opts = WorkerOptions {
+                group_commit: config.group_commit,
+                ..WorkerOptions::default()
+            };
             let thread = std::thread::Builder::new()
                 .name(name.clone())
-                .spawn(move || run_worker(&name, &coord, mode, &stop))
+                .spawn(move || run_worker_with(&name, &coord, mode, &stop, opts))
                 .expect("spawn worker thread");
             workers.push(WorkerHandle {
                 thread: Some(thread),

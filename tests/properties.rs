@@ -321,3 +321,102 @@ proptest! {
         prop_assert_eq!(scaled.duration_s(), base.duration_s());
     }
 }
+
+// ---------------------------------------------------------------------
+// Coordination-store multi atomicity (group commit).
+// ---------------------------------------------------------------------
+
+use tropic::coord::{CoordError, Op as ZnodeOp, ZnodeStore};
+
+fn znode_path() -> impl Strategy<Value = Path> {
+    prop::collection::vec("[abc]", 1..3)
+        .prop_map(|segs| Path::from_segments(segs).expect("valid segments"))
+}
+
+/// Random store writes over a tiny path alphabet, so collisions, missing
+/// parents, ephemeral parents, CAS misses, and sequential counters all
+/// occur with useful frequency.
+fn znode_op() -> impl Strategy<Value = ZnodeOp> {
+    prop_oneof![
+        (znode_path(), 0u8..3, 0u8..2).prop_map(|(path, kind, seq)| ZnodeOp::Create {
+            path,
+            data: vec![b'd'].into(),
+            ephemeral_owner: (kind == 1).then_some(7),
+            sequential: seq == 1,
+        }),
+        (znode_path(), 0u8..2).prop_map(|(path, cas)| ZnodeOp::SetData {
+            path,
+            data: vec![b's'].into(),
+            expected_version: (cas == 1).then_some(0),
+        }),
+        (znode_path(), 0u8..2).prop_map(|(path, cas)| ZnodeOp::Delete {
+            path,
+            expected_version: (cas == 1).then_some(0),
+        }),
+        Just(ZnodeOp::PurgeSession { session: 7 }),
+    ]
+}
+
+fn seeded_store(seed: &[ZnodeOp]) -> ZnodeStore {
+    let mut store = ZnodeStore::new();
+    for (i, op) in seed.iter().enumerate() {
+        let _ = store.apply(i as u64 + 1, op);
+    }
+    store
+}
+
+proptest! {
+    /// A batch containing one certainly-failing op must leave the store
+    /// byte-identical to its pre-batch state and emit no events, no matter
+    /// what surrounds the failure.
+    #[test]
+    fn multi_with_failing_op_is_byte_identical_noop(
+        seed in prop::collection::vec(znode_op(), 0..10),
+        prefix in prop::collection::vec(znode_op(), 0..5),
+        suffix in prop::collection::vec(znode_op(), 0..5),
+    ) {
+        let mut store = seeded_store(&seed);
+        let before = store.clone();
+        let mut ops = prefix;
+        // The parent path never exists (outside the generation alphabet),
+        // so this delete fails regardless of what the prefix created.
+        ops.push(ZnodeOp::Delete {
+            path: Path::parse("/never/x").unwrap(),
+            expected_version: None,
+        });
+        ops.extend(suffix);
+        let (res, events) = store.apply(1_000, &ZnodeOp::Multi { ops });
+        prop_assert!(matches!(res, Err(CoordError::MultiFailed { .. })));
+        prop_assert!(events.is_empty(), "failed batch fired events: {:?}", events);
+        prop_assert_eq!(&store, &before);
+        prop_assert_eq!(format!("{store:?}"), format!("{before:?}"));
+    }
+
+    /// A multi behaves exactly like its sub-ops applied in sequence when
+    /// every sub-op succeeds, and exactly like nothing at all otherwise.
+    #[test]
+    fn multi_equals_sequential_or_nothing(
+        seed in prop::collection::vec(znode_op(), 0..10),
+        batch in prop::collection::vec(znode_op(), 0..8),
+    ) {
+        let mut store = seeded_store(&seed);
+        let before = store.clone();
+        let zxid = 1_000u64;
+        let (res, _) = store.apply(zxid, &ZnodeOp::Multi { ops: batch.clone() });
+        match res {
+            Ok(_) => {
+                let mut sequential = before;
+                for op in &batch {
+                    let (r, _) = sequential.apply(zxid, op);
+                    prop_assert!(r.is_ok(), "multi committed but {:?} fails alone", op);
+                }
+                prop_assert_eq!(&store, &sequential);
+            }
+            Err(CoordError::MultiFailed { .. }) => {
+                prop_assert_eq!(&store, &before);
+                prop_assert_eq!(format!("{store:?}"), format!("{before:?}"));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+}

@@ -8,9 +8,18 @@
 //! there is no statistical analysis, HTML report, or CLI filtering beyond
 //! ignoring unknown flags (so `cargo bench -- --test` style invocations
 //! still run).
+//!
+//! Two environment variables support CI perf snapshots (`ci.sh
+//! --bench-snapshot`):
+//!
+//! * `TROPIC_BENCH_QUICK` — non-empty and not `0`: clamp every benchmark to
+//!   at most 10 samples and a 2-second budget.
+//! * `TROPIC_BENCH_JSON` — path to a file that receives one JSON line per
+//!   benchmark: `{"name":…,"mean_ns":…,"iterations":…}`.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -94,12 +103,38 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+fn quick_mode() -> bool {
+    std::env::var_os("TROPIC_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn record_json_line(name: &str, mean_ns: u128, iterations: u64) {
+    let Some(path) = std::env::var_os("TROPIC_BENCH_JSON") else {
+        return;
+    };
+    let line = format!("{{\"name\":\"{name}\",\"mean_ns\":{mean_ns},\"iterations\":{iterations}}}");
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(file, "{line}");
+    }
+}
+
 fn run_benchmark(
     name: &str,
     sample_size: usize,
     measurement_time: Duration,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let (sample_size, measurement_time) = if quick_mode() {
+        (
+            sample_size.min(10),
+            measurement_time.min(Duration::from_secs(2)),
+        )
+    } else {
+        (sample_size, measurement_time)
+    };
     let mut bencher = Bencher {
         total: Duration::ZERO,
         iterations: 0,
@@ -117,6 +152,7 @@ fn run_benchmark(
         "  {name}: mean {mean:?} over {} iterations",
         bencher.iterations
     );
+    record_json_line(name, mean.as_nanos(), bencher.iterations);
 }
 
 /// Timer handle passed to each benchmark closure.
