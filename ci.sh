@@ -3,10 +3,13 @@
 #
 # Usage: ./ci.sh [--no-clippy | --bench-snapshot]
 #   --no-clippy       skip the clippy pass (e.g. when the component is absent)
-#   --bench-snapshot  run the commit_path and coord_store benches in quick
-#                     mode, write BENCH_commit_path.json (the perf-trajectory
-#                     data point), and gate on the group-commit speedup
-#                     (TROPIC_BENCH_MIN_SPEEDUP, default 1.5)
+#   --bench-snapshot  run the commit_path, coord_store, and recovery benches
+#                     in quick mode, write BENCH_commit_path.json and
+#                     BENCH_recovery.json (the perf-trajectory data points),
+#                     and gate on the group-commit speedup
+#                     (TROPIC_BENCH_MIN_SPEEDUP, default 1.5) and the
+#                     snapshot-recovery speedup over full-log replay
+#                     (TROPIC_BENCH_MIN_RECOVERY_SPEEDUP, default 2.0)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -78,8 +81,70 @@ bench_snapshot() {
     echo "Perf gate passed."
 }
 
+bench_recovery_snapshot() {
+    local out="BENCH_recovery.json"
+    local raw
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' RETURN
+
+    TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench recovery
+
+    local min_speedup="${TROPIC_BENCH_MIN_RECOVERY_SPEEDUP:-2.0}"
+    awk -v min_speedup="$min_speedup" '
+        # Input lines: {"name":"group/bench","mean_ns":N,"iterations":I}
+        {
+            line = $0
+            gsub(/[{}"]/, "", line)
+            split(line, kv, ",")
+            name = ""; mean = 0; iters = 0
+            for (i in kv) {
+                split(kv[i], pair, ":")
+                if (pair[1] == "name") name = pair[2]
+                if (pair[1] == "mean_ns") mean = pair[2] + 0
+                if (pair[1] == "iterations") iters = pair[2] + 0
+            }
+            if (name == "") next
+            names[++n] = name; means[name] = mean; iter_count[name] = iters
+        }
+        END {
+            full = means["recovery/full_log_replay"]
+            snap = means["recovery/snapshot_suffix"]
+            if (full == 0 || snap == 0) {
+                print "bench snapshot missing recovery results" > "/dev/stderr"
+                exit 1
+            }
+            speedup = full / snap
+            printf "{\n  \"bench\": \"recovery\",\n  \"mode\": \"quick\",\n"
+            printf "  \"results\": [\n"
+            for (i = 1; i <= n; i++) {
+                name = names[i]
+                printf "    {\"name\": \"%s\", \"mean_ns\": %d, \"iterations\": %d}%s\n", \
+                    name, means[name], iter_count[name], (i < n ? "," : "")
+            }
+            printf "  ],\n"
+            printf "  \"snapshot_recovery\": {\n"
+            printf "    \"full_log_replay_mean_ns\": %d,\n", full
+            printf "    \"snapshot_suffix_mean_ns\": %d,\n", snap
+            printf "    \"speedup\": %.3f,\n", speedup
+            printf "    \"min_speedup\": %.2f\n", min_speedup
+            printf "  }\n}\n"
+            if (speedup < min_speedup) {
+                printf "perf gate FAILED: snapshot-recovery speedup %.3f < %.2f\n", speedup, min_speedup > "/dev/stderr"
+                exit 2
+            }
+        }
+    ' "$raw" > "$out" || { cat "$out"; exit 1; }
+
+    echo
+    echo "=== $out ==="
+    cat "$out"
+    echo
+    echo "Recovery perf gate passed."
+}
+
 if [[ "${1:-}" == "--bench-snapshot" ]]; then
     bench_snapshot
+    bench_recovery_snapshot
     exit 0
 fi
 

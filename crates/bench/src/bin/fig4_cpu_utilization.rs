@@ -9,7 +9,9 @@
 //!
 //! Knobs: `TROPIC_EC2_DURATION_S` (default 45), `TROPIC_EC2_HOSTS`
 //! (default 1000; the paper's full scale is 12500), `TROPIC_WRITE_LAT_US`
-//! (default 1500 — emulated ZooKeeper write latency in µs).
+//! (default 1500 — emulated ZooKeeper write latency in µs), and
+//! `TROPIC_DURABLE_DIR` (run each scale with a durable coordination store
+//! under that directory, populating the durability counter table).
 
 use std::time::Duration;
 
@@ -40,6 +42,7 @@ fn main() {
 
     let bucket_ms = (duration_s as u64 * 1_000 / 12).max(500);
     let mut peaks = Vec::new();
+    let mut durability = Vec::new();
     for scale in 1..=5u32 {
         let run = run_ec2_scale(&spec, &trace, scale, write_lat, bucket_ms);
         let peak = run.cpu_buckets.iter().cloned().fold(0.0f64, f64::max);
@@ -57,6 +60,7 @@ fn main() {
             mean,
         );
         peaks.push(peak);
+        durability.push(run.ensemble);
     }
     println!();
     println!("| scale | peak controller utilization (%) | vs 1x |");
@@ -67,6 +71,25 @@ fn main() {
             i + 1,
             p,
             if peaks[0] > 0.0 { p / peaks[0] } else { 0.0 }
+        );
+    }
+    println!();
+    println!("| scale | committed writes | snapshots | segments rotated | bytes fsynced |");
+    println!("|------:|-----------------:|----------:|-----------------:|--------------:|");
+    for (i, e) in durability.iter().enumerate() {
+        println!(
+            "| {}x | {} | {} | {} | {} |",
+            i + 1,
+            e.committed,
+            e.snapshots_written,
+            e.segments_rotated,
+            e.bytes_fsynced
+        );
+    }
+    if std::env::var_os("TROPIC_DURABLE_DIR").is_none() {
+        println!(
+            "(in-memory coordination store; set TROPIC_DURABLE_DIR to run \
+             with the durability layer and populate these counters)"
         );
     }
     println!();

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use tropic_coord::CoordConfig;
+use tropic_coord::{CoordConfig, EnsembleStats};
 use tropic_core::{ExecMode, Metrics, PlatformConfig, Tropic};
 use tropic_tcloud::TopologySpec;
 use tropic_workload::{replay_ec2, Ec2Trace, Ec2TraceSpec, LatencyStats, ReplayReport};
@@ -51,12 +51,24 @@ pub fn short_ec2_trace(duration_s: usize) -> Ec2Trace {
 /// logical-only mode, three controllers, and a coordination write latency
 /// emulating ZooKeeper's logging I/O — the measured dominant overhead.
 pub fn perf_platform(spec: &TopologySpec, write_latency: Duration) -> Tropic {
+    perf_platform_at(spec, write_latency, None)
+}
+
+/// [`perf_platform`] with an optional durability directory: when given, the
+/// coordination store write-ahead-logs and snapshots there, so the run also
+/// measures the durability layer's overhead and its counters are live.
+pub fn perf_platform_at(
+    spec: &TopologySpec,
+    write_latency: Duration,
+    data_dir: Option<std::path::PathBuf>,
+) -> Tropic {
     Tropic::start(
         PlatformConfig {
             controllers: 3,
             workers: 1,
             coord: CoordConfig {
                 write_latency,
+                data_dir,
                 ..CoordConfig::default()
             },
             // Checkpoints off during measurement; bootstrap still runs once.
@@ -80,11 +92,18 @@ pub struct PerfRun {
     pub latency: LatencyStats,
     /// Lock-conflict defers observed.
     pub defers: u64,
+    /// Coordination-ensemble counters at the end of the run, including the
+    /// durability surface (snapshots written, segments rotated, bytes
+    /// fsynced) — live when `TROPIC_DURABLE_DIR` is set.
+    pub ensemble: EnsembleStats,
 }
 
 /// Runs the EC2 workload at `scale`× against a fresh platform, sampling
 /// controller busy time every `bucket_ms` (Figure 4's series) and
 /// collecting per-transaction latencies (Figure 5's CDF).
+///
+/// When `TROPIC_DURABLE_DIR` is set, each run persists its coordination
+/// state under `<dir>/scale-<n>`, exercising the durability layer.
 pub fn run_ec2_scale(
     spec: &TopologySpec,
     trace: &Ec2Trace,
@@ -92,7 +111,9 @@ pub fn run_ec2_scale(
     write_latency: Duration,
     bucket_ms: u64,
 ) -> PerfRun {
-    let platform = perf_platform(spec, write_latency);
+    let data_dir = std::env::var_os("TROPIC_DURABLE_DIR")
+        .map(|d| std::path::PathBuf::from(d).join(format!("scale-{scale}")));
+    let platform = perf_platform_at(spec, write_latency, data_dir);
     let scaled = trace.scaled(scale);
 
     // Background sampler: cumulative busy time per wall-clock bucket.
@@ -133,6 +154,7 @@ pub fn run_ec2_scale(
             .collect(),
     );
     let defers = platform.metrics().counters().defers;
+    let ensemble = platform.coord().ensemble_stats();
     platform.shutdown();
     PerfRun {
         scale,
@@ -140,6 +162,7 @@ pub fn run_ec2_scale(
         cpu_buckets,
         latency,
         defers,
+        ensemble,
     }
 }
 

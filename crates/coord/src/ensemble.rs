@@ -6,19 +6,46 @@
 //! protocol sketch of Reed & Junqueira cited by the paper ([21]). When the
 //! leader replica crashes, the surviving replica with the longest log is
 //! elected and lagging replicas sync from it.
+//!
+//! ## Durability
+//!
+//! With a data directory ([`Ensemble::with_durability`]), each replica owns
+//! a [`Durability`] handle: every committed op is appended to a segmented
+//! write-ahead log before it is applied, and a fuzzy snapshot of the full
+//! store is written on a size/op-count policy, after which both the on-disk
+//! segments and the in-memory `Replica.log` are truncated — bounding memory
+//! and disk. [`Ensemble::recover`] rebuilds every replica from its latest
+//! valid snapshot plus the log suffix, then lets laggards catch up from the
+//! leader. Follower resync ships only the suffix since the follower's
+//! `last_zxid`; a follower behind the truncation horizon receives a full
+//! snapshot transfer instead.
+
+use std::io;
+use std::path::Path as StdPath;
 
 use crate::error::{CoordError, CoordResult};
 use crate::net::{NodeId, SimNet};
 use crate::store::{Op, OpResult, StoreEvent, ZnodeStore};
+use crate::wal::{Durability, DurabilityOptions};
+
+/// How many log entries an in-memory (non-durable) replica retains before
+/// taking a "virtual snapshot": its store already holds the state, so old
+/// entries are dropped and laggards fall back to snapshot transfer.
+const DEFAULT_MEMORY_LOG_CAP: usize = 4_096;
 
 /// A single ensemble replica: an op log plus the store it materializes.
+/// `log` holds only entries with zxid greater than `log_start_zxid`; older
+/// history is covered by the replica's snapshot (durable mode) or simply by
+/// its live store (in-memory mode).
 #[derive(Debug)]
 struct Replica {
     id: NodeId,
     alive: bool,
     log: Vec<(u64, Op)>,
+    log_start_zxid: u64,
     store: ZnodeStore,
     last_zxid: u64,
+    durability: Option<Durability>,
 }
 
 impl Replica {
@@ -27,19 +54,73 @@ impl Replica {
             id,
             alive: true,
             log: Vec::new(),
+            log_start_zxid: 0,
             store: ZnodeStore::new(),
             last_zxid: 0,
+            durability: None,
         }
     }
 
     fn append_and_apply(&mut self, zxid: u64, op: &Op) -> (CoordResult<OpResult>, Vec<StoreEvent>) {
+        // Log before apply: a crash between the two replays the op, which is
+        // deterministic and therefore converges to the same state.
+        if let Some(d) = self.durability.as_mut() {
+            d.append(zxid, op);
+        }
         self.log.push((zxid, op.clone()));
         self.last_zxid = zxid;
         self.store.apply(zxid, op)
     }
+
+    /// Ends a committed batch on this replica: fsync per policy, snapshot
+    /// per policy (truncating WAL segments and the in-memory log), or — for
+    /// in-memory replicas — enforce the log cap.
+    fn finish_batch(&mut self, memory_log_cap: usize) {
+        let snapshot_zxid = match self.durability.as_mut() {
+            Some(d) => d.commit_batch(self.last_zxid, &self.store),
+            None => {
+                self.bound_memory(memory_log_cap);
+                return;
+            }
+        };
+        match snapshot_zxid {
+            Some(zxid) => {
+                self.log.retain(|(z, _)| *z > zxid);
+                self.log_start_zxid = self.log_start_zxid.max(zxid);
+            }
+            // Both snapshot triggers disabled (full-log mode): the WAL
+            // keeps all history by request, but the in-memory log still
+            // honours the cap — laggards past it get a snapshot transfer.
+            None => self.bound_memory(memory_log_cap),
+        }
+    }
+
+    /// Drops the oldest in-memory log entries once the log has grown well
+    /// past the cap (hysteresis keeps the drain amortized-cheap).
+    fn bound_memory(&mut self, cap: usize) {
+        if self.log.len() > cap + cap / 2 {
+            let drop_n = self.log.len() - cap;
+            self.log_start_zxid = self.log[drop_n - 1].0;
+            self.log.drain(..drop_n);
+        }
+    }
+
+    /// Adopts a full-state transfer from the leader. The local log resets
+    /// to the transfer point; durable replicas persist the state as a
+    /// snapshot so a later restart recovers without the leader.
+    fn install_snapshot(&mut self, store: ZnodeStore, last_zxid: u64) {
+        self.store = store;
+        self.last_zxid = last_zxid;
+        self.log.clear();
+        self.log_start_zxid = last_zxid;
+        if let Some(d) = self.durability.as_mut() {
+            d.install_snapshot(last_zxid, &self.store);
+        }
+    }
 }
 
-/// Counters describing broadcast activity, reported by experiments.
+/// Counters describing broadcast and durability activity, reported by
+/// experiments and the CI stats surfaces.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EnsembleStats {
     /// Committed writes.
@@ -48,6 +129,21 @@ pub struct EnsembleStats {
     pub no_quorum: u64,
     /// Ensemble-internal leader elections.
     pub elections: u64,
+    /// Snapshots written across all replicas (policy and transfers).
+    pub snapshots_written: u64,
+    /// WAL segment files rotated across all replicas.
+    pub segments_rotated: u64,
+    /// Bytes covered by completed fsyncs across all replicas.
+    pub bytes_fsynced: u64,
+    /// fsync calls issued across all replicas.
+    pub fsyncs: u64,
+    /// Replicas recovered from disk (snapshot + log-suffix replay).
+    pub recoveries: u64,
+    /// Follower resyncs served as a log suffix since `last_zxid`.
+    pub suffix_syncs: u64,
+    /// Follower resyncs that needed a full snapshot transfer (lagging
+    /// beyond the truncation horizon, or diverged).
+    pub snapshot_syncs: u64,
 }
 
 /// A quorum-replicated log of store operations.
@@ -58,23 +154,120 @@ pub struct Ensemble {
     epoch: u64,
     counter: u64,
     stats: EnsembleStats,
+    memory_log_cap: usize,
+    /// Zxid of the most recent committed write. An acking replica whose
+    /// `last_zxid` trails this has missed a commit (drop/partition) and is
+    /// healed *before* the next op applies, so no replica ever holds a
+    /// hole below its own `last_zxid` — the invariant suffix resync relies
+    /// on.
+    last_committed_zxid: u64,
 }
 
 impl Ensemble {
-    /// Creates an ensemble of `n` replicas (odd sizes make sensible quorums)
-    /// on a fresh simulated network.
+    /// Creates an in-memory ensemble of `n` replicas (odd sizes make
+    /// sensible quorums) on a fresh simulated network.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 1, "ensemble needs at least one replica");
+        Self::assemble((0..n).map(Replica::new).collect(), seed)
+    }
+
+    /// Creates a durable ensemble: each replica persists its log and
+    /// snapshots under `data_dir/replica-<id>`. **Formats** those
+    /// directories, destroying any prior contents — use
+    /// [`Ensemble::recover`] to resume from existing state instead.
+    pub fn with_durability(
+        n: usize,
+        seed: u64,
+        data_dir: &StdPath,
+        opts: DurabilityOptions,
+    ) -> io::Result<Self> {
+        assert!(n >= 1, "ensemble needs at least one replica");
+        let mut replicas = Vec::with_capacity(n);
+        for id in 0..n {
+            let dir = data_dir.join(replica_dir_name(id));
+            let mut r = Replica::new(id);
+            r.durability = Some(Durability::create(&dir, opts.clone())?);
+            replicas.push(r);
+        }
+        Ok(Self::assemble(replicas, seed))
+    }
+
+    fn assemble(replicas: Vec<Replica>, seed: u64) -> Self {
         let mut e = Ensemble {
-            replicas: (0..n).map(Replica::new).collect(),
+            replicas,
             net: SimNet::new(seed),
             leader: Some(0),
             epoch: 1,
             counter: 0,
             stats: EnsembleStats::default(),
+            memory_log_cap: DEFAULT_MEMORY_LOG_CAP,
+            last_committed_zxid: 0,
         };
         e.stats.elections = 1;
         e
+    }
+
+    /// Rebuilds an ensemble from `data_dir` after a full shutdown or crash:
+    /// every replica loads its latest valid snapshot and silently replays
+    /// its write-ahead-log suffix (no watch events fire during replay),
+    /// the replica with the highest zxid leads under a fresh epoch, and
+    /// laggards catch up from it — by log suffix when possible, by snapshot
+    /// transfer when they sit beyond the truncation horizon.
+    pub fn recover(
+        n: usize,
+        seed: u64,
+        data_dir: &StdPath,
+        opts: DurabilityOptions,
+    ) -> io::Result<Self> {
+        assert!(n >= 1, "ensemble needs at least one replica");
+        let mut replicas = Vec::with_capacity(n);
+        let mut recoveries = 0u64;
+        for id in 0..n {
+            let dir = data_dir.join(replica_dir_name(id));
+            let (durability, snapshot, suffix) = Durability::open(&dir, opts.clone())?;
+            let (mut store, horizon) = match snapshot {
+                Some((zxid, store)) => (store, zxid),
+                None => (ZnodeStore::new(), 0),
+            };
+            let mut last_zxid = horizon;
+            for (zxid, op) in &suffix {
+                // Replay is silent by construction: events never reach the
+                // watch tables, which live a layer above the ensemble.
+                let _ = store.apply(*zxid, op);
+                last_zxid = *zxid;
+            }
+            let mut r = Replica::new(id);
+            r.store = store;
+            r.log = suffix;
+            r.log_start_zxid = horizon;
+            r.last_zxid = last_zxid;
+            r.durability = Some(durability);
+            recoveries += 1;
+            replicas.push(r);
+        }
+        let leader = replicas
+            .iter()
+            .max_by_key(|r| (r.last_zxid, std::cmp::Reverse(r.id)))
+            .map(|r| r.id);
+        let max_zxid = replicas.iter().map(|r| r.last_zxid).max().unwrap_or(0);
+        let mut e = Ensemble {
+            replicas,
+            net: SimNet::new(seed),
+            leader,
+            epoch: (max_zxid >> 32) + 1,
+            counter: 0,
+            stats: EnsembleStats::default(),
+            memory_log_cap: DEFAULT_MEMORY_LOG_CAP,
+            last_committed_zxid: max_zxid,
+        };
+        e.stats.elections = 1;
+        e.stats.recoveries = recoveries;
+        if let Some(leader) = leader {
+            for id in 0..e.replicas.len() {
+                e.sync_follower(leader, id);
+            }
+        }
+        Ok(e)
     }
 
     /// The simulated network, for fault injection.
@@ -97,9 +290,36 @@ impl Ensemble {
         self.leader
     }
 
-    /// Broadcast statistics.
+    /// Broadcast and durability statistics (the latter aggregated across
+    /// every replica's [`Durability`] handle).
     pub fn stats(&self) -> EnsembleStats {
-        self.stats
+        let mut s = self.stats;
+        for r in &self.replicas {
+            if let Some(d) = &r.durability {
+                let ds = d.stats();
+                s.snapshots_written += ds.snapshots_written;
+                s.segments_rotated += ds.segments_rotated;
+                s.bytes_fsynced += ds.bytes_fsynced;
+                s.fsyncs += ds.fsyncs;
+            }
+        }
+        s
+    }
+
+    /// Caps the in-memory op log of non-durable replicas (experiments and
+    /// tests exercise truncation-horizon behaviour through this).
+    pub fn set_memory_log_cap(&mut self, cap: usize) {
+        self.memory_log_cap = cap.max(1);
+    }
+
+    /// In-memory log length of replica `id` (bounded-memory assertions).
+    pub fn replica_log_len(&self, id: NodeId) -> Option<usize> {
+        self.replicas.get(id).map(|r| r.log.len())
+    }
+
+    /// Last committed zxid of replica `id`.
+    pub fn replica_last_zxid(&self, id: NodeId) -> Option<u64> {
+        self.replicas.get(id).map(|r| r.last_zxid)
     }
 
     /// Crashes a replica: it stops acking and serving until restarted.
@@ -112,7 +332,10 @@ impl Ensemble {
         }
     }
 
-    /// Restarts a crashed replica, which syncs its log from the leader.
+    /// Restarts a crashed replica, which catches up from the leader: the
+    /// log suffix since its `last_zxid` when the leader still holds it, a
+    /// full snapshot transfer when the follower lags beyond the leader's
+    /// truncation horizon.
     pub fn restart_replica(&mut self, id: NodeId) {
         let Some(leader) = self.leader.or_else(|| {
             self.elect();
@@ -123,15 +346,48 @@ impl Ensemble {
         if id >= self.replicas.len() {
             return;
         }
-        let (log, store, last_zxid) = {
+        self.replicas[id].alive = true;
+        self.sync_follower(leader, id);
+    }
+
+    /// Brings `id` to the leader's state: a no-op when already caught up, a
+    /// log-suffix replay when the leader's log still covers the follower's
+    /// position, and a full snapshot transfer otherwise.
+    fn sync_follower(&mut self, leader: NodeId, id: NodeId) {
+        if id == leader || id >= self.replicas.len() {
+            return;
+        }
+        let (leader_last, leader_log_start) = {
             let l = &self.replicas[leader];
-            (l.log.clone(), l.store.clone(), l.last_zxid)
+            (l.last_zxid, l.log_start_zxid)
         };
-        let r = &mut self.replicas[id];
-        r.alive = true;
-        r.log = log;
-        r.store = store;
-        r.last_zxid = last_zxid;
+        let follower_last = self.replicas[id].last_zxid;
+        if follower_last == leader_last {
+            return;
+        }
+        if follower_last >= leader_log_start && follower_last < leader_last {
+            let suffix: Vec<(u64, Op)> = self.replicas[leader]
+                .log
+                .iter()
+                .filter(|(zxid, _)| *zxid > follower_last)
+                .cloned()
+                .collect();
+            let cap = self.memory_log_cap;
+            let r = &mut self.replicas[id];
+            for (zxid, op) in suffix {
+                // Per-op failures replay identically on every replica.
+                let _ = r.append_and_apply(zxid, &op);
+            }
+            r.finish_batch(cap);
+            self.stats.suffix_syncs += 1;
+        } else {
+            let (store, last_zxid) = {
+                let l = &self.replicas[leader];
+                (l.store.clone(), l.last_zxid)
+            };
+            self.replicas[id].install_snapshot(store, last_zxid);
+            self.stats.snapshot_syncs += 1;
+        }
     }
 
     /// Elects the alive replica with the longest log as leader, bumping the
@@ -150,19 +406,12 @@ impl Ensemble {
             self.counter = 0;
             self.stats.elections += 1;
             // Followers that can reach the new leader sync to its state.
-            let (log, store, last_zxid) = {
-                let l = &self.replicas[leader];
-                (l.log.clone(), l.store.clone(), l.last_zxid)
-            };
             for id in 0..self.replicas.len() {
                 if id == leader || !self.replicas[id].alive {
                     continue;
                 }
-                if self.net.deliver(leader, id) && self.replicas[id].last_zxid < last_zxid {
-                    let r = &mut self.replicas[id];
-                    r.log = log.clone();
-                    r.store = store.clone();
-                    r.last_zxid = last_zxid;
+                if self.net.deliver(leader, id) {
+                    self.sync_follower(leader, id);
                 }
             }
         }
@@ -206,20 +455,36 @@ impl Ensemble {
             );
         }
 
-        // Commit phase: assign the zxid and apply on every acking replica.
+        // An acking replica that missed earlier commits (a dropped delivery
+        // or healed partition advanced `last_committed_zxid` past it) must
+        // catch up *before* this op applies — otherwise its `last_zxid`
+        // would advance over a hole and suffix resync could never heal it.
+        for &id in &ackers {
+            if id != leader && self.replicas[id].last_zxid != self.last_committed_zxid {
+                self.sync_follower(leader, id);
+            }
+        }
+
+        // Commit phase: assign the zxid, log + apply on every acking
+        // replica, then settle each replica's batch (group fsync, snapshot
+        // policy). One submit is one batch — a multi therefore pays one
+        // fsync for its whole group of sub-ops.
         self.counter += 1;
         let zxid = (self.epoch << 32) | self.counter;
+        let cap = self.memory_log_cap;
         let mut leader_result = None;
         let mut leader_events = Vec::new();
         for id in ackers {
             let r = &mut self.replicas[id];
             let (result, events) = r.append_and_apply(zxid, &op);
+            r.finish_batch(cap);
             if id == leader {
                 leader_result = Some(result);
                 leader_events = events;
             }
         }
         self.stats.committed += 1;
+        self.last_committed_zxid = zxid;
         (leader_result.expect("leader acked"), leader_events)
     }
 
@@ -256,9 +521,14 @@ impl Ensemble {
     }
 }
 
+fn replica_dir_name(id: NodeId) -> String {
+    format!("replica-{id}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::TempDir;
     use bytes::Bytes;
     use tropic_model::Path;
 
@@ -272,6 +542,15 @@ mod tests {
             data: Bytes::from_static(b"d"),
             ephemeral_owner: None,
             sequential: false,
+        }
+    }
+
+    fn quick_opts() -> DurabilityOptions {
+        DurabilityOptions {
+            sync_policy: crate::wal::SyncPolicy::Periodic { every_ops: 16 },
+            snapshot_every_ops: 8,
+            snapshot_max_wal_bytes: 0,
+            segment_max_bytes: 1 << 16,
         }
     }
 
@@ -296,9 +575,11 @@ mod tests {
         e.submit(create_op("/b")).0.unwrap();
         assert_eq!(e.replicas[0].store.node_count(), 3);
         assert_eq!(e.replicas[2].store.node_count(), 2);
-        // Restarted replica catches up.
+        // Restarted replica catches up from the suffix alone.
         e.restart_replica(2);
         assert_eq!(e.replicas[2].store.node_count(), 3);
+        assert_eq!(e.stats().suffix_syncs, 1);
+        assert_eq!(e.stats().snapshot_syncs, 0);
     }
 
     #[test]
@@ -344,6 +625,24 @@ mod tests {
     }
 
     #[test]
+    fn acking_replica_that_missed_commits_heals_before_applying() {
+        // A replica partitioned away while a quorum commits must not ack
+        // later writes over the hole: it catches up first, or suffix
+        // resync could never repair the divergence.
+        let mut e = Ensemble::new(3, 1);
+        e.submit(create_op("/a")).0.unwrap();
+        e.net().partition(vec![vec![0, 1], vec![2]]);
+        e.submit(create_op("/b")).0.unwrap(); // committed by {0, 1} only
+        assert_eq!(e.replicas[2].store.node_count(), 2);
+        e.net().heal();
+        e.submit(create_op("/c")).0.unwrap(); // replica 2 must pull /b first
+        assert_eq!(e.replicas[2].store.node_count(), 4, "/b was skipped");
+        assert_eq!(e.replicas[2].last_zxid, e.replicas[0].last_zxid);
+        assert!(e.replicas_consistent());
+        assert_eq!(e.stats().suffix_syncs, 1);
+    }
+
+    #[test]
     fn all_crashed_is_unavailable() {
         let mut e = Ensemble::new(1, 1);
         e.crash_replica(0);
@@ -372,5 +671,80 @@ mod tests {
         e.crash_replica(1);
         e.crash_replica(2);
         assert!(e.read(|s| s.exists(&p("/a"))).is_err());
+    }
+
+    #[test]
+    fn memory_log_cap_bounds_in_memory_replicas() {
+        let mut e = Ensemble::new(1, 1);
+        e.set_memory_log_cap(10);
+        for i in 0..40 {
+            e.submit(create_op(&format!("/n{i}"))).0.unwrap();
+        }
+        let len = e.replica_log_len(0).unwrap();
+        assert!(len <= 15, "log length {len} exceeds cap + hysteresis");
+        assert!(e.replicas[0].log_start_zxid > 0);
+        // State is intact despite the truncated log.
+        assert_eq!(e.read(|s| s.node_count()).unwrap(), 41);
+    }
+
+    #[test]
+    fn lagging_replica_beyond_horizon_gets_snapshot_transfer() {
+        let mut e = Ensemble::new(3, 1);
+        e.set_memory_log_cap(4);
+        e.submit(create_op("/seed")).0.unwrap();
+        e.crash_replica(2);
+        for i in 0..20 {
+            e.submit(create_op(&format!("/n{i}"))).0.unwrap();
+        }
+        // The leader's log no longer reaches back to the follower's zxid.
+        assert!(e.replicas[0].log_start_zxid > e.replicas[2].last_zxid);
+        e.restart_replica(2);
+        assert_eq!(e.stats().snapshot_syncs, 1);
+        assert_eq!(e.replicas[2].store.node_count(), 22);
+        assert_eq!(e.replicas[2].last_zxid, e.replicas[0].last_zxid);
+    }
+
+    #[test]
+    fn durable_ensemble_recovers_after_total_loss() {
+        let tmp = TempDir::new("tropic-ens-recover");
+        let mut e = Ensemble::with_durability(3, 1, tmp.path(), quick_opts()).unwrap();
+        for i in 0..20 {
+            e.submit(create_op(&format!("/n{i}"))).0.unwrap();
+        }
+        let live = e.read(|s| s.clone()).unwrap();
+        assert!(e.stats().snapshots_written > 0);
+        // Log bounded by snapshot truncation.
+        assert!(e.replica_log_len(0).unwrap() <= 8);
+        drop(e); // the whole data center powers off
+        let mut back = Ensemble::recover(3, 1, tmp.path(), quick_opts()).unwrap();
+        assert_eq!(back.stats().recoveries, 3);
+        let recovered = back.read(|s| s.clone()).unwrap();
+        assert_eq!(recovered, live);
+        // And the recovered ensemble keeps committing with higher zxids.
+        let before = back.replica_last_zxid(0).unwrap();
+        back.submit(create_op("/after")).0.unwrap();
+        assert!(back.replica_last_zxid(0).unwrap() > before);
+        assert!(back.replicas_consistent());
+    }
+
+    #[test]
+    fn recover_with_one_stale_replica_dir_syncs_it() {
+        let tmp = TempDir::new("tropic-ens-stale");
+        let mut e = Ensemble::with_durability(2, 1, tmp.path(), quick_opts()).unwrap();
+        for i in 0..12 {
+            e.submit(create_op(&format!("/n{i}"))).0.unwrap();
+        }
+        let live = e.read(|s| s.clone()).unwrap();
+        drop(e);
+        // Replica 1 loses its disk entirely (fresh node replacing it).
+        std::fs::remove_dir_all(tmp.path().join("replica-1")).unwrap();
+        let mut back = Ensemble::recover(2, 1, tmp.path(), quick_opts()).unwrap();
+        assert_eq!(
+            back.stats().snapshot_syncs,
+            1,
+            "fresh node needs the snapshot"
+        );
+        assert_eq!(back.read(|s| s.clone()).unwrap(), live);
+        assert!(back.replicas_consistent());
     }
 }

@@ -39,7 +39,10 @@ pub mod error;
 pub mod net;
 pub mod queue;
 pub mod service;
+pub mod snapshot;
 pub mod store;
+pub mod testutil;
+pub mod wal;
 
 pub use election::LeaderElection;
 pub use ensemble::{Ensemble, EnsembleStats};
@@ -51,3 +54,5 @@ pub use service::{
     WatchKind,
 };
 pub use store::{Op, OpResult, Stat, StoreEvent, ZnodeStore};
+pub use testutil::TempDir;
+pub use wal::{Durability, DurabilityOptions, DurabilityStats, SyncPolicy};

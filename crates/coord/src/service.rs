@@ -7,6 +7,7 @@
 //! failed leader. Watches are one-shot notifications, as in ZooKeeper.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,6 +21,7 @@ use tropic_model::{real_clock, Path, SharedClock};
 use crate::ensemble::{Ensemble, EnsembleStats};
 use crate::error::{CoordError, CoordResult};
 use crate::store::{Op, OpResult, Stat, StoreEvent};
+use crate::wal::DurabilityOptions;
 
 /// Configuration of a coordination service instance.
 #[derive(Clone, Debug)]
@@ -39,6 +41,18 @@ pub struct CoordConfig {
     pub write_latency: Duration,
     /// Seed for fault-injection randomness.
     pub seed: u64,
+    /// On-disk durability root. `None` keeps the ensemble in memory; with a
+    /// directory, every replica write-ahead-logs and snapshots under
+    /// `<data_dir>/replica-<id>`, and [`CoordService::recover`] can rebuild
+    /// the whole store after a total shutdown. [`CoordService::start`]
+    /// *formats* the directory.
+    pub data_dir: Option<PathBuf>,
+    /// Per-replica durability tuning (sync policy, snapshot triggers,
+    /// segment size); only meaningful with a `data_dir`. Disabling both
+    /// snapshot triggers keeps every record on disk — full-log mode, for
+    /// benchmarks — though the in-memory replica logs stay capped
+    /// regardless.
+    pub durability: DurabilityOptions,
 }
 
 impl Default for CoordConfig {
@@ -49,6 +63,8 @@ impl Default for CoordConfig {
             tick_ms: 50,
             write_latency: Duration::ZERO,
             seed: 0,
+            data_dir: None,
+            durability: DurabilityOptions::default(),
         }
     }
 }
@@ -98,6 +114,10 @@ pub struct ServiceStats {
     pub multis: u64,
     /// Sub-operations carried inside multi batches.
     pub batched_ops: u64,
+    /// Orphaned ephemeral-owner sessions purged during
+    /// [`CoordService::recover`] (their clients did not survive the
+    /// restart, so nothing else would ever expire them).
+    pub recovery_purged_sessions: u64,
 }
 
 pub(crate) struct ServiceInner {
@@ -209,14 +229,49 @@ pub struct CoordService {
 
 impl CoordService {
     /// Starts a service with the given configuration on the real clock.
+    /// With [`CoordConfig::data_dir`] set, this **formats** the directory
+    /// for a fresh deployment; use [`CoordService::recover`] to resume.
     pub fn start(config: CoordConfig) -> Self {
         Self::start_with_clock(config, real_clock())
     }
 
+    /// Recovers a durable service from [`CoordConfig::data_dir`] on the
+    /// real clock: every replica reloads its latest snapshot plus its
+    /// write-ahead-log suffix, and ephemeral znodes whose owning sessions
+    /// did not survive the restart are purged.
+    pub fn recover(config: CoordConfig) -> Self {
+        Self::recover_with_clock(config, real_clock())
+    }
+
     /// Starts a service reading time from `clock` (tests use a manual clock).
     pub fn start_with_clock(config: CoordConfig, clock: SharedClock) -> Self {
+        Self::boot_with_clock(config, clock, false)
+    }
+
+    /// [`CoordService::recover`] with an explicit clock.
+    pub fn recover_with_clock(config: CoordConfig, clock: SharedClock) -> Self {
+        Self::boot_with_clock(config, clock, true)
+    }
+
+    fn build_ensemble(config: &CoordConfig, recover: bool) -> Ensemble {
+        match &config.data_dir {
+            None => Ensemble::new(config.replicas, config.seed),
+            Some(dir) => {
+                let opts = config.durability.clone();
+                if recover {
+                    Ensemble::recover(config.replicas, config.seed, dir, opts)
+                        .expect("recover coordination state from data_dir")
+                } else {
+                    Ensemble::with_durability(config.replicas, config.seed, dir, opts)
+                        .expect("initialize durable coordination state in data_dir")
+                }
+            }
+        }
+    }
+
+    fn boot_with_clock(config: CoordConfig, clock: SharedClock, recover: bool) -> Self {
         let inner = Arc::new(ServiceInner {
-            ensemble: Mutex::new(Ensemble::new(config.replicas, config.seed)),
+            ensemble: Mutex::new(Self::build_ensemble(&config, recover)),
             sessions: Mutex::new(HashMap::new()),
             watches: Mutex::new(WatchTable::default()),
             client_txs: Mutex::new(HashMap::new()),
@@ -226,6 +281,30 @@ impl CoordService {
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
         });
+        if recover {
+            // Sessions do not survive a restart, but their ephemeral znodes
+            // (election candidacies, worker claims) do — and with the owning
+            // clients gone, no heartbeat would ever stop and expire them.
+            // Purge them now so the recovered platform elects cleanly. The
+            // purges replicate (and WAL) like any other write.
+            let mut ensemble = inner.ensemble.lock();
+            let orphans = ensemble
+                .read(|s| s.ephemeral_sessions())
+                .unwrap_or_default();
+            if !orphans.is_empty() {
+                let count = orphans.len() as u64;
+                let ops = orphans
+                    .into_iter()
+                    .map(|session| Op::PurgeSession { session })
+                    .collect();
+                // One atomic batch: one broadcast, one WAL record, one
+                // fsync — and no half-purged state if this boot crashes.
+                if ensemble.submit(Op::Multi { ops }).0.is_ok() {
+                    inner.stats.lock().recovery_purged_sessions = count;
+                }
+            }
+            drop(ensemble);
+        }
         let expiry_inner = Arc::clone(&inner);
         let expiry_thread = std::thread::Builder::new()
             .name("coord-expiry".into())
@@ -585,6 +664,7 @@ impl Drop for KeepAlive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::SyncPolicy;
     use tropic_model::ManualClock;
 
     fn p(s: &str) -> Path {
@@ -858,5 +938,93 @@ mod tests {
         svc.crash_replica(0);
         assert!(c.exists(&p("/a")).unwrap());
         assert!(c.exists(&p("/b")).unwrap());
+    }
+
+    fn durable_config(dir: &std::path::Path) -> CoordConfig {
+        CoordConfig {
+            session_timeout_ms: 200,
+            tick_ms: 10,
+            data_dir: Some(dir.to_path_buf()),
+            durability: DurabilityOptions {
+                sync_policy: SyncPolicy::Periodic { every_ops: 8 },
+                snapshot_every_ops: 4,
+                ..DurabilityOptions::default()
+            },
+            ..CoordConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_service_survives_total_restart() {
+        let tmp = crate::testutil::TempDir::new("tropic-svc-durable");
+        let config = durable_config(tmp.path());
+        {
+            let svc = CoordService::start(config.clone());
+            let c = svc.connect("writer");
+            for i in 0..10 {
+                c.create(
+                    &p(&format!("/n{i}")),
+                    Bytes::from_static(b"v"),
+                    CreateMode::Persistent,
+                )
+                .unwrap();
+            }
+            c.set_data(&p("/n0"), Bytes::from_static(b"w"), Some(0))
+                .unwrap();
+            assert!(svc.ensemble_stats().snapshots_written > 0);
+        } // full shutdown: every replica gone
+        let svc = CoordService::recover(config);
+        assert_eq!(svc.ensemble_stats().recoveries, 3);
+        let c = svc.connect("reader");
+        for i in 0..10 {
+            assert!(c.exists(&p(&format!("/n{i}"))).unwrap(), "/n{i} lost");
+        }
+        let (data, stat) = c.get_data(&p("/n0")).unwrap().unwrap();
+        assert_eq!(&data[..], b"w");
+        assert_eq!(stat.version, 1, "versions survive recovery");
+        // Writes continue after recovery.
+        c.create(&p("/after"), Bytes::new(), CreateMode::Persistent)
+            .unwrap();
+    }
+
+    #[test]
+    fn recover_purges_orphaned_ephemerals_but_keeps_persistents() {
+        let tmp = crate::testutil::TempDir::new("tropic-svc-orphans");
+        let config = durable_config(tmp.path());
+        {
+            let svc = CoordService::start(config.clone());
+            let c = svc.connect("old-leader");
+            c.create(&p("/keep"), Bytes::new(), CreateMode::Persistent)
+                .unwrap();
+            c.create(&p("/lead"), Bytes::new(), CreateMode::Ephemeral)
+                .unwrap();
+            // The service dies with the session still live.
+        }
+        let svc = CoordService::recover(config);
+        let c = svc.connect("new");
+        assert!(c.exists(&p("/keep")).unwrap());
+        assert!(
+            !c.exists(&p("/lead")).unwrap(),
+            "orphaned ephemeral must be purged on recovery"
+        );
+        assert!(svc.stats().recovery_purged_sessions >= 1);
+    }
+
+    #[test]
+    fn start_formats_the_data_dir() {
+        let tmp = crate::testutil::TempDir::new("tropic-svc-format");
+        let config = durable_config(tmp.path());
+        {
+            let svc = CoordService::start(config.clone());
+            let c = svc.connect("w");
+            c.create(&p("/old"), Bytes::new(), CreateMode::Persistent)
+                .unwrap();
+        }
+        let svc = CoordService::start(config);
+        let c = svc.connect("w");
+        assert!(
+            !c.exists(&p("/old")).unwrap(),
+            "start() is a fresh format, not a recovery"
+        );
     }
 }

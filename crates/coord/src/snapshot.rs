@@ -1,0 +1,246 @@
+//! Fuzzy snapshots of the znode store.
+//!
+//! A snapshot captures the *entire* replicated state — data, versions,
+//! zxids, ephemeral owners, and sequential counters — at a batch boundary,
+//! tagged with the zxid of the last op it reflects. Together with the
+//! write-ahead log suffix after that zxid ([`crate::wal`]), it reconstructs
+//! a store byte-identical to the live one, which is what lets replicas
+//! truncate both their on-disk segments and their in-memory op logs
+//! (ZooKeeper's snapshot + txn-log recovery scheme, paper §2.3).
+//!
+//! Files are written atomically (temp file, fsync, rename) and carry a
+//! magic header plus a trailing CRC-32; [`load_latest`] skips anything that
+//! fails validation, falling back to the previous snapshot generation.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path as StdPath, PathBuf};
+
+use crate::store::ZnodeStore;
+use crate::wal::codec;
+
+const MAGIC: &[u8; 8] = b"TRPCSNP1";
+const PREFIX: &str = "snap-";
+const SUFFIX: &str = ".bin";
+
+/// File name of the snapshot tagged with `zxid`.
+pub fn file_name(zxid: u64) -> String {
+    format!("{PREFIX}{zxid:016x}{SUFFIX}")
+}
+
+/// Snapshot files in `dir`, sorted ascending by zxid.
+pub fn list(dir: &StdPath) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(hex) = name
+            .strip_prefix(PREFIX)
+            .and_then(|n| n.strip_suffix(SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(zxid) = u64::from_str_radix(hex, 16) {
+            out.push((zxid, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(zxid, _)| *zxid);
+    out
+}
+
+/// Atomically writes a snapshot of `store` tagged with `zxid`, returning
+/// the file size in bytes.
+pub fn write(dir: &StdPath, zxid: u64, store: &ZnodeStore) -> io::Result<u64> {
+    let mut body = Vec::with_capacity(4_096);
+    codec::put_u64(&mut body, zxid);
+    store.encode_into(&mut body);
+    let crc = codec::crc32(&body);
+    let final_path = dir.join(file_name(zxid));
+    let tmp_path = dir.join(format!("{}.tmp", file_name(zxid)));
+    {
+        let mut file = fs::File::create(&tmp_path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&body)?;
+        file.write_all(&crc.to_le_bytes())?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // The rename is only durable once the directory is fsynced; this must
+    // succeed before the caller may truncate the WAL the snapshot covers,
+    // so a failure propagates instead of being swallowed.
+    fs::File::open(dir)?.sync_all()?;
+    Ok((MAGIC.len() + body.len() + 4) as u64)
+}
+
+/// Loads the newest snapshot in `dir` that passes validation (magic, CRC,
+/// full decode, zxid matching the file name). Corrupt generations are
+/// skipped, not fatal.
+pub fn load_latest(dir: &StdPath) -> Option<(u64, ZnodeStore)> {
+    load_latest_detailed(dir).0
+}
+
+/// Like [`load_latest`], but also reports whether a *newer* generation
+/// file existed and failed validation. That matters to recovery: the live
+/// WAL segments always extend the newest snapshot taken (truncation
+/// deletes everything older), so when the newest generation is corrupt the
+/// suffix on disk is **not contiguous** with the older generation loaded
+/// here and must not be replayed on top of it.
+pub fn load_latest_detailed(dir: &StdPath) -> (Option<(u64, ZnodeStore)>, bool) {
+    let mut newer_corrupt = false;
+    let mut snaps = list(dir);
+    while let Some((zxid, path)) = snaps.pop() {
+        if let Some(store) = load_file(&path, zxid) {
+            return (Some((zxid, store)), newer_corrupt);
+        }
+        newer_corrupt = true;
+    }
+    (None, newer_corrupt)
+}
+
+/// Removes half-written `*.tmp` snapshot files left by a crash between
+/// create and rename, so repeated crash-during-snapshot cycles cannot
+/// leak disk.
+pub fn sweep_tmp(dir: &StdPath) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.ends_with(".tmp")) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn load_file(path: &StdPath, expect_zxid: u64) -> Option<ZnodeStore> {
+    let data = fs::read(path).ok()?;
+    if data.len() < MAGIC.len() + 12 || &data[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let body = &data[MAGIC.len()..data.len() - 4];
+    let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    if codec::crc32(body) != stored_crc {
+        return None;
+    }
+    let mut cur = codec::Cursor::new(body);
+    let zxid = cur.u64()?;
+    if zxid != expect_zxid {
+        return None;
+    }
+    let store = ZnodeStore::decode_from(&mut cur)?;
+    cur.is_done().then_some(store)
+}
+
+/// Deletes all but the newest `keep` snapshot generations.
+pub fn retain_latest(dir: &StdPath, keep: usize) {
+    let snaps = list(dir);
+    if snaps.len() > keep {
+        for (_, path) in &snaps[..snaps.len() - keep] {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Op;
+    use crate::testutil::TempDir;
+    use bytes::Bytes;
+    use tropic_model::Path;
+
+    fn populated_store() -> ZnodeStore {
+        let mut s = ZnodeStore::new();
+        for (zxid, op) in [
+            (
+                1u64,
+                Op::Create {
+                    path: Path::parse("/q").unwrap(),
+                    data: Bytes::from_static(b"root"),
+                    ephemeral_owner: None,
+                    sequential: false,
+                },
+            ),
+            (
+                2,
+                Op::Create {
+                    path: Path::parse("/q/item-").unwrap(),
+                    data: Bytes::from_static(b"seq"),
+                    ephemeral_owner: Some(9),
+                    sequential: true,
+                },
+            ),
+            (
+                3,
+                Op::SetData {
+                    path: Path::parse("/q").unwrap(),
+                    data: Bytes::from_static(b"v2"),
+                    expected_version: None,
+                },
+            ),
+        ] {
+            s.apply(zxid, &op).0.unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn write_load_roundtrip_is_byte_identical() {
+        let tmp = TempDir::new("tropic-snap-roundtrip");
+        let store = populated_store();
+        write(tmp.path(), 3, &store).unwrap();
+        let (zxid, back) = load_latest(tmp.path()).expect("snapshot loads");
+        assert_eq!(zxid, 3);
+        assert_eq!(back, store);
+        assert_eq!(format!("{back:?}"), format!("{store:?}"));
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous_generation() {
+        let tmp = TempDir::new("tropic-snap-fallback");
+        let store = populated_store();
+        write(tmp.path(), 3, &store).unwrap();
+        let mut newer = store.clone();
+        newer
+            .apply(
+                4,
+                &Op::Delete {
+                    path: Path::parse("/q/item-0000000000").unwrap(),
+                    expected_version: None,
+                },
+            )
+            .0
+            .unwrap();
+        write(tmp.path(), 4, &newer).unwrap();
+        // Corrupt the newest generation.
+        let path = tmp.path().join(file_name(4));
+        let mut data = fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        let (zxid, back) = load_latest(tmp.path()).expect("older snapshot still valid");
+        assert_eq!(zxid, 3);
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn retain_keeps_only_newest() {
+        let tmp = TempDir::new("tropic-snap-retain");
+        let store = populated_store();
+        for zxid in [3u64, 4, 5, 6] {
+            write(tmp.path(), zxid, &store).unwrap();
+        }
+        retain_latest(tmp.path(), 2);
+        let zxids: Vec<u64> = list(tmp.path()).into_iter().map(|(z, _)| z).collect();
+        assert_eq!(zxids, vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_dir_has_no_snapshot() {
+        let tmp = TempDir::new("tropic-snap-empty");
+        assert!(load_latest(tmp.path()).is_none());
+    }
+}

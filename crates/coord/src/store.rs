@@ -11,6 +11,7 @@ use bytes::Bytes;
 use tropic_model::Path;
 
 use crate::error::{CoordError, CoordResult};
+use crate::wal::codec;
 
 /// Metadata of a znode, in the spirit of ZooKeeper's `Stat`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -232,6 +233,38 @@ impl ZnodeStore {
             1 + n.children.values().map(count).sum::<usize>()
         }
         count(&self.root)
+    }
+
+    /// Every session that owns at least one ephemeral znode, ascending.
+    /// Recovery uses this to purge sessions that did not survive a full
+    /// restart (their clients are gone, so nothing else would expire them).
+    pub fn ephemeral_sessions(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        fn rec(node: &Znode, out: &mut Vec<u64>) {
+            if let Some(session) = node.ephemeral_owner {
+                out.push(session);
+            }
+            for child in node.children.values() {
+                rec(child, out);
+            }
+        }
+        rec(&self.root, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Serializes the full store — data, zxids, versions, ephemeral owners,
+    /// and sequential counters — into the snapshot wire format.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_znode(&self.root, out);
+    }
+
+    /// Inverse of [`ZnodeStore::encode_into`]; `None` on malformed input.
+    pub(crate) fn decode_from(cur: &mut codec::Cursor<'_>) -> Option<Self> {
+        Some(ZnodeStore {
+            root: decode_znode(cur)?,
+        })
     }
 
     /// Paths of all ephemeral znodes owned by `session`.
@@ -572,6 +605,47 @@ impl ZnodeStore {
         }
         (Ok(OpResult::Purged(deleted)), events)
     }
+}
+
+fn encode_znode(node: &Znode, out: &mut Vec<u8>) {
+    codec::put_bytes(out, &node.data);
+    codec::put_u64(out, node.czxid);
+    codec::put_u64(out, node.mzxid);
+    codec::put_u64(out, node.version);
+    codec::put_opt_u64(out, node.ephemeral_owner);
+    codec::put_u64(out, node.cseq);
+    codec::put_u32(out, node.children.len() as u32);
+    for (name, child) in &node.children {
+        codec::put_str(out, name);
+        encode_znode(child, out);
+    }
+}
+
+fn decode_znode(cur: &mut codec::Cursor<'_>) -> Option<Znode> {
+    let data = Bytes::copy_from_slice(cur.bytes()?);
+    let czxid = cur.u64()?;
+    let mzxid = cur.u64()?;
+    let version = cur.u64()?;
+    let ephemeral_owner = cur.opt_u64()?;
+    let cseq = cur.u64()?;
+    let count = cur.u32()?;
+    // No pre-allocation from the wire-claimed count; the cursor bounds the
+    // loop on truncated input anyway.
+    let mut children = BTreeMap::new();
+    for _ in 0..count {
+        let name = cur.str()?.to_owned();
+        let child = decode_znode(cur)?;
+        children.insert(name, child);
+    }
+    Some(Znode {
+        data,
+        czxid,
+        mzxid,
+        version,
+        ephemeral_owner,
+        cseq,
+        children,
+    })
 }
 
 #[cfg(test)]
@@ -1028,5 +1102,65 @@ mod tests {
         assert_eq!(s, before);
         let (res, _) = s.apply(4, &create_op("/q/item-", true));
         assert_eq!(res.unwrap(), OpResult::Created(p("/q/item-0000000001")));
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrip_preserves_everything() {
+        let mut s = ZnodeStore::new();
+        create(&mut s, 1, "/q").unwrap();
+        s.apply(2, &create_op("/q/item-", true)).0.unwrap();
+        s.apply(
+            3,
+            &Op::Create {
+                path: p("/eph"),
+                data: Bytes::from_static(b"e"),
+                ephemeral_owner: Some(77),
+                sequential: false,
+            },
+        )
+        .0
+        .unwrap();
+        s.apply(
+            4,
+            &Op::SetData {
+                path: p("/q"),
+                data: Bytes::from_static(b"v"),
+                expected_version: None,
+            },
+        )
+        .0
+        .unwrap();
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        let mut cur = codec::Cursor::new(&buf);
+        let back = ZnodeStore::decode_from(&mut cur).expect("decodes");
+        assert!(cur.is_done());
+        assert_eq!(back, s, "versions, zxids, owners, and cseq all survive");
+        assert_eq!(format!("{back:?}"), format!("{s:?}"));
+        // The decoded store's sequential counter continues where it left off.
+        let mut back = back;
+        let (res, _) = back.apply(5, &create_op("/q/item-", true));
+        assert_eq!(res.unwrap(), OpResult::Created(p("/q/item-0000000001")));
+    }
+
+    #[test]
+    fn ephemeral_sessions_enumerated() {
+        let mut s = ZnodeStore::new();
+        assert!(s.ephemeral_sessions().is_empty());
+        create(&mut s, 1, "/base").unwrap();
+        for (zxid, session) in [(2u64, 9u64), (3, 4), (4, 9)] {
+            s.apply(
+                zxid,
+                &Op::Create {
+                    path: p("/base/e-"),
+                    data: Bytes::new(),
+                    ephemeral_owner: Some(session),
+                    sequential: true,
+                },
+            )
+            .0
+            .unwrap();
+        }
+        assert_eq!(s.ephemeral_sessions(), vec![4, 9]);
     }
 }

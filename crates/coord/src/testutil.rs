@@ -1,0 +1,60 @@
+//! Small self-cleaning filesystem helpers for tests, benches, and
+//! examples (a `tempfile`-style stand-in, since the workspace builds
+//! offline without the real crate).
+
+use std::path::{Path as StdPath, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely-named directory under the system temp dir, removed
+/// recursively when dropped — so `cargo test -q` leaves no litter behind.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory whose name starts with `prefix`.
+    pub fn new(prefix: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let unique = format!(
+            "{prefix}-{}-{}-{}",
+            std::process::id(),
+            nanos,
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &StdPath {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dirs_are_unique_and_cleaned() {
+        let a = TempDir::new("tropic-testutil");
+        let b = TempDir::new("tropic-testutil");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("x"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir removes its contents");
+    }
+}

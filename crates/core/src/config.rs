@@ -72,6 +72,16 @@ impl Default for PlatformConfig {
     }
 }
 
+impl PlatformConfig {
+    /// Makes the platform durable: the coordination store write-ahead-logs
+    /// and snapshots under `dir`, so `Tropic::recover` with the same config
+    /// resumes after a full shutdown with no acknowledged transaction lost.
+    pub fn with_data_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.coord.data_dir = Some(dir.into());
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +94,17 @@ mod tests {
         assert!(cfg.checkpoint_every > 0);
         assert!(cfg.term_timeout_ms.is_none());
         assert!(cfg.group_commit, "group commit is the default commit path");
+    }
+
+    #[test]
+    fn with_data_dir_enables_durability() {
+        let cfg = PlatformConfig::default();
+        assert!(cfg.coord.data_dir.is_none(), "in-memory by default");
+        let cfg = cfg.with_data_dir("/tmp/tropic-data");
+        assert_eq!(
+            cfg.coord.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/tropic-data"))
+        );
     }
 
     #[test]

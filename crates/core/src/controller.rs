@@ -39,7 +39,7 @@ use crate::txn::{LogRecord, TxnId, TxnRecord, TxnState};
 
 /// Transaction-id namespace for controller-internal records (reloads), kept
 /// disjoint from client-assigned ids.
-const ADMIN_TXN_BASE: TxnId = 1 << 62;
+pub(crate) const ADMIN_TXN_BASE: TxnId = 1 << 62;
 
 /// The persisted logical-layer checkpoint.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]

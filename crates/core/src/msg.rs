@@ -143,11 +143,14 @@ pub mod layout {
             .join(&format!("{id:020}"))
     }
 
+    /// Base of administrative-operation result znodes.
+    pub fn admins() -> Path {
+        Path::parse("/tropic/admin").expect("static path")
+    }
+
     /// Result znode for one administrative operation.
     pub fn admin(admin_id: u64) -> Path {
-        Path::parse("/tropic/admin")
-            .expect("static path")
-            .join(&format!("{admin_id:020}"))
+        admins().join(&format!("{admin_id:020}"))
     }
 }
 

@@ -48,9 +48,23 @@ pub struct Tropic {
 }
 
 impl Tropic {
-    /// Starts the platform on the real clock.
+    /// Starts the platform on the real clock. With
+    /// `config.coord.data_dir` set, the coordination store is durable and
+    /// the directory is **formatted** for a fresh deployment — use
+    /// [`Tropic::recover`] to resume an existing one.
     pub fn start(config: PlatformConfig, service: ServiceDefinition, mode: ExecMode) -> Self {
         Self::start_with_clock(config, service, mode, real_clock())
+    }
+
+    /// Recovers a durable platform from `config.coord.data_dir` after a
+    /// full shutdown or crash ("power loss"): the coordination store is
+    /// rebuilt from each replica's snapshot plus write-ahead-log suffix,
+    /// the elected controller resumes from the reconstructed checkpoint,
+    /// transaction records, `inputQ`, and `phyQ`, and workers pick the
+    /// surviving physical tasks back up — no acknowledged transaction is
+    /// lost and in-flight ones run to completion.
+    pub fn recover(config: PlatformConfig, service: ServiceDefinition, mode: ExecMode) -> Self {
+        Self::recover_with_clock(config, service, mode, real_clock())
     }
 
     /// Starts the platform reading time from `clock`.
@@ -60,14 +74,43 @@ impl Tropic {
         mode: ExecMode,
         clock: SharedClock,
     ) -> Self {
+        Self::boot(config, service, mode, clock, false)
+    }
+
+    /// [`Tropic::recover`] with an explicit clock.
+    pub fn recover_with_clock(
+        config: PlatformConfig,
+        service: ServiceDefinition,
+        mode: ExecMode,
+        clock: SharedClock,
+    ) -> Self {
+        Self::boot(config, service, mode, clock, true)
+    }
+
+    fn boot(
+        config: PlatformConfig,
+        service: ServiceDefinition,
+        mode: ExecMode,
+        clock: SharedClock,
+        recover: bool,
+    ) -> Self {
         service
             .schemas
             .validate(&service.initial_tree)
             .expect("initial tree must satisfy the service schemas");
-        let coord = Arc::new(CoordService::start_with_clock(
-            config.coord.clone(),
-            Arc::clone(&clock),
-        ));
+        let coord = Arc::new(if recover {
+            CoordService::recover_with_clock(config.coord.clone(), Arc::clone(&clock))
+        } else {
+            CoordService::start_with_clock(config.coord.clone(), Arc::clone(&clock))
+        });
+        // New submissions must never collide with transaction or admin ids
+        // already persisted before the restart (a duplicate id would
+        // silently alias the old record's outcome).
+        let (first_txn_id, first_admin_id) = if recover {
+            next_free_ids(&coord)
+        } else {
+            (1, 1)
+        };
         let service = Arc::new(service);
         let metrics = Metrics::new();
         let stop = Arc::new(AtomicBool::new(false));
@@ -135,8 +178,8 @@ impl Tropic {
             coord,
             clock,
             metrics,
-            next_txn_id: Arc::new(AtomicU64::new(1)),
-            next_admin_id: Arc::new(AtomicU64::new(1)),
+            next_txn_id: Arc::new(AtomicU64::new(first_txn_id)),
+            next_admin_id: Arc::new(AtomicU64::new(first_admin_id)),
             controllers,
             workers,
             stop,
@@ -369,6 +412,57 @@ impl TropicClient {
         self.client.ping()?;
         Ok(())
     }
+}
+
+/// First client-assignable transaction and admin ids after a recovery: one
+/// past every id visible in the persisted records, still-queued
+/// submissions, and surviving admin-result znodes (internal-namespace txn
+/// ids are controller-owned and excluded; reusing an id would alias a
+/// pre-crash outcome).
+fn next_free_ids(coord: &CoordService) -> (u64, u64) {
+    let client = coord.connect("tropic-recovery-scan");
+    let mut max_txn_id = 0u64;
+    if let Ok(children) = client.get_children(&layout::txns()) {
+        for name in children {
+            if let Ok(id) = name.parse::<u64>() {
+                if id < crate::controller::ADMIN_TXN_BASE {
+                    max_txn_id = max_txn_id.max(id);
+                }
+            }
+        }
+    }
+    let mut max_admin_id = 0u64;
+    if let Ok(children) = client.get_children(&layout::admins()) {
+        for name in children {
+            if let Ok(id) = name.parse::<u64>() {
+                max_admin_id = max_admin_id.max(id);
+            }
+        }
+    }
+    if let Ok(q) = DistributedQueue::new(&client, layout::input_q()) {
+        if let Ok(names) = q.item_names() {
+            for name in names {
+                if let Ok(Some(data)) = q.get(&name) {
+                    match serde_json::from_slice::<InputMsg>(&data) {
+                        Ok(InputMsg::Submit { id, .. })
+                            if id < crate::controller::ADMIN_TXN_BASE =>
+                        {
+                            max_txn_id = max_txn_id.max(id);
+                        }
+                        // Still-queued admin ops will write their result
+                        // znode after recovery; their ids are taken too.
+                        Ok(InputMsg::Repair { admin_id, .. })
+                        | Ok(InputMsg::Reload { admin_id, .. }) => {
+                            max_admin_id = max_admin_id.max(admin_id);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    client.close();
+    (max_txn_id + 1, max_admin_id + 1)
 }
 
 /// The controller thread body: connect → elect → recover → lead, forever,
