@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: everything a PR must keep green, in dependency order.
 #
-# Usage: ./ci.sh [--no-clippy | --bench-snapshot]
+# Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc]
 #   --no-clippy       skip the clippy pass (e.g. when the component is absent)
+#   --doc             run only the documentation gate: `cargo doc --no-deps`
+#                     with RUSTDOCFLAGS="-D warnings" (broken intra-doc
+#                     links, bad code blocks, etc. fail the build)
 #   --bench-snapshot  run the commit_path, coord_store, and recovery benches
 #                     in quick mode, write BENCH_commit_path.json and
 #                     BENCH_recovery.json (the perf-trajectory data points),
@@ -142,9 +145,20 @@ bench_recovery_snapshot() {
     echo "Recovery perf gate passed."
 }
 
+doc_gate() {
+    RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
+    echo
+    echo "Doc gate passed."
+}
+
 if [[ "${1:-}" == "--bench-snapshot" ]]; then
     bench_snapshot
     bench_recovery_snapshot
+    exit 0
+fi
+
+if [[ "${1:-}" == "--doc" ]]; then
+    doc_gate
     exit 0
 fi
 
@@ -152,6 +166,7 @@ run cargo build --release
 run cargo test -q
 run cargo bench --no-run
 run cargo build --examples
+doc_gate
 run cargo fmt --check
 
 if [[ "${1:-}" != "--no-clippy" ]] && cargo clippy --version >/dev/null 2>&1; then

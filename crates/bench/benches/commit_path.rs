@@ -70,23 +70,22 @@ fn bench_variant(c: &mut Criterion, name: &str, group_commit: bool) {
             let host = (i % 64) as usize;
             let vm = format!("cp{i}");
             let outcome = client
-                .submit_and_wait(
-                    "spawnVM",
-                    spec.spawn_args(&vm, host, 2_048),
-                    Duration::from_secs(60),
+                .submit_request(
+                    tropic_core::TxnRequest::new("spawnVM").args(spec.spawn_args(&vm, host, 2_048)),
                 )
+                .unwrap()
+                .wait_timeout(Duration::from_secs(60))
                 .unwrap();
             assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
             let outcome = client
-                .submit_and_wait(
-                    "destroyVM",
-                    vec![
-                        tropic_model::Value::from(TopologySpec::host_path(host).to_string()),
-                        tropic_model::Value::from(vm.as_str()),
-                        tropic_model::Value::from(TopologySpec::storage_path(host / 4).to_string()),
-                    ],
-                    Duration::from_secs(60),
+                .submit_request(
+                    tropic_core::TxnRequest::new("destroyVM")
+                        .arg(TopologySpec::host_path(host).to_string())
+                        .arg(vm.as_str())
+                        .arg(TopologySpec::storage_path(host / 4).to_string()),
                 )
+                .unwrap()
+                .wait_timeout(Duration::from_secs(60))
                 .unwrap();
             assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
             i += 1;

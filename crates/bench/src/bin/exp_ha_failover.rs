@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use tropic_coord::CoordConfig;
-use tropic_core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic_core::{ExecMode, PlatformConfig, Priority, Tropic, TxnRequest, TxnState};
 use tropic_tcloud::TopologySpec;
 
 fn run_once(session_timeout_ms: u64) -> (u64, usize, usize) {
@@ -41,33 +41,37 @@ fn run_once(session_timeout_ms: u64) -> (u64, usize, usize) {
     // Warm-up workload under the first leader.
     for i in 0..8 {
         let o = client
-            .submit_and_wait(
-                "spawnVM",
-                spec.spawn_args(&format!("pre{i}"), i % 16, 2_048),
-                Duration::from_secs(60),
-            )
+            .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args(
+                &format!("pre{i}"),
+                i % 16,
+                2_048,
+            )))
+            .expect("warmup submit")
+            .wait_timeout(Duration::from_secs(60))
             .expect("warmup txn");
         assert_eq!(o.state, TxnState::Committed);
     }
 
-    // Crash the leader, keep submitting during the outage.
+    // Crash the leader, keep submitting during the outage. Failover work is
+    // latency-sensitive, so ride the high-priority lane.
     let crash_at = platform.clock().now_ms();
     platform.crash_leader().expect("a leader to crash");
-    let ids: Vec<_> = (0..8)
+    let handles: Vec<_> = (0..8)
         .map(|i| {
             client
-                .submit(
-                    "spawnVM",
-                    spec.spawn_args(&format!("post{i}"), i % 16, 2_048),
+                .submit_request(
+                    TxnRequest::new("spawnVM")
+                        .args(spec.spawn_args(&format!("post{i}"), i % 16, 2_048))
+                        .priority(Priority::High),
                 )
                 .expect("submit during outage")
         })
         .collect();
-    let submitted = ids.len();
+    let submitted = handles.len();
     let mut completed = 0;
-    for id in ids {
-        let o = client
-            .wait(id, Duration::from_secs(120))
+    for handle in handles {
+        let o = handle
+            .wait_timeout(Duration::from_secs(120))
             .expect("completion");
         assert_eq!(o.state, TxnState::Committed, "{:?}", o.error);
         completed += 1;

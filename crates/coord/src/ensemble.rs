@@ -3,7 +3,7 @@
 //! A leader replica assigns each write a zxid `(epoch << 32) | counter` and
 //! replicates it to the followers through the [`SimNet`]; the write commits
 //! once a quorum (including the leader) has acknowledged it, following the
-//! protocol sketch of Reed & Junqueira cited by the paper ([21]). When the
+//! protocol sketch of Reed & Junqueira cited by the paper (\[21\]). When the
 //! leader replica crashes, the surviving replica with the longest log is
 //! elected and lagging replicas sync from it.
 //!

@@ -15,7 +15,15 @@ use crate::error::{CoordError, CoordResult};
 use crate::service::{CoordClient, CreateMode, WatchKind};
 use crate::store::Op;
 
+/// Name prefix of queue-item znodes. Children of the base without this
+/// prefix (e.g. nested sub-queue lanes) are not items and are ignored by
+/// every queue operation.
+const ITEM_PREFIX: &str = "item-";
+
 /// A durable multi-producer multi-consumer FIFO queue.
+///
+/// Items are children of the base named `item-<seq>`; other children of
+/// the base (such as nested priority-lane queues) coexist untouched.
 pub struct DistributedQueue<'a> {
     client: &'a CoordClient,
     base: Path,
@@ -28,6 +36,15 @@ impl<'a> DistributedQueue<'a> {
         Ok(DistributedQueue { client, base })
     }
 
+    /// Binds a queue whose base znode is known to exist already, skipping
+    /// the existence probes of [`DistributedQueue::new`]. For hot paths
+    /// (the controller re-binds its lanes every scheduling round); callers
+    /// must have created the base beforehand or every operation fails
+    /// with `NoNode`.
+    pub fn bind(client: &'a CoordClient, base: Path) -> Self {
+        DistributedQueue { client, base }
+    }
+
     /// The queue's base path.
     pub fn base(&self) -> &Path {
         &self.base
@@ -36,7 +53,7 @@ impl<'a> DistributedQueue<'a> {
     /// Appends an item, returning the znode path that identifies it.
     pub fn enqueue(&self, data: impl Into<Bytes>) -> CoordResult<Path> {
         self.client.create(
-            &self.base.join("item-"),
+            &self.base.join(ITEM_PREFIX),
             data,
             CreateMode::PersistentSequential,
         )
@@ -57,7 +74,7 @@ impl<'a> DistributedQueue<'a> {
     /// inclusion in a caller-assembled atomic batch.
     pub fn enqueue_op(&self, data: impl Into<Bytes>) -> Op {
         Op::Create {
-            path: self.base.join("item-"),
+            path: self.base.join(ITEM_PREFIX),
             data: data.into(),
             ephemeral_owner: None,
             sequential: true,
@@ -81,8 +98,11 @@ impl<'a> DistributedQueue<'a> {
     }
 
     /// Names of all queued items in FIFO (lexicographic) order.
+    /// Non-item children of the base znode are excluded.
     pub fn item_names(&self) -> CoordResult<Vec<String>> {
-        self.client.get_children(&self.base)
+        let mut names = self.client.get_children(&self.base)?;
+        names.retain(|n| n.starts_with(ITEM_PREFIX));
+        Ok(names)
     }
 
     /// Reads one item's payload by name, or `None` when already claimed.
@@ -159,9 +179,50 @@ impl<'a> DistributedQueue<'a> {
         Ok(())
     }
 
+    /// Blocks until *any* of `queues` is likely non-empty, `timeout`
+    /// passes, or `stop` becomes true — the multi-lane variant of
+    /// [`DistributedQueue::await_items`]. Arms one children watch per
+    /// queue, then waits on the shared event channel; all queues must be
+    /// bound to the same client session.
+    pub fn await_any(
+        queues: &[&DistributedQueue<'_>],
+        timeout: Duration,
+        stop: &AtomicBool,
+    ) -> CoordResult<()> {
+        let Some(first) = queues.first() else {
+            return Ok(());
+        };
+        for q in queues {
+            if q.len()? > 0 {
+                return Ok(());
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        for q in queues {
+            q.client.watch(&q.base, WatchKind::Children)?;
+        }
+        // Re-check after arming the watches to close the landing race.
+        for q in queues {
+            if q.len()? > 0 {
+                return Ok(());
+            }
+        }
+        while !stop.load(Ordering::SeqCst) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(());
+            }
+            let slice = (deadline - now).min(Duration::from_millis(25));
+            if first.client.wait_event(slice).is_some() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
     /// Number of queued items.
     pub fn len(&self) -> CoordResult<usize> {
-        Ok(self.client.get_children(&self.base)?.len())
+        Ok(self.item_names()?.len())
     }
 
     /// Returns `true` if the queue has no items.
@@ -174,8 +235,7 @@ impl<'a> DistributedQueue<'a> {
     /// one; losers silently move on to the next item.
     pub fn try_dequeue(&self) -> CoordResult<Option<(String, Bytes)>> {
         loop {
-            let children = self.client.get_children(&self.base)?;
-            let Some(head) = children.into_iter().min() else {
+            let Some(head) = self.item_names()?.into_iter().min() else {
                 return Ok(None);
             };
             let item_path = self.base.join(&head);
@@ -226,8 +286,7 @@ impl<'a> DistributedQueue<'a> {
 
     /// Reads the head item without claiming it.
     pub fn peek(&self) -> CoordResult<Option<(String, Bytes)>> {
-        let children = self.client.get_children(&self.base)?;
-        let Some(head) = children.into_iter().min() else {
+        let Some(head) = self.item_names()?.into_iter().min() else {
             return Ok(None);
         };
         let item_path = self.base.join(&head);
@@ -419,6 +478,50 @@ mod tests {
         for (i, item) in all.iter().enumerate() {
             assert_eq!(item, &format!("{i}"));
         }
+    }
+
+    #[test]
+    fn nested_lane_znodes_are_not_items() {
+        let svc = svc();
+        let c = svc.connect("q");
+        let q = DistributedQueue::new(&c, p("/inputQ")).unwrap();
+        c.create_all(&p("/inputQ/hi")).unwrap();
+        c.create_all(&p("/inputQ/batch")).unwrap();
+        assert!(q.is_empty().unwrap(), "lane znodes are not queue items");
+        q.enqueue(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(q.len().unwrap(), 1);
+        let (_, d) = q.try_dequeue().unwrap().unwrap();
+        assert_eq!(&d[..], b"x");
+        assert!(
+            q.try_dequeue().unwrap().is_none(),
+            "lane znodes must never be dequeued"
+        );
+        q.enqueue(Bytes::from_static(b"y")).unwrap();
+        let batch = q.try_dequeue_batch(10).unwrap();
+        assert_eq!(batch.len(), 1, "batch claim ignores lane znodes");
+        assert!(svc.connect("check").exists(&p("/inputQ/hi")).unwrap());
+    }
+
+    #[test]
+    fn await_any_wakes_on_any_lane() {
+        let svc = Arc::new(svc());
+        let svc2 = Arc::clone(&svc);
+        let waiter = std::thread::spawn(move || {
+            let c = svc2.connect("waiter");
+            let hi = DistributedQueue::new(&c, p("/q/hi")).unwrap();
+            let lo = DistributedQueue::new(&c, p("/q/lo")).unwrap();
+            let stop = AtomicBool::new(false);
+            let t0 = std::time::Instant::now();
+            DistributedQueue::await_any(&[&hi, &lo], Duration::from_secs(10), &stop).unwrap();
+            (t0.elapsed(), lo.len().unwrap())
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let c = svc.connect("producer");
+        let lo = DistributedQueue::new(&c, p("/q/lo")).unwrap();
+        lo.enqueue(Bytes::from_static(b"late")).unwrap();
+        let (elapsed, lo_len) = waiter.join().unwrap();
+        assert!(elapsed < Duration::from_secs(9), "woke before the timeout");
+        assert_eq!(lo_len, 1);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct PlatformConfig {
     /// batches. Disable to fall back to per-record writes (the
     /// `commit_path` bench measures both).
     pub group_commit: bool,
+    /// Maximum input-queue messages the controller admits per scheduling
+    /// round, spread across the priority lanes in strict `hi` → `norm` →
+    /// `batch` → legacy order.
+    pub input_batch: usize,
 }
 
 impl Default for PlatformConfig {
@@ -68,6 +72,7 @@ impl Default for PlatformConfig {
             kill_timeout_ms: None,
             poll_ms: 25,
             group_commit: true,
+            input_batch: 64,
         }
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! With [`ControllerConfig::group_commit`] enabled (the default), the hot
 //! path's writes — transaction records, `inputQ` removals, `phyQ` moves —
-//! accumulate in a [`RoundBatch`] over one scheduling round and flush as a
+//! accumulate in a round batch over one scheduling round and flush as a
 //! single atomic coordination-store multi. A follower resuming from
 //! persistent state therefore sees either the whole round or none of it,
 //! which is strictly stronger than the record-at-a-time window, and the
@@ -23,19 +23,20 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tropic_coord::{CoordClient, CoordError, CreateMode, DistributedQueue, Op, WatchKind};
+use tropic_coord::{CoordClient, CoordError, CreateMode, DistributedQueue, Op};
 use tropic_model::{Path, SharedClock, Tree, Value};
 
 use crate::actions::{ActionDef, ActionRegistry};
+use crate::api::{AbortCode, Priority};
 use crate::config::ServiceDefinition;
 use crate::error::PlatformError;
 use crate::locks::LockManager;
 use crate::logical::{rollback_logical, simulate, LogicalOutcome};
-use crate::msg::{layout, AdminResult, InputMsg, PhyTask, Signal};
+use crate::msg::{decode_input, layout, AdminResult, InputMsg, PhyTask, Signal};
 use crate::physical::{ExecMode, PhysicalOutcome};
 use crate::reconcile::RepairPlan;
 use crate::stats::{Metrics, TxnSample};
-use crate::txn::{LogRecord, TxnId, TxnRecord, TxnState};
+use crate::txn::{LogRecord, TxnAlias, TxnId, TxnRecord, TxnState};
 
 /// Transaction-id namespace for controller-internal records (reloads), kept
 /// disjoint from client-assigned ids.
@@ -69,6 +70,8 @@ pub struct ControllerConfig {
     /// Accumulate each scheduling round's writes and flush them as one
     /// atomic multi (group commit) instead of per-record writes.
     pub group_commit: bool,
+    /// Input-queue messages admitted per scheduling round, across lanes.
+    pub input_batch: usize,
 }
 
 /// The group-commit write buffer: one scheduling round's record puts, queue
@@ -158,7 +161,10 @@ pub struct Controller<'a> {
 
     tree: Tree,
     locks: LockManager,
-    todo: VecDeque<TxnId>,
+    /// Per-priority `todoQ` lanes (index = [`Priority::index`]), each FIFO
+    /// with paper-faithful head-of-line blocking *within* the lane; a
+    /// deferred head blocks only its own lane.
+    todo: [VecDeque<TxnId>; 3],
     records: HashMap<TxnId, TxnRecord>,
     running: HashSet<TxnId>,
     started_at: HashMap<TxnId, u64>,
@@ -172,6 +178,13 @@ pub struct Controller<'a> {
     persisted: HashSet<TxnId>,
     /// Whether the inconsistent-set znode exists yet.
     inconsistent_persisted: bool,
+    /// Idempotency-key → admitted transaction id (dedup window = record
+    /// retention).
+    idemp: HashMap<String, TxnId>,
+    /// Alias id → original id, for redelivery dedup.
+    alias_targets: HashMap<TxnId, TxnId>,
+    /// Original id → alias ids pointing at it, for GC.
+    aliases_of: HashMap<TxnId, Vec<TxnId>>,
 }
 
 impl<'a> Controller<'a> {
@@ -198,7 +211,7 @@ impl<'a> Controller<'a> {
             metrics,
             tree: Tree::new(),
             locks: LockManager::new(),
-            todo: VecDeque::new(),
+            todo: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             records: HashMap::new(),
             running: HashSet::new(),
             started_at: HashMap::new(),
@@ -210,6 +223,9 @@ impl<'a> Controller<'a> {
             batch: RoundBatch::new(group_commit),
             persisted: HashSet::new(),
             inconsistent_persisted: false,
+            idemp: HashMap::new(),
+            alias_targets: HashMap::new(),
+            aliases_of: HashMap::new(),
         }
     }
 
@@ -218,9 +234,9 @@ impl<'a> Controller<'a> {
         &self.tree
     }
 
-    /// Number of transactions waiting in `todoQ`.
+    /// Number of transactions waiting across all `todoQ` lanes.
     pub fn todo_len(&self) -> usize {
-        self.todo.len()
+        self.todo.iter().map(VecDeque::len).sum()
     }
 
     /// Number of transactions in physical execution.
@@ -242,6 +258,9 @@ impl<'a> Controller<'a> {
         // Queue roots must exist before the round batch appends items to
         // them (batched creates have no create-parents fallback).
         self.client.create_all(&layout::input_q())?;
+        for p in Priority::ALL {
+            self.client.create_all(&layout::input_lane(p))?;
+        }
         self.client.create_all(&layout::phy_q())?;
         self.batch.take();
         self.persisted.clear();
@@ -274,13 +293,31 @@ impl<'a> Controller<'a> {
         };
         self.next_lsn = watermark + 1;
 
-        // 2. Load every persisted transaction record.
+        // 2. Load every persisted transaction record, and rebuild the
+        // idempotency index and alias table from them (idempotency keys
+        // live on the records; aliases are persisted at the aliased id's
+        // record path).
         self.records.clear();
+        self.idemp.clear();
+        self.alias_targets.clear();
+        self.aliases_of.clear();
         for child in self.client.get_children(&layout::txns())? {
             let path = layout::txns().join(&child);
             if let Some(rec) = self.client.get_json::<TxnRecord>(&path)? {
+                if let Some(key) = &rec.idempotency_key {
+                    self.idemp.insert(key.clone(), rec.id);
+                }
                 self.persisted.insert(rec.id);
                 self.records.insert(rec.id, rec);
+            } else if let (Ok(alias_id), Some(alias)) = (
+                child.parse::<TxnId>(),
+                self.client.get_json::<TxnAlias>(&path)?,
+            ) {
+                self.alias_targets.insert(alias_id, alias.alias_of);
+                self.aliases_of
+                    .entry(alias.alias_of)
+                    .or_default()
+                    .push(alias_id);
             }
         }
 
@@ -333,15 +370,19 @@ impl<'a> Controller<'a> {
             }
         }
 
-        // 5. Rebuild todoQ from accepted-but-unscheduled transactions.
-        let mut accepted: Vec<TxnId> = self
+        // 5. Rebuild the todoQ lanes from accepted-but-unscheduled
+        // transactions, each in admission (id) order within its lane.
+        let mut accepted: Vec<(Priority, TxnId)> = self
             .records
             .values()
             .filter(|r| r.state == TxnState::Accepted)
-            .map(|r| r.id)
+            .map(|r| (r.priority, r.id))
             .collect();
-        accepted.sort_unstable();
-        self.todo = accepted.into();
+        accepted.sort_unstable_by_key(|(_, id)| *id);
+        self.todo = [VecDeque::new(), VecDeque::new(), VecDeque::new()];
+        for (priority, id) in accepted {
+            self.todo[priority.index()].push_back(id);
+        }
 
         // 6. Schedule GC for already-finalized records.
         for rec in self.records.values() {
@@ -361,7 +402,7 @@ impl<'a> Controller<'a> {
     /// timeouts, and checkpoints when due. Returns `true` if any message was
     /// processed or transaction scheduled (callers idle-wait when `false`).
     pub fn step(&mut self) -> Result<bool, PlatformError> {
-        let processed = self.process_input(64)?;
+        let processed = self.process_input(self.cfg.input_batch.max(1))?;
         let scheduled = self.schedule()?;
         self.check_timeouts()?;
         // The group-commit flush: everything the round decided becomes
@@ -384,54 +425,65 @@ impl<'a> Controller<'a> {
         Ok(())
     }
 
-    /// Blocks until `inputQ` has an item or `timeout` passes. Uses a
-    /// children watch so idling costs no polling writes.
+    /// Blocks until any input lane (or the legacy queue root) has an item
+    /// or `timeout` passes. Uses one children watch per lane so idling
+    /// costs no polling writes. The lane bases exist from
+    /// [`Controller::recover`], so the queues bind without probing.
     pub fn wait_for_input(&self, timeout: Duration) {
-        let Ok(q) = DistributedQueue::new(self.client, layout::input_q()) else {
-            return;
-        };
-        if let Ok(0) = q.len() {
-            if self
-                .client
-                .watch(&layout::input_q(), WatchKind::Children)
-                .is_ok()
-            {
-                // Re-check after arming the watch to close the race.
-                if let Ok(0) = q.len() {
-                    let _ = self.client.wait_event(timeout);
-                }
-            }
-        }
+        let hi = DistributedQueue::bind(self.client, layout::input_lane(Priority::High));
+        let norm = DistributedQueue::bind(self.client, layout::input_lane(Priority::Normal));
+        let batch = DistributedQueue::bind(self.client, layout::input_lane(Priority::Batch));
+        let legacy = DistributedQueue::bind(self.client, layout::input_q());
+        let no_stop = std::sync::atomic::AtomicBool::new(false);
+        let _ = DistributedQueue::await_any(&[&hi, &norm, &batch, &legacy], timeout, &no_stop);
     }
 
+    /// Drains up to `max` messages, strictly by lane: the high lane is
+    /// emptied before the normal lane is touched, and so on. The legacy
+    /// un-versioned queue root drains at *normal* priority (legacy
+    /// messages decode as `Priority::Normal`, and pre-upgrade workers
+    /// still report results there — parking it below the batch lane
+    /// would let a sustained batch backlog starve them during a rolling
+    /// upgrade). Within a lane, FIFO.
     fn process_input(&mut self, max: usize) -> Result<usize, PlatformError> {
-        let q = DistributedQueue::new(self.client, layout::input_q())?;
-        // One listing for the whole round: under group commit the removals
-        // are buffered until the flush, so a peek loop would re-serve the
-        // same head forever.
-        let mut names = q.item_names()?;
-        names.truncate(max);
         let mut handled = 0;
-        for name in names {
-            let Some(data) = q.get(&name)? else {
-                continue;
-            };
-            match serde_json::from_slice::<InputMsg>(&data) {
-                Ok(msg) => self.handle_msg(msg)?,
-                Err(_) => {
-                    self.metrics.record_event(
-                        self.clock.now_ms(),
-                        &self.cfg.name,
-                        "corrupt-input-dropped",
-                    );
+        let bases = [
+            layout::input_lane(Priority::High),
+            layout::input_lane(Priority::Normal),
+            layout::input_q(),
+            layout::input_lane(Priority::Batch),
+        ];
+        for base in bases {
+            if handled >= max {
+                break;
+            }
+            let q = DistributedQueue::bind(self.client, base);
+            // One listing per lane per round: under group commit the
+            // removals are buffered until the flush, so a peek loop would
+            // re-serve the same head forever.
+            let mut names = q.item_names()?;
+            names.truncate(max - handled);
+            for name in names {
+                let Some(data) = q.get(&name)? else {
+                    continue;
+                };
+                match decode_input(&data) {
+                    Ok(msg) => self.handle_msg(msg)?,
+                    Err(_) => {
+                        self.metrics.record_event(
+                            self.clock.now_ms(),
+                            &self.cfg.name,
+                            "corrupt-input-dropped",
+                        );
+                    }
                 }
+                if self.batch.enabled() {
+                    self.batch.delete(q.item_path(&name));
+                } else {
+                    q.remove(&name)?;
+                }
+                handled += 1;
             }
-            if self.batch.enabled() {
-                self.batch.delete(q.item_path(&name));
-            } else {
-                q.remove(&name)?;
-            }
-            handled += 1;
         }
         Ok(handled)
     }
@@ -443,7 +495,18 @@ impl<'a> Controller<'a> {
                 proc_name,
                 args,
                 submitted_ms,
-            } => self.handle_submit(id, proc_name, args, submitted_ms),
+                priority,
+                deadline_ms,
+                idempotency_key,
+                labels,
+            } => {
+                let mut rec = TxnRecord::new(id, proc_name, args, submitted_ms);
+                rec.priority = priority;
+                rec.deadline_ms = deadline_ms;
+                rec.idempotency_key = idempotency_key;
+                rec.labels = labels;
+                self.handle_submit(rec)
+            }
             InputMsg::Result { id, outcome } => self.handle_result(id, outcome),
             InputMsg::Signal { id, signal } => self.handle_signal(id, signal),
             InputMsg::Repair { scope, admin_id } => self.handle_repair(scope, admin_id),
@@ -451,24 +514,67 @@ impl<'a> Controller<'a> {
         }
     }
 
-    /// Step 2 of the paper's Figure 2: accept the transaction into `todoQ`.
-    fn handle_submit(
-        &mut self,
-        id: TxnId,
-        proc_name: String,
-        args: Vec<Value>,
-        submitted_ms: u64,
-    ) -> Result<(), PlatformError> {
-        if self.records.contains_key(&id) {
+    /// Step 2 of the paper's Figure 2, extended with the admission gate:
+    /// idempotency-key dedup first, then the deadline check, then
+    /// acceptance into the priority's `todoQ` lane.
+    fn handle_submit(&mut self, mut rec: TxnRecord) -> Result<(), PlatformError> {
+        let id = rec.id;
+        if self.records.contains_key(&id) || self.alias_targets.contains_key(&id) {
             // Duplicate delivery after a crash between persist and queue
-            // removal: already accepted.
+            // removal: already accepted (or already aliased).
             return Ok(());
         }
-        let mut rec = TxnRecord::new(id, proc_name, args, submitted_ms);
+        if let Some(key) = &rec.idempotency_key {
+            if let Some(&original) = self.idemp.get(key) {
+                // Dedup: persist a redirect at this id's record path so
+                // the submitter's handle resolves to the original
+                // transaction's outcome.
+                self.metrics.record_idempotent_hit();
+                self.persist_alias(id, original)?;
+                return Ok(());
+            }
+        }
+        let now = self.clock.now_ms();
+        if let Some(deadline) = rec.deadline_ms {
+            if now > deadline {
+                // Expired before admission: abort without ever scheduling.
+                // The key is deliberately *not* registered — a retry with a
+                // fresh deadline must run, not dedup onto this rejection.
+                rec.idempotency_key = None;
+                rec.state = TxnState::Accepted;
+                self.records.insert(id, rec);
+                self.metrics.record_deadline_reject();
+                self.finalize_coded(
+                    id,
+                    TxnState::Aborted,
+                    Some(format!(
+                        "deadline ({deadline} ms) expired before admission (now {now} ms)"
+                    )),
+                    Some(AbortCode::DeadlineExpired),
+                )?;
+                return Ok(());
+            }
+        }
+        if let Some(key) = &rec.idempotency_key {
+            self.idemp.insert(key.clone(), id);
+        }
         rec.state = TxnState::Accepted;
+        let priority = rec.priority;
         self.persist_record(&rec)?;
         self.records.insert(id, rec);
-        self.todo.push_back(id);
+        self.metrics.record_admission(priority);
+        self.todo[priority.index()].push_back(id);
+        Ok(())
+    }
+
+    /// Persists an idempotency redirect (`alias` → `original`) at the
+    /// alias id's record path and indexes it for GC.
+    fn persist_alias(&mut self, alias: TxnId, original: TxnId) -> Result<(), PlatformError> {
+        let data =
+            serde_json::to_vec(&TxnAlias { alias_of: original }).expect("serializable alias");
+        self.write_znode(layout::txn(alias), data, false)?;
+        self.alias_targets.insert(alias, original);
+        self.aliases_of.entry(original).or_default().push(alias);
         Ok(())
     }
 
@@ -555,7 +661,12 @@ impl<'a> Controller<'a> {
         for object in objects {
             self.mark_inconsistent(&object)?;
         }
-        self.finalize(id, TxnState::Aborted, Some(reason.to_owned()))
+        self.finalize_coded(
+            id,
+            TxnState::Aborted,
+            Some(reason.to_owned()),
+            Some(AbortCode::Killed),
+        )
     }
 
     fn rollback_in_logical(&mut self, log: &[LogRecord]) {
@@ -575,26 +686,64 @@ impl<'a> Controller<'a> {
         self.metrics.add_busy(t0.elapsed());
     }
 
-    /// Step 3 of Figure 2: schedule from the front of `todoQ` until it
-    /// empties or its head defers on a lock conflict. Returns the number of
+    /// Step 3 of Figure 2: schedule each `todoQ` lane, highest priority
+    /// first, until the lane empties or its head defers on a lock
+    /// conflict. Head-of-line blocking is per lane, so a deferred batch
+    /// transaction never holds up the high lane. Returns the number of
     /// transactions moved to the physical layer or finalized.
     fn schedule(&mut self) -> Result<usize, PlatformError> {
         let mut moved = 0;
-        while let Some(&id) = self.todo.front() {
+        for lane in 0..self.todo.len() {
+            moved += self.schedule_lane(lane)?;
+        }
+        Ok(moved)
+    }
+
+    fn schedule_lane(&mut self, lane: usize) -> Result<usize, PlatformError> {
+        let mut moved = 0;
+        while let Some(&id) = self.todo[lane].front() {
             let Some(mut rec) = self.records.get(&id).cloned() else {
-                self.todo.pop_front();
+                self.todo[lane].pop_front();
                 continue;
             };
-            let Some(proc_) = self.service.procs.get(&rec.proc_name) else {
-                self.todo.pop_front();
+            // The admission deadline also gates scheduling: a submission
+            // that aged out while queued behind the lane is aborted, not
+            // started.
+            let now = self.clock.now_ms();
+            if rec.deadline_ms.map(|d| now > d).unwrap_or(false) {
+                self.todo[lane].pop_front();
+                let deadline = rec.deadline_ms.expect("checked");
+                // Unregister the idempotency key (and strip it from the
+                // persisted record, so recovery does not re-register it):
+                // as at the admission gate, a retry with a fresh deadline
+                // must run, not dedup onto this rejection.
+                if let Some(key) = rec.idempotency_key.take() {
+                    if self.idemp.get(&key) == Some(&id) {
+                        self.idemp.remove(&key);
+                    }
+                }
                 self.records.insert(id, rec);
-                self.finalize(
+                self.metrics.record_deadline_reject();
+                self.finalize_coded(
                     id,
                     TxnState::Aborted,
                     Some(format!(
-                        "unknown procedure `{}`",
-                        self.records[&id].proc_name
+                        "deadline ({deadline} ms) expired in todoQ (now {now} ms)"
                     )),
+                    Some(AbortCode::DeadlineExpired),
+                )?;
+                moved += 1;
+                continue;
+            }
+            let Some(proc_) = self.service.procs.get(&rec.proc_name) else {
+                self.todo[lane].pop_front();
+                let proc_name = rec.proc_name.clone();
+                self.records.insert(id, rec);
+                self.finalize_coded(
+                    id,
+                    TxnState::Aborted,
+                    Some(format!("unknown procedure `{proc_name}`")),
+                    Some(AbortCode::UnknownProcedure),
                 )?;
                 moved += 1;
                 continue;
@@ -611,7 +760,7 @@ impl<'a> Controller<'a> {
             self.metrics.add_busy(t0.elapsed());
             match outcome {
                 LogicalOutcome::Runnable => {
-                    self.todo.pop_front();
+                    self.todo[lane].pop_front();
                     rec.state = TxnState::Started;
                     rec.lsn = Some(self.next_lsn);
                     self.next_lsn += 1;
@@ -621,7 +770,7 @@ impl<'a> Controller<'a> {
                     self.running.insert(id);
                     self.started_at.insert(id, self.clock.now_ms());
                     let task = serde_json::to_vec(&PhyTask { id }).expect("serializable");
-                    let q = DistributedQueue::new(self.client, layout::phy_q())?;
+                    let q = DistributedQueue::bind(self.client, layout::phy_q());
                     if self.batch.enabled() {
                         // The task becomes visible to workers atomically
                         // with the Started record at the round flush.
@@ -632,15 +781,16 @@ impl<'a> Controller<'a> {
                     moved += 1;
                 }
                 LogicalOutcome::Deferred { .. } => {
-                    // Head-of-line blocking, per the paper's FIFO todoQ: the
-                    // deferred transaction stays at the front for retry.
+                    // Head-of-line blocking within the lane, per the
+                    // paper's FIFO todoQ: the deferred transaction stays at
+                    // the lane front for retry.
                     rec.defer_count += 1;
                     self.records.insert(id, rec);
                     self.metrics.record_defer();
                     break;
                 }
                 LogicalOutcome::Aborted { reason } => {
-                    self.todo.pop_front();
+                    self.todo[lane].pop_front();
                     self.records.insert(id, rec);
                     self.metrics.record_violation();
                     self.finalize(id, TxnState::Aborted, Some(reason))?;
@@ -659,12 +809,25 @@ impl<'a> Controller<'a> {
         state: TxnState,
         error: Option<String>,
     ) -> Result<(), PlatformError> {
+        self.finalize_coded(id, state, error, None)
+    }
+
+    /// [`Controller::finalize`] carrying a machine-readable abort code for
+    /// platform-originated rejections.
+    fn finalize_coded(
+        &mut self,
+        id: TxnId,
+        state: TxnState,
+        error: Option<String>,
+        abort_code: Option<AbortCode>,
+    ) -> Result<(), PlatformError> {
         let now = self.clock.now_ms();
         let Some(rec) = self.records.get_mut(&id) else {
             return Ok(());
         };
         rec.state = state;
         rec.error = error;
+        rec.abort_code = abort_code;
         rec.finished_ms = Some(now);
         let rec_clone = rec.clone();
         self.persist_record(&rec_clone)?;
@@ -750,7 +913,19 @@ impl<'a> Controller<'a> {
             if covered {
                 let _ = self.client.delete(&layout::txn(id), None);
                 let _ = self.client.delete(&layout::signal(id), None);
-                self.records.remove(&id);
+                if let Some(rec) = self.records.remove(&id) {
+                    // The dedup window closes with the record: drop its
+                    // idempotency key and any aliases pointing at it.
+                    if let Some(key) = &rec.idempotency_key {
+                        if self.idemp.get(key) == Some(&id) {
+                            self.idemp.remove(key);
+                        }
+                    }
+                }
+                for alias in self.aliases_of.remove(&id).unwrap_or_default() {
+                    let _ = self.client.delete(&layout::txn(alias), None);
+                    self.alias_targets.remove(&alias);
+                }
                 self.persisted.remove(&id);
             }
         }

@@ -19,7 +19,7 @@
 //!
 //! The platform runs replicated controllers behind quorum leader election;
 //! failover recovers the leader's state from persistent storage without
-//! losing transactions ([`platform`]). Cross-layer drift caused by volatile
+//! losing transactions ([`Tropic`]). Cross-layer drift caused by volatile
 //! resources is reconciled with `repair` and `reload` ([`reconcile`]), and
 //! stalled transactions are TERMed/KILLed ([`msg::Signal`]).
 
@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod api;
 pub mod config;
 pub mod controller;
 pub mod error;
@@ -43,16 +44,22 @@ pub mod worker;
 mod platform;
 
 pub use actions::{ActionDef, ActionRegistry, UndoSpec};
+pub use api::{
+    AbortCode, AdminClient, ApiError, Priority, Subscription, TxnEvent, TxnHandle, TxnRequest,
+};
 pub use config::{PlatformConfig, ServiceDefinition};
 pub use controller::{Checkpoint, Controller, ControllerConfig};
 pub use error::{PlatformError, ProcError};
 pub use locks::{with_intentions, LockConflict, LockManager, LockMode, LockRequest};
 pub use logical::{rollback_logical, simulate, LogicalOutcome};
-pub use msg::{layout, AdminResult, InputMsg, PhyTask, Signal};
+pub use msg::{
+    decode_input, encode_input, layout, AdminResult, Envelope, InputMsg, PhyTask, Signal,
+    WireError, WIRE_VERSION,
+};
 pub use physical::{execute_physical, ExecMode, PhysicalOutcome};
 pub use platform::{Tropic, TropicClient};
 pub use proc::{FnProcedure, ProcRegistry, StoredProcedure, TxnContext};
 pub use reconcile::{RepairPlan, RepairRules};
 pub use stats::{Counters, Event, Metrics, TxnSample};
-pub use txn::{format_execution_log, LogRecord, TxnId, TxnOutcome, TxnRecord, TxnState};
+pub use txn::{format_execution_log, LogRecord, TxnAlias, TxnId, TxnOutcome, TxnRecord, TxnState};
 pub use worker::{run_worker, run_worker_with, WorkerOptions};

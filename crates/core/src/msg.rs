@@ -4,12 +4,98 @@
 //! (paper Figure 1): clients enqueue transaction submissions, workers
 //! enqueue execution results, and operators enqueue reconciliation requests.
 //! The controller feeds runnable transactions to the workers through `phyQ`.
+//!
+//! ## Wire versioning
+//!
+//! Every message enqueued by this build is wrapped in a versioned
+//! [`Envelope`] (`{"v": 1, "msg": ...}`). Decoding accepts both the
+//! envelope and the bare legacy `InputMsg` encoding that pre-versioning
+//! builds wrote, so submissions queued by an old client survive a rolling
+//! upgrade of the controllers. The policy is:
+//!
+//! * **Additive change** (new optional field, new variant): keep `v` as is.
+//!   New fields carry `#[serde(default)]`, and decoders ignore unknown
+//!   fields, so old and new builds interoperate in both directions.
+//! * **Breaking change** (field removed or re-interpreted): bump
+//!   [`WIRE_VERSION`]. A decoder rejects envelopes newer than itself with
+//!   [`WireError::UnsupportedVersion`] rather than mis-reading them.
 
 use serde::{Deserialize, Serialize};
 use tropic_model::{Path, Value};
 
+use crate::api::Priority;
 use crate::physical::PhysicalOutcome;
 use crate::txn::TxnId;
+
+/// Version stamped on every [`Envelope`] this build writes.
+pub const WIRE_VERSION: u32 = 1;
+
+/// The versioned wire frame wrapping every queued message.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Wire-format version (see the module docs for the bump policy).
+    pub v: u32,
+    /// The payload.
+    pub msg: InputMsg,
+}
+
+/// Errors decoding a queued message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The envelope version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The bytes parse as neither an [`Envelope`] nor a legacy `InputMsg`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::Malformed(e) => write!(f, "malformed message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message in the current wire format (enveloped, versioned).
+pub fn encode_input(msg: InputMsg) -> Vec<u8> {
+    serde_json::to_vec(&Envelope {
+        v: WIRE_VERSION,
+        msg,
+    })
+    .expect("serializable message")
+}
+
+/// The version field alone, probed before the payload is touched: a
+/// future-version envelope must be rejected as [`WireError::UnsupportedVersion`]
+/// even when its payload no longer parses as this build's `InputMsg`.
+#[derive(Deserialize)]
+struct VersionProbe {
+    v: u32,
+}
+
+/// Decodes a queued message, accepting the current enveloped format and
+/// the bare legacy encoding (compatibility decode for submissions queued
+/// before the upgrade).
+pub fn decode_input(bytes: &[u8]) -> Result<InputMsg, WireError> {
+    if let Ok(probe) = serde_json::from_slice::<VersionProbe>(bytes) {
+        if probe.v > WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(probe.v));
+        }
+        return serde_json::from_slice::<Envelope>(bytes)
+            .map(|env| env.msg)
+            .map_err(|e| WireError::Malformed(e.to_string()));
+    }
+    // No version field: fall back to the un-versioned v0 encoding.
+    serde_json::from_slice::<InputMsg>(bytes).map_err(|e| WireError::Malformed(e.to_string()))
+}
 
 /// Signals for unresponsive transactions (paper §4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +122,21 @@ pub enum InputMsg {
         args: Vec<Value>,
         /// Submission timestamp (platform clock, ms).
         submitted_ms: u64,
+        /// Scheduling lane (absent on legacy submissions → `Normal`).
+        #[serde(default)]
+        priority: Priority,
+        /// Admission deadline (platform clock, ms): the controller aborts
+        /// the submission instead of admitting it past this instant.
+        #[serde(default)]
+        deadline_ms: Option<u64>,
+        /// Client-chosen dedup key: a resubmission carrying a key already
+        /// admitted resolves to the original transaction instead of
+        /// running again.
+        #[serde(default)]
+        idempotency_key: Option<String>,
+        /// Free-form key/value labels carried into the durable record.
+        #[serde(default)]
+        labels: Vec<(String, String)>,
     },
     /// A worker finished a transaction's physical execution.
     Result {
@@ -94,6 +195,7 @@ pub struct AdminResult {
 pub mod layout {
     use tropic_model::Path;
 
+    use crate::api::Priority;
     use crate::txn::TxnId;
 
     /// Root of all TROPIC state.
@@ -101,9 +203,19 @@ pub mod layout {
         Path::parse("/tropic").expect("static path")
     }
 
-    /// The client/worker → controller queue.
+    /// The legacy client/worker → controller queue root. Un-versioned
+    /// clients still enqueue directly here; the priority lanes of
+    /// [`input_lane`] nest underneath it.
     pub fn input_q() -> Path {
         Path::parse("/tropic/inputQ").expect("static path")
+    }
+
+    /// One priority lane of the input queue (`inputQ/hi|norm|batch`).
+    /// The controller drains lanes strictly in priority order; the legacy
+    /// un-versioned root drains at normal priority (its messages decode
+    /// as `Priority::Normal`).
+    pub fn input_lane(priority: Priority) -> Path {
+        input_q().join(priority.lane())
     }
 
     /// The controller → workers queue.
@@ -158,23 +270,104 @@ pub mod layout {
 mod tests {
     use super::*;
 
-    #[test]
-    fn input_msg_roundtrip() {
-        let msg = InputMsg::Submit {
+    fn submit_msg() -> InputMsg {
+        InputMsg::Submit {
             id: 42,
             proc_name: "spawnVM".into(),
             args: vec![Value::from("vm1")],
             submitted_ms: 123,
-        };
-        let json = serde_json::to_vec(&msg).unwrap();
+            priority: Priority::High,
+            deadline_ms: Some(9_000),
+            idempotency_key: Some("req-1".into()),
+            labels: vec![("tenant".into(), "acme".into())],
+        }
+    }
+
+    #[test]
+    fn input_msg_roundtrip() {
+        let json = serde_json::to_vec(&submit_msg()).unwrap();
         let back: InputMsg = serde_json::from_slice(&json).unwrap();
         match back {
-            InputMsg::Submit { id, proc_name, .. } => {
+            InputMsg::Submit {
+                id,
+                proc_name,
+                priority,
+                deadline_ms,
+                idempotency_key,
+                labels,
+                ..
+            } => {
                 assert_eq!(id, 42);
                 assert_eq!(proc_name, "spawnVM");
+                assert_eq!(priority, Priority::High);
+                assert_eq!(deadline_ms, Some(9_000));
+                assert_eq!(idempotency_key.as_deref(), Some("req-1"));
+                assert_eq!(labels, vec![("tenant".to_string(), "acme".to_string())]);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let bytes = encode_input(submit_msg());
+        let back = decode_input(&bytes).unwrap();
+        assert!(matches!(back, InputMsg::Submit { id: 42, .. }));
+    }
+
+    #[test]
+    fn legacy_unversioned_submit_still_decodes() {
+        // Bytes exactly as a pre-versioning build enqueued them: no
+        // envelope, no priority/deadline/idempotency fields.
+        let legacy = br#"{"Submit":{"id":7,"proc_name":"spawnVM","args":[],"submitted_ms":50}}"#;
+        match decode_input(legacy).unwrap() {
+            InputMsg::Submit {
+                id,
+                priority,
+                deadline_ms,
+                idempotency_key,
+                labels,
+                ..
+            } => {
+                assert_eq!(id, 7);
+                assert_eq!(priority, Priority::Normal, "legacy defaults to Normal");
+                assert_eq!(deadline_ms, None);
+                assert_eq!(idempotency_key, None);
+                assert!(labels.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_wire_version_is_rejected() {
+        let msg = encode_input(submit_msg());
+        let bumped = String::from_utf8(msg)
+            .unwrap()
+            .replacen("\"v\":1", "\"v\":99", 1);
+        assert!(matches!(
+            decode_input(bumped.as_bytes()),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected_even_with_unparseable_payload() {
+        // A v2 build may carry a payload shape this build cannot parse;
+        // the version must still be the reported failure.
+        let bytes = br#"{"v":2,"msg":{"BrandNewVariant":{"x":1}}}"#;
+        assert!(matches!(
+            decode_input(bytes),
+            Err(WireError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(matches!(
+            decode_input(b"not json"),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -193,5 +386,25 @@ mod tests {
         assert_eq!(layout::txn(5).parent().unwrap(), layout::txns());
         assert!(layout::signal(3).to_string().contains("signals"));
         assert!(layout::admin(1).to_string().contains("admin"));
+    }
+
+    #[test]
+    fn lanes_nest_under_the_legacy_queue_root() {
+        for p in Priority::ALL {
+            let lane = layout::input_lane(p);
+            assert_eq!(lane.parent().unwrap(), layout::input_q());
+        }
+        assert_eq!(
+            layout::input_lane(Priority::High).to_string(),
+            "/tropic/inputQ/hi"
+        );
+        assert_eq!(
+            layout::input_lane(Priority::Normal).to_string(),
+            "/tropic/inputQ/norm"
+        );
+        assert_eq!(
+            layout::input_lane(Priority::Batch).to_string(),
+            "/tropic/inputQ/batch"
+        );
     }
 }

@@ -12,13 +12,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use tropic_coord::{CoordClient, CoordService, DistributedQueue, LeaderElection, WatchKind};
+use tropic_coord::{CoordClient, CoordService, DistributedQueue, LeaderElection, Op};
 use tropic_model::{real_clock, Path, SharedClock, Value};
 
+use crate::api::{AdminClient, ApiError, Priority, Subscription, TxnHandle, TxnRequest};
 use crate::config::{PlatformConfig, ServiceDefinition};
 use crate::controller::{Controller, ControllerConfig};
 use crate::error::PlatformError;
-use crate::msg::{layout, AdminResult, InputMsg, Signal};
+use crate::msg::{decode_input, encode_input, layout, AdminResult, InputMsg, Signal};
 use crate::physical::ExecMode;
 use crate::stats::Metrics;
 use crate::txn::{TxnId, TxnOutcome, TxnRecord};
@@ -137,6 +138,7 @@ impl Tropic {
                     kill_timeout_ms: config.kill_timeout_ms,
                     poll_ms: config.poll_ms,
                     group_commit: config.group_commit,
+                    input_batch: config.input_batch,
                 };
                 std::thread::Builder::new()
                     .name(name.clone())
@@ -191,11 +193,22 @@ impl Tropic {
         let client = self.coord.connect("tropic-client");
         let keepalive = client.keepalive();
         TropicClient {
+            coord: Arc::clone(&self.coord),
             client,
             _keepalive: keepalive,
             next_txn_id: Arc::clone(&self.next_txn_id),
             clock: Arc::clone(&self.clock),
         }
+    }
+
+    /// Opens the operator plane: `repair`, `reload`, and transaction
+    /// signals, on a dedicated coordination session.
+    pub fn admin(&self) -> AdminClient {
+        AdminClient::new(
+            self.coord.connect("tropic-admin"),
+            Arc::clone(&self.next_admin_id),
+            Arc::clone(&self.clock),
+        )
     }
 
     /// The shared metrics collector.
@@ -259,59 +272,34 @@ impl Tropic {
     }
 
     /// Sends a TERM or KILL signal to a transaction (paper §4).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Tropic::admin()` and `AdminClient::signal`"
+    )]
     pub fn signal(&self, id: TxnId, signal: Signal) -> Result<(), PlatformError> {
-        let client = self.coord.connect("tropic-signal");
-        let q = DistributedQueue::new(&client, layout::input_q())?;
-        q.enqueue(serde_json::to_vec(&InputMsg::Signal { id, signal }).expect("serializable"))?;
-        Ok(())
+        self.admin().signal(id, signal).map_err(PlatformError::from)
     }
 
     /// Runs `repair` over `scope` (paper §4), blocking up to `timeout`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Tropic::admin()` and `AdminClient::repair`"
+    )]
     pub fn repair(&self, scope: &Path, timeout: Duration) -> Result<AdminResult, PlatformError> {
-        self.admin_op(scope, timeout, true)
+        self.admin()
+            .repair(scope, timeout)
+            .map_err(PlatformError::from)
     }
 
     /// Runs `reload` over `scope` (paper §4), blocking up to `timeout`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Tropic::admin()` and `AdminClient::reload`"
+    )]
     pub fn reload(&self, scope: &Path, timeout: Duration) -> Result<AdminResult, PlatformError> {
-        self.admin_op(scope, timeout, false)
-    }
-
-    fn admin_op(
-        &self,
-        scope: &Path,
-        timeout: Duration,
-        repair: bool,
-    ) -> Result<AdminResult, PlatformError> {
-        let admin_id = self.next_admin_id.fetch_add(1, Ordering::SeqCst);
-        let client = self.coord.connect("tropic-admin");
-        let q = DistributedQueue::new(&client, layout::input_q())?;
-        let msg = if repair {
-            InputMsg::Repair {
-                scope: scope.clone(),
-                admin_id,
-            }
-        } else {
-            InputMsg::Reload {
-                scope: scope.clone(),
-                admin_id,
-            }
-        };
-        q.enqueue(serde_json::to_vec(&msg).expect("serializable"))?;
-        let result_path = layout::admin(admin_id);
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            if let Some(result) = client.get_json::<AdminResult>(&result_path)? {
-                return Ok(result);
-            }
-            if std::time::Instant::now() >= deadline {
-                return Err(PlatformError::Timeout);
-            }
-            let _ = client.watch(&result_path, WatchKind::Node);
-            if let Some(result) = client.get_json::<AdminResult>(&result_path)? {
-                return Ok(result);
-            }
-            let _ = client.wait_event(Duration::from_millis(25));
-        }
+        self.admin()
+            .reload(scope, timeout)
+            .map_err(PlatformError::from)
     }
 
     /// Stops every component and joins their threads.
@@ -342,9 +330,15 @@ impl Drop for Tropic {
 
 /// A client handle for submitting transactions and awaiting outcomes.
 ///
+/// The typed surface is [`TropicClient::submit_request`] (builder in,
+/// [`TxnHandle`] out), [`TropicClient::submit_batch`] (atomic multi-request
+/// enqueue), and [`TropicClient::subscribe`] (streaming lifecycle events).
+/// The stringly-typed `submit`/`wait` methods remain as deprecated shims.
+///
 /// The handle heartbeats its coordination session in the background (as a
 /// real ZooKeeper client would), so it survives arbitrary idle periods.
 pub struct TropicClient {
+    coord: Arc<CoordService>,
     client: CoordClient,
     _keepalive: tropic_coord::KeepAlive,
     next_txn_id: Arc<AtomicU64>,
@@ -352,54 +346,99 @@ pub struct TropicClient {
 }
 
 impl TropicClient {
-    /// Submits a stored-procedure call as a transaction (paper Figure 2,
-    /// step 1). Returns the transaction id immediately.
-    pub fn submit(&self, proc_name: &str, args: Vec<Value>) -> Result<TxnId, PlatformError> {
+    /// Submits a typed request (paper Figure 2, step 1): the request is
+    /// enveloped in the versioned wire format and enqueued on its
+    /// priority's input lane. Returns a [`TxnHandle`] immediately.
+    pub fn submit_request(&self, request: TxnRequest) -> Result<TxnHandle<'_>, ApiError> {
         let id = self.next_txn_id.fetch_add(1, Ordering::SeqCst);
-        let msg = InputMsg::Submit {
+        let priority = request.priority_lane();
+        let (msg, deadline_ms) = request.into_msg(id, self.clock.now_ms())?;
+        let q = DistributedQueue::new(&self.client, layout::input_lane(priority))?;
+        q.enqueue(encode_input(msg))?;
+        Ok(TxnHandle::new(
+            &self.client,
+            Arc::clone(&self.clock),
             id,
-            proc_name: proc_name.to_owned(),
-            args,
-            submitted_ms: self.clock.now_ms(),
-        };
-        let q = DistributedQueue::new(&self.client, layout::input_q())?;
-        q.enqueue(serde_json::to_vec(&msg).expect("serializable"))?;
-        Ok(id)
+            deadline_ms,
+        ))
+    }
+
+    /// Submits several requests as **one atomic enqueue**: a single
+    /// coordination-store multi lands every submission (each on its own
+    /// priority lane) or none of them. Returns one handle per request, in
+    /// order.
+    pub fn submit_batch(&self, requests: Vec<TxnRequest>) -> Result<Vec<TxnHandle<'_>>, ApiError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let now = self.clock.now_ms();
+        let mut ops: Vec<Op> = Vec::with_capacity(requests.len());
+        let mut handles: Vec<(TxnId, Option<u64>)> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let id = self.next_txn_id.fetch_add(1, Ordering::SeqCst);
+            let priority = request.priority_lane();
+            // Binding the lane queue also creates its base znode, so the
+            // batched sequential creates below cannot dangle.
+            let q = DistributedQueue::new(&self.client, layout::input_lane(priority))?;
+            let (msg, deadline_ms) = request.into_msg(id, now)?;
+            ops.push(q.enqueue_op(encode_input(msg)));
+            handles.push((id, deadline_ms));
+        }
+        self.client.multi(ops)?;
+        Ok(handles
+            .into_iter()
+            .map(|(id, deadline_ms)| {
+                TxnHandle::new(&self.client, Arc::clone(&self.clock), id, deadline_ms)
+            })
+            .collect())
+    }
+
+    /// Opens a streaming subscription to transaction lifecycle events, on
+    /// its own coordination session.
+    pub fn subscribe(&self) -> Subscription {
+        Subscription::start(Arc::clone(&self.coord), Arc::clone(&self.clock))
+    }
+
+    /// Re-attaches a handle to an already-submitted transaction id — e.g.
+    /// one submitted before a crash and resumed by [`Tropic::recover`], or
+    /// an id shared across processes.
+    pub fn handle(&self, id: TxnId) -> TxnHandle<'_> {
+        TxnHandle::new(&self.client, Arc::clone(&self.clock), id, None)
+    }
+
+    /// Submits a stored-procedure call as a transaction. Returns the
+    /// transaction id immediately.
+    #[deprecated(since = "0.2.0", note = "use `submit_request` with a `TxnRequest`")]
+    pub fn submit(&self, proc_name: &str, args: Vec<Value>) -> Result<TxnId, PlatformError> {
+        let handle = self
+            .submit_request(TxnRequest::new(proc_name).args(args))
+            .map_err(PlatformError::from)?;
+        Ok(handle.id())
     }
 
     /// Waits for a transaction to reach a terminal state.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `TxnHandle` returned by `submit_request`"
+    )]
     pub fn wait(&self, id: TxnId, timeout: Duration) -> Result<TxnOutcome, PlatformError> {
-        let path = layout::txn(id);
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            if let Some(rec) = self.client.get_json::<TxnRecord>(&path)? {
-                if rec.state.is_final() {
-                    let latency_ms = rec.latency_ms().unwrap_or(0);
-                    return Ok(TxnOutcome {
-                        id,
-                        state: rec.state,
-                        error: rec.error,
-                        latency_ms,
-                    });
-                }
-            }
-            if std::time::Instant::now() >= deadline {
-                return Err(PlatformError::Timeout);
-            }
-            let _ = self.client.watch(&path, WatchKind::Node);
-            let _ = self.client.wait_event(Duration::from_millis(25));
-        }
+        TxnHandle::new(&self.client, Arc::clone(&self.clock), id, None)
+            .wait_timeout(timeout)
+            .map_err(PlatformError::from)
     }
 
     /// Submits and waits in one call.
+    #[deprecated(since = "0.2.0", note = "use `submit_request` and `TxnHandle::wait`")]
     pub fn submit_and_wait(
         &self,
         proc_name: &str,
         args: Vec<Value>,
         timeout: Duration,
     ) -> Result<TxnOutcome, PlatformError> {
-        let id = self.submit(proc_name, args)?;
-        self.wait(id, timeout)
+        self.submit_request(TxnRequest::new(proc_name).args(args))
+            .map_err(PlatformError::from)?
+            .wait_timeout(timeout)
+            .map_err(PlatformError::from)
     }
 
     /// Reads the full durable record of a transaction, if still retained.
@@ -411,6 +450,11 @@ impl TropicClient {
     pub fn ping(&self) -> Result<(), PlatformError> {
         self.client.ping()?;
         Ok(())
+    }
+
+    /// The platform clock (for computing absolute deadlines).
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
     }
 }
 
@@ -439,11 +483,19 @@ fn next_free_ids(coord: &CoordService) -> (u64, u64) {
             }
         }
     }
-    if let Ok(q) = DistributedQueue::new(&client, layout::input_q()) {
+    let mut bases: Vec<Path> = Priority::ALL
+        .iter()
+        .map(|p| layout::input_lane(*p))
+        .collect();
+    bases.push(layout::input_q());
+    for base in bases {
+        let Ok(q) = DistributedQueue::new(&client, base) else {
+            continue;
+        };
         if let Ok(names) = q.item_names() {
             for name in names {
                 if let Ok(Some(data)) = q.get(&name) {
-                    match serde_json::from_slice::<InputMsg>(&data) {
+                    match decode_input(&data) {
                         Ok(InputMsg::Submit { id, .. })
                             if id < crate::controller::ADMIN_TXN_BASE =>
                         {

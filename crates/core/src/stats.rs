@@ -55,6 +55,23 @@ pub struct Counters {
     pub repairs: u64,
     /// Reload operations run.
     pub reloads: u64,
+    /// Submissions admitted through the high-priority lane.
+    #[serde(default)]
+    pub admitted_high: u64,
+    /// Submissions admitted through the normal lane (including legacy
+    /// un-versioned submissions).
+    #[serde(default)]
+    pub admitted_normal: u64,
+    /// Submissions admitted through the batch lane.
+    #[serde(default)]
+    pub admitted_batch: u64,
+    /// Submissions aborted at admission because their deadline had passed.
+    #[serde(default)]
+    pub deadline_rejects: u64,
+    /// Submissions deduplicated onto an earlier transaction by
+    /// idempotency key.
+    #[serde(default)]
+    pub idempotent_hits: u64,
 }
 
 /// A leadership or recovery event, timestamped on the platform clock.
@@ -133,6 +150,26 @@ impl Metrics {
     /// Records a reload run.
     pub fn record_reload(&self) {
         self.inner.lock().counters.reloads += 1;
+    }
+
+    /// Records a submission admitted through `priority`'s lane.
+    pub fn record_admission(&self, priority: crate::api::Priority) {
+        let mut inner = self.inner.lock();
+        match priority {
+            crate::api::Priority::High => inner.counters.admitted_high += 1,
+            crate::api::Priority::Normal => inner.counters.admitted_normal += 1,
+            crate::api::Priority::Batch => inner.counters.admitted_batch += 1,
+        }
+    }
+
+    /// Records a submission aborted at admission for an expired deadline.
+    pub fn record_deadline_reject(&self) {
+        self.inner.lock().counters.deadline_rejects += 1;
+    }
+
+    /// Records an idempotency-key dedup hit.
+    pub fn record_idempotent_hit(&self) {
+        self.inner.lock().counters.idempotent_hits += 1;
     }
 
     /// Appends a leadership/recovery event.

@@ -13,7 +13,8 @@ use std::time::Duration;
 
 use tropic_coord::{CoordService, DistributedQueue};
 
-use crate::msg::{layout, InputMsg, PhyTask, Signal};
+use crate::api::Priority;
+use crate::msg::{encode_input, layout, InputMsg, PhyTask, Signal};
 use crate::physical::{execute_physical, ExecMode};
 use crate::txn::TxnRecord;
 
@@ -70,7 +71,10 @@ pub fn run_worker_with(
     let Ok(phy_q) = DistributedQueue::new(&client, layout::phy_q()) else {
         return;
     };
-    let Ok(input_q) = DistributedQueue::new(&client, layout::input_q()) else {
+    // Results ride the high-priority input lane: finalizing a running
+    // transaction releases its locks, so results must never queue behind a
+    // backlog of new batch submissions.
+    let Ok(input_q) = DistributedQueue::new(&client, layout::input_lane(Priority::High)) else {
         return;
     };
     let mut idle_wait = opts.idle_backoff_start;
@@ -97,8 +101,18 @@ pub fn run_worker_with(
                 continue;
             }
             Err(_) => {
-                // Quorum loss or session trouble; back off briefly.
-                std::thread::sleep(Duration::from_millis(20));
+                // Quorum loss or session trouble: wait behind the same
+                // children watch as the idle path instead of bare-sleeping,
+                // so recovery wakes the worker the instant an item lands.
+                // When even the watch cannot be armed (store unreachable),
+                // fall back to a stop-aware pause at the current backoff.
+                if phy_q.await_items(idle_wait, stop).is_err() {
+                    let deadline = std::time::Instant::now() + idle_wait;
+                    while std::time::Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                idle_wait = (idle_wait * 2).min(opts.idle_backoff_max);
                 continue;
             }
         };
@@ -122,7 +136,7 @@ pub fn run_worker_with(
             // (quorum loss), the transaction stalls and the controller's
             // TERM/KILL timeouts take over — the paper's answer to
             // unresponsive transactions.
-            let _ = input_q.enqueue(serde_json::to_vec(&msg).expect("serializable"));
+            let _ = input_q.enqueue(encode_input(msg));
         }
     }
 }
@@ -169,13 +183,13 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let handle = spawn_worker(Arc::clone(&coord), ExecMode::LogicalOnly, Arc::clone(&stop));
 
-        // The result lands in inputQ.
-        let input_q = DistributedQueue::new(&client, layout::input_q()).unwrap();
+        // The result lands in the high-priority input lane.
+        let input_q = DistributedQueue::new(&client, layout::input_lane(Priority::High)).unwrap();
         let got = input_q.dequeue_timeout(Duration::from_secs(5)).unwrap();
         stop.store(true, Ordering::SeqCst);
         handle.join().unwrap();
         let (_, data) = got.expect("worker result");
-        let msg: InputMsg = serde_json::from_slice(&data).unwrap();
+        let msg: InputMsg = crate::msg::decode_input(&data).unwrap();
         match msg {
             InputMsg::Result { id, outcome } => {
                 assert_eq!(id, 5);
@@ -202,14 +216,14 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let handle = spawn_worker(Arc::clone(&coord), ExecMode::LogicalOnly, Arc::clone(&stop));
 
-        let input_q = DistributedQueue::new(&client, layout::input_q()).unwrap();
+        let input_q = DistributedQueue::new(&client, layout::input_lane(Priority::High)).unwrap();
         let mut seen = Vec::new();
         while seen.len() < 3 {
             let (_, data) = input_q
                 .dequeue_timeout(Duration::from_secs(5))
                 .unwrap()
                 .expect("worker result");
-            match serde_json::from_slice::<InputMsg>(&data).unwrap() {
+            match crate::msg::decode_input(&data).unwrap() {
                 InputMsg::Result { id, outcome } => {
                     assert_eq!(outcome, crate::physical::PhysicalOutcome::Committed);
                     seen.push(id);
@@ -238,7 +252,7 @@ mod tests {
         handle.join().unwrap();
         // The corrupt item was consumed and produced no result.
         assert!(phy_q.is_empty().unwrap());
-        let input_q = DistributedQueue::new(&client, layout::input_q()).unwrap();
+        let input_q = DistributedQueue::new(&client, layout::input_lane(Priority::High)).unwrap();
         assert!(input_q.is_empty().unwrap());
     }
 }

@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use tropic_core::{Tropic, TxnId};
+use tropic_core::{Tropic, TxnId, TxnRequest};
 use tropic_model::Value;
 use tropic_tcloud::TopologySpec;
 
@@ -81,7 +81,9 @@ pub fn replay_ec2(
             let name = format!("vm{vm_counter}");
             vm_counter += 1;
             if client
-                .submit("spawnVM", spec.spawn_args(&name, host, vm_mem_mb))
+                .submit_request(
+                    TxnRequest::new("spawnVM").args(spec.spawn_args(&name, host, vm_mem_mb)),
+                )
                 .is_ok()
             {
                 submitted += 1;
@@ -109,34 +111,22 @@ pub fn replay_hosting(
     let start = Instant::now();
     let mut submitted = 0usize;
     for op in ops {
-        let result = match op {
+        let request = match op {
             HostingOp::Spawn { vm, host } => {
-                client.submit("spawnVM", spec.spawn_args(vm, *host, vm_mem_mb))
+                TxnRequest::new("spawnVM").args(spec.spawn_args(vm, *host, vm_mem_mb))
             }
-            HostingOp::Start { vm, host } => client.submit(
-                "startVM",
-                vec![
-                    Value::from(TopologySpec::host_path(*host).to_string()),
-                    Value::from(vm.as_str()),
-                ],
-            ),
-            HostingOp::Stop { vm, host } => client.submit(
-                "stopVM",
-                vec![
-                    Value::from(TopologySpec::host_path(*host).to_string()),
-                    Value::from(vm.as_str()),
-                ],
-            ),
-            HostingOp::Migrate { vm, src, dst } => client.submit(
-                "migrateVM",
-                vec![
-                    Value::from(TopologySpec::host_path(*src).to_string()),
-                    Value::from(TopologySpec::host_path(*dst).to_string()),
-                    Value::from(vm.as_str()),
-                ],
-            ),
+            HostingOp::Start { vm, host } => TxnRequest::new("startVM")
+                .arg(TopologySpec::host_path(*host).to_string())
+                .arg(vm.as_str()),
+            HostingOp::Stop { vm, host } => TxnRequest::new("stopVM")
+                .arg(TopologySpec::host_path(*host).to_string())
+                .arg(vm.as_str()),
+            HostingOp::Migrate { vm, src, dst } => TxnRequest::new("migrateVM")
+                .arg(TopologySpec::host_path(*src).to_string())
+                .arg(TopologySpec::host_path(*dst).to_string())
+                .arg(vm.as_str()),
         };
-        if result.is_ok() {
+        if client.submit_request(request).is_ok() {
             submitted += 1;
         }
         if !pace.is_zero() {
@@ -147,7 +137,8 @@ pub fn replay_hosting(
     report(platform, submitted, before, start)
 }
 
-/// Submits a list of raw `(proc, args)` calls without pacing and drains.
+/// Submits a list of raw `(proc, args)` calls as one atomic batch enqueue
+/// (a single coordination-store multi) and drains.
 pub fn replay_calls(
     platform: &Tropic,
     calls: &[(String, Vec<Value>)],
@@ -156,12 +147,14 @@ pub fn replay_calls(
     let client = platform.client();
     let before = platform.metrics().sample_count();
     let start = Instant::now();
-    let mut ids = Vec::with_capacity(calls.len());
-    for (proc_name, args) in calls {
-        if let Ok(id) = client.submit(proc_name, args.clone()) {
-            ids.push(id);
-        }
-    }
+    let requests: Vec<TxnRequest> = calls
+        .iter()
+        .map(|(proc_name, args)| TxnRequest::new(proc_name).args(args.clone()))
+        .collect();
+    let ids: Vec<TxnId> = match client.submit_batch(requests) {
+        Ok(handles) => handles.iter().map(|h| h.id()).collect(),
+        Err(_) => Vec::new(),
+    };
     wait_for_drain(platform, before + ids.len(), drain_timeout);
     (report(platform, ids.len(), before, start), ids)
 }

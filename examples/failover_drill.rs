@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use tropic::coord::CoordConfig;
-use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic::core::{ExecMode, PlatformConfig, Priority, Tropic, TxnRequest, TxnState};
 use tropic::tcloud::TopologySpec;
 
 fn main() {
@@ -38,11 +38,13 @@ fn main() {
     println!("phase 1: normal operation under the elected leader");
     for i in 0..4 {
         let o = client
-            .submit_and_wait(
-                "spawnVM",
-                spec.spawn_args(&format!("pre{i}"), i, 2_048),
-                Duration::from_secs(30),
-            )
+            .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args(
+                &format!("pre{i}"),
+                i,
+                2_048,
+            )))
+            .expect("submit")
+            .wait_timeout(Duration::from_secs(30))
             .expect("txn");
         println!("  pre{i}: {:?} ({} ms)", o.state, o.latency_ms);
         assert_eq!(o.state, TxnState::Committed);
@@ -56,21 +58,23 @@ fn main() {
     let crash_at = platform.clock().now_ms();
     platform.crash_leader();
 
-    println!("phase 3: submitting 6 transactions during the outage");
-    let ids: Vec<_> = (0..6)
+    println!("phase 3: submitting 6 high-priority transactions during the outage");
+    let handles: Vec<_> = (0..6)
         .map(|i| {
             client
-                .submit(
-                    "spawnVM",
-                    spec.spawn_args(&format!("post{i}"), i % 8, 2_048),
+                .submit_request(
+                    TxnRequest::new("spawnVM")
+                        .args(spec.spawn_args(&format!("post{i}"), i % 8, 2_048))
+                        .priority(Priority::High)
+                        .label("phase", "outage"),
                 )
                 .expect("queue durable")
         })
         .collect();
 
-    for (i, id) in ids.iter().enumerate() {
-        let o = client
-            .wait(*id, Duration::from_secs(60))
+    for (i, handle) in handles.iter().enumerate() {
+        let o = handle
+            .wait_timeout(Duration::from_secs(60))
             .expect("completion");
         println!("  post{i}: {:?} ({} ms)", o.state, o.latency_ms);
         assert_eq!(o.state, TxnState::Committed, "no transaction may be lost");

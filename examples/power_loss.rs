@@ -15,7 +15,7 @@
 use std::time::Duration;
 
 use tropic::coord::{CoordConfig, DurabilityOptions, SyncPolicy, TempDir};
-use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic::core::{ExecMode, PlatformConfig, Priority, Tropic, TxnRequest, TxnState};
 use tropic::tcloud::TopologySpec;
 
 fn main() {
@@ -54,11 +54,13 @@ fn main() {
     let mut acknowledged = Vec::new();
     for i in 0..16 {
         let outcome = client
-            .submit_and_wait(
-                "spawnVM",
-                spec.spawn_args(&format!("vm{i}"), i % 8, 1_024),
-                Duration::from_secs(30),
+            .submit_request(
+                TxnRequest::new("spawnVM")
+                    .args(spec.spawn_args(&format!("vm{i}"), i % 8, 1_024))
+                    .idempotency_key(format!("power-loss-vm{i}")),
             )
+            .expect("submit")
+            .wait_timeout(Duration::from_secs(30))
             .expect("txn");
         assert_eq!(outcome.state, TxnState::Committed);
         acknowledged.push(outcome.id);
@@ -69,10 +71,14 @@ fn main() {
     platform.crash_controller(0);
     let mut in_flight = Vec::new();
     for i in 16..22 {
-        let id = client
-            .submit("spawnVM", spec.spawn_args(&format!("vm{i}"), i % 8, 1_024))
+        let handle = client
+            .submit_request(
+                TxnRequest::new("spawnVM")
+                    .args(spec.spawn_args(&format!("vm{i}"), i % 8, 1_024))
+                    .priority(Priority::Batch),
+            )
             .expect("submit");
-        in_flight.push(id);
+        in_flight.push(handle.id());
     }
     println!(
         "  {} transactions acknowledged, {} in flight",
@@ -105,7 +111,11 @@ fn main() {
     assert_eq!(lost, 0, "an acknowledged transaction was lost");
 
     for id in &in_flight {
-        let outcome = client.wait(*id, Duration::from_secs(30)).expect("txn");
+        // Handles re-attach by id across the recovery boundary.
+        let outcome = client
+            .handle(*id)
+            .wait_timeout(Duration::from_secs(30))
+            .expect("txn");
         println!("  in-flight txn {id} resumed -> {:?}", outcome.state);
         assert_eq!(outcome.state, TxnState::Committed);
     }

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use tropic::core::{ExecMode, PlatformConfig, Signal, Tropic, TxnState};
+use tropic::core::{ExecMode, PlatformConfig, Signal, Tropic, TxnRequest, TxnState};
 use tropic::devices::LatencyModel;
 use tropic::model::Path;
 use tropic::tcloud::TopologySpec;
@@ -31,15 +31,19 @@ fn main() {
         ExecMode::Physical(devices.registry.clone()),
     );
     let client = platform.client();
+    // The operator plane (repair/reload/signal) is a separate client.
+    let admin = platform.admin();
 
     println!("provisioning three VMs...");
     for i in 0..3 {
         let o = client
-            .submit_and_wait(
-                "spawnVM",
-                spec.spawn_args(&format!("app{i}"), 0, 2_048),
-                Duration::from_secs(60),
-            )
+            .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args(
+                &format!("app{i}"),
+                0,
+                2_048,
+            )))
+            .expect("submit")
+            .wait_timeout(Duration::from_secs(60))
             .expect("txn");
         assert_eq!(o.state, TxnState::Committed);
     }
@@ -48,7 +52,7 @@ fn main() {
     println!("\nscenario 1: host0 reboots out of band (all VMs power off)");
     let affected = devices.computes[0].oob_power_cycle();
     println!("  physically stopped: {affected:?}");
-    let result = platform
+    let result = admin
         .repair(
             &Path::parse("/vmRoot/host0").unwrap(),
             Duration::from_secs(30),
@@ -67,7 +71,7 @@ fn main() {
     println!("\nscenario 2: an operator creates a rogue VM and deletes an image via the CLI");
     devices.computes[1].oob_create_vm("rogue", "app0-img", 512, true);
     devices.storages[0].oob_lose_image("app1-img");
-    let result = platform
+    let result = admin
         .repair(&Path::root(), Duration::from_secs(30))
         .expect("repair");
     println!(
@@ -83,7 +87,7 @@ fn main() {
     // --- Scenario 3: adopting external state with reload. ---
     println!("\nscenario 3: adopting an externally-provisioned VM via reload");
     devices.computes[2].oob_create_vm("legacy", "legacy-img", 1_024, true);
-    let result = platform
+    let result = admin
         .reload(
             &Path::parse("/vmRoot/host2").unwrap(),
             Duration::from_secs(30),
@@ -91,22 +95,22 @@ fn main() {
         .expect("reload");
     println!("  reload: {}", result.message);
     let o = client
-        .submit_and_wait(
-            "stopVM",
-            vec!["/vmRoot/host2".into(), "legacy".into()],
-            Duration::from_secs(30),
-        )
+        .submit_request(TxnRequest::new("stopVM").arg("/vmRoot/host2").arg("legacy"))
+        .expect("submit")
+        .wait_timeout(Duration::from_secs(30))
         .expect("txn");
     println!("  TROPIC now manages it: stopVM legacy -> {:?}", o.state);
 
     // --- Scenario 4: a stalled transaction, killed and reconciled. ---
     println!("\nscenario 4: KILL a transaction stuck in a slow device call");
-    let id = client
-        .submit("spawnVM", spec.spawn_args("stuck", 1, 2_048))
+    let stuck = client
+        .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args("stuck", 1, 2_048)))
         .expect("submit");
     std::thread::sleep(Duration::from_millis(300));
-    platform.signal(id, Signal::Kill).expect("signal");
-    let o = client.wait(id, Duration::from_secs(30)).expect("outcome");
+    admin.signal(stuck.id(), Signal::Kill).expect("signal");
+    let o = stuck
+        .wait_timeout(Duration::from_secs(30))
+        .expect("outcome");
     println!(
         "  stuck txn -> {:?} ({})",
         o.state,
@@ -114,7 +118,7 @@ fn main() {
     );
     // The abandoned physical prefix (cloned/exported image) is drift now.
     std::thread::sleep(Duration::from_secs(3));
-    let result = platform
+    let result = admin
         .repair(&Path::root(), Duration::from_secs(30))
         .expect("repair");
     println!(
@@ -122,11 +126,9 @@ fn main() {
         result.message, result.actions
     );
     let o = client
-        .submit_and_wait(
-            "spawnVM",
-            spec.spawn_args("fresh", 1, 2_048),
-            Duration::from_secs(60),
-        )
+        .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args("fresh", 1, 2_048)))
+        .expect("submit")
+        .wait_timeout(Duration::from_secs(60))
         .expect("txn");
     println!("  host1 healthy again: spawn fresh -> {:?}", o.state);
 

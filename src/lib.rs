@@ -15,7 +15,7 @@
 //!
 //! ```
 //! use std::time::Duration;
-//! use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnState};
+//! use tropic::core::{ExecMode, PlatformConfig, Priority, Tropic, TxnRequest, TxnState};
 //! use tropic::tcloud::TopologySpec;
 //!
 //! let spec = TopologySpec { compute_hosts: 2, storage_hosts: 1, routers: 0, ..Default::default() };
@@ -27,7 +27,15 @@
 //! );
 //! let client = platform.client();
 //! let outcome = client
-//!     .submit_and_wait("spawnVM", spec.spawn_args("web1", 0, 2048), Duration::from_secs(30))
+//!     .submit_request(
+//!         TxnRequest::new("spawnVM")
+//!             .args(spec.spawn_args("web1", 0, 2048))
+//!             .priority(Priority::High)
+//!             .deadline(Duration::from_secs(30))
+//!             .idempotency_key("spawn-web1"),
+//!     )
+//!     .unwrap()
+//!     .wait()
 //!     .unwrap();
 //! assert_eq!(outcome.state, TxnState::Committed);
 //! platform.shutdown();

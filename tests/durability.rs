@@ -1,6 +1,12 @@
 //! Durability-subsystem integration tests: full-datacenter power loss and
 //! recovery from disk, bounded replica logs, torn-tail WAL handling, and
 //! suffix-vs-snapshot follower resync.
+//!
+//! This suite deliberately drives the *deprecated* stringly-typed client
+//! shims (`submit`/`wait`/`submit_and_wait`, `Tropic::repair`/`reload`/
+//! `signal`): they must stay green until the shims are removed. New tests
+//! should use the typed API (`TxnRequest`/`TxnHandle`/`AdminClient`).
+#![allow(deprecated)]
 
 use std::time::Duration;
 

@@ -520,3 +520,140 @@ fn corrupted_wal_tail_recovers_to_last_valid_record() {
         .0
         .unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Wire-format compatibility (the versioned client envelope).
+// ---------------------------------------------------------------------
+
+use tropic::core::{decode_input, encode_input, InputMsg, Priority};
+
+fn priority_strategy() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::High),
+        Just(Priority::Normal),
+        Just(Priority::Batch),
+    ]
+}
+
+fn label_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(("[a-z]{1,8}", "[a-z0-9]{0,8}"), 0..4)
+}
+
+/// A JSON string safe to splice into handcrafted legacy wire bytes.
+fn wire_token() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,11}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Enveloped messages round-trip bit-exactly through encode/decode for
+    /// every combination of the new submission fields.
+    #[test]
+    fn envelope_roundtrips_submissions(
+        id in 1u64..1_000_000,
+        proc_name in wire_token(),
+        submitted_ms in 0u64..u64::MAX / 2,
+        priority in priority_strategy(),
+        deadline_ms in prop::option::of(0u64..u64::MAX / 2),
+        idempotency_key in prop::option::of(wire_token()),
+        labels in label_strategy(),
+    ) {
+        let bytes = encode_input(InputMsg::Submit {
+            id,
+            proc_name: proc_name.clone(),
+            args: vec![Value::from("a"), Value::Int(7)],
+            submitted_ms,
+            priority,
+            deadline_ms,
+            idempotency_key: idempotency_key.clone(),
+            labels: labels.clone(),
+        });
+        match decode_input(&bytes).expect("decodable") {
+            InputMsg::Submit {
+                id: id2,
+                proc_name: p2,
+                args: a2,
+                submitted_ms: s2,
+                priority: pr2,
+                deadline_ms: d2,
+                idempotency_key: k2,
+                labels: l2,
+            } => {
+                prop_assert_eq!(id2, id);
+                prop_assert_eq!(p2, proc_name);
+                prop_assert_eq!(a2, vec![Value::from("a"), Value::Int(7)]);
+                prop_assert_eq!(s2, submitted_ms);
+                prop_assert_eq!(pr2, priority);
+                prop_assert_eq!(d2, deadline_ms);
+                prop_assert_eq!(k2, idempotency_key);
+                prop_assert_eq!(l2, labels);
+            }
+            other => prop_assert!(false, "unexpected variant {:?}", other),
+        }
+    }
+
+    /// Bytes exactly as pre-versioning builds wrote them — bare externally
+    /// tagged `InputMsg`, no envelope, none of the new fields — must still
+    /// decode into v1 requests with the documented defaults, so queued
+    /// submissions survive a rolling upgrade.
+    #[test]
+    fn legacy_unversioned_bytes_decode_as_v1(
+        id in 1u64..1_000_000,
+        proc_name in wire_token(),
+        submitted_ms in 0u64..u64::MAX / 2,
+        arg in wire_token(),
+    ) {
+        let legacy = format!(
+            r#"{{"Submit":{{"id":{id},"proc_name":"{proc_name}","args":[{{"Str":"{arg}"}}],"submitted_ms":{submitted_ms}}}}}"#
+        );
+        match decode_input(legacy.as_bytes()).expect("legacy decodable") {
+            InputMsg::Submit {
+                id: id2,
+                proc_name: p2,
+                args,
+                submitted_ms: s2,
+                priority,
+                deadline_ms,
+                idempotency_key,
+                labels,
+            } => {
+                prop_assert_eq!(id2, id);
+                prop_assert_eq!(p2, proc_name);
+                prop_assert_eq!(args, vec![Value::from(arg)]);
+                prop_assert_eq!(s2, submitted_ms);
+                prop_assert_eq!(priority, Priority::Normal);
+                prop_assert_eq!(deadline_ms, None);
+                prop_assert_eq!(idempotency_key, None);
+                prop_assert_eq!(labels, Vec::new());
+            }
+            other => prop_assert!(false, "unexpected variant {:?}", other),
+        }
+
+        // And the re-encoded (enveloped) form decodes identically: an
+        // upgraded controller may re-queue what it read.
+        let reencoded = encode_input(decode_input(legacy.as_bytes()).unwrap());
+        match decode_input(&reencoded).expect("re-encodable") {
+            InputMsg::Submit { id: id3, .. } => prop_assert_eq!(id3, id),
+            other => prop_assert!(false, "unexpected variant {:?}", other),
+        }
+    }
+
+    /// Signals and admin ops round-trip through the envelope too.
+    #[test]
+    fn envelope_roundtrips_control_messages(admin_id in 1u64..1_000) {
+        use tropic::core::Signal;
+        for msg in [
+            InputMsg::Signal { id: admin_id, signal: Signal::Term },
+            InputMsg::Repair { scope: Path::root(), admin_id },
+            InputMsg::Reload { scope: Path::root(), admin_id },
+        ] {
+            let bytes = encode_input(msg.clone());
+            let back = decode_input(&bytes).expect("decodable");
+            prop_assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&msg).unwrap()
+            );
+        }
+    }
+}

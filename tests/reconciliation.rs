@@ -2,6 +2,12 @@
 //! drift is detected and healed by `repair` (logical → physical) or
 //! absorbed by `reload` (physical → logical); stalled transactions respond
 //! to TERM and KILL signals.
+//!
+//! This suite deliberately drives the *deprecated* stringly-typed client
+//! shims (`submit`/`wait`/`submit_and_wait`, `Tropic::repair`/`reload`/
+//! `signal`): they must stay green until the shims are removed. New tests
+//! should use the typed API (`TxnRequest`/`TxnHandle`/`AdminClient`).
+#![allow(deprecated)]
 
 use std::time::Duration;
 

@@ -1,10 +1,11 @@
 //! Smoke test for the umbrella crate: the `tropic::{model, coord, devices,
-//! core, tcloud, workload}` re-export surface must compile and a one-txn
-//! `submit_and_wait` round trip must commit.
+//! core, tcloud, workload}` re-export surface must compile, a one-txn
+//! typed-API round trip must commit, and the deprecated legacy shim must
+//! still work.
 
 use std::time::Duration;
 
-use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnState};
+use tropic::core::{ExecMode, PlatformConfig, Tropic, TxnRequest, TxnState};
 use tropic::tcloud::TopologySpec;
 
 /// Touch one load-bearing type from every re-exported crate so a drifted
@@ -19,11 +20,15 @@ fn reexport_surface_compiles() {
     let _platform_cfg: tropic::core::PlatformConfig = PlatformConfig::default();
     let _spec: tropic::tcloud::TopologySpec = TopologySpec::default();
     let _trace: tropic::workload::Ec2Trace = tropic::workload::Ec2TraceSpec::default().generate();
+    let _req: tropic::core::TxnRequest = TxnRequest::new("spawnVM");
+    let _prio: tropic::core::Priority = tropic::core::Priority::default();
+    let _err: Option<tropic::core::ApiError> = None;
 }
 
-/// One spawnVM transaction through a real (simulated-device) platform.
+/// One spawnVM transaction through a real (simulated-device) platform,
+/// via the typed request/handle API.
 #[test]
-fn one_txn_submit_and_wait_round_trip() {
+fn one_txn_typed_round_trip() {
     let spec = TopologySpec {
         compute_hosts: 2,
         storage_hosts: 1,
@@ -41,17 +46,45 @@ fn one_txn_submit_and_wait_round_trip() {
     );
     let client = platform.client();
     let outcome = client
-        .submit_and_wait(
-            "spawnVM",
-            spec.spawn_args("web1", 0, 2_048),
-            Duration::from_secs(30),
-        )
-        .expect("platform reachable");
+        .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args("web1", 0, 2_048)))
+        .expect("platform reachable")
+        .wait_timeout(Duration::from_secs(30))
+        .expect("outcome");
     assert_eq!(
         outcome.state,
         TxnState::Committed,
         "error: {:?}",
         outcome.error
     );
+    platform.shutdown();
+}
+
+/// The deprecated stringly-typed shim still works end to end.
+#[test]
+#[allow(deprecated)]
+fn legacy_submit_and_wait_shim_still_commits() {
+    let spec = TopologySpec {
+        compute_hosts: 2,
+        storage_hosts: 1,
+        routers: 0,
+        ..Default::default()
+    };
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 1,
+            ..Default::default()
+        },
+        spec.service(),
+        ExecMode::LogicalOnly,
+    );
+    let client = platform.client();
+    let outcome = client
+        .submit_and_wait(
+            "spawnVM",
+            spec.spawn_args("web1", 0, 2_048),
+            Duration::from_secs(30),
+        )
+        .expect("platform reachable");
+    assert_eq!(outcome.state, TxnState::Committed);
     platform.shutdown();
 }

@@ -290,6 +290,36 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Option`s of values from `inner`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Builds an [`OptionStrategy`] producing `None` about a quarter of
+    /// the time (proptest's default weighting) and `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 pub mod test_runner {
     //! Test-case driving machinery used by the [`proptest!`](crate::proptest) macro.
 
@@ -348,9 +378,10 @@ pub mod prelude {
 }
 
 pub mod prop {
-    //! The `prop::` namespace (`prop::collection::vec`).
+    //! The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
 
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// Asserts a condition inside a [`proptest!`] body.
