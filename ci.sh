@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 # CI entry point: everything a PR must keep green, in dependency order.
 #
-# Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc]
-#   --no-clippy       skip the clippy pass (e.g. when the component is absent)
-#   --doc             run only the documentation gate: `cargo doc --no-deps`
-#                     with RUSTDOCFLAGS="-D warnings" (broken intra-doc
-#                     links, bad code blocks, etc. fail the build)
-#   --bench-snapshot  run the commit_path, coord_store, and recovery benches
-#                     in quick mode, write BENCH_commit_path.json and
-#                     BENCH_recovery.json (the perf-trajectory data points),
-#                     and gate on the group-commit speedup
-#                     (TROPIC_BENCH_MIN_SPEEDUP, default 1.5) and the
-#                     snapshot-recovery speedup over full-log replay
-#                     (TROPIC_BENCH_MIN_RECOVERY_SPEEDUP, default 2.0)
+# Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc | --rpc-smoke | --test-bench-parser]
+#   --no-clippy          skip the clippy pass (e.g. when the component is absent)
+#   --doc                run only the documentation gate: `cargo doc --no-deps`
+#                        with RUSTDOCFLAGS="-D warnings" (broken intra-doc
+#                        links, bad code blocks, etc. fail the build)
+#   --rpc-smoke          spawn the remote_quickstart server and client as two
+#                        separate OS processes on a loopback socket, run a
+#                        transaction + a subscription to its terminal event,
+#                        and assert both processes shut down cleanly
+#   --test-bench-parser  self-test the bench-JSON parser against reordered
+#                        keys and malformed lines
+#   --bench-snapshot     run the commit_path, coord_store, recovery, and
+#                        rpc_roundtrip benches in quick mode, write
+#                        BENCH_commit_path.json, BENCH_recovery.json, and
+#                        BENCH_rpc.json (the perf-trajectory data points),
+#                        and gate on the group-commit speedup
+#                        (TROPIC_BENCH_MIN_SPEEDUP, default 1.5), the
+#                        snapshot-recovery speedup over full-log replay
+#                        (TROPIC_BENCH_MIN_RECOVERY_SPEEDUP, default 2.0),
+#                        and the RPC socket overhead over the in-process
+#                        client (TROPIC_BENCH_MAX_RPC_OVERHEAD, default 3.0)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,32 +31,91 @@ run() {
     "$@"
 }
 
+# Parses bench-snapshot JSON lines ({"name":...,"mean_ns":...,"iterations":...})
+# into TSV `name<TAB>mean_ns<TAB>iterations` rows. Each key is extracted by
+# its own regex, so the parse is independent of key order inside the object,
+# and any line missing a key fails the build loudly instead of being
+# silently skipped.
+parse_bench_lines() {
+    awk '
+        /^[[:space:]]*$/ { next }
+        {
+            name = ""; mean = ""; iters = ""
+            if (match($0, /"name"[[:space:]]*:[[:space:]]*"[^"]*"/)) {
+                kv = substr($0, RSTART, RLENGTH)
+                sub(/^"name"[[:space:]]*:[[:space:]]*"/, "", kv)
+                sub(/"$/, "", kv)
+                name = kv
+            }
+            if (match($0, /"mean_ns"[[:space:]]*:[[:space:]]*[0-9]+/)) {
+                kv = substr($0, RSTART, RLENGTH)
+                sub(/^[^:]*:[[:space:]]*/, "", kv)
+                mean = kv
+            }
+            if (match($0, /"iterations"[[:space:]]*:[[:space:]]*[0-9]+/)) {
+                kv = substr($0, RSTART, RLENGTH)
+                sub(/^[^:]*:[[:space:]]*/, "", kv)
+                iters = kv
+            }
+            if (name == "" || mean == "" || iters == "") {
+                printf "malformed bench JSON on line %d (need name, mean_ns, iterations): %s\n", NR, $0 > "/dev/stderr"
+                exit 1
+            }
+            printf "%s\t%s\t%s\n", name, mean, iters
+        }
+    '
+}
+
+test_bench_parser() {
+    echo
+    echo "=== bench-parser self-test ==="
+    local out
+    # Canonical key order parses.
+    out="$(printf '{"name":"g/a","mean_ns":120,"iterations":7}\n' | parse_bench_lines)"
+    [[ "$out" == "$(printf 'g/a\t120\t7')" ]] || {
+        echo "parser failed on canonical key order: $out" >&2
+        exit 1
+    }
+    # Reordered keys parse identically: the parse must not assume the
+    # name/mean_ns/iterations order the writer happens to emit.
+    out="$(printf '{"iterations":7,"mean_ns":120,"name":"g/a"}\n' | parse_bench_lines)"
+    [[ "$out" == "$(printf 'g/a\t120\t7')" ]] || {
+        echo "parser failed on reordered keys: $out" >&2
+        exit 1
+    }
+    # Whitespace around separators is tolerated.
+    out="$(printf '{ "mean_ns" : 99 , "name" : "g/b" , "iterations" : 3 }\n' | parse_bench_lines)"
+    [[ "$out" == "$(printf 'g/b\t99\t3')" ]] || {
+        echo "parser failed on spaced JSON: $out" >&2
+        exit 1
+    }
+    # A line missing a required key must fail loudly, not be skipped.
+    if printf '{"name":"g/c","iterations":3}\n' | parse_bench_lines >/dev/null 2>&1; then
+        echo "parser silently accepted a line without mean_ns" >&2
+        exit 1
+    fi
+    # Garbage must fail loudly too.
+    if printf 'not json at all\n' | parse_bench_lines >/dev/null 2>&1; then
+        echo "parser silently accepted a non-JSON line" >&2
+        exit 1
+    fi
+    echo "bench-parser self-test passed."
+}
+
 bench_snapshot() {
     local out="BENCH_commit_path.json"
-    local raw
+    local raw tsv
     raw="$(mktemp)"
-    trap 'rm -f "$raw"' RETURN
+    tsv="$(mktemp)"
+    trap 'rm -f "$raw" "$tsv"' RETURN
 
     TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench commit_path
     TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench coord_store
 
+    parse_bench_lines < "$raw" > "$tsv"
     local min_speedup="${TROPIC_BENCH_MIN_SPEEDUP:-1.5}"
-    awk -v min_speedup="$min_speedup" '
-        # Input lines: {"name":"group/bench","mean_ns":N,"iterations":I}
-        {
-            line = $0
-            gsub(/[{}"]/, "", line)
-            split(line, kv, ",")
-            name = ""; mean = 0; iters = 0
-            for (i in kv) {
-                split(kv[i], pair, ":")
-                if (pair[1] == "name") name = pair[2]
-                if (pair[1] == "mean_ns") mean = pair[2] + 0
-                if (pair[1] == "iterations") iters = pair[2] + 0
-            }
-            if (name == "") next
-            names[++n] = name; means[name] = mean; iter_count[name] = iters
-        }
+    awk -F'\t' -v min_speedup="$min_speedup" '
+        { names[++n] = $1; means[$1] = $2; iter_count[$1] = $3 }
         END {
             before = means["commit_path/per_record"]
             after = means["commit_path/group_commit"]
@@ -75,7 +143,7 @@ bench_snapshot() {
                 exit 2
             }
         }
-    ' "$raw" > "$out" || { cat "$out"; exit 1; }
+    ' "$tsv" > "$out" || { cat "$out"; exit 1; }
 
     echo
     echo "=== $out ==="
@@ -86,29 +154,17 @@ bench_snapshot() {
 
 bench_recovery_snapshot() {
     local out="BENCH_recovery.json"
-    local raw
+    local raw tsv
     raw="$(mktemp)"
-    trap 'rm -f "$raw"' RETURN
+    tsv="$(mktemp)"
+    trap 'rm -f "$raw" "$tsv"' RETURN
 
     TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench recovery
 
+    parse_bench_lines < "$raw" > "$tsv"
     local min_speedup="${TROPIC_BENCH_MIN_RECOVERY_SPEEDUP:-2.0}"
-    awk -v min_speedup="$min_speedup" '
-        # Input lines: {"name":"group/bench","mean_ns":N,"iterations":I}
-        {
-            line = $0
-            gsub(/[{}"]/, "", line)
-            split(line, kv, ",")
-            name = ""; mean = 0; iters = 0
-            for (i in kv) {
-                split(kv[i], pair, ":")
-                if (pair[1] == "name") name = pair[2]
-                if (pair[1] == "mean_ns") mean = pair[2] + 0
-                if (pair[1] == "iterations") iters = pair[2] + 0
-            }
-            if (name == "") next
-            names[++n] = name; means[name] = mean; iter_count[name] = iters
-        }
+    awk -F'\t' -v min_speedup="$min_speedup" '
+        { names[++n] = $1; means[$1] = $2; iter_count[$1] = $3 }
         END {
             full = means["recovery/full_log_replay"]
             snap = means["recovery/snapshot_suffix"]
@@ -136,13 +192,132 @@ bench_recovery_snapshot() {
                 exit 2
             }
         }
-    ' "$raw" > "$out" || { cat "$out"; exit 1; }
+    ' "$tsv" > "$out" || { cat "$out"; exit 1; }
 
     echo
     echo "=== $out ==="
     cat "$out"
     echo
     echo "Recovery perf gate passed."
+}
+
+bench_rpc_snapshot() {
+    local out="BENCH_rpc.json"
+    local raw tsv
+    raw="$(mktemp)"
+    tsv="$(mktemp)"
+    trap 'rm -f "$raw" "$tsv"' RETURN
+
+    TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench rpc_roundtrip
+
+    parse_bench_lines < "$raw" > "$tsv"
+    local max_overhead="${TROPIC_BENCH_MAX_RPC_OVERHEAD:-3.0}"
+    # batch_socket runs 32 transactions per iteration (a 16-spawn batch
+    # plus a 16-destroy batch); report it per transaction.
+    awk -F'\t' -v max_overhead="$max_overhead" -v batch_txns=32 '
+        { names[++n] = $1; means[$1] = $2; iter_count[$1] = $3 }
+        END {
+            inproc = means["rpc_roundtrip/in_process"]
+            socket = means["rpc_roundtrip/over_socket"]
+            batch = means["rpc_roundtrip/batch_socket"]
+            if (inproc == 0 || socket == 0 || batch == 0) {
+                print "bench snapshot missing rpc_roundtrip results" > "/dev/stderr"
+                exit 1
+            }
+            overhead = socket / inproc
+            batch_per_txn = batch / batch_txns
+            printf "{\n  \"bench\": \"rpc_roundtrip\",\n  \"mode\": \"quick\",\n"
+            printf "  \"results\": [\n"
+            for (i = 1; i <= n; i++) {
+                name = names[i]
+                printf "    {\"name\": \"%s\", \"mean_ns\": %d, \"iterations\": %d}%s\n", \
+                    name, means[name], iter_count[name], (i < n ? "," : "")
+            }
+            printf "  ],\n"
+            printf "  \"rpc_overhead\": {\n"
+            printf "    \"in_process_mean_ns\": %d,\n", inproc
+            printf "    \"over_socket_mean_ns\": %d,\n", socket
+            printf "    \"batch_socket_per_txn_ns\": %d,\n", batch_per_txn
+            printf "    \"batch_socket_txn_per_sec\": %.2f,\n", 1e9 / batch_per_txn
+            printf "    \"overhead\": %.3f,\n", overhead
+            printf "    \"max_overhead\": %.2f\n", max_overhead
+            printf "  }\n}\n"
+            if (overhead > max_overhead) {
+                printf "perf gate FAILED: RPC socket overhead %.3fx > %.2fx\n", overhead, max_overhead > "/dev/stderr"
+                exit 2
+            }
+        }
+    ' "$tsv" > "$out" || { cat "$out"; exit 1; }
+
+    echo
+    echo "=== $out ==="
+    cat "$out"
+    echo
+    echo "RPC perf gate passed."
+}
+
+# Two OS processes, one loopback socket: the server publishes its ephemeral
+# port through a file, the client drives a transaction and a subscription
+# through it, then requests shutdown over the wire. Both must exit 0.
+rpc_smoke() {
+    echo
+    echo "=== rpc smoke (two processes, one loopback socket) ==="
+    run cargo build --example remote_quickstart
+
+    local bin="target/debug/examples/remote_quickstart"
+    local addr_file
+    addr_file="$(mktemp -u)"
+    local server_pid=""
+    cleanup_rpc_smoke() {
+        if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+            kill "$server_pid" 2>/dev/null || true
+            wait "$server_pid" 2>/dev/null || true
+        fi
+        [[ -n "${addr_file:-}" ]] && rm -f "$addr_file"
+        return 0
+    }
+    # RETURN fires on the normal path; EXIT fires on the `exit 1` failure
+    # paths, which bypass RETURN traps — without it a failed smoke leaks
+    # the background server process (a whole platform) and its addr file.
+    trap cleanup_rpc_smoke RETURN EXIT
+
+    "$bin" serve "$addr_file" &
+    server_pid=$!
+
+    # Wait for the server to publish its bound address (atomic rename).
+    local waited=0
+    while [[ ! -s "$addr_file" ]]; do
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "rpc smoke FAILED: server process died before publishing its address" >&2
+            exit 1
+        fi
+        sleep 0.1
+        waited=$((waited + 1))
+        if (( waited > 600 )); then
+            echo "rpc smoke FAILED: server did not publish an address within 60s" >&2
+            exit 1
+        fi
+    done
+    local addr
+    addr="$(cat "$addr_file")"
+    echo "rpc smoke: server (pid $server_pid) on $addr"
+
+    if ! "$bin" client "$addr"; then
+        echo "rpc smoke FAILED: client process exited non-zero" >&2
+        exit 1
+    fi
+
+    # The client requested shutdown over the wire; the server must exit 0
+    # on its own — that *is* the clean-shutdown assertion.
+    local server_rc=0
+    wait "$server_pid" || server_rc=$?
+    server_pid=""
+    if (( server_rc != 0 )); then
+        echo "rpc smoke FAILED: server exited $server_rc" >&2
+        exit 1
+    fi
+    echo
+    echo "RPC smoke passed."
 }
 
 doc_gate() {
@@ -154,6 +329,7 @@ doc_gate() {
 if [[ "${1:-}" == "--bench-snapshot" ]]; then
     bench_snapshot
     bench_recovery_snapshot
+    bench_rpc_snapshot
     exit 0
 fi
 
@@ -162,10 +338,22 @@ if [[ "${1:-}" == "--doc" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--rpc-smoke" ]]; then
+    rpc_smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "--test-bench-parser" ]]; then
+    test_bench_parser
+    exit 0
+fi
+
 run cargo build --release
 run cargo test -q
 run cargo bench --no-run
 run cargo build --examples
+test_bench_parser
+rpc_smoke
 doc_gate
 run cargo fmt --check
 

@@ -1,0 +1,154 @@
+//! Criterion macro-bench: the submit→outcome round trip through the
+//! network RPC frontend versus the linked-in client.
+//!
+//! Three variants quantify what the socket costs on the commit path:
+//!
+//! * `in_process`    — `TropicClient` submit + wait (the PR 4 baseline).
+//! * `over_socket`   — the same transaction through `RemoteClient`: two
+//!   framed envelopes per call (submit, then a server-side blocking wait).
+//! * `batch_socket`  — a 16-request `submit_batch` over the socket, waits
+//!   amortized; per-*transaction* time, the throughput shape.
+//!
+//! `ci.sh --bench-snapshot` records the means in `BENCH_rpc.json` and
+//! gates `over_socket / in_process` under
+//! `TROPIC_BENCH_MAX_RPC_OVERHEAD` (default 3×): the frontend may tax the
+//! round trip, but never by more than the configured multiple.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tropic_core::{ExecMode, PlatformConfig, RemoteClient, Tropic, TxnRequest, TxnState};
+use tropic_tcloud::TopologySpec;
+
+const BATCH: usize = 16;
+
+fn spec() -> TopologySpec {
+    TopologySpec {
+        compute_hosts: 64,
+        storage_hosts: 16,
+        routers: 0,
+        storage_capacity_mb: 1_000_000_000,
+        host_mem_mb: 1_000_000,
+        ..Default::default()
+    }
+}
+
+fn platform() -> Tropic {
+    Tropic::start(
+        PlatformConfig {
+            controllers: 1,
+            workers: 1,
+            checkpoint_every: 0,
+            ..Default::default()
+        },
+        spec().service(),
+        ExecMode::LogicalOnly,
+    )
+}
+
+fn spawn_destroy_roundtrip(
+    submit_wait: &mut dyn FnMut(TxnRequest) -> TxnState,
+    spec: &TopologySpec,
+    i: u64,
+) {
+    let host = (i % 64) as usize;
+    let vm = format!("rpc{i}");
+    let state = submit_wait(TxnRequest::new("spawnVM").args(spec.spawn_args(&vm, host, 2_048)));
+    assert_eq!(state, TxnState::Committed);
+    let state = submit_wait(
+        TxnRequest::new("destroyVM")
+            .arg(TopologySpec::host_path(host).to_string())
+            .arg(vm.as_str())
+            .arg(TopologySpec::storage_path(host / 4).to_string()),
+    );
+    assert_eq!(state, TxnState::Committed);
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = spec();
+    let platform = platform();
+    let server = platform.serve_rpc().expect("bind loopback");
+    let local = platform.client();
+    let remote = RemoteClient::connect(server.addr()).expect("connect");
+
+    let mut group = c.benchmark_group("rpc_roundtrip");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(8));
+
+    // Baseline first, so a snapshot always has the "before" number.
+    let mut i = 0u64;
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            let mut submit_wait = |req: TxnRequest| {
+                local
+                    .submit_request(req)
+                    .unwrap()
+                    .wait_timeout(Duration::from_secs(60))
+                    .unwrap()
+                    .state
+            };
+            spawn_destroy_roundtrip(&mut submit_wait, &spec, i);
+            i += 1;
+        })
+    });
+
+    let mut j = 1_000_000u64;
+    group.bench_function("over_socket", |b| {
+        b.iter(|| {
+            let mut submit_wait = |req: TxnRequest| {
+                remote
+                    .submit_request(req)
+                    .unwrap()
+                    .wait_timeout(Duration::from_secs(60))
+                    .unwrap()
+                    .state
+            };
+            spawn_destroy_roundtrip(&mut submit_wait, &spec, j);
+            j += 1;
+        })
+    });
+
+    // Batched submit: one atomic enqueue for BATCH spawns, then waits.
+    // Reported per transaction so the number is comparable above.
+    let mut k = 2_000_000u64;
+    group.bench_function("batch_socket", |b| {
+        b.iter(|| {
+            let reqs: Vec<TxnRequest> = (0..BATCH as u64)
+                .map(|n| {
+                    let host = ((k + n) % 64) as usize;
+                    TxnRequest::new("spawnVM").args(spec.spawn_args(
+                        &format!("rpcb{}", k + n),
+                        host,
+                        2_048,
+                    ))
+                })
+                .collect();
+            let handles = remote.submit_batch(reqs).unwrap();
+            let destroys: Vec<TxnRequest> = (0..BATCH as u64)
+                .map(|n| {
+                    let host = ((k + n) % 64) as usize;
+                    TxnRequest::new("destroyVM")
+                        .arg(TopologySpec::host_path(host).to_string())
+                        .arg(format!("rpcb{}", k + n))
+                        .arg(TopologySpec::storage_path(host / 4).to_string())
+                })
+                .collect();
+            for h in &handles {
+                let o = h.wait_timeout(Duration::from_secs(60)).unwrap();
+                assert_eq!(o.state, TxnState::Committed, "{:?}", o.error);
+            }
+            let handles = remote.submit_batch(destroys).unwrap();
+            for h in &handles {
+                let o = h.wait_timeout(Duration::from_secs(60)).unwrap();
+                assert_eq!(o.state, TxnState::Committed, "{:?}", o.error);
+            }
+            k += BATCH as u64;
+        })
+    });
+
+    group.finish();
+    server.stop();
+    platform.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

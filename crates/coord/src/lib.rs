@@ -55,4 +55,5 @@ pub use service::{
 };
 pub use store::{Op, OpResult, Stat, StoreEvent, ZnodeStore};
 pub use testutil::TempDir;
+pub use wal::frame::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 pub use wal::{Durability, DurabilityOptions, DurabilityStats, SyncPolicy};

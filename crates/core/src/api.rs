@@ -107,7 +107,12 @@ pub enum AbortCode {
 /// retryable errors describe transient platform conditions (resubmitting
 /// the same request may succeed); permanent errors describe requests that
 /// can never succeed as written.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The taxonomy is serializable so the RPC frontend ([`crate::rpc`]) can
+/// carry it across the wire verbatim — a remote caller sees the *same*
+/// variants, and the same [`ApiError::retryable`] partition, as an
+/// in-process one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ApiError {
     /// The request's deadline expired before the controller admitted it.
     /// Permanent: the deadline is part of the request.
@@ -138,6 +143,18 @@ pub enum ApiError {
     ShuttingDown,
     /// An administrative operation failed. Permanent.
     Admin(String),
+    /// The peer spoke a wire version newer than this build understands.
+    /// Permanent until one side is upgraded.
+    UnsupportedWireVersion {
+        /// The version the peer sent.
+        version: u32,
+    },
+    /// A transport-level failure reaching (or talking to) the RPC server:
+    /// connection refused, reset, or an unsynchronized frame stream.
+    /// Retryable — but the failed call may still have taken effect
+    /// server-side (e.g. a submit whose reply was lost), so resubmitting a
+    /// `Submit` is only duplicate-safe with an idempotency key.
+    Transport(String),
 }
 
 impl ApiError {
@@ -145,7 +162,10 @@ impl ApiError {
     pub fn retryable(&self) -> bool {
         matches!(
             self,
-            ApiError::WaitTimeout { .. } | ApiError::Coordination(_) | ApiError::ShuttingDown
+            ApiError::WaitTimeout { .. }
+                | ApiError::Coordination(_)
+                | ApiError::ShuttingDown
+                | ApiError::Transport(_)
         )
     }
 }
@@ -165,6 +185,14 @@ impl std::fmt::Display for ApiError {
             ApiError::Coordination(s) => write!(f, "coordination error: {s}"),
             ApiError::ShuttingDown => write!(f, "platform is shutting down"),
             ApiError::Admin(s) => write!(f, "admin operation failed: {s}"),
+            ApiError::UnsupportedWireVersion { version } => {
+                write!(
+                    f,
+                    "unsupported wire version {version} (this build speaks {})",
+                    crate::msg::WIRE_VERSION
+                )
+            }
+            ApiError::Transport(s) => write!(f, "transport error: {s}"),
         }
     }
 }
@@ -174,6 +202,17 @@ impl std::error::Error for ApiError {}
 impl From<CoordError> for ApiError {
     fn from(e: CoordError) -> Self {
         ApiError::Coordination(e.to_string())
+    }
+}
+
+impl From<crate::msg::WireError> for ApiError {
+    fn from(e: crate::msg::WireError) -> Self {
+        match e {
+            crate::msg::WireError::UnsupportedVersion(version) => {
+                ApiError::UnsupportedWireVersion { version }
+            }
+            crate::msg::WireError::Malformed(s) => ApiError::InvalidRequest(s),
+        }
     }
 }
 
@@ -244,7 +283,12 @@ impl TxnOutcome {
 ///     .idempotency_key("spawn-web-1")
 ///     .label("tenant", "acme");
 /// ```
-#[derive(Clone, Debug)]
+///
+/// Requests are serializable so [`crate::rpc::RemoteClient`] can ship the
+/// *same* builder output over a socket; a relative [`TxnRequest::deadline`]
+/// is resolved against the platform clock when the server admits the
+/// request (so it spans queueing, not the network hop).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TxnRequest {
     proc_name: String,
     args: Vec<Value>,
@@ -732,6 +776,16 @@ impl AdminClient {
         timeout: Duration,
         repair: bool,
     ) -> Result<AdminResult, ApiError> {
+        let admin_id = self.enqueue_admin(scope, repair)?;
+        self.wait_admin(admin_id, timeout)
+    }
+
+    /// Enqueues one repair/reload request and returns its admin id, without
+    /// waiting for the result. Split from [`AdminClient::wait_admin`] so a
+    /// caller that must interleave the wait with its own cancellation
+    /// checks (the RPC frontend's stop flag) can slice it without
+    /// re-enqueueing the operation.
+    pub(crate) fn enqueue_admin(&self, scope: &Path, repair: bool) -> Result<u64, ApiError> {
         let admin_id = self.next_admin_id.fetch_add(1, Ordering::SeqCst);
         let msg = if repair {
             InputMsg::Repair {
@@ -746,6 +800,16 @@ impl AdminClient {
         };
         let q = DistributedQueue::new(&self.client, layout::input_lane(Priority::High))?;
         q.enqueue(encode_input(msg))?;
+        Ok(admin_id)
+    }
+
+    /// Blocks up to `timeout` for the result of an already-enqueued admin
+    /// operation. Safe to call repeatedly for the same id.
+    pub(crate) fn wait_admin(
+        &self,
+        admin_id: u64,
+        timeout: Duration,
+    ) -> Result<AdminResult, ApiError> {
         let result_path = layout::admin(admin_id);
         let deadline = std::time::Instant::now() + timeout;
         // Watch-then-wait: arm one watch on the result node, block on the
@@ -800,11 +864,44 @@ mod tests {
         assert!(ApiError::WaitTimeout { id: 1 }.retryable());
         assert!(ApiError::Coordination("quorum lost".into()).retryable());
         assert!(ApiError::ShuttingDown.retryable());
+        assert!(ApiError::Transport("connection reset".into()).retryable());
         assert!(!ApiError::DeadlineExceeded { id: 1 }.retryable());
         assert!(!ApiError::UnknownProcedure("x".into()).retryable());
         assert!(!ApiError::InvalidRequest("empty".into()).retryable());
         assert!(!ApiError::Killed { id: 1 }.retryable());
         assert!(!ApiError::Admin("failed".into()).retryable());
+        assert!(!ApiError::UnsupportedWireVersion { version: 9 }.retryable());
+    }
+
+    #[test]
+    fn api_error_serde_preserves_retryable_partition() {
+        let errors = [
+            ApiError::DeadlineExceeded { id: 1 },
+            ApiError::UnknownProcedure("x".into()),
+            ApiError::InvalidRequest("bad".into()),
+            ApiError::Killed { id: 2 },
+            ApiError::WaitTimeout { id: 3 },
+            ApiError::Coordination("lost".into()),
+            ApiError::ShuttingDown,
+            ApiError::Admin("failed".into()),
+            ApiError::UnsupportedWireVersion { version: 9 },
+            ApiError::Transport("reset".into()),
+        ];
+        for err in errors {
+            let bytes = serde_json::to_vec(&err).unwrap();
+            let back: ApiError = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(back, err);
+            assert_eq!(back.retryable(), err.retryable());
+        }
+    }
+
+    #[test]
+    fn wire_error_lifts_typed() {
+        let e: ApiError = crate::msg::WireError::UnsupportedVersion(7).into();
+        assert_eq!(e, ApiError::UnsupportedWireVersion { version: 7 });
+        assert!(!e.retryable());
+        let e: ApiError = crate::msg::WireError::Malformed("junk".into()).into();
+        assert!(matches!(e, ApiError::InvalidRequest(_)));
     }
 
     #[test]
@@ -860,6 +957,26 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn txn_request_serde_roundtrip() {
+        let req = TxnRequest::new("spawnVM")
+            .arg("vm1")
+            .priority(Priority::High)
+            .deadline(Duration::from_millis(750))
+            .idempotency_key("k")
+            .label("tenant", "acme");
+        let bytes = serde_json::to_vec(&req).unwrap();
+        let back: TxnRequest = serde_json::from_slice(&bytes).unwrap();
+        let (msg_a, dl_a) = req.into_msg(5, 1_000).unwrap();
+        let (msg_b, dl_b) = back.into_msg(5, 1_000).unwrap();
+        assert_eq!(dl_a, dl_b);
+        assert_eq!(
+            serde_json::to_vec(&msg_a).unwrap(),
+            serde_json::to_vec(&msg_b).unwrap(),
+            "wire roundtrip lowers to the identical queue message"
+        );
     }
 
     #[test]

@@ -27,6 +27,30 @@ pub struct ServiceDefinition {
     pub initial_tree: Tree,
 }
 
+/// Configuration of the network RPC frontend ([`crate::rpc`]).
+#[derive(Clone, Debug)]
+pub struct RpcConfig {
+    /// Socket address the listener binds; port `0` picks an ephemeral port
+    /// (read the real one from [`crate::rpc::RpcServer::addr`]).
+    pub addr: String,
+    /// Hard cap on one frame's payload bytes. A larger length prefix is
+    /// rejected typed at the frame boundary and the connection closed.
+    pub max_frame_bytes: u32,
+    /// Granularity at which the accept loop and idle connections re-check
+    /// the shutdown flag.
+    pub poll_ms: u64,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            addr: "127.0.0.1:0".into(),
+            max_frame_bytes: tropic_coord::DEFAULT_MAX_FRAME_BYTES,
+            poll_ms: 20,
+        }
+    }
+}
+
 /// Platform-wide configuration.
 #[derive(Clone, Debug)]
 pub struct PlatformConfig {
@@ -58,6 +82,8 @@ pub struct PlatformConfig {
     /// round, spread across the priority lanes in strict `hi` → `norm` →
     /// `batch` → legacy order.
     pub input_batch: usize,
+    /// Network RPC frontend settings, used by [`crate::Tropic::serve_rpc`].
+    pub rpc: RpcConfig,
 }
 
 impl Default for PlatformConfig {
@@ -73,6 +99,7 @@ impl Default for PlatformConfig {
             poll_ms: 25,
             group_commit: true,
             input_batch: 64,
+            rpc: RpcConfig::default(),
         }
     }
 }
@@ -110,6 +137,14 @@ mod tests {
             cfg.coord.data_dir.as_deref(),
             Some(std::path::Path::new("/tmp/tropic-data"))
         );
+    }
+
+    #[test]
+    fn rpc_defaults_bind_loopback_ephemeral() {
+        let cfg = RpcConfig::default();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert!(cfg.max_frame_bytes >= 1 << 20);
+        assert!(cfg.poll_ms > 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod msg;
 pub mod physical;
 pub mod proc;
 pub mod reconcile;
+pub mod rpc;
 pub mod stats;
 pub mod txn;
 pub mod worker;
@@ -47,7 +48,7 @@ pub use actions::{ActionDef, ActionRegistry, UndoSpec};
 pub use api::{
     AbortCode, AdminClient, ApiError, Priority, Subscription, TxnEvent, TxnHandle, TxnRequest,
 };
-pub use config::{PlatformConfig, ServiceDefinition};
+pub use config::{PlatformConfig, RpcConfig, ServiceDefinition};
 pub use controller::{Checkpoint, Controller, ControllerConfig};
 pub use error::{PlatformError, ProcError};
 pub use locks::{with_intentions, LockConflict, LockManager, LockMode, LockRequest};
@@ -60,6 +61,7 @@ pub use physical::{execute_physical, ExecMode, PhysicalOutcome};
 pub use platform::{Tropic, TropicClient};
 pub use proc::{FnProcedure, ProcRegistry, StoredProcedure, TxnContext};
 pub use reconcile::{RepairPlan, RepairRules};
+pub use rpc::{RemoteAdmin, RemoteClient, RemoteHandle, RemoteSubscription, RpcServer};
 pub use stats::{Counters, Event, Metrics, TxnSample};
 pub use txn::{format_execution_log, LogRecord, TxnAlias, TxnId, TxnOutcome, TxnRecord, TxnState};
 pub use worker::{run_worker, run_worker_with, WorkerOptions};

@@ -81,6 +81,16 @@ struct VersionProbe {
     v: u32,
 }
 
+/// Probes the `v` field of an encoded envelope without touching the
+/// payload. `None` when the bytes carry no version field at all (legacy
+/// encoding or garbage). The RPC frame boundary uses this so a
+/// future-version envelope is rejected typed, never misparsed.
+pub(crate) fn wire_version_of(bytes: &[u8]) -> Option<u32> {
+    serde_json::from_slice::<VersionProbe>(bytes)
+        .ok()
+        .map(|p| p.v)
+}
+
 /// Decodes a queued message, accepting the current enveloped format and
 /// the bare legacy encoding (compatibility decode for submissions queued
 /// before the upgrade).

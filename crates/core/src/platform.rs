@@ -16,7 +16,7 @@ use tropic_coord::{CoordClient, CoordService, DistributedQueue, LeaderElection, 
 use tropic_model::{real_clock, Path, SharedClock, Value};
 
 use crate::api::{AdminClient, ApiError, Priority, Subscription, TxnHandle, TxnRequest};
-use crate::config::{PlatformConfig, ServiceDefinition};
+use crate::config::{PlatformConfig, RpcConfig, ServiceDefinition};
 use crate::controller::{Controller, ControllerConfig};
 use crate::error::PlatformError;
 use crate::msg::{decode_input, encode_input, layout, AdminResult, InputMsg, Signal};
@@ -43,9 +43,52 @@ pub struct Tropic {
     metrics: Metrics,
     next_txn_id: Arc<AtomicU64>,
     next_admin_id: Arc<AtomicU64>,
+    rpc_cfg: RpcConfig,
     controllers: Vec<ControllerHandle>,
     workers: Vec<WorkerHandle>,
     stop: Arc<AtomicBool>,
+}
+
+/// The shared handles every client-producing surface needs. The RPC
+/// frontend clones one per connection so each remote session gets the same
+/// construction path (own coordination session, shared id counters) as a
+/// linked-in client.
+#[derive(Clone)]
+pub(crate) struct PlatformShared {
+    pub(crate) coord: Arc<CoordService>,
+    pub(crate) clock: SharedClock,
+    pub(crate) metrics: Metrics,
+    pub(crate) next_txn_id: Arc<AtomicU64>,
+    pub(crate) next_admin_id: Arc<AtomicU64>,
+}
+
+impl PlatformShared {
+    /// Opens a client handle on a fresh coordination session named `name`.
+    pub(crate) fn client(&self, name: &str) -> TropicClient {
+        let client = self.coord.connect(name);
+        let keepalive = client.keepalive();
+        TropicClient {
+            coord: Arc::clone(&self.coord),
+            client,
+            _keepalive: keepalive,
+            next_txn_id: Arc::clone(&self.next_txn_id),
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// Opens the operator plane on a fresh coordination session.
+    pub(crate) fn admin(&self, name: &str) -> AdminClient {
+        AdminClient::new(
+            self.coord.connect(name),
+            Arc::clone(&self.next_admin_id),
+            Arc::clone(&self.clock),
+        )
+    }
+
+    /// Starts a lifecycle-event subscription on a dedicated session.
+    pub(crate) fn subscription(&self) -> Subscription {
+        Subscription::start(Arc::clone(&self.coord), Arc::clone(&self.clock))
+    }
 }
 
 impl Tropic {
@@ -182,33 +225,40 @@ impl Tropic {
             metrics,
             next_txn_id: Arc::new(AtomicU64::new(first_txn_id)),
             next_admin_id: Arc::new(AtomicU64::new(first_admin_id)),
+            rpc_cfg: config.rpc,
             controllers,
             workers,
             stop,
         }
     }
 
+    pub(crate) fn shared(&self) -> PlatformShared {
+        PlatformShared {
+            coord: Arc::clone(&self.coord),
+            clock: Arc::clone(&self.clock),
+            metrics: self.metrics.clone(),
+            next_txn_id: Arc::clone(&self.next_txn_id),
+            next_admin_id: Arc::clone(&self.next_admin_id),
+        }
+    }
+
     /// Opens a client handle for submitting transactions.
     pub fn client(&self) -> TropicClient {
-        let client = self.coord.connect("tropic-client");
-        let keepalive = client.keepalive();
-        TropicClient {
-            coord: Arc::clone(&self.coord),
-            client,
-            _keepalive: keepalive,
-            next_txn_id: Arc::clone(&self.next_txn_id),
-            clock: Arc::clone(&self.clock),
-        }
+        self.shared().client("tropic-client")
     }
 
     /// Opens the operator plane: `repair`, `reload`, and transaction
     /// signals, on a dedicated coordination session.
     pub fn admin(&self) -> AdminClient {
-        AdminClient::new(
-            self.coord.connect("tropic-admin"),
-            Arc::clone(&self.next_admin_id),
-            Arc::clone(&self.clock),
-        )
+        self.shared().admin("tropic-admin")
+    }
+
+    /// Starts the network RPC frontend on `config.rpc` (see
+    /// [`crate::rpc`]): out-of-process clients get the same typed
+    /// `TxnRequest`/handle surface over a socket. Stop the returned server
+    /// **before** calling [`Tropic::shutdown`].
+    pub fn serve_rpc(&self) -> Result<crate::rpc::RpcServer, ApiError> {
+        crate::rpc::RpcServer::start(self.shared(), self.rpc_cfg.clone())
     }
 
     /// The shared metrics collector.

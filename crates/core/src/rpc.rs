@@ -1,0 +1,1079 @@
+//! Network RPC frontend: the typed client API over a socket.
+//!
+//! TROPIC's controller is a shared service clients reach over the network
+//! (paper §3), not a library they link. This module puts the PR 4 client
+//! surface on a TCP socket:
+//!
+//! * [`RpcServer`] — a `std::net` thread-per-connection socket server
+//!   started with [`crate::Tropic::serve_rpc`]. Each connection gets its
+//!   own coordination session and dispatches to the same in-process
+//!   [`crate::TropicClient`] / [`crate::api::AdminClient`] code paths the
+//!   linked-in API uses.
+//! * [`RemoteClient`] — a drop-in mirror of the in-process builder API:
+//!   [`RemoteClient::submit_request`], [`RemoteClient::submit_batch`],
+//!   [`RemoteHandle::wait`]/[`RemoteHandle::try_outcome`],
+//!   [`RemoteClient::subscribe`] streaming [`TxnEvent`]s, and the operator
+//!   plane via [`RemoteClient::admin`].
+//!
+//! ## Wire format
+//!
+//! Every message is one frame of the length-prefixed CRC-32 stream codec
+//! the write-ahead log already uses on disk
+//! ([`tropic_coord::wal::frame`]): `[len: u32 LE][crc32: u32 LE][payload]`.
+//! The payload is a versioned JSON envelope `{"v": 1, "msg": ...}` — the
+//! same `v` and bump policy as [`crate::msg::Envelope`] ([`WIRE_VERSION`]).
+//! The version is probed **at the frame boundary, before the payload is
+//! parsed**: a future-version envelope is rejected with the typed
+//! [`ApiError::UnsupportedWireVersion`], never misparsed. Partial reads
+//! reassemble; corrupt CRCs and oversized length prefixes fail typed and
+//! close the connection (the stream is unsynchronized past them).
+//!
+//! [`ApiError`] crosses the wire as itself — a remote caller sees the same
+//! variants, and the same [`ApiError::retryable`] partition, as an
+//! in-process one. Transport-level failures surface as the retryable
+//! [`ApiError::Transport`].
+
+#![warn(missing_docs)]
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use tropic_coord::{write_frame, FrameError, FrameReader};
+use tropic_model::Path;
+
+use crate::api::{AdminClient, ApiError, TxnEvent, TxnRequest};
+use crate::config::RpcConfig;
+use crate::msg::{wire_version_of, AdminResult, Signal, WireError, WIRE_VERSION};
+use crate::platform::{PlatformShared, TropicClient};
+use crate::txn::{TxnId, TxnOutcome, TxnRecord};
+
+/// Bound on a connect attempt.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Response bound for calls the server answers without blocking.
+const CALL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Extra slack granted on top of a blocking call's own timeout before the
+/// client declares the transport dead.
+const READ_GRACE: Duration = Duration::from_secs(10);
+/// Fallback wait bound for remote handles without a deadline (mirrors the
+/// in-process default).
+const DEFAULT_WAIT: Duration = Duration::from_secs(60);
+/// Server-side slice for blocking waits, so shutdown is never delayed by a
+/// long-waiting remote caller.
+const WAIT_SLICE: Duration = Duration::from_millis(250);
+/// Bound on any single socket write: a peer that stopped reading (full
+/// kernel send buffer) fails the write instead of pinning the thread.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+// ---------------------------------------------------------------------
+// Wire messages.
+// ---------------------------------------------------------------------
+
+/// One client→server call. `Submit`/`SubmitBatch` carry the *same*
+/// [`TxnRequest`] the in-process builder produces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum RpcRequest {
+    /// Submit one request; the server assigns the transaction id.
+    Submit(TxnRequest),
+    /// Submit several requests as one atomic enqueue.
+    SubmitBatch(Vec<TxnRequest>),
+    /// Non-blocking outcome poll.
+    TryOutcome {
+        /// The transaction.
+        id: TxnId,
+    },
+    /// Block server-side until the transaction finalizes or `timeout_ms`
+    /// passes.
+    Wait {
+        /// The transaction.
+        id: TxnId,
+        /// Wait bound in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Fetch the full durable transaction record.
+    Record {
+        /// The transaction.
+        id: TxnId,
+    },
+    /// Operator plane: reconcile physical state toward the logical layer.
+    Repair {
+        /// Subtree to reconcile.
+        scope: Path,
+        /// Result-wait bound in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Operator plane: replace the logical subtree with retrieved state.
+    Reload {
+        /// Subtree to reload.
+        scope: Path,
+        /// Result-wait bound in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Operator plane: signal an unresponsive transaction.
+    Signal {
+        /// The transaction.
+        id: TxnId,
+        /// TERM or KILL.
+        signal: Signal,
+    },
+    /// Switch this connection into a one-way [`TxnEvent`] stream.
+    Subscribe,
+    /// Liveness probe; the reply carries the platform clock.
+    Ping,
+    /// Ask the serving process to shut down (used by operational tooling
+    /// and the CI smoke test for clean teardown).
+    Shutdown,
+}
+
+/// One server→client reply, or a streamed subscription event.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum RpcResponse {
+    /// A submission was enqueued.
+    Submitted {
+        /// Server-assigned transaction id.
+        id: TxnId,
+        /// Resolved admission deadline (platform clock, ms).
+        deadline_ms: Option<u64>,
+    },
+    /// A batch was enqueued atomically.
+    SubmittedBatch {
+        /// `(id, deadline_ms)` per request, in submission order.
+        handles: Vec<(TxnId, Option<u64>)>,
+    },
+    /// Outcome poll result: `None` while still in flight.
+    Outcome(Option<TxnOutcome>),
+    /// The durable transaction record, if still retained.
+    Record(Option<Box<TxnRecord>>),
+    /// An administrative operation's result.
+    Admin(AdminResult),
+    /// A signal was enqueued.
+    Signaled,
+    /// The connection is now an event stream.
+    Subscribed,
+    /// One streamed lifecycle event.
+    Event(TxnEvent),
+    /// Liveness reply.
+    Pong {
+        /// Platform clock (ms) when the server answered.
+        now_ms: u64,
+    },
+    /// The server acknowledged a shutdown request.
+    ShutdownAck,
+    /// The call failed; the payload preserves the retryable partition.
+    Error(ApiError),
+}
+
+#[derive(Serialize, Deserialize)]
+struct RequestEnvelope {
+    v: u32,
+    msg: RpcRequest,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ResponseEnvelope {
+    v: u32,
+    msg: RpcResponse,
+}
+
+/// Encodes a call in the current versioned envelope.
+pub fn encode_request(msg: RpcRequest) -> Vec<u8> {
+    serde_json::to_vec(&RequestEnvelope {
+        v: WIRE_VERSION,
+        msg,
+    })
+    .expect("serializable request")
+}
+
+/// Encodes a reply in the current versioned envelope.
+pub fn encode_response(msg: RpcResponse) -> Vec<u8> {
+    serde_json::to_vec(&ResponseEnvelope {
+        v: WIRE_VERSION,
+        msg,
+    })
+    .expect("serializable response")
+}
+
+/// Version gate shared by both decode directions: probed before the
+/// payload is parsed, so a future-version envelope whose payload this
+/// build cannot even represent still fails with the version error. Unlike
+/// the queue codec there is no bare legacy fallback — the socket protocol
+/// was born versioned, so an unversioned payload is malformed.
+fn check_version(bytes: &[u8]) -> Result<(), WireError> {
+    match wire_version_of(bytes) {
+        Some(v) if v > WIRE_VERSION => Err(WireError::UnsupportedVersion(v)),
+        Some(_) => Ok(()),
+        None => Err(WireError::Malformed("missing wire version field".into())),
+    }
+}
+
+/// Decodes a call, rejecting future versions at the boundary.
+pub fn decode_request(bytes: &[u8]) -> Result<RpcRequest, WireError> {
+    check_version(bytes)?;
+    serde_json::from_slice::<RequestEnvelope>(bytes)
+        .map(|e| e.msg)
+        .map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Decodes a reply, rejecting future versions at the boundary.
+pub fn decode_response(bytes: &[u8]) -> Result<RpcResponse, WireError> {
+    check_version(bytes)?;
+    serde_json::from_slice::<ResponseEnvelope>(bytes)
+        .map(|e| e.msg)
+        .map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+fn transport(e: impl std::fmt::Display) -> ApiError {
+    ApiError::Transport(e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------
+
+/// The listening RPC frontend. Dropping (or [`RpcServer::stop`]ping) it
+/// closes the listener and joins every connection thread; stop the server
+/// **before** shutting the platform down so in-flight dispatches finish
+/// against a live controller.
+pub struct RpcServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    pub(crate) fn start(shared: PlatformShared, cfg: RpcConfig) -> Result<Self, ApiError> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(transport)?;
+        listener.set_nonblocking(true).map_err(transport)?;
+        let addr = listener.local_addr().map_err(transport)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let shutdown_requested = Arc::clone(&shutdown_requested);
+            std::thread::Builder::new()
+                .name("tropic-rpc-accept".into())
+                .spawn(move || accept_loop(listener, shared, cfg, &stop, &shutdown_requested))
+                .map_err(transport)?
+        };
+        Ok(RpcServer {
+            addr,
+            stop,
+            shutdown_requested,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the real port when configured with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client asked this serving process to shut down via
+    /// [`RpcRequest::Shutdown`]. The server keeps serving — the hosting
+    /// process decides when to act on the request.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains connection threads, and joins them.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: PlatformShared,
+    cfg: RpcConfig,
+    stop: &Arc<AtomicBool>,
+    shutdown_requested: &Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_seq = 0u64;
+    let poll = Duration::from_millis(cfg.poll_ms.max(1));
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.record_rpc_connection();
+                conn_seq += 1;
+                let shared = shared.clone();
+                let cfg = cfg.clone();
+                let stop = Arc::clone(stop);
+                let shutdown_requested = Arc::clone(shutdown_requested);
+                let name = format!("tropic-rpc-conn-{conn_seq}");
+                let conn_id = conn_seq;
+                match std::thread::Builder::new().name(name).spawn(move || {
+                    serve_conn(&shared, &cfg, stream, &stop, &shutdown_requested, conn_id)
+                }) {
+                    Ok(h) => conns.push(h),
+                    Err(_) => {
+                        // Spawn failure: the accepted stream drops (peer
+                        // sees a reset) and the listener keeps serving.
+                    }
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Maps a frame-boundary failure onto the typed taxonomy: an oversized
+/// declared length is a request that can never succeed (permanent); a CRC
+/// mismatch or mid-frame tear is a damaged transport (retryable over a
+/// fresh connection).
+fn frame_reject(err: &FrameError) -> ApiError {
+    match err {
+        FrameError::Oversized { len, max } => ApiError::InvalidRequest(format!(
+            "frame of {len} bytes exceeds the server's {max}-byte cap"
+        )),
+        other => ApiError::Transport(other.to_string()),
+    }
+}
+
+fn serve_conn(
+    shared: &PlatformShared,
+    cfg: &RpcConfig,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    shutdown_requested: &AtomicBool,
+    conn_id: u64,
+) {
+    // On BSD-likes an accepted socket inherits the listener's O_NONBLOCK;
+    // clear it or the read timeout below is ineffective and the idle loop
+    // busy-spins on instant EWOULDBLOCK.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.poll_ms.max(1))));
+    // A bounded write keeps a stalled client (full kernel send buffer,
+    // reader gone) from pinning this thread in write_all past shutdown.
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut reader = FrameReader::new();
+    // One coordination session per connection, like a linked-in client.
+    let client = shared.client(&format!("rpc-conn-{conn_id}"));
+    let mut admin: Option<AdminClient> = None;
+    while !stop.load(Ordering::SeqCst) {
+        let payload = match reader.read_from(&mut stream, cfg.max_frame_bytes) {
+            Ok(Some(p)) => p,
+            Ok(None) => continue, // idle or partial frame; re-check stop
+            Err(FrameError::Closed) => break,
+            Err(err) => {
+                // Typed reject, then close: past a corrupt or oversized
+                // frame the stream is unsynchronized.
+                shared.metrics.record_rpc_rejected();
+                let resp = RpcResponse::Error(frame_reject(&err));
+                let _ = write_frame(&mut stream, &encode_response(resp));
+                break;
+            }
+        };
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Version and payload rejects are per-frame: framing stayed
+                // aligned, so the connection survives for a retry with a
+                // supported envelope.
+                shared.metrics.record_rpc_rejected();
+                let resp = RpcResponse::Error(ApiError::from(e));
+                if write_frame(&mut stream, &encode_response(resp)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        shared.metrics.record_rpc_request();
+        if matches!(req, RpcRequest::Subscribe) {
+            if write_frame(&mut stream, &encode_response(RpcResponse::Subscribed)).is_err() {
+                break;
+            }
+            stream_events(shared, &mut stream, stop);
+            break;
+        }
+        let resp = dispatch(shared, &client, &mut admin, stop, shutdown_requested, req);
+        if write_frame(&mut stream, &encode_response(resp)).is_err() {
+            break;
+        }
+    }
+}
+
+fn dispatch(
+    shared: &PlatformShared,
+    client: &TropicClient,
+    admin: &mut Option<AdminClient>,
+    stop: &AtomicBool,
+    shutdown_requested: &AtomicBool,
+    req: RpcRequest,
+) -> RpcResponse {
+    match req {
+        RpcRequest::Submit(request) => match client.submit_request(request) {
+            Ok(h) => RpcResponse::Submitted {
+                id: h.id(),
+                deadline_ms: h.deadline_ms(),
+            },
+            Err(e) => RpcResponse::Error(e),
+        },
+        RpcRequest::SubmitBatch(requests) => match client.submit_batch(requests) {
+            Ok(hs) => RpcResponse::SubmittedBatch {
+                handles: hs.iter().map(|h| (h.id(), h.deadline_ms())).collect(),
+            },
+            Err(e) => RpcResponse::Error(e),
+        },
+        RpcRequest::TryOutcome { id } => match client.handle(id).try_outcome() {
+            Ok(outcome) => RpcResponse::Outcome(outcome),
+            Err(e) => RpcResponse::Error(e),
+        },
+        RpcRequest::Wait { id, timeout_ms } => wait_sliced(client, id, timeout_ms, stop),
+        RpcRequest::Record { id } => match client.txn_record(id) {
+            Ok(rec) => RpcResponse::Record(rec.map(Box::new)),
+            Err(e) => RpcResponse::Error(e.into()),
+        },
+        RpcRequest::Repair { scope, timeout_ms } => {
+            let admin = admin.get_or_insert_with(|| shared.admin("rpc-admin"));
+            admin_sliced(admin, &scope, timeout_ms, true, stop)
+        }
+        RpcRequest::Reload { scope, timeout_ms } => {
+            let admin = admin.get_or_insert_with(|| shared.admin("rpc-admin"));
+            admin_sliced(admin, &scope, timeout_ms, false, stop)
+        }
+        RpcRequest::Signal { id, signal } => {
+            let admin = admin.get_or_insert_with(|| shared.admin("rpc-admin"));
+            match admin.signal(id, signal) {
+                Ok(()) => RpcResponse::Signaled,
+                Err(e) => RpcResponse::Error(e),
+            }
+        }
+        // Subscribe switches the connection mode and is handled by the
+        // connection loop before dispatch.
+        RpcRequest::Subscribe => RpcResponse::Subscribed,
+        RpcRequest::Ping => RpcResponse::Pong {
+            now_ms: shared.clock.now_ms(),
+        },
+        RpcRequest::Shutdown => {
+            shutdown_requested.store(true, Ordering::SeqCst);
+            RpcResponse::ShutdownAck
+        }
+    }
+}
+
+/// Enqueues one repair/reload, then blocks toward the caller's deadline in
+/// short slices: `timeout_ms` is wire-controlled and unclamped, so a
+/// stopping server must never be pinned by a remote operator's long bound.
+fn admin_sliced(
+    admin: &AdminClient,
+    scope: &Path,
+    timeout_ms: u64,
+    repair: bool,
+    stop: &AtomicBool,
+) -> RpcResponse {
+    let admin_id = match admin.enqueue_admin(scope, repair) {
+        Ok(id) => id,
+        Err(e) => return RpcResponse::Error(e),
+    };
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return RpcResponse::Error(ApiError::ShuttingDown);
+        }
+        // Always attempt at least one wait slice (wait_admin polls the
+        // result before sleeping), so an already-finished operation beats
+        // an elapsed bound — the in-process semantics.
+        let slice = deadline
+            .saturating_duration_since(Instant::now())
+            .min(WAIT_SLICE);
+        match admin.wait_admin(admin_id, slice) {
+            Ok(result) => return RpcResponse::Admin(result),
+            Err(ApiError::WaitTimeout { .. }) => {
+                if Instant::now() >= deadline {
+                    return RpcResponse::Error(ApiError::WaitTimeout { id: admin_id });
+                }
+            }
+            Err(e) => return RpcResponse::Error(e),
+        }
+    }
+}
+
+/// Blocks toward the caller's deadline in short slices so a stopping
+/// server is never pinned by a long remote wait.
+fn wait_sliced(
+    client: &TropicClient,
+    id: TxnId,
+    timeout_ms: u64,
+    stop: &AtomicBool,
+) -> RpcResponse {
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let handle = client.handle(id);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return RpcResponse::Error(ApiError::ShuttingDown);
+        }
+        // Always attempt at least one wait slice (wait_timeout polls the
+        // outcome before sleeping), so an already-terminal transaction
+        // beats an elapsed bound — the in-process semantics.
+        let slice = deadline
+            .saturating_duration_since(Instant::now())
+            .min(WAIT_SLICE);
+        match handle.wait_timeout(slice) {
+            Ok(outcome) => return RpcResponse::Outcome(Some(outcome)),
+            Err(ApiError::WaitTimeout { .. }) => {
+                if Instant::now() >= deadline {
+                    return RpcResponse::Error(ApiError::WaitTimeout { id });
+                }
+            }
+            Err(e) => return RpcResponse::Error(e),
+        }
+    }
+}
+
+/// Forwards subscription events until the server stops or the client goes
+/// away. A dedicated watcher session feeds the stream, exactly as the
+/// in-process [`crate::api::Subscription`] (it *is* one).
+fn stream_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &AtomicBool) {
+    let sub = shared.subscription();
+    let mut probe = [0u8; 64];
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(ev) = sub.recv_timeout(Duration::from_millis(100)) {
+            if write_frame(stream, &encode_response(RpcResponse::Event(ev))).is_err() {
+                return;
+            }
+            shared.metrics.record_rpc_events(1);
+            continue;
+        }
+        // No event: use the idle slot to detect a departed client — a
+        // closed peer reads as EOF, an alive-but-quiet one as a timeout.
+        match stream.read(&mut probe) {
+            Ok(0) => return,
+            Ok(_) => {} // stray bytes on a stream connection are ignored
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote client.
+// ---------------------------------------------------------------------
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// A client to a remote TROPIC platform, mirroring
+/// [`crate::TropicClient`]'s typed surface over one TCP connection.
+///
+/// Calls on one `RemoteClient` run in lockstep over its single connection
+/// (a long [`RemoteHandle::wait`] holds the line); open one client per
+/// concurrent caller — connections are cheap, and each gets its own
+/// coordination session server-side. [`RemoteClient::subscribe`] opens its
+/// own dedicated connection. A connection that can no longer correlate
+/// replies (response timeout, damaged frame, server close) is retired and
+/// transparently re-dialed on the next call.
+pub struct RemoteClient {
+    addr: SocketAddr,
+    /// `None` between a poisoned connection and the next call's re-dial.
+    io: Mutex<Option<Conn>>,
+    max_frame_bytes: u32,
+}
+
+impl RemoteClient {
+    /// Connects to a serving [`RpcServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ApiError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(transport)?
+            .next()
+            .ok_or_else(|| ApiError::Transport("address resolved to nothing".into()))?;
+        let conn = Self::dial(&addr)?;
+        Ok(RemoteClient {
+            addr,
+            io: Mutex::new(Some(conn)),
+            max_frame_bytes: tropic_coord::DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Raises (or lowers) the frame-size cap this client accepts on
+    /// replies and subscription events. Must cover the server's
+    /// [`crate::config::RpcConfig::max_frame_bytes`] when that is raised
+    /// above the default, or large replies (e.g. a transaction record with
+    /// a long execution log) are rejected client-side as oversized.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: u32) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    fn dial(addr: &SocketAddr) -> Result<Conn, ApiError> {
+        let stream = TcpStream::connect_timeout(addr, CONNECT_TIMEOUT).map_err(transport)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        Ok(Conn {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// The server address this client is connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One framed request, one framed reply. `read_timeout` bounds how
+    /// long the server may take (plus [`READ_GRACE`] slack for transport).
+    ///
+    /// Request/response correlation is positional (one reply per request,
+    /// in order), so any failure that could leave a reply in flight — a
+    /// response timeout, a damaged frame, a mid-frame close — **poisons**
+    /// the connection: it is dropped, and the next call dials a fresh one.
+    /// A stale reply can therefore never be read as the answer to a later
+    /// call.
+    fn call(&self, req: RpcRequest, read_timeout: Duration) -> Result<RpcResponse, ApiError> {
+        let mut guard = self.io.lock();
+        let conn = match guard.as_mut() {
+            Some(conn) => conn,
+            None => guard.insert(Self::dial(&self.addr)?),
+        };
+        let Conn { stream, reader } = conn;
+        // Slice the socket timeout so the deadline loop below stays
+        // responsive regardless of how long the whole call may block.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(transport)?;
+        if let Err(e) = write_frame(stream, &encode_request(req)) {
+            *guard = None;
+            return Err(transport(e));
+        }
+        let deadline = Instant::now() + read_timeout + READ_GRACE;
+        loop {
+            match reader.read_from(stream, self.max_frame_bytes) {
+                Ok(Some(payload)) => {
+                    return match decode_response(&payload).map_err(ApiError::from)? {
+                        RpcResponse::Error(e) => Err(e),
+                        ok => Ok(ok),
+                    };
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        // The server may still answer later; this stream
+                        // can no longer tell that stale reply apart from
+                        // the next call's, so retire it.
+                        *guard = None;
+                        return Err(ApiError::Transport(
+                            "timed out awaiting the RPC response".into(),
+                        ));
+                    }
+                }
+                Err(FrameError::Closed) => {
+                    *guard = None;
+                    return Err(ApiError::Transport("server closed the connection".into()));
+                }
+                Err(e @ FrameError::Oversized { .. }) => {
+                    // Permanent, mirroring the server's classification: a
+                    // reply past this client's cap fails identically on
+                    // every retry until `with_max_frame_bytes` is raised.
+                    *guard = None;
+                    return Err(ApiError::InvalidRequest(e.to_string()));
+                }
+                Err(e) => {
+                    *guard = None;
+                    return Err(transport(e));
+                }
+            }
+        }
+    }
+
+    /// Submits a typed request; the server assigns the transaction id.
+    /// Mirrors [`crate::TropicClient::submit_request`].
+    pub fn submit_request(&self, request: TxnRequest) -> Result<RemoteHandle<'_>, ApiError> {
+        match self.call(RpcRequest::Submit(request), CALL_TIMEOUT)? {
+            RpcResponse::Submitted { id, deadline_ms } => Ok(RemoteHandle {
+                client: self,
+                id,
+                deadline_ms,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits several requests as one atomic enqueue. Mirrors
+    /// [`crate::TropicClient::submit_batch`].
+    pub fn submit_batch(
+        &self,
+        requests: Vec<TxnRequest>,
+    ) -> Result<Vec<RemoteHandle<'_>>, ApiError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.call(RpcRequest::SubmitBatch(requests), CALL_TIMEOUT)? {
+            RpcResponse::SubmittedBatch { handles } => Ok(handles
+                .into_iter()
+                .map(|(id, deadline_ms)| RemoteHandle {
+                    client: self,
+                    id,
+                    deadline_ms,
+                })
+                .collect()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Re-attaches a handle to an already-submitted transaction id.
+    pub fn handle(&self, id: TxnId) -> RemoteHandle<'_> {
+        RemoteHandle {
+            client: self,
+            id,
+            deadline_ms: None,
+        }
+    }
+
+    /// Reads the full durable record of a transaction, if still retained.
+    pub fn txn_record(&self, id: TxnId) -> Result<Option<TxnRecord>, ApiError> {
+        match self.call(RpcRequest::Record { id }, CALL_TIMEOUT)? {
+            RpcResponse::Record(rec) => Ok(rec.map(|b| *b)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe; returns the platform clock (ms) — also how remote
+    /// callers compute absolute deadlines without a local platform clock.
+    pub fn ping(&self) -> Result<u64, ApiError> {
+        match self.call(RpcRequest::Ping, CALL_TIMEOUT)? {
+            RpcResponse::Pong { now_ms } => Ok(now_ms),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Opens a streaming subscription to transaction lifecycle events on a
+    /// dedicated connection. Mirrors [`crate::TropicClient::subscribe`].
+    pub fn subscribe(&self) -> Result<RemoteSubscription, ApiError> {
+        RemoteSubscription::open(self.addr, self.max_frame_bytes)
+    }
+
+    /// The operator plane, sharing this client's connection. Mirrors
+    /// [`crate::Tropic::admin`].
+    pub fn admin(&self) -> RemoteAdmin<'_> {
+        RemoteAdmin { client: self }
+    }
+
+    /// Asks the serving process to shut down (see
+    /// [`RpcServer::shutdown_requested`]).
+    pub fn shutdown_server(&self) -> Result<(), ApiError> {
+        match self.call(RpcRequest::Shutdown, CALL_TIMEOUT)? {
+            RpcResponse::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &RpcResponse) -> ApiError {
+    ApiError::Transport(format!("protocol violation: unexpected response {resp:?}"))
+}
+
+/// A handle to one transaction submitted over the wire, mirroring
+/// [`crate::api::TxnHandle`]. Outcome reads follow idempotency aliases
+/// transparently (the server resolves them).
+pub struct RemoteHandle<'c> {
+    client: &'c RemoteClient,
+    id: TxnId,
+    deadline_ms: Option<u64>,
+}
+
+impl RemoteHandle<'_> {
+    /// The server-assigned transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The admission deadline resolved at submission (platform clock, ms).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
+    /// Non-blocking outcome poll: `Ok(Some(..))` once terminal.
+    pub fn try_outcome(&self) -> Result<Option<TxnOutcome>, ApiError> {
+        match self
+            .client
+            .call(RpcRequest::TryOutcome { id: self.id }, CALL_TIMEOUT)?
+        {
+            RpcResponse::Outcome(outcome) => Ok(outcome),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Blocks until the transaction reaches a terminal state, bounded by
+    /// the request's deadline (fetched against the platform clock via
+    /// [`RemoteClient::ping`]) or 60 seconds when none was set.
+    pub fn wait(&self) -> Result<TxnOutcome, ApiError> {
+        let timeout = match self.deadline_ms {
+            Some(d) => {
+                let now = self.client.ping()?;
+                Duration::from_millis(d.saturating_sub(now).max(1))
+            }
+            None => DEFAULT_WAIT,
+        };
+        self.wait_timeout(timeout)
+    }
+
+    /// [`RemoteHandle::wait`] with an explicit bound. The server blocks on
+    /// the same watch-driven wait the in-process handle uses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<TxnOutcome, ApiError> {
+        let timeout_ms = timeout.as_millis().min(u64::MAX as u128) as u64;
+        let req = RpcRequest::Wait {
+            id: self.id,
+            timeout_ms,
+        };
+        match self.client.call(req, timeout)? {
+            RpcResponse::Outcome(Some(outcome)) => Ok(outcome),
+            RpcResponse::Outcome(None) => Err(ApiError::WaitTimeout { id: self.id }),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// The operator plane over the wire, mirroring [`crate::api::AdminClient`].
+pub struct RemoteAdmin<'c> {
+    client: &'c RemoteClient,
+}
+
+impl RemoteAdmin<'_> {
+    /// Runs `repair` over `scope`, blocking up to `timeout` for the result.
+    pub fn repair(&self, scope: &Path, timeout: Duration) -> Result<AdminResult, ApiError> {
+        let req = RpcRequest::Repair {
+            scope: scope.clone(),
+            timeout_ms: timeout.as_millis().min(u64::MAX as u128) as u64,
+        };
+        match self.client.call(req, timeout)? {
+            RpcResponse::Admin(result) => Ok(result),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs `reload` over `scope`, blocking up to `timeout` for the result.
+    pub fn reload(&self, scope: &Path, timeout: Duration) -> Result<AdminResult, ApiError> {
+        let req = RpcRequest::Reload {
+            scope: scope.clone(),
+            timeout_ms: timeout.as_millis().min(u64::MAX as u128) as u64,
+        };
+        match self.client.call(req, timeout)? {
+            RpcResponse::Admin(result) => Ok(result),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends a TERM or KILL signal to a transaction.
+    pub fn signal(&self, id: TxnId, signal: Signal) -> Result<(), ApiError> {
+        match self
+            .client
+            .call(RpcRequest::Signal { id, signal }, CALL_TIMEOUT)?
+        {
+            RpcResponse::Signaled => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A streaming feed of [`TxnEvent`]s from a remote platform, mirroring
+/// [`crate::api::Subscription`]. Runs on its own connection; dropping it
+/// closes the socket and ends the feed.
+pub struct RemoteSubscription {
+    rx: mpsc::Receiver<TxnEvent>,
+    stream: TcpStream,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RemoteSubscription {
+    fn open(addr: SocketAddr, max_frame_bytes: u32) -> Result<Self, ApiError> {
+        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).map_err(transport)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(transport)?;
+        write_frame(&mut stream, &encode_request(RpcRequest::Subscribe)).map_err(transport)?;
+        // Wait for the mode-switch ack before handing the socket to the
+        // reader thread, so connect errors surface typed right here.
+        let mut reader = FrameReader::new();
+        let deadline = Instant::now() + CALL_TIMEOUT;
+        loop {
+            match reader.read_from(&mut stream, max_frame_bytes) {
+                Ok(Some(payload)) => match decode_response(&payload).map_err(ApiError::from)? {
+                    RpcResponse::Subscribed => break,
+                    RpcResponse::Error(e) => return Err(e),
+                    other => return Err(unexpected(&other)),
+                },
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return Err(ApiError::Transport(
+                            "timed out awaiting the subscription ack".into(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(transport(e)),
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let thread = {
+            let mut stream = stream.try_clone().map_err(transport)?;
+            std::thread::Builder::new()
+                .name("tropic-remote-subscriber".into())
+                .spawn(move || {
+                    loop {
+                        match reader.read_from(&mut stream, max_frame_bytes) {
+                            Ok(Some(payload)) => {
+                                // Anything that is not a decodable event is
+                                // tolerated and skipped: the stream must
+                                // survive frames a newer server might add.
+                                if let Ok(RpcResponse::Event(ev)) = decode_response(&payload) {
+                                    if tx.send(ev).is_err() {
+                                        return; // receiver dropped
+                                    }
+                                }
+                            }
+                            Ok(None) => {}    // idle; keep listening
+                            Err(_) => return, // closed or damaged: end the feed
+                        }
+                    }
+                })
+                .map_err(transport)?
+        };
+        Ok(RemoteSubscription {
+            rx,
+            stream,
+            thread: Some(thread),
+        })
+    }
+
+    /// Returns the next buffered event without blocking.
+    pub fn try_recv(&self) -> Option<TxnEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<TxnEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains every currently-buffered event.
+    pub fn drain(&self) -> Vec<TxnEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Whether the feed can still deliver new events. `false` once the
+    /// server closed the stream (shutdown, damaged frame): buffered events
+    /// remain readable, but nothing further will arrive — resubscribe via
+    /// [`RemoteClient::subscribe`] to continue.
+    pub fn is_live(&self) -> bool {
+        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+}
+
+impl Drop for RemoteSubscription {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_envelope_roundtrip() {
+        let bytes = encode_request(RpcRequest::Wait {
+            id: 7,
+            timeout_ms: 1_500,
+        });
+        match decode_request(&bytes).unwrap() {
+            RpcRequest::Wait { id, timeout_ms } => {
+                assert_eq!((id, timeout_ms), (7, 1_500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_envelope_roundtrip() {
+        let bytes = encode_response(RpcResponse::Submitted {
+            id: 9,
+            deadline_ms: Some(42),
+        });
+        match decode_response(&bytes).unwrap() {
+            RpcResponse::Submitted { id, deadline_ms } => {
+                assert_eq!((id, deadline_ms), (9, Some(42)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_rejected_even_with_unparseable_payload() {
+        let bytes = br#"{"v":9,"msg":{"HologramRequest":{"x":1}}}"#;
+        assert!(matches!(
+            decode_request(bytes),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        assert!(matches!(
+            decode_response(bytes),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn unversioned_payload_is_malformed_on_the_socket() {
+        // The queue codec accepts bare legacy messages; the socket protocol
+        // was born versioned, so an unversioned payload is rejected.
+        let bytes = br#"{"Ping":null}"#;
+        assert!(matches!(
+            decode_request(bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_response_preserves_retryable_partition() {
+        for (err, retryable) in [
+            (ApiError::WaitTimeout { id: 3 }, true),
+            (ApiError::Transport("reset".into()), true),
+            (ApiError::UnsupportedWireVersion { version: 8 }, false),
+            (ApiError::UnknownProcedure("nope".into()), false),
+        ] {
+            let bytes = encode_response(RpcResponse::Error(err.clone()));
+            match decode_response(&bytes).unwrap() {
+                RpcResponse::Error(back) => {
+                    assert_eq!(back, err);
+                    assert_eq!(back.retryable(), retryable);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

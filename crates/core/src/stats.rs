@@ -72,6 +72,19 @@ pub struct Counters {
     /// idempotency key.
     #[serde(default)]
     pub idempotent_hits: u64,
+    /// Connections accepted by the RPC frontend over its lifetime.
+    #[serde(default)]
+    pub rpc_connections: u64,
+    /// RPC requests decoded and dispatched (across all connections).
+    #[serde(default)]
+    pub rpc_requests: u64,
+    /// RPC frames rejected at the boundary: unsupported wire version,
+    /// malformed payload, corrupt or oversized frame.
+    #[serde(default)]
+    pub rpc_rejected: u64,
+    /// Transaction lifecycle events streamed to remote subscribers.
+    #[serde(default)]
+    pub rpc_events_streamed: u64,
 }
 
 /// A leadership or recovery event, timestamped on the platform clock.
@@ -170,6 +183,27 @@ impl Metrics {
     /// Records an idempotency-key dedup hit.
     pub fn record_idempotent_hit(&self) {
         self.inner.lock().counters.idempotent_hits += 1;
+    }
+
+    /// Records an accepted RPC connection.
+    pub fn record_rpc_connection(&self) {
+        self.inner.lock().counters.rpc_connections += 1;
+    }
+
+    /// Records a dispatched RPC request.
+    pub fn record_rpc_request(&self) {
+        self.inner.lock().counters.rpc_requests += 1;
+    }
+
+    /// Records an RPC frame rejected at the boundary (version, framing, or
+    /// payload decode).
+    pub fn record_rpc_rejected(&self) {
+        self.inner.lock().counters.rpc_rejected += 1;
+    }
+
+    /// Records `n` lifecycle events streamed to a remote subscriber.
+    pub fn record_rpc_events(&self, n: u64) {
+        self.inner.lock().counters.rpc_events_streamed += n;
     }
 
     /// Appends a leadership/recovery event.
