@@ -3,16 +3,26 @@
 //!
 //! Three variants quantify what the socket costs on the commit path:
 //!
-//! * `in_process`    — `TropicClient` submit + wait (the PR 4 baseline).
-//! * `over_socket`   — the same transaction through `RemoteClient`: two
+//! * `in_process`    — `TropicClient` submits + waits (the PR 4 baseline).
+//! * `over_socket`   — the same transactions through `RemoteClient`: two
 //!   framed envelopes per call (submit, then a server-side blocking wait).
-//! * `batch_socket`  — a 16-request `submit_batch` over the socket, waits
-//!   amortized; per-*transaction* time, the throughput shape.
+//! * `batch_socket`  — a 16-request `submit_batch` over the socket, one
+//!   atomic enqueue per batch; the throughput shape.
 //!
-//! `ci.sh --bench-snapshot` records the means in `BENCH_rpc.json` and
-//! gates `over_socket / in_process` under
-//! `TROPIC_BENCH_MAX_RPC_OVERHEAD` (default 3×): the frontend may tax the
-//! round trip, but never by more than the configured multiple.
+//! Both `in_process` and `over_socket` drive an *identical* pipelined
+//! window: submit `WINDOW` spawns, wait for all, submit `WINDOW` destroys,
+//! wait for all. A single submit→wait pair per iteration measured mostly
+//! controller scheduling-round alignment (the txn idles in `inputQ` until
+//! the next round fires), which once inverted the two numbers and made the
+//! overhead gate vacuous; the window amortizes that quantization equally
+//! on both sides, so the difference between the two means is the per-txn
+//! transport cost and nothing else.
+//!
+//! `ci.sh --bench-snapshot` records the means in `BENCH_rpc.json` (per
+//! transaction: 2×`WINDOW` txns per iteration for the first two variants,
+//! 2×`BATCH` for the third) and gates `over_socket / in_process` under
+//! `TROPIC_BENCH_MAX_RPC_OVERHEAD`: the frontend may tax the round trip,
+//! but never by more than the configured multiple.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -20,6 +30,9 @@ use tropic_core::{ExecMode, PlatformConfig, RemoteClient, Tropic, TxnRequest, Tx
 use tropic_tcloud::TopologySpec;
 
 const BATCH: usize = 16;
+/// In-flight submissions per wave in the `in_process`/`over_socket`
+/// drivers. Keep `ci.sh`'s `pipeline_txns` (= 2×WINDOW) in step.
+const WINDOW: usize = 8;
 
 fn spec() -> TopologySpec {
     TopologySpec {
@@ -45,22 +58,30 @@ fn platform() -> Tropic {
     )
 }
 
-fn spawn_destroy_roundtrip(
-    submit_wait: &mut dyn FnMut(TxnRequest) -> TxnState,
-    spec: &TopologySpec,
-    i: u64,
-) {
+fn spawn_request(spec: &TopologySpec, i: u64) -> TxnRequest {
     let host = (i % 64) as usize;
-    let vm = format!("rpc{i}");
-    let state = submit_wait(TxnRequest::new("spawnVM").args(spec.spawn_args(&vm, host, 2_048)));
-    assert_eq!(state, TxnState::Committed);
-    let state = submit_wait(
-        TxnRequest::new("destroyVM")
-            .arg(TopologySpec::host_path(host).to_string())
-            .arg(vm.as_str())
-            .arg(TopologySpec::storage_path(host / 4).to_string()),
-    );
-    assert_eq!(state, TxnState::Committed);
+    TxnRequest::new("spawnVM").args(spec.spawn_args(&format!("rpc{i}"), host, 2_048))
+}
+
+fn destroy_request(i: u64) -> TxnRequest {
+    let host = (i % 64) as usize;
+    TxnRequest::new("destroyVM")
+        .arg(TopologySpec::host_path(host).to_string())
+        .arg(format!("rpc{i}"))
+        .arg(TopologySpec::storage_path(host / 4).to_string())
+}
+
+/// One pipelined wave: submit every request (each its own submit call on
+/// the driver under test), then wait every outcome to Committed.
+fn run_wave<H>(
+    submit: &mut impl FnMut(TxnRequest) -> H,
+    wait: &mut impl FnMut(H) -> TxnState,
+    reqs: Vec<TxnRequest>,
+) {
+    let handles: Vec<H> = reqs.into_iter().map(&mut *submit).collect();
+    for h in handles {
+        assert_eq!(wait(h), TxnState::Committed);
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -78,64 +99,68 @@ fn bench(c: &mut Criterion) {
     let mut i = 0u64;
     group.bench_function("in_process", |b| {
         b.iter(|| {
-            let mut submit_wait = |req: TxnRequest| {
-                local
-                    .submit_request(req)
-                    .unwrap()
-                    .wait_timeout(Duration::from_secs(60))
-                    .unwrap()
-                    .state
-            };
-            spawn_destroy_roundtrip(&mut submit_wait, &spec, i);
-            i += 1;
+            let mut submit = |req: TxnRequest| local.submit_request(req).unwrap();
+            let mut wait =
+                |h: tropic_core::TxnHandle| h.wait_timeout(Duration::from_secs(60)).unwrap().state;
+            let base = i;
+            run_wave(
+                &mut submit,
+                &mut wait,
+                (0..WINDOW as u64)
+                    .map(|n| spawn_request(&spec, base + n))
+                    .collect(),
+            );
+            run_wave(
+                &mut submit,
+                &mut wait,
+                (0..WINDOW as u64)
+                    .map(|n| destroy_request(base + n))
+                    .collect(),
+            );
+            i += WINDOW as u64;
         })
     });
 
     let mut j = 1_000_000u64;
     group.bench_function("over_socket", |b| {
         b.iter(|| {
-            let mut submit_wait = |req: TxnRequest| {
-                remote
-                    .submit_request(req)
-                    .unwrap()
-                    .wait_timeout(Duration::from_secs(60))
-                    .unwrap()
-                    .state
+            let mut submit = |req: TxnRequest| remote.submit_request(req).unwrap();
+            let mut wait = |h: tropic_core::RemoteHandle<'_>| {
+                h.wait_timeout(Duration::from_secs(60)).unwrap().state
             };
-            spawn_destroy_roundtrip(&mut submit_wait, &spec, j);
-            j += 1;
+            let base = j;
+            run_wave(
+                &mut submit,
+                &mut wait,
+                (0..WINDOW as u64)
+                    .map(|n| spawn_request(&spec, base + n))
+                    .collect(),
+            );
+            run_wave(
+                &mut submit,
+                &mut wait,
+                (0..WINDOW as u64)
+                    .map(|n| destroy_request(base + n))
+                    .collect(),
+            );
+            j += WINDOW as u64;
         })
     });
 
     // Batched submit: one atomic enqueue for BATCH spawns, then waits.
-    // Reported per transaction so the number is comparable above.
     let mut k = 2_000_000u64;
     group.bench_function("batch_socket", |b| {
         b.iter(|| {
             let reqs: Vec<TxnRequest> = (0..BATCH as u64)
-                .map(|n| {
-                    let host = ((k + n) % 64) as usize;
-                    TxnRequest::new("spawnVM").args(spec.spawn_args(
-                        &format!("rpcb{}", k + n),
-                        host,
-                        2_048,
-                    ))
-                })
+                .map(|n| spawn_request(&spec, k + n))
                 .collect();
             let handles = remote.submit_batch(reqs).unwrap();
-            let destroys: Vec<TxnRequest> = (0..BATCH as u64)
-                .map(|n| {
-                    let host = ((k + n) % 64) as usize;
-                    TxnRequest::new("destroyVM")
-                        .arg(TopologySpec::host_path(host).to_string())
-                        .arg(format!("rpcb{}", k + n))
-                        .arg(TopologySpec::storage_path(host / 4).to_string())
-                })
-                .collect();
             for h in &handles {
                 let o = h.wait_timeout(Duration::from_secs(60)).unwrap();
                 assert_eq!(o.state, TxnState::Committed, "{:?}", o.error);
             }
+            let destroys: Vec<TxnRequest> =
+                (0..BATCH as u64).map(|n| destroy_request(k + n)).collect();
             let handles = remote.submit_batch(destroys).unwrap();
             for h in &handles {
                 let o = h.wait_timeout(Duration::from_secs(60)).unwrap();

@@ -11,14 +11,21 @@
 //!
 //! With a data directory ([`Ensemble::with_durability`]), each replica owns
 //! a [`Durability`] handle: every committed op is appended to a segmented
-//! write-ahead log before it is applied, and a fuzzy snapshot of the full
-//! store is written on a size/op-count policy, after which both the on-disk
-//! segments and the in-memory `Replica.log` are truncated — bounding memory
-//! and disk. [`Ensemble::recover`] rebuilds every replica from its latest
-//! valid snapshot plus the log suffix, then lets laggards catch up from the
+//! write-ahead log before it is applied, and a fuzzy snapshot — full, or a
+//! delta covering just the dirtied subtrees — is written on a size/op-count
+//! policy, after which both the on-disk segments and the in-memory
+//! `Replica.log` are truncated, bounding memory and disk.
+//! [`Ensemble::recover`] rebuilds every replica from its latest valid
+//! snapshot chain plus the log suffix, then lets laggards catch up from the
 //! leader. Follower resync ships only the suffix since the follower's
 //! `last_zxid`; a follower behind the truncation horizon receives a full
 //! snapshot transfer instead.
+//!
+//! Under [`crate::wal::SyncPolicy::Pipelined`], a committed batch is settled
+//! in two phases: every acking replica's fsync is *started*
+//! (`begin_batch_sync`) before any replica blocks on its own
+//! (`finish_batch`), so the ensemble's per-batch fsyncs run concurrently
+//! instead of end-to-end.
 
 use std::io;
 use std::path::Path as StdPath;
@@ -72,12 +79,23 @@ impl Replica {
         self.store.apply(zxid, op)
     }
 
+    /// Starts this replica's group fsync without waiting on it (pipelined
+    /// policy only; a no-op otherwise). Calling this on every acking
+    /// replica before any `finish_batch` lets the ensemble's fsyncs for one
+    /// batch overlap.
+    fn begin_batch_sync(&mut self) {
+        if let Some(d) = self.durability.as_mut() {
+            d.begin_batch_sync();
+        }
+    }
+
     /// Ends a committed batch on this replica: fsync per policy, snapshot
     /// per policy (truncating WAL segments and the in-memory log), or — for
     /// in-memory replicas — enforce the log cap.
     fn finish_batch(&mut self, memory_log_cap: usize) {
+        let last_zxid = self.last_zxid;
         let snapshot_zxid = match self.durability.as_mut() {
-            Some(d) => d.commit_batch(self.last_zxid, &self.store),
+            Some(d) => d.commit_batch(last_zxid, &mut self.store),
             None => {
                 self.bound_memory(memory_log_cap);
                 return;
@@ -114,7 +132,7 @@ impl Replica {
         self.log.clear();
         self.log_start_zxid = last_zxid;
         if let Some(d) = self.durability.as_mut() {
-            d.install_snapshot(last_zxid, &self.store);
+            d.install_snapshot(last_zxid, &mut self.store);
         }
     }
 }
@@ -131,12 +149,21 @@ pub struct EnsembleStats {
     pub elections: u64,
     /// Snapshots written across all replicas (policy and transfers).
     pub snapshots_written: u64,
+    /// The subset of `snapshots_written` that were incremental (delta).
+    pub delta_snapshots_written: u64,
     /// WAL segment files rotated across all replicas.
     pub segments_rotated: u64,
     /// Bytes covered by completed fsyncs across all replicas.
     pub bytes_fsynced: u64,
-    /// fsync calls issued across all replicas.
+    /// fsync calls issued against segment files across all replicas.
     pub fsyncs: u64,
+    /// Directory fsyncs (renames, new segments, deletions) across all
+    /// replicas.
+    pub dir_fsyncs: u64,
+    /// Pipelined commit paths that blocked on a full sync window.
+    pub pipeline_stalls: u64,
+    /// Batches settled by a shared (coalesced) sync round.
+    pub pipeline_coalesced: u64,
     /// Replicas recovered from disk (snapshot + log-suffix replay).
     pub recoveries: u64,
     /// Follower resyncs served as a log suffix since `last_zxid`.
@@ -298,9 +325,13 @@ impl Ensemble {
             if let Some(d) = &r.durability {
                 let ds = d.stats();
                 s.snapshots_written += ds.snapshots_written;
+                s.delta_snapshots_written += ds.delta_snapshots_written;
                 s.segments_rotated += ds.segments_rotated;
                 s.bytes_fsynced += ds.bytes_fsynced;
                 s.fsyncs += ds.fsyncs;
+                s.dir_fsyncs += ds.dir_fsyncs;
+                s.pipeline_stalls += ds.pipeline_stalls;
+                s.pipeline_coalesced += ds.pipeline_coalesced;
             }
         }
         s
@@ -310,6 +341,18 @@ impl Ensemble {
     /// tests exercise truncation-horizon behaviour through this).
     pub fn set_memory_log_cap(&mut self, cap: usize) {
         self.memory_log_cap = cap.max(1);
+    }
+
+    /// Sets the modeled per-fsync device latency on every durable replica
+    /// (see [`DurabilityOptions::simulated_fsync_latency`]). Benches use
+    /// this to populate a store at full speed and then measure commit
+    /// policies against a realistic device.
+    pub fn set_simulated_fsync_latency(&mut self, latency: std::time::Duration) {
+        for r in &mut self.replicas {
+            if let Some(d) = r.durability.as_mut() {
+                d.set_simulated_fsync_latency(latency);
+            }
+        }
     }
 
     /// In-memory log length of replica `id` (bounded-memory assertions).
@@ -378,6 +421,7 @@ impl Ensemble {
                 // Per-op failures replay identically on every replica.
                 let _ = r.append_and_apply(zxid, &op);
             }
+            r.begin_batch_sync();
             r.finish_batch(cap);
             self.stats.suffix_syncs += 1;
         } else {
@@ -474,14 +518,22 @@ impl Ensemble {
         let cap = self.memory_log_cap;
         let mut leader_result = None;
         let mut leader_events = Vec::new();
-        for id in ackers {
+        // Phase one: append + apply on every acker, starting each replica's
+        // group fsync (pipelined policy) before moving to the next — the
+        // ensemble's fsyncs for this batch run concurrently.
+        for &id in &ackers {
             let r = &mut self.replicas[id];
             let (result, events) = r.append_and_apply(zxid, &op);
-            r.finish_batch(cap);
+            r.begin_batch_sync();
             if id == leader {
                 leader_result = Some(result);
                 leader_events = events;
             }
+        }
+        // Phase two: settle each replica's batch (wait for its sync window,
+        // snapshot per policy). Serial policies do all their work here.
+        for &id in &ackers {
+            self.replicas[id].finish_batch(cap);
         }
         self.stats.committed += 1;
         self.last_committed_zxid = zxid;
@@ -551,6 +603,7 @@ mod tests {
             snapshot_every_ops: 8,
             snapshot_max_wal_bytes: 0,
             segment_max_bytes: 1 << 16,
+            ..DurabilityOptions::default()
         }
     }
 

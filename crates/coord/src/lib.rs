@@ -53,7 +53,7 @@ pub use service::{
     CoordClient, CoordConfig, CoordService, CreateMode, KeepAlive, ServiceStats, WatchEvent,
     WatchKind,
 };
-pub use store::{Op, OpResult, Stat, StoreEvent, ZnodeStore};
+pub use store::{DeltaRecord, Op, OpResult, Stat, StoreEvent, ZnodeStore};
 pub use testutil::TempDir;
 pub use wal::frame::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 pub use wal::{Durability, DurabilityOptions, DurabilityStats, SyncPolicy};

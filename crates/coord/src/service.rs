@@ -368,6 +368,17 @@ impl CoordService {
         self.inner.ensemble.lock().restart_replica(id);
     }
 
+    /// Changes the modeled per-fsync device latency on every durable
+    /// replica (see [`DurabilityOptions::simulated_fsync_latency`]).
+    /// Benches populate their stores at full speed, then dial in a
+    /// realistic device before measuring. A no-op without a `data_dir`.
+    pub fn set_simulated_fsync_latency(&self, latency: Duration) {
+        self.inner
+            .ensemble
+            .lock()
+            .set_simulated_fsync_latency(latency);
+    }
+
     /// Forces a session to expire immediately, as if its heartbeats stopped
     /// a session-timeout ago. Used by failover tests and the HA experiment.
     pub fn expire_session(&self, session: u64) {

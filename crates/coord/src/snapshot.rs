@@ -1,35 +1,51 @@
-//! Fuzzy snapshots of the znode store.
+//! Fuzzy snapshots of the znode store — full and incremental (delta).
 //!
-//! A snapshot captures the *entire* replicated state — data, versions,
-//! zxids, ephemeral owners, and sequential counters — at a batch boundary,
-//! tagged with the zxid of the last op it reflects. Together with the
-//! write-ahead log suffix after that zxid ([`crate::wal`]), it reconstructs
-//! a store byte-identical to the live one, which is what lets replicas
+//! A **full** snapshot (`snap-<zxid>.bin`, magic `TRPCSNP1`) captures the
+//! *entire* replicated state — data, versions, zxids, ephemeral owners, and
+//! sequential counters — at a batch boundary, tagged with the zxid of the
+//! last op it reflects. A **delta** snapshot (`delta-<zxid>.bin`, magic
+//! `TRPCDLT1`) captures only the paths dirtied since the previous snapshot:
+//! it names the zxid of that base (`base_zxid`) and carries
+//! [`DeltaRecord`]s encoded with the same WAL codec. Deltas form a
+//! chain — full at the base, each delta's `base_zxid` equal to the previous
+//! tip — resolved by [`load_chain`]. Together with the write-ahead log
+//! suffix after the chain tip ([`crate::wal`]), the chain reconstructs a
+//! store byte-identical to the live one, which is what lets replicas
 //! truncate both their on-disk segments and their in-memory op logs
 //! (ZooKeeper's snapshot + txn-log recovery scheme, paper §2.3).
 //!
-//! Files are written atomically (temp file, fsync, rename) and carry a
-//! magic header plus a trailing CRC-32; [`load_latest`] skips anything that
-//! fails validation, falling back to the previous snapshot generation.
+//! Files are written atomically (temp file, fsync, rename, directory
+//! fsync) and carry a magic header plus a trailing CRC-32; loaders skip
+//! anything that fails validation, falling back to the previous full
+//! generation or the longest valid chain prefix. Old directories that hold
+//! only `snap-*` files load unchanged: a chain of length zero.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path as StdPath, PathBuf};
 
-use crate::store::ZnodeStore;
+use crate::store::{DeltaRecord, ZnodeStore};
 use crate::wal::codec;
 
 const MAGIC: &[u8; 8] = b"TRPCSNP1";
+const DELTA_MAGIC: &[u8; 8] = b"TRPCDLT1";
 const PREFIX: &str = "snap-";
+const DELTA_PREFIX: &str = "delta-";
 const SUFFIX: &str = ".bin";
+const TAG_PUT: u8 = 1;
+const TAG_TOMBSTONE: u8 = 2;
 
-/// File name of the snapshot tagged with `zxid`.
+/// File name of the full snapshot tagged with `zxid`.
 pub fn file_name(zxid: u64) -> String {
     format!("{PREFIX}{zxid:016x}{SUFFIX}")
 }
 
-/// Snapshot files in `dir`, sorted ascending by zxid.
-pub fn list(dir: &StdPath) -> Vec<(u64, PathBuf)> {
+/// File name of the delta snapshot whose tip is `zxid`.
+pub fn delta_file_name(zxid: u64) -> String {
+    format!("{DELTA_PREFIX}{zxid:016x}{SUFFIX}")
+}
+
+fn list_prefixed(dir: &StdPath, prefix: &str) -> Vec<(u64, PathBuf)> {
     let Ok(entries) = fs::read_dir(dir) else {
         return Vec::new();
     };
@@ -38,7 +54,7 @@ pub fn list(dir: &StdPath) -> Vec<(u64, PathBuf)> {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let Some(hex) = name
-            .strip_prefix(PREFIX)
+            .strip_prefix(prefix)
             .and_then(|n| n.strip_suffix(SUFFIX))
         else {
             continue;
@@ -51,19 +67,51 @@ pub fn list(dir: &StdPath) -> Vec<(u64, PathBuf)> {
     out
 }
 
-/// Atomically writes a snapshot of `store` tagged with `zxid`, returning
-/// the file size in bytes.
+/// Full snapshot files in `dir`, sorted ascending by zxid.
+pub fn list(dir: &StdPath) -> Vec<(u64, PathBuf)> {
+    list_prefixed(dir, PREFIX)
+}
+
+/// Delta snapshot files in `dir`, sorted ascending by tip zxid.
+pub fn list_deltas(dir: &StdPath) -> Vec<(u64, PathBuf)> {
+    list_prefixed(dir, DELTA_PREFIX)
+}
+
+/// Atomically writes a full snapshot of `store` tagged with `zxid`,
+/// returning the file size in bytes.
 pub fn write(dir: &StdPath, zxid: u64, store: &ZnodeStore) -> io::Result<u64> {
     let mut body = Vec::with_capacity(4_096);
     codec::put_u64(&mut body, zxid);
     store.encode_into(&mut body);
-    let crc = codec::crc32(&body);
-    let final_path = dir.join(file_name(zxid));
-    let tmp_path = dir.join(format!("{}.tmp", file_name(zxid)));
+    write_atomic(dir, &file_name(zxid), MAGIC, &body)
+}
+
+/// Atomically writes a delta snapshot with tip `zxid` chained onto the
+/// snapshot at `base_zxid`, returning the file size in bytes.
+pub fn write_delta(
+    dir: &StdPath,
+    base_zxid: u64,
+    zxid: u64,
+    records: &[DeltaRecord],
+) -> io::Result<u64> {
+    let mut body = Vec::with_capacity(1_024);
+    codec::put_u64(&mut body, zxid);
+    codec::put_u64(&mut body, base_zxid);
+    codec::put_u32(&mut body, records.len() as u32);
+    for rec in records {
+        encode_delta_record(rec, &mut body);
+    }
+    write_atomic(dir, &delta_file_name(zxid), DELTA_MAGIC, &body)
+}
+
+fn write_atomic(dir: &StdPath, name: &str, magic: &[u8; 8], body: &[u8]) -> io::Result<u64> {
+    let crc = codec::crc32(body);
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
     {
         let mut file = fs::File::create(&tmp_path)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&body)?;
+        file.write_all(magic)?;
+        file.write_all(body)?;
         file.write_all(&crc.to_le_bytes())?;
         file.sync_data()?;
     }
@@ -72,7 +120,56 @@ pub fn write(dir: &StdPath, zxid: u64, store: &ZnodeStore) -> io::Result<u64> {
     // succeed before the caller may truncate the WAL the snapshot covers,
     // so a failure propagates instead of being swallowed.
     fs::File::open(dir)?.sync_all()?;
-    Ok((MAGIC.len() + body.len() + 4) as u64)
+    Ok((magic.len() + body.len() + 4) as u64)
+}
+
+fn encode_delta_record(rec: &DeltaRecord, out: &mut Vec<u8>) {
+    match rec {
+        DeltaRecord::Put {
+            path,
+            data,
+            czxid,
+            mzxid,
+            version,
+            ephemeral_owner,
+            cseq,
+        } => {
+            codec::put_u8(out, TAG_PUT);
+            codec::put_str(out, &path.to_string());
+            codec::put_bytes(out, data);
+            codec::put_u64(out, *czxid);
+            codec::put_u64(out, *mzxid);
+            codec::put_u64(out, *version);
+            codec::put_opt_u64(out, *ephemeral_owner);
+            codec::put_u64(out, *cseq);
+        }
+        DeltaRecord::Tombstone { path } => {
+            codec::put_u8(out, TAG_TOMBSTONE);
+            codec::put_str(out, &path.to_string());
+        }
+    }
+}
+
+fn decode_delta_record(cur: &mut codec::Cursor<'_>) -> Option<DeltaRecord> {
+    match cur.u8()? {
+        TAG_PUT => {
+            let path = tropic_model::Path::parse(cur.str()?).ok()?;
+            let data = bytes::Bytes::copy_from_slice(cur.bytes()?);
+            Some(DeltaRecord::Put {
+                path,
+                data,
+                czxid: cur.u64()?,
+                mzxid: cur.u64()?,
+                version: cur.u64()?,
+                ephemeral_owner: cur.opt_u64()?,
+                cseq: cur.u64()?,
+            })
+        }
+        TAG_TOMBSTONE => Some(DeltaRecord::Tombstone {
+            path: tropic_model::Path::parse(cur.str()?).ok()?,
+        }),
+        _ => None,
+    }
 }
 
 /// Loads the newest snapshot in `dir` that passes validation (magic, CRC,
@@ -100,19 +197,91 @@ pub fn load_latest_detailed(dir: &StdPath) -> (Option<(u64, ZnodeStore)>, bool) 
     (None, newer_corrupt)
 }
 
-/// Removes half-written `*.tmp` snapshot files left by a crash between
-/// create and rename, so repeated crash-during-snapshot cycles cannot
-/// leak disk.
-pub fn sweep_tmp(dir: &StdPath) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
+/// Result of resolving a directory's snapshot chain: the newest valid full
+/// snapshot plus every delta that links onto it.
+#[derive(Debug)]
+pub struct RecoveredChain {
+    /// Store and zxid at the resolved chain tip; `None` for a fresh dir.
+    pub snapshot: Option<(u64, ZnodeStore)>,
+    /// Number of deltas applied on top of the base full snapshot.
+    pub chain_len: u64,
+    /// A snapshot file newer than the resolved tip existed but failed
+    /// validation or did not link into the chain. The WAL suffix on disk
+    /// extends that newer state, not the resolved tip, so it must not be
+    /// replayed on top of this store (see [`load_latest_detailed`]).
+    pub newer_corrupt: bool,
+}
+
+/// Resolves the snapshot chain in `dir`: the newest full snapshot that
+/// passes validation, then each delta in zxid order whose `base_zxid`
+/// matches the running tip. A torn or corrupt delta ends the chain at the
+/// longest valid prefix with `newer_corrupt` set; deltas at or below the
+/// newest full are superseded debris and are ignored. Directories written
+/// before the delta format existed resolve as a chain of length zero.
+pub fn load_chain(dir: &StdPath) -> RecoveredChain {
+    let (base, mut newer_corrupt) = load_latest_detailed(dir);
+    let deltas = list_deltas(dir);
+    let Some((base_zxid, mut store)) = base else {
+        return RecoveredChain {
+            snapshot: None,
+            chain_len: 0,
+            newer_corrupt: newer_corrupt || !deltas.is_empty(),
+        };
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        if name.to_str().is_some_and(|n| n.ends_with(".tmp")) {
-            let _ = fs::remove_file(entry.path());
+    let mut tip = base_zxid;
+    let mut chain_len = 0u64;
+    for (zxid, path) in deltas {
+        if zxid <= base_zxid {
+            continue;
+        }
+        if newer_corrupt {
+            // Deltas chained onto a corrupt full cannot link to the older
+            // base we fell back to; don't even try.
+            break;
+        }
+        match load_delta_file(&path, zxid) {
+            Some((delta_base, records)) if delta_base == tip => {
+                if store.apply_delta(&records).is_none() {
+                    newer_corrupt = true;
+                    break;
+                }
+                tip = zxid;
+                chain_len += 1;
+            }
+            _ => {
+                newer_corrupt = true;
+                break;
+            }
         }
     }
+    RecoveredChain {
+        snapshot: Some((tip, store)),
+        chain_len,
+        newer_corrupt,
+    }
+}
+
+/// Removes half-written `*.tmp` snapshot files left by a crash between
+/// create and rename, so repeated crash-during-snapshot cycles cannot
+/// leak disk. Returns the number of files removed; when any were, the
+/// directory is fsynced so the cleanup itself survives power loss.
+pub fn sweep_tmp(dir: &StdPath) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.ends_with(".tmp"))
+            && fs::remove_file(entry.path()).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        let _ = fs::File::open(dir).and_then(|f| f.sync_all());
+    }
+    removed
 }
 
 fn load_file(path: &StdPath, expect_zxid: u64) -> Option<ZnodeStore> {
@@ -134,14 +303,55 @@ fn load_file(path: &StdPath, expect_zxid: u64) -> Option<ZnodeStore> {
     cur.is_done().then_some(store)
 }
 
-/// Deletes all but the newest `keep` snapshot generations.
-pub fn retain_latest(dir: &StdPath, keep: usize) {
+fn load_delta_file(path: &StdPath, expect_zxid: u64) -> Option<(u64, Vec<DeltaRecord>)> {
+    let data = fs::read(path).ok()?;
+    if data.len() < DELTA_MAGIC.len() + 12 || &data[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+        return None;
+    }
+    let body = &data[DELTA_MAGIC.len()..data.len() - 4];
+    let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    if codec::crc32(body) != stored_crc {
+        return None;
+    }
+    let mut cur = codec::Cursor::new(body);
+    let zxid = cur.u64()?;
+    if zxid != expect_zxid {
+        return None;
+    }
+    let base_zxid = cur.u64()?;
+    let count = cur.u32()?;
+    let mut records = Vec::new();
+    for _ in 0..count {
+        records.push(decode_delta_record(&mut cur)?);
+    }
+    cur.is_done().then_some((base_zxid, records))
+}
+
+/// Deletes all but the newest `keep` full-snapshot generations, plus every
+/// delta at or below the newest full (superseded: the live chain is
+/// exactly the deltas above it). Returns the number of files removed;
+/// when any were, the directory is fsynced so the deletions are durable.
+pub fn retain_latest(dir: &StdPath, keep: usize) -> usize {
     let snaps = list(dir);
+    let mut removed = 0;
     if snaps.len() > keep {
         for (_, path) in &snaps[..snaps.len() - keep] {
-            let _ = fs::remove_file(path);
+            if fs::remove_file(path).is_ok() {
+                removed += 1;
+            }
         }
     }
+    if let Some((newest_full, _)) = snaps.last() {
+        for (zxid, path) in list_deltas(dir) {
+            if zxid <= *newest_full && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+    }
+    if removed > 0 {
+        let _ = fs::File::open(dir).and_then(|f| f.sync_all());
+    }
+    removed
 }
 
 #[cfg(test)]
@@ -242,5 +452,155 @@ mod tests {
     fn empty_dir_has_no_snapshot() {
         let tmp = TempDir::new("tropic-snap-empty");
         assert!(load_latest(tmp.path()).is_none());
+    }
+
+    /// Applies `op` at `zxid` and returns the delta records it dirtied.
+    fn mutate(store: &mut ZnodeStore, zxid: u64, op: &Op) -> Vec<DeltaRecord> {
+        store.clear_dirty();
+        store.apply(zxid, op).0.unwrap();
+        store.delta_records()
+    }
+
+    #[test]
+    fn delta_chain_recovers_full_plus_deltas() {
+        let tmp = TempDir::new("tropic-snap-chain");
+        let mut store = populated_store();
+        write(tmp.path(), 3, &store).unwrap();
+
+        let recs = mutate(
+            &mut store,
+            5,
+            &Op::SetData {
+                path: Path::parse("/q").unwrap(),
+                data: Bytes::from_static(b"v3"),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 3, 5, &recs).unwrap();
+
+        let recs = mutate(
+            &mut store,
+            7,
+            &Op::Delete {
+                path: Path::parse("/q/item-0000000000").unwrap(),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 5, 7, &recs).unwrap();
+
+        let chain = load_chain(tmp.path());
+        assert!(!chain.newer_corrupt);
+        assert_eq!(chain.chain_len, 2);
+        let (zxid, recovered) = chain.snapshot.expect("chain loads");
+        assert_eq!(zxid, 7);
+        assert_eq!(recovered, store);
+    }
+
+    #[test]
+    fn corrupt_delta_truncates_chain_to_valid_prefix() {
+        let tmp = TempDir::new("tropic-snap-chain-corrupt");
+        let mut store = populated_store();
+        write(tmp.path(), 3, &store).unwrap();
+
+        let recs = mutate(
+            &mut store,
+            5,
+            &Op::SetData {
+                path: Path::parse("/q").unwrap(),
+                data: Bytes::from_static(b"v3"),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 3, 5, &recs).unwrap();
+        let after_first = store.clone();
+
+        let recs = mutate(
+            &mut store,
+            7,
+            &Op::Delete {
+                path: Path::parse("/q/item-0000000000").unwrap(),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 5, 7, &recs).unwrap();
+        let victim = tmp.path().join(delta_file_name(7));
+        let mut data = fs::read(&victim).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        fs::write(&victim, &data).unwrap();
+
+        let chain = load_chain(tmp.path());
+        assert!(chain.newer_corrupt, "torn delta must flag corruption");
+        assert_eq!(chain.chain_len, 1);
+        let (zxid, recovered) = chain.snapshot.expect("valid prefix loads");
+        assert_eq!(zxid, 5);
+        assert_eq!(recovered, after_first);
+    }
+
+    #[test]
+    fn delta_without_full_base_is_corrupt() {
+        let tmp = TempDir::new("tropic-snap-chain-orphan");
+        let mut store = populated_store();
+        let recs = mutate(
+            &mut store,
+            5,
+            &Op::SetData {
+                path: Path::parse("/q").unwrap(),
+                data: Bytes::from_static(b"v3"),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 3, 5, &recs).unwrap();
+
+        let chain = load_chain(tmp.path());
+        assert!(
+            chain.newer_corrupt,
+            "orphan delta has no base to chain from"
+        );
+        assert!(chain.snapshot.is_none());
+    }
+
+    #[test]
+    fn retain_latest_drops_deltas_superseded_by_newer_full() {
+        let tmp = TempDir::new("tropic-snap-chain-retain");
+        let mut store = populated_store();
+        write(tmp.path(), 3, &store).unwrap();
+        let recs = mutate(
+            &mut store,
+            5,
+            &Op::SetData {
+                path: Path::parse("/q").unwrap(),
+                data: Bytes::from_static(b"v3"),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 3, 5, &recs).unwrap();
+        // Compaction: a newer full supersedes the chain behind it.
+        write(tmp.path(), 7, &store).unwrap();
+        let recs = mutate(
+            &mut store,
+            9,
+            &Op::SetData {
+                path: Path::parse("/q").unwrap(),
+                data: Bytes::from_static(b"v4"),
+                expected_version: None,
+            },
+        );
+        write_delta(tmp.path(), 7, 9, &recs).unwrap();
+
+        retain_latest(tmp.path(), 2);
+        let fulls: Vec<u64> = list(tmp.path()).into_iter().map(|(z, _)| z).collect();
+        let deltas: Vec<u64> = list_deltas(tmp.path())
+            .into_iter()
+            .map(|(z, _)| z)
+            .collect();
+        assert_eq!(fulls, vec![3, 7]);
+        assert_eq!(deltas, vec![9], "delta behind the newest full is debris");
+
+        let chain = load_chain(tmp.path());
+        assert!(!chain.newer_corrupt);
+        let (zxid, recovered) = chain.snapshot.expect("chain loads after retention");
+        assert_eq!(zxid, 9);
+        assert_eq!(recovered, store);
     }
 }

@@ -5,7 +5,8 @@
 //! state. Application is deterministic: sequential-node counters live in the
 //! parent znode and are part of replicated state.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use bytes::Bytes;
 use tropic_model::Path;
@@ -174,10 +175,65 @@ enum Undo {
     Purged { nodes: Vec<(Path, Znode)> },
 }
 
-/// One replica's copy of the znode tree.
+/// One entry of an incremental (delta) snapshot: the post-state of a znode
+/// touched since the delta's base snapshot, or a tombstone for one that no
+/// longer exists. A `Put` carries every scalar field but not children —
+/// membership changes under a node are always covered by the children's own
+/// records, because creates and deletes mark both child and parent dirty.
 #[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaRecord {
+    /// Upsert: create the node if missing, else overwrite its scalars while
+    /// keeping its children.
+    Put {
+        /// Absolute path of the node.
+        path: Path,
+        /// Node payload at the delta's zxid.
+        data: Bytes,
+        /// Creation zxid.
+        czxid: u64,
+        /// Last-modification zxid.
+        mzxid: u64,
+        /// Data version.
+        version: u64,
+        /// Owning session for ephemeral nodes.
+        ephemeral_owner: Option<u64>,
+        /// Sequential-child counter.
+        cseq: u64,
+    },
+    /// The path was dirtied and no longer exists at the delta's zxid.
+    Tombstone {
+        /// Absolute path of the deleted node.
+        path: Path,
+    },
+}
+
+/// One replica's copy of the znode tree.
+#[derive(Clone)]
 pub struct ZnodeStore {
     root: Znode,
+    /// Paths touched since the last snapshot. An over-approximation: a
+    /// reverted [`Op::Multi`] leaves its marks behind, which costs redundant
+    /// delta records but never correctness.
+    dirty: BTreeSet<Path>,
+}
+
+impl PartialEq for ZnodeStore {
+    fn eq(&self, other: &Self) -> bool {
+        // Dirty marks are local snapshot bookkeeping, not replicated state:
+        // two replicas with identical trees compare equal even when their
+        // snapshot cadences differ.
+        self.root == other.root
+    }
+}
+
+impl Eq for ZnodeStore {}
+
+impl fmt::Debug for ZnodeStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ZnodeStore")
+            .field("root", &self.root)
+            .finish()
+    }
 }
 
 impl Default for ZnodeStore {
@@ -191,7 +247,107 @@ impl ZnodeStore {
     pub fn new() -> Self {
         ZnodeStore {
             root: Znode::new(Bytes::new(), 0, None),
+            dirty: BTreeSet::new(),
         }
+    }
+
+    /// Number of distinct paths dirtied since the last
+    /// [`ZnodeStore::clear_dirty`]. Snapshot policy compares this against
+    /// [`ZnodeStore::node_count`] to pick delta vs full.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Forgets all dirty marks. Called once a snapshot (full or delta) has
+    /// captured the state they describe.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// The incremental snapshot of the dirtied paths: tombstones for paths
+    /// that no longer exist, then upserts in lexicographic path order (which
+    /// puts every ancestor before its descendants, the order
+    /// [`ZnodeStore::apply_delta`] relies on).
+    pub fn delta_records(&self) -> Vec<DeltaRecord> {
+        let mut tombstones = Vec::new();
+        let mut puts = Vec::new();
+        for path in &self.dirty {
+            match self.get_node(path) {
+                Some(n) => puts.push(DeltaRecord::Put {
+                    path: path.clone(),
+                    data: n.data.clone(),
+                    czxid: n.czxid,
+                    mzxid: n.mzxid,
+                    version: n.version,
+                    ephemeral_owner: n.ephemeral_owner,
+                    cseq: n.cseq,
+                }),
+                None => tombstones.push(DeltaRecord::Tombstone { path: path.clone() }),
+            }
+        }
+        tombstones.extend(puts);
+        tombstones
+    }
+
+    /// Applies a decoded delta on top of this store (which must be the
+    /// delta's base state). Tombstones remove whole subtrees and ignore
+    /// already-missing paths (a deleted ancestor's tombstone subsumes its
+    /// descendants'). Returns `None` when a record is inconsistent with the
+    /// tree — a root tombstone or an upsert under an absent parent — which
+    /// chain recovery treats as corruption.
+    pub fn apply_delta(&mut self, records: &[DeltaRecord]) -> Option<()> {
+        for rec in records {
+            match rec {
+                DeltaRecord::Tombstone { path } => {
+                    let leaf = path.leaf()?.to_owned();
+                    let parent_path = path.parent().expect("non-root");
+                    if let Some(parent) = self.get_node_mut(&parent_path) {
+                        parent.children.remove(&leaf);
+                    }
+                }
+                DeltaRecord::Put {
+                    path,
+                    data,
+                    czxid,
+                    mzxid,
+                    version,
+                    ephemeral_owner,
+                    cseq,
+                } => match path.leaf() {
+                    // Root upsert: scalars only (top-level sequential
+                    // creates bump its cseq).
+                    None => {
+                        let root = &mut self.root;
+                        root.data = data.clone();
+                        root.czxid = *czxid;
+                        root.mzxid = *mzxid;
+                        root.version = *version;
+                        root.ephemeral_owner = *ephemeral_owner;
+                        root.cseq = *cseq;
+                    }
+                    Some(leaf) => {
+                        let leaf = leaf.to_owned();
+                        let parent_path = path.parent().expect("non-root");
+                        let parent = self.get_node_mut(&parent_path)?;
+                        if let Some(node) = parent.children.get_mut(&leaf) {
+                            node.data = data.clone();
+                            node.czxid = *czxid;
+                            node.mzxid = *mzxid;
+                            node.version = *version;
+                            node.ephemeral_owner = *ephemeral_owner;
+                            node.cseq = *cseq;
+                        } else {
+                            let mut node = Znode::new(data.clone(), *czxid, *ephemeral_owner);
+                            node.mzxid = *mzxid;
+                            node.version = *version;
+                            node.cseq = *cseq;
+                            parent.children.insert(leaf, node);
+                        }
+                    }
+                },
+            }
+        }
+        Some(())
     }
 
     fn get_node(&self, path: &Path) -> Option<&Znode> {
@@ -264,6 +420,7 @@ impl ZnodeStore {
     pub(crate) fn decode_from(cur: &mut codec::Cursor<'_>) -> Option<Self> {
         Some(ZnodeStore {
             root: decode_znode(cur)?,
+            dirty: BTreeSet::new(),
         })
     }
 
@@ -510,6 +667,8 @@ impl ZnodeStore {
             .children
             .insert(name.clone(), Znode::new(data, zxid, ephemeral_owner));
         let final_path = parent_path.join(&name);
+        self.dirty.insert(final_path.clone());
+        self.dirty.insert(parent_path.clone());
         let events = vec![
             StoreEvent::Created(final_path.clone()),
             StoreEvent::ChildrenChanged(parent_path),
@@ -543,6 +702,7 @@ impl ZnodeStore {
         node.version += 1;
         node.mzxid = zxid;
         let v = node.version;
+        self.dirty.insert(path.clone());
         (
             Ok(OpResult::Set(v)),
             vec![StoreEvent::DataChanged(path.clone())],
@@ -577,6 +737,8 @@ impl ZnodeStore {
         let parent_path = path.parent().expect("non-root");
         let parent = self.get_node_mut(&parent_path).expect("parent exists");
         parent.children.remove(&name);
+        self.dirty.insert(path.clone());
+        self.dirty.insert(parent_path.clone());
         let events = vec![
             StoreEvent::Deleted(path.clone()),
             StoreEvent::ChildrenChanged(parent_path),
@@ -593,14 +755,17 @@ impl ZnodeStore {
         for path in paths {
             let name = path.leaf().expect("ephemerals are non-root").to_owned();
             let parent_path = path.parent().expect("non-root");
-            if let Some(parent) = self.get_node_mut(&parent_path) {
-                // Ephemeral nodes have no children (enforced at create), so
-                // removal cannot orphan anything.
-                if parent.children.remove(&name).is_some() {
-                    events.push(StoreEvent::Deleted(path.clone()));
-                    events.push(StoreEvent::ChildrenChanged(parent_path));
-                    deleted.push(path);
-                }
+            // Ephemeral nodes have no children (enforced at create), so
+            // removal cannot orphan anything.
+            let removed = self
+                .get_node_mut(&parent_path)
+                .is_some_and(|parent| parent.children.remove(&name).is_some());
+            if removed {
+                self.dirty.insert(path.clone());
+                self.dirty.insert(parent_path.clone());
+                events.push(StoreEvent::Deleted(path.clone()));
+                events.push(StoreEvent::ChildrenChanged(parent_path));
+                deleted.push(path);
             }
         }
         (Ok(OpResult::Purged(deleted)), events)

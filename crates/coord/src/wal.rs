@@ -21,6 +21,12 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path as StdPath, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Condvar, Mutex};
 
 use crate::snapshot;
 use crate::store::{Op, ZnodeStore};
@@ -39,6 +45,21 @@ pub enum SyncPolicy {
         /// Appended records between forced syncs (clamped to at least 1).
         every_ops: u64,
     },
+    /// Group fsync off the critical path: every batch is handed to a
+    /// dedicated sync thread, and the commit path only blocks while more
+    /// than `depth` batches remain unsynced. The safety posture is the same
+    /// as [`SyncPolicy::EveryBatch`] — every batch *is* fsynced, in order,
+    /// and a batch is never reported synced before its own fsync lands —
+    /// but with `depth > 0` the fsync of batch N overlaps the encode and
+    /// append of batch N+1 instead of serializing ahead of it.
+    /// `depth: 0` pipelines across replicas only (each replica's ack still
+    /// waits for its own batch), which already overlaps the ensemble's
+    /// fsyncs; see `Ensemble::submit`.
+    Pipelined {
+        /// Max batches allowed in flight (unsynced) before the commit path
+        /// stalls waiting on the sync thread.
+        depth: u64,
+    },
 }
 
 /// Durability tuning for one replica.
@@ -54,6 +75,19 @@ pub struct DurabilityOptions {
     pub snapshot_max_wal_bytes: u64,
     /// Rotate to a new segment file once the current one exceeds this size.
     pub segment_max_bytes: u64,
+    /// Write incremental (delta) snapshots when the dirty set is small
+    /// relative to the store, chaining off the previous snapshot. Disable
+    /// to force every snapshot full.
+    pub delta_snapshots: bool,
+    /// Max deltas chained onto one full snapshot before the next snapshot
+    /// is forced full (compaction). `0` behaves like
+    /// `delta_snapshots: false`.
+    pub delta_chain_max: u64,
+    /// Modeled device latency added to every fsync (including each sync
+    /// round of the pipelined policy). Zero — the default — adds nothing;
+    /// benches set it so policy comparisons measure the protocol, not the
+    /// host's page cache.
+    pub simulated_fsync_latency: Duration,
 }
 
 impl Default for DurabilityOptions {
@@ -63,6 +97,9 @@ impl Default for DurabilityOptions {
             snapshot_every_ops: 1_024,
             snapshot_max_wal_bytes: 4 << 20,
             segment_max_bytes: 1 << 20,
+            delta_snapshots: true,
+            delta_chain_max: 8,
+            simulated_fsync_latency: Duration::ZERO,
         }
     }
 }
@@ -76,12 +113,25 @@ pub struct DurabilityStats {
     pub wal_bytes: u64,
     /// Bytes covered by completed fsyncs.
     pub bytes_fsynced: u64,
-    /// fsync calls issued.
+    /// fsync calls issued against segment files.
     pub fsyncs: u64,
+    /// Directory fsyncs making renames, new files, and deletions durable.
+    pub dir_fsyncs: u64,
     /// Segment files rotated out.
     pub segments_rotated: u64,
-    /// Snapshots written (policy-triggered and snapshot transfers).
+    /// Snapshots written (full and delta, policy-triggered and snapshot
+    /// transfers).
     pub snapshots_written: u64,
+    /// The subset of `snapshots_written` that were deltas.
+    pub delta_snapshots_written: u64,
+    /// Times the pipelined commit path blocked because `depth` batches
+    /// were already in flight.
+    pub pipeline_stalls: u64,
+    /// Batches settled by a sync round they shared with other batches
+    /// (the fsyncs the pipeline's coalescing saved).
+    pub pipeline_coalesced: u64,
+    /// Max batches observed in flight (unsynced) at once.
+    pub pipeline_depth_peak: u64,
 }
 
 /// A recovered snapshot: the zxid it reflects plus the decoded store.
@@ -137,10 +187,13 @@ pub struct Wal {
     dir: PathBuf,
     segment_max_bytes: u64,
     current: Option<Segment>,
+    dir_fsyncs: u64,
 }
 
 struct Segment {
-    file: File,
+    /// Shared so the pipelined sync thread can fsync a segment the writer
+    /// has already rotated away from (or is still appending to).
+    file: Arc<File>,
     bytes: u64,
 }
 
@@ -152,6 +205,7 @@ impl Wal {
             dir: dir.to_path_buf(),
             segment_max_bytes: segment_max_bytes.max(1),
             current: None,
+            dir_fsyncs: 0,
         }
     }
 
@@ -177,11 +231,15 @@ impl Wal {
             // a fresh segment could vanish wholesale on power loss — so a
             // failure here must surface, not be swallowed.
             File::open(&self.dir)?.sync_all()?;
+            self.dir_fsyncs += 1;
             let bytes = file.metadata()?.len();
-            self.current = Some(Segment { file, bytes });
+            self.current = Some(Segment {
+                file: Arc::new(file),
+                bytes,
+            });
         }
         let seg = self.current.as_mut().expect("segment just ensured");
-        seg.file.write_all(frame)?;
+        (&*seg.file).write_all(frame)?;
         seg.bytes += frame.len() as u64;
         Ok(rotated)
     }
@@ -194,14 +252,34 @@ impl Wal {
         Ok(())
     }
 
+    /// A shared handle to the current segment's file, for handing to the
+    /// pipelined sync thread.
+    fn current_file(&self) -> Option<Arc<File>> {
+        self.current.as_ref().map(|s| Arc::clone(&s.file))
+    }
+
+    /// Directory fsyncs issued by this log (new-segment creation, segment
+    /// deletion at truncation).
+    fn dir_fsyncs(&self) -> u64 {
+        self.dir_fsyncs
+    }
+
     /// Deletes every segment file. Called after a snapshot has made them
     /// redundant (snapshots are always taken at the log tip, so every
-    /// segment is fully covered).
+    /// segment is fully covered). The deletions are made durable with a
+    /// directory fsync so a power loss cannot resurrect pre-snapshot
+    /// segments next to a post-snapshot log.
     pub fn clear(&mut self) -> io::Result<()> {
         self.current = None;
-        for (_, path) in list_segments(&self.dir)? {
+        let segments = list_segments(&self.dir)?;
+        if segments.is_empty() {
+            return Ok(());
+        }
+        for (_, path) in segments {
             fs::remove_file(path)?;
         }
+        File::open(&self.dir)?.sync_all()?;
+        self.dir_fsyncs += 1;
         Ok(())
     }
 }
@@ -266,6 +344,159 @@ fn scan_segment(data: &[u8]) -> (usize, Vec<(u64, Op)>, bool) {
     }
 }
 
+/// One queued fsync request: all bytes appended for one committed batch,
+/// tagged with a monotonically increasing ticket.
+struct SyncJob {
+    ticket: u64,
+    file: Arc<File>,
+    bytes: u64,
+}
+
+/// Progress the sync thread publishes back to the commit path.
+#[derive(Default)]
+struct SyncProgress {
+    /// Highest ticket whose fsync has landed (tickets complete in order).
+    completed: u64,
+    /// fsync calls the thread has issued.
+    fsyncs: u64,
+    /// Jobs settled by a round they shared with other jobs.
+    coalesced: u64,
+    /// Bytes covered by completed fsyncs.
+    bytes_fsynced: u64,
+    /// First fsync failure, if any; waiting commit paths panic on it (the
+    /// same posture as the serial policies' `expect`).
+    failed: Option<String>,
+}
+
+struct SyncShared {
+    progress: Mutex<SyncProgress>,
+    cv: Condvar,
+}
+
+/// The pipelined policy's dedicated sync thread. Jobs are drained in
+/// batches: every job queued at wake-up joins one sync round, each distinct
+/// segment file is fsynced once, and the round's highest ticket publishes as
+/// completed — so k queued batches on one segment cost one fsync.
+struct Syncer {
+    tx: Option<Sender<SyncJob>>,
+    shared: Arc<SyncShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Syncer {
+    fn spawn(latency_ns: Arc<AtomicU64>) -> Self {
+        let (tx, rx) = channel::unbounded::<SyncJob>();
+        let shared = Arc::new(SyncShared {
+            progress: Mutex::new(SyncProgress::default()),
+            cv: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("tropic-wal-sync".into())
+            .spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    let mut jobs = vec![first];
+                    while let Ok(more) = rx.try_recv() {
+                        jobs.push(more);
+                    }
+                    let latency = Duration::from_nanos(latency_ns.load(Ordering::Relaxed));
+                    let mut fsyncs = 0u64;
+                    let mut failed: Option<String> = None;
+                    for i in 0..jobs.len() {
+                        // One fsync per distinct file settles every job on
+                        // it: all their appends happened before they were
+                        // queued. (Rotation keeps at most two files per
+                        // round in practice.)
+                        let dup = jobs[..i]
+                            .iter()
+                            .any(|prev| Arc::ptr_eq(&prev.file, &jobs[i].file));
+                        if dup {
+                            continue;
+                        }
+                        if !latency.is_zero() {
+                            std::thread::sleep(latency);
+                        }
+                        if let Err(e) = jobs[i].file.sync_data() {
+                            failed = Some(e.to_string());
+                            break;
+                        }
+                        fsyncs += 1;
+                    }
+                    let last_ticket = jobs.last().expect("non-empty round").ticket;
+                    let bytes: u64 = jobs.iter().map(|j| j.bytes).sum();
+                    let mut p = thread_shared.progress.lock();
+                    if let Some(e) = failed {
+                        if p.failed.is_none() {
+                            p.failed = Some(e);
+                        }
+                    }
+                    // Publish completion even on failure so waiters wake and
+                    // observe `failed` instead of hanging.
+                    p.completed = last_ticket;
+                    p.fsyncs += fsyncs;
+                    p.coalesced += jobs.len() as u64 - fsyncs.min(jobs.len() as u64);
+                    p.bytes_fsynced += bytes;
+                    drop(p);
+                    thread_shared.cv.notify_all();
+                }
+            })
+            .expect("spawn WAL sync thread");
+        Syncer {
+            tx: Some(tx),
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    fn enqueue(&self, job: SyncJob) {
+        let alive = self.tx.as_ref().expect("syncer running").send(job).is_ok();
+        assert!(alive, "WAL sync thread terminated");
+    }
+
+    fn completed(&self) -> u64 {
+        self.shared.progress.lock().completed
+    }
+
+    /// Blocks until at most `depth` of `submitted` tickets remain unsynced.
+    /// Returns whether it had to block. Panics if the sync thread reported
+    /// an fsync failure (matching the serial policies' `expect`).
+    fn wait_outstanding_le(&self, submitted: u64, depth: u64) -> bool {
+        let target = submitted.saturating_sub(depth);
+        let mut p = self.shared.progress.lock();
+        let mut stalled = false;
+        while p.completed < target {
+            if let Some(e) = &p.failed {
+                panic!("WAL fsync failed: {e}");
+            }
+            stalled = true;
+            self.shared.cv.wait(&mut p);
+        }
+        if let Some(e) = &p.failed {
+            panic!("WAL fsync failed: {e}");
+        }
+        stalled
+    }
+
+    /// Drains the queue without panicking; used from `Drop`.
+    fn drain_best_effort(&self, submitted: u64) {
+        let mut p = self.shared.progress.lock();
+        while p.completed < submitted && p.failed.is_none() {
+            self.shared.cv.wait(&mut p);
+        }
+    }
+}
+
+impl Drop for Syncer {
+    fn drop(&mut self) {
+        // Closing the channel ends the thread's recv loop after it drains
+        // what is already queued.
+        self.tx.take();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 /// One replica's durability handle: its write-ahead log, snapshot policy,
 /// and counters. Owned by an ensemble replica; every committed op flows
 /// through [`Durability::append`] before it is applied, and every committed
@@ -279,6 +510,18 @@ pub struct Durability {
     wal_bytes_since_snapshot: u64,
     appends_since_sync: u64,
     unsynced_bytes: u64,
+    /// Modeled fsync latency, shared with the sync thread so it can be
+    /// changed after construction (benches populate fast, then measure).
+    simulated_fsync_latency_ns: Arc<AtomicU64>,
+    /// Lazily spawned by the first pipelined batch.
+    syncer: Option<Syncer>,
+    /// Tickets handed to the sync thread so far.
+    submitted_tickets: u64,
+    /// Zxid of the newest snapshot (full or delta) in `dir`; the base the
+    /// next delta chains onto.
+    chain_tip: Option<u64>,
+    /// Deltas chained onto the newest full snapshot.
+    chain_len: u64,
 }
 
 impl std::fmt::Debug for Durability {
@@ -293,6 +536,9 @@ impl std::fmt::Debug for Durability {
 impl Durability {
     fn fresh(dir: &StdPath, opts: DurabilityOptions) -> Self {
         let wal = Wal::new(dir, opts.segment_max_bytes);
+        let latency = Arc::new(AtomicU64::new(
+            u64::try_from(opts.simulated_fsync_latency.as_nanos()).unwrap_or(u64::MAX),
+        ));
         Durability {
             dir: dir.to_path_buf(),
             opts,
@@ -302,6 +548,11 @@ impl Durability {
             wal_bytes_since_snapshot: 0,
             appends_since_sync: 0,
             unsynced_bytes: 0,
+            simulated_fsync_latency_ns: latency,
+            syncer: None,
+            submitted_tickets: 0,
+            chain_tip: None,
+            chain_len: 0,
         }
     }
 
@@ -321,16 +572,22 @@ impl Durability {
     /// cleanly-closed directory are idempotent.
     pub fn open(dir: &StdPath, opts: DurabilityOptions) -> io::Result<OpenedDurability> {
         fs::create_dir_all(dir)?;
-        snapshot::sweep_tmp(dir);
-        let (snap, newer_corrupt) = snapshot::load_latest_detailed(dir);
+        let swept = snapshot::sweep_tmp(dir);
+        let chain = snapshot::load_chain(dir);
+        let snap = chain.snapshot;
         let horizon = snap.as_ref().map(|(zxid, _)| *zxid).unwrap_or(0);
         let mut d = Self::fresh(dir, opts);
-        if newer_corrupt {
-            // The live segments extend the (corrupt) newest generation, not
-            // the one loaded: replaying them here would splice a hole over
-            // the lost history. Drop them — the replica recovers to the
-            // older snapshot's *consistent* state and catches the rest up
-            // from the leader via snapshot transfer.
+        if swept > 0 {
+            d.stats.dir_fsyncs += 1;
+        }
+        d.chain_tip = snap.as_ref().map(|(zxid, _)| *zxid);
+        d.chain_len = chain.chain_len;
+        if chain.newer_corrupt {
+            // The live segments extend the (corrupt or unlinkable) newest
+            // generation, not the chain prefix loaded: replaying them here
+            // would splice a hole over the lost history. Drop them — the
+            // replica recovers to a *consistent* earlier state and catches
+            // the rest up from the leader via snapshot transfer.
             d.wal.clear()?;
             return Ok((d, snap, Vec::new()));
         }
@@ -382,16 +639,54 @@ impl Durability {
         self.wal_bytes_since_snapshot += len;
     }
 
-    /// Ends a committed batch: syncs per policy and writes a fuzzy snapshot
-    /// of `store` when the policy triggers, truncating every segment.
-    /// Returns the snapshot zxid when one was taken, so the owner can
-    /// truncate its in-memory log to the same horizon.
-    pub fn commit_batch(&mut self, zxid: u64, store: &ZnodeStore) -> Option<u64> {
+    /// Under [`SyncPolicy::Pipelined`], hands everything appended since the
+    /// last sync point to the sync thread *without waiting*, so the fsync
+    /// overlaps whatever the caller does next (encoding the next batch,
+    /// appending on the next replica). A no-op for other policies or when
+    /// nothing is pending; idempotent within a batch. The matching wait
+    /// happens in [`Durability::commit_batch`].
+    pub fn begin_batch_sync(&mut self) {
+        let SyncPolicy::Pipelined { .. } = self.opts.sync_policy else {
+            return;
+        };
+        if self.appends_since_sync == 0 {
+            return;
+        }
+        let Some(file) = self.wal.current_file() else {
+            return;
+        };
+        let latency = Arc::clone(&self.simulated_fsync_latency_ns);
+        let syncer = self.syncer.get_or_insert_with(|| Syncer::spawn(latency));
+        self.submitted_tickets += 1;
+        syncer.enqueue(SyncJob {
+            ticket: self.submitted_tickets,
+            file,
+            bytes: self.unsynced_bytes,
+        });
+        let outstanding = self.submitted_tickets - syncer.completed();
+        self.stats.pipeline_depth_peak = self.stats.pipeline_depth_peak.max(outstanding);
+        self.unsynced_bytes = 0;
+        self.appends_since_sync = 0;
+    }
+
+    /// Ends a committed batch: syncs per policy and writes a snapshot of
+    /// `store` when the policy triggers, truncating every segment. Returns
+    /// the snapshot zxid when one was taken, so the owner can truncate its
+    /// in-memory log to the same horizon.
+    pub fn commit_batch(&mut self, zxid: u64, store: &mut ZnodeStore) -> Option<u64> {
         match self.opts.sync_policy {
             SyncPolicy::EveryBatch => self.sync_now(),
             SyncPolicy::Periodic { every_ops } => {
                 if self.appends_since_sync >= every_ops.max(1) {
                     self.sync_now();
+                }
+            }
+            SyncPolicy::Pipelined { depth } => {
+                self.begin_batch_sync();
+                if let Some(syncer) = &self.syncer {
+                    if syncer.wait_outstanding_le(self.submitted_tickets, depth) {
+                        self.stats.pipeline_stalls += 1;
+                    }
                 }
             }
         }
@@ -400,7 +695,7 @@ impl Durability {
         let by_bytes = self.opts.snapshot_max_wal_bytes > 0
             && self.wal_bytes_since_snapshot >= self.opts.snapshot_max_wal_bytes;
         if by_ops || by_bytes {
-            self.take_snapshot(zxid, store);
+            self.take_snapshot(zxid, store, false);
             Some(zxid)
         } else {
             None
@@ -409,13 +704,41 @@ impl Durability {
 
     /// Persists a full-state snapshot received from the leader (a follower
     /// lagging beyond the truncation horizon) and resets the local log.
-    pub fn install_snapshot(&mut self, zxid: u64, store: &ZnodeStore) {
-        self.take_snapshot(zxid, store);
+    /// Always full: the store did not evolve from this replica's previous
+    /// snapshot, so a delta could not chain onto it.
+    pub fn install_snapshot(&mut self, zxid: u64, store: &mut ZnodeStore) {
+        self.take_snapshot(zxid, store, true);
     }
 
-    fn take_snapshot(&mut self, zxid: u64, store: &ZnodeStore) {
-        snapshot::write(&self.dir, zxid, store).expect("snapshot I/O failed");
-        snapshot::retain_latest(&self.dir, 2);
+    fn take_snapshot(&mut self, zxid: u64, store: &mut ZnodeStore, force_full: bool) {
+        // Settle the pipeline first: the snapshot supersedes the segments
+        // about to be truncated, and the counters below assume no sync is
+        // in flight.
+        self.drain_pipeline();
+        let as_delta = !force_full
+            && self.opts.delta_snapshots
+            && self.chain_len < self.opts.delta_chain_max
+            && self.chain_tip.is_some_and(|tip| tip < zxid)
+            // A delta records dirty paths with their full path strings; past
+            // half the store it stops being the cheaper encoding.
+            && store.dirty_count().saturating_mul(2) < store.node_count();
+        if as_delta {
+            let base = self.chain_tip.expect("delta requires a base");
+            snapshot::write_delta(&self.dir, base, zxid, &store.delta_records())
+                .expect("delta snapshot I/O failed");
+            self.chain_len += 1;
+            self.stats.delta_snapshots_written += 1;
+        } else {
+            snapshot::write(&self.dir, zxid, store).expect("snapshot I/O failed");
+            self.chain_len = 0;
+        }
+        // write/write_delta fsync the directory after their rename.
+        self.stats.dir_fsyncs += 1;
+        self.chain_tip = Some(zxid);
+        if snapshot::retain_latest(&self.dir, 2) > 0 {
+            self.stats.dir_fsyncs += 1;
+        }
+        store.clear_dirty();
         self.wal.clear().expect("WAL truncation I/O failed");
         self.stats.snapshots_written += 1;
         self.ops_since_snapshot = 0;
@@ -428,6 +751,10 @@ impl Durability {
         if self.appends_since_sync == 0 {
             return;
         }
+        let latency_ns = self.simulated_fsync_latency_ns.load(Ordering::Relaxed);
+        if latency_ns > 0 {
+            std::thread::sleep(Duration::from_nanos(latency_ns));
+        }
         self.wal.sync().expect("WAL fsync failed");
         self.stats.fsyncs += 1;
         self.stats.bytes_fsynced += self.unsynced_bytes;
@@ -435,9 +762,50 @@ impl Durability {
         self.appends_since_sync = 0;
     }
 
-    /// This replica's durability counters.
+    /// Blocks until every queued pipelined fsync has landed. A no-op for
+    /// serial policies.
+    pub fn drain_pipeline(&mut self) {
+        if let Some(syncer) = &self.syncer {
+            if syncer.wait_outstanding_le(self.submitted_tickets, 0) {
+                self.stats.pipeline_stalls += 1;
+            }
+        }
+    }
+
+    /// Changes the modeled per-fsync device latency. Takes effect on the
+    /// next sync (serial policies and the sync thread both read it per
+    /// round), so benches can populate a store quickly and then measure
+    /// with a realistic device model.
+    pub fn set_simulated_fsync_latency(&mut self, latency: Duration) {
+        self.simulated_fsync_latency_ns.store(
+            u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// This replica's durability counters, including the sync thread's.
     pub fn stats(&self) -> DurabilityStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.dir_fsyncs += self.wal.dir_fsyncs();
+        if let Some(syncer) = &self.syncer {
+            let p = syncer.shared.progress.lock();
+            stats.fsyncs += p.fsyncs;
+            stats.bytes_fsynced += p.bytes_fsynced;
+            stats.pipeline_coalesced += p.coalesced;
+        }
+        stats
+    }
+}
+
+impl Drop for Durability {
+    fn drop(&mut self) {
+        // Settle queued fsyncs before the handle disappears, so a clean
+        // shutdown leaves nothing racing recovery (and crash-consistency
+        // proptests see deterministic on-disk state). Best-effort: a failed
+        // fsync here must not double-panic during unwind.
+        if let Some(syncer) = &self.syncer {
+            syncer.drain_best_effort(self.submitted_tickets);
+        }
     }
 }
 
@@ -1009,7 +1377,7 @@ mod tests {
             let op = create_op(&format!("/n{i}"));
             d.append(i, &op);
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &store);
+            d.commit_batch(i, &mut store);
         }
         assert_eq!(d.stats().snapshots_written, 2, "at zxid 4 and 8");
         drop(d);
@@ -1036,7 +1404,7 @@ mod tests {
             let op = create_op(&format!("/n{i}"));
             d.append(i, &op);
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &store);
+            d.commit_batch(i, &mut store);
         }
         drop(d);
         // Bit rot hits the newest snapshot (zxid 8); the WAL on disk holds
@@ -1086,14 +1454,15 @@ mod tests {
             snapshot_every_ops: 0,
             snapshot_max_wal_bytes: 0,
             segment_max_bytes: 64, // rotate mid sync-window
+            ..DurabilityOptions::default()
         };
         let mut d = Durability::create(tmp.path(), opts).unwrap();
-        let store = ZnodeStore::new();
+        let mut store = ZnodeStore::new();
         for i in 1..=50u64 {
             d.append(i, &create_op(&format!("/node{i}")));
-            d.commit_batch(i, &store);
+            d.commit_batch(i, &mut store);
         }
-        d.commit_batch(50, &store);
+        d.commit_batch(50, &mut store);
         let s = d.stats();
         assert!(s.segments_rotated > 0);
         assert!(
@@ -1116,14 +1485,146 @@ mod tests {
             },
         )
         .unwrap();
-        let store = ZnodeStore::new();
+        let mut store = ZnodeStore::new();
         for i in 1..=3u64 {
             d.append(i, &create_op(&format!("/n{i}")));
-            d.commit_batch(i, &store);
+            d.commit_batch(i, &mut store);
         }
         let s = d.stats();
         assert_eq!(s.fsyncs, 3);
         assert_eq!(s.bytes_fsynced, s.wal_bytes);
+    }
+
+    #[test]
+    fn pipelined_policy_syncs_every_batch_and_recovers_all_records() {
+        let tmp = TempDir::new("tropic-wal-pipelined");
+        let opts = DurabilityOptions {
+            sync_policy: SyncPolicy::Pipelined { depth: 4 },
+            snapshot_every_ops: 0,
+            snapshot_max_wal_bytes: 0,
+            ..DurabilityOptions::default()
+        };
+        let mut d = Durability::create(tmp.path(), opts.clone()).unwrap();
+        let mut store = ZnodeStore::new();
+        for i in 1..=20u64 {
+            d.append(i, &create_op(&format!("/n{i}")));
+            d.commit_batch(i, &mut store);
+        }
+        d.drain_pipeline();
+        let s = d.stats();
+        assert!(s.fsyncs > 0, "the sync thread must actually fsync");
+        assert_eq!(
+            s.bytes_fsynced, s.wal_bytes,
+            "after a drain every appended byte is settled"
+        );
+        drop(d);
+        let (_, snap, suffix) = Durability::open(tmp.path(), opts).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(suffix.len(), 20, "no acknowledged record may be lost");
+        assert_eq!(suffix.last().unwrap().0, 20);
+    }
+
+    #[test]
+    fn pipelined_depth_zero_stalls_every_batch() {
+        let tmp = TempDir::new("tropic-wal-pipelined-strict");
+        let opts = DurabilityOptions {
+            sync_policy: SyncPolicy::Pipelined { depth: 0 },
+            snapshot_every_ops: 0,
+            snapshot_max_wal_bytes: 0,
+            ..DurabilityOptions::default()
+        };
+        let mut d = Durability::create(tmp.path(), opts).unwrap();
+        let mut store = ZnodeStore::new();
+        for i in 1..=5u64 {
+            d.append(i, &create_op(&format!("/n{i}")));
+            d.commit_batch(i, &mut store);
+        }
+        let s = d.stats();
+        assert_eq!(
+            s.pipeline_stalls, 5,
+            "depth 0 waits for its own fsync on every batch"
+        );
+        assert!(s.pipeline_depth_peak >= 1);
+        assert_eq!(s.bytes_fsynced, s.wal_bytes);
+    }
+
+    #[test]
+    fn small_dirty_set_snapshots_as_delta_and_recovers() {
+        let tmp = TempDir::new("tropic-wal-delta");
+        let opts = DurabilityOptions {
+            snapshot_every_ops: 10,
+            snapshot_max_wal_bytes: 0,
+            ..DurabilityOptions::default()
+        };
+        let mut d = Durability::create(tmp.path(), opts.clone()).unwrap();
+        let mut store = ZnodeStore::new();
+        // Round one dirties the whole store (10 creates on 11 nodes): full.
+        for i in 1..=10u64 {
+            let op = create_op(&format!("/n{i}"));
+            d.append(i, &op);
+            let _ = store.apply(i, &op);
+            d.commit_batch(i, &mut store);
+        }
+        // Round two touches a single node out of 11: delta.
+        for i in 11..=20u64 {
+            let op = Op::SetData {
+                path: p("/n1"),
+                data: Bytes::from(format!("v{i}")),
+                expected_version: None,
+            };
+            d.append(i, &op);
+            let _ = store.apply(i, &op);
+            d.commit_batch(i, &mut store);
+        }
+        let s = d.stats();
+        assert_eq!(s.snapshots_written, 2);
+        assert_eq!(s.delta_snapshots_written, 1, "second round is a delta");
+        assert!(tmp.path().join(snapshot::file_name(10)).exists());
+        assert!(tmp.path().join(snapshot::delta_file_name(20)).exists());
+        drop(d);
+        let (_, snap, suffix) = Durability::open(tmp.path(), opts).unwrap();
+        let (zxid, recovered) = snap.expect("chain recovers");
+        assert_eq!(zxid, 20);
+        assert!(suffix.is_empty());
+        assert_eq!(recovered, store);
+    }
+
+    #[test]
+    fn delta_chain_max_forces_periodic_full_compaction() {
+        let tmp = TempDir::new("tropic-wal-delta-compact");
+        let opts = DurabilityOptions {
+            snapshot_every_ops: 2,
+            snapshot_max_wal_bytes: 0,
+            delta_chain_max: 1,
+            ..DurabilityOptions::default()
+        };
+        let mut d = Durability::create(tmp.path(), opts).unwrap();
+        let mut store = ZnodeStore::new();
+        for i in 1..=10u64 {
+            let op = create_op(&format!("/n{i}"));
+            d.append(i, &op);
+            let _ = store.apply(i, &op);
+            d.commit_batch(i, &mut store);
+        }
+        // Ten single-touch rounds of two ops each: snapshot every round.
+        for i in 11..=30u64 {
+            let op = Op::SetData {
+                path: p("/n1"),
+                data: Bytes::from(format!("v{i}")),
+                expected_version: None,
+            };
+            d.append(i, &op);
+            let _ = store.apply(i, &op);
+            d.commit_batch(i, &mut store);
+        }
+        let s = d.stats();
+        assert!(s.delta_snapshots_written > 0);
+        assert!(
+            s.snapshots_written > 2 * s.delta_snapshots_written,
+            "chain_max 1 alternates full/delta: {} snapshots, {} deltas",
+            s.snapshots_written,
+            s.delta_snapshots_written
+        );
     }
 
     mod frame_layer {

@@ -34,10 +34,11 @@ fn quick_opts(snapshot_every_ops: u64) -> DurabilityOptions {
         snapshot_every_ops,
         snapshot_max_wal_bytes: 0,
         segment_max_bytes: 1 << 16,
+        ..DurabilityOptions::default()
     }
 }
 
-fn durable_platform_config(dir: &std::path::Path) -> PlatformConfig {
+fn durable_platform_config(dir: &std::path::Path, sync_policy: SyncPolicy) -> PlatformConfig {
     PlatformConfig {
         controllers: 1,
         workers: 1,
@@ -45,7 +46,7 @@ fn durable_platform_config(dir: &std::path::Path) -> PlatformConfig {
         coord: CoordConfig {
             durability: DurabilityOptions {
                 snapshot_every_ops: 32,
-                sync_policy: SyncPolicy::EveryBatch,
+                sync_policy,
                 ..DurabilityOptions::default()
             },
             ..CoordConfig::default()
@@ -61,14 +62,30 @@ fn durable_platform_config(dir: &std::path::Path) -> PlatformConfig {
 /// transactions resume and finish.
 #[test]
 fn full_datacenter_power_loss_loses_no_acknowledged_txn() {
-    let tmp = TempDir::new("tropic-power-loss-test");
+    power_loss_scenario("tropic-power-loss-test", SyncPolicy::EveryBatch);
+}
+
+/// The same acceptance scenario under the pipelined group-fsync policy:
+/// overlapping fsyncs across batches and replicas must not weaken the
+/// guarantee — a commit is still acknowledged only after its own records
+/// are on disk on a quorum.
+#[test]
+fn full_datacenter_power_loss_with_pipelined_fsync_loses_no_acknowledged_txn() {
+    power_loss_scenario(
+        "tropic-power-loss-pipelined",
+        SyncPolicy::Pipelined { depth: 4 },
+    );
+}
+
+fn power_loss_scenario(tag: &str, sync_policy: SyncPolicy) {
+    let tmp = TempDir::new(tag);
     let spec = TopologySpec {
         compute_hosts: 4,
         storage_hosts: 1,
         routers: 0,
         ..Default::default()
     };
-    let config = durable_platform_config(tmp.path());
+    let config = durable_platform_config(tmp.path(), sync_policy);
 
     let mut acked = Vec::new();
     let mut in_flight = Vec::new();
@@ -160,6 +177,35 @@ fn replica_log_is_bounded_by_snapshot_truncation() {
         .ops
         .len();
     assert!(wal_ops < 8, "WAL holds {wal_ops} records past the snapshot");
+}
+
+#[test]
+fn pipelined_ensemble_recovers_every_acknowledged_write() {
+    let tmp = TempDir::new("tropic-pipelined-ensemble");
+    let opts = DurabilityOptions {
+        sync_policy: SyncPolicy::Pipelined { depth: 4 },
+        ..quick_opts(16)
+    };
+    {
+        let mut e = Ensemble::with_durability(3, 7, tmp.path(), opts.clone()).unwrap();
+        for i in 0..60 {
+            e.submit(create_op(&format!("/n{i}"))).0.unwrap();
+        }
+        let stats = e.stats();
+        assert!(stats.bytes_fsynced > 0, "sync thread must account fsyncs");
+        assert!(stats.dir_fsyncs > 0, "snapshot renames fsync the directory");
+        assert!(
+            stats.delta_snapshots_written > 0,
+            "a 16-op dirty window over a 60-node store must go delta"
+        );
+    } // power loss: Drop drains each replica's pipeline
+    let mut back = Ensemble::recover(3, 7, tmp.path(), opts).unwrap();
+    assert_eq!(
+        back.read(|s| s.node_count()).unwrap(),
+        61,
+        "all sixty acknowledged creates survive on all replicas"
+    );
+    assert!(back.replicas_consistent());
 }
 
 #[test]

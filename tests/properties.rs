@@ -447,6 +447,7 @@ proptest! {
             snapshot_every_ops: snapshot_every,
             snapshot_max_wal_bytes: 0,
             segment_max_bytes: 256, // tiny segments: rotation is exercised
+            ..DurabilityOptions::default()
         };
         let mut live = Ensemble::with_durability(1, 1, tmp.path(), opts.clone()).unwrap();
         for op in &ops {
@@ -465,6 +466,169 @@ proptest! {
             "recovered store must be byte-identical (cseq, zxids, owners included)"
         );
         prop_assert_eq!(recovered.replica_last_zxid(0).unwrap(), live_zxid);
+    }
+}
+
+use tropic::coord::{snapshot, Durability};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The byte-identical replay law holds for every delta-chain bound:
+    /// `0` disables deltas outright, small bounds force frequent full
+    /// compaction, larger bounds recover through `full + delta chain +
+    /// WAL suffix`. The recovered bytes must not depend on the bound.
+    #[test]
+    fn delta_chain_replay_is_byte_identical_for_any_chain_bound(
+        ops in prop::collection::vec(znode_op(), 1..40),
+        snapshot_every in 1u64..6,
+        chain_max in 0u64..4,
+    ) {
+        let tmp = TempDir::new("tropic-prop-delta-chain");
+        let opts = DurabilityOptions {
+            sync_policy: SyncPolicy::Periodic { every_ops: 8 },
+            snapshot_every_ops: snapshot_every,
+            snapshot_max_wal_bytes: 0,
+            segment_max_bytes: 256,
+            delta_chain_max: chain_max,
+            ..DurabilityOptions::default()
+        };
+        let mut live = Ensemble::with_durability(1, 1, tmp.path(), opts.clone()).unwrap();
+        for op in &ops {
+            let _ = live.submit(op.clone());
+        }
+        let live_store = live.read(|s| s.clone()).unwrap();
+        let live_zxid = live.replica_last_zxid(0).unwrap();
+        drop(live);
+
+        let mut recovered = Ensemble::recover(1, 1, tmp.path(), opts).unwrap();
+        let recovered_store = recovered.read(|s| s.clone()).unwrap();
+        prop_assert_eq!(&recovered_store, &live_store);
+        prop_assert_eq!(format!("{recovered_store:?}"), format!("{live_store:?}"));
+        prop_assert_eq!(recovered.replica_last_zxid(0).unwrap(), live_zxid);
+    }
+
+    /// A crash mid-delta-write leaves either a half-written `.tmp` next to
+    /// a valid chain (the rename never happened) or a torn delta file (the
+    /// rename happened over torn sectors). Recovery must sweep the former
+    /// losing nothing, and fall back to the longest valid chain prefix —
+    /// a consistent earlier state, never a panic — for the latter.
+    #[test]
+    fn torn_delta_write_recovers_longest_valid_chain_prefix(
+        seed in prop::collection::vec(znode_op(), 1..15),
+        chunks in prop::collection::vec(prop::collection::vec(znode_op(), 1..6), 1..4),
+        torn_rename in 0u8..2,
+    ) {
+        let torn_rename = torn_rename == 1;
+        let tmp = TempDir::new("tropic-prop-torn-delta");
+        let mut store = ZnodeStore::new();
+        let mut zxid = 0u64;
+        for op in &seed {
+            zxid += 1;
+            let _ = store.apply(zxid, op);
+        }
+        snapshot::write(tmp.path(), zxid, &store).unwrap();
+        store.clear_dirty();
+        // Checkpoints: the consistent on-disk state after each chain link.
+        let mut checkpoints = vec![(zxid, store.clone())];
+        for chunk in &chunks {
+            let base = zxid;
+            for op in chunk {
+                zxid += 1;
+                let _ = store.apply(zxid, op);
+            }
+            snapshot::write_delta(tmp.path(), base, zxid, &store.delta_records()).unwrap();
+            store.clear_dirty();
+            checkpoints.push((zxid, store.clone()));
+        }
+
+        let debris = tmp.path().join(format!("{}.tmp", snapshot::delta_file_name(zxid + 1)));
+        let expect = if torn_rename {
+            // The newest delta itself is torn: recovery falls back one link.
+            let victim = tmp.path().join(snapshot::delta_file_name(zxid));
+            let mut bytes = std::fs::read(&victim).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&victim, &bytes).unwrap();
+            &checkpoints[checkpoints.len() - 2]
+        } else {
+            // The next delta never finished renaming: only debris remains.
+            std::fs::write(&debris, b"half-written").unwrap();
+            checkpoints.last().unwrap()
+        };
+
+        let (_, snap, suffix) = Durability::open(tmp.path(), DurabilityOptions::default()).unwrap();
+        prop_assert!(!debris.exists(), "tmp debris must be swept at open");
+        prop_assert!(suffix.is_empty());
+        let (snap_zxid, snap_store) = snap.expect("chain prefix recovers");
+        prop_assert_eq!(snap_zxid, expect.0);
+        prop_assert_eq!(&snap_store, &expect.1);
+        prop_assert_eq!(format!("{snap_store:?}"), format!("{:?}", expect.1));
+    }
+
+    /// A crash *between* the snapshot rename and the WAL truncation leaves
+    /// records at or below the chain tip in the live segments. Replay must
+    /// skip them — applying them twice would corrupt versions and cseq —
+    /// and still reconstruct the live bytes from chain + suffix.
+    #[test]
+    fn crash_between_snapshot_and_wal_truncation_is_idempotent(
+        ops in prop::collection::vec(znode_op(), 2..30),
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+    ) {
+        let tmp = TempDir::new("tropic-prop-crash-window");
+        let opts = DurabilityOptions {
+            sync_policy: SyncPolicy::Periodic { every_ops: 4 },
+            snapshot_every_ops: 0, // never auto-snapshot: every record stays
+            snapshot_max_wal_bytes: 0,
+            ..DurabilityOptions::default()
+        };
+        let mut d = Durability::create(tmp.path(), opts.clone()).unwrap();
+        let mut store = ZnodeStore::new();
+        for (i, op) in ops.iter().enumerate() {
+            let zxid = i as u64 + 1;
+            d.append(zxid, op);
+            let _ = store.apply(zxid, op);
+            d.commit_batch(zxid, &mut store);
+        }
+        let live = store;
+        drop(d);
+
+        // Manufacture the crash window: a full snapshot at t1 and a delta
+        // at t2 hit disk, but the WAL still holds records 1..=n.
+        let n = ops.len() as u64;
+        let t1 = a % n + 1;
+        let t2 = (b % n + 1).max(t1);
+        let mut replay = ZnodeStore::new();
+        for (i, op) in ops.iter().enumerate() {
+            let zxid = i as u64 + 1;
+            if zxid > t1 {
+                break;
+            }
+            let _ = replay.apply(zxid, op);
+        }
+        snapshot::write(tmp.path(), t1, &replay).unwrap();
+        replay.clear_dirty();
+        if t2 > t1 {
+            for (i, op) in ops.iter().enumerate() {
+                let zxid = i as u64 + 1;
+                if zxid <= t1 || zxid > t2 {
+                    continue;
+                }
+                let _ = replay.apply(zxid, op);
+            }
+            snapshot::write_delta(tmp.path(), t1, t2, &replay.delta_records()).unwrap();
+        }
+
+        let (_, snap, suffix) = Durability::open(tmp.path(), opts).unwrap();
+        let (snap_zxid, mut recovered) = snap.expect("chain recovers");
+        prop_assert_eq!(snap_zxid, t2);
+        for (zxid, op) in &suffix {
+            prop_assert!(*zxid > t2, "suffix must skip records at or below the tip");
+            let _ = recovered.apply(*zxid, op);
+        }
+        prop_assert_eq!(&recovered, &live);
+        prop_assert_eq!(format!("{recovered:?}"), format!("{live:?}"));
     }
 }
 

@@ -273,6 +273,9 @@ fn remote_submit_wait_commits_and_records() {
     let spec = spec();
     let remote = RemoteClient::connect(server.addr()).unwrap();
 
+    // The platform clock is wall time since start; give it a tick so the
+    // probe can't legitimately answer 0 on a fast startup.
+    std::thread::sleep(Duration::from_millis(2));
     assert!(remote.ping().unwrap() > 0, "platform clock over the wire");
 
     let handle = remote
