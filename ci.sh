@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: everything a PR must keep green, in dependency order.
 #
-# Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc | --rpc-smoke | --test-bench-parser]
+# Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc | --rpc-smoke |
+#                 --test-bench-parser | --chaos-smoke | --md-links]
 #   --no-clippy          skip the clippy pass (e.g. when the component is absent)
 #   --doc                run only the documentation gate: `cargo doc --no-deps`
 #                        with RUSTDOCFLAGS="-D warnings" (broken intra-doc
@@ -10,12 +11,19 @@
 #                        separate OS processes on a loopback socket, run a
 #                        transaction + a subscription to its terminal event,
 #                        and assert both processes shut down cleanly
+#   --chaos-smoke        short deterministic chaos run (open-loop load with a
+#                        leader kill + device-failure storm, then a torn-WAL
+#                        restart), asserting zero acknowledged-transaction
+#                        loss; writes CHAOS_report.json
+#   --md-links           check that relative links and #anchors in README,
+#                        ROADMAP, CHANGES, and docs/*.md resolve
 #   --test-bench-parser  self-test the bench-JSON parser against reordered
 #                        keys and malformed lines
 #   --bench-snapshot     run the commit_path, coord_store, snapshot, recovery,
-#                        and rpc_roundtrip benches in quick mode, write
-#                        BENCH_commit_path.json, BENCH_snapshot.json,
-#                        BENCH_recovery.json, and BENCH_rpc.json (the
+#                        and rpc_roundtrip benches in quick mode plus the
+#                        chaos bench run, write BENCH_commit_path.json,
+#                        BENCH_snapshot.json, BENCH_recovery.json,
+#                        BENCH_rpc.json, and BENCH_chaos.json (the
 #                        perf-trajectory data points), and gate on the
 #                        group-commit speedup (TROPIC_BENCH_MIN_SPEEDUP,
 #                        default 1.65), the delta-snapshot size ratio at
@@ -24,9 +32,11 @@
 #                        store (TROPIC_BENCH_MIN_PIPELINE_SPEEDUP, default
 #                        1.3), the snapshot-recovery speedup over full-log
 #                        replay (TROPIC_BENCH_MIN_RECOVERY_SPEEDUP, default
-#                        2.0), and the RPC socket overhead over the
-#                        in-process client (TROPIC_BENCH_MAX_RPC_OVERHEAD,
-#                        default 1.5)
+#                        2.0), the RPC socket overhead over the in-process
+#                        client (TROPIC_BENCH_MAX_RPC_OVERHEAD, default 1.5),
+#                        and the chaos per-lane committed p99 under a leader
+#                        kill (TROPIC_BENCH_MAX_CHAOS_P99_MS, default 1500)
+#                        with zero acknowledged loss
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -352,6 +362,173 @@ bench_rpc_snapshot() {
     echo "RPC perf gate passed."
 }
 
+bench_chaos_snapshot() {
+    local out="BENCH_chaos.json"
+    local raw tsv
+    raw="$(mktemp)"
+    tsv="$(mktemp)"
+    trap 'rm -f "$raw" "$tsv"' RETURN
+
+    run cargo build --release -p tropic-bench --bin chaos
+    TROPIC_BENCH_JSON="$raw" run ./target/release/chaos bench
+
+    parse_bench_lines < "$raw" > "$tsv"
+    local max_p99="${TROPIC_BENCH_MAX_CHAOS_P99_MS:-1500}"
+    awk -F'\t' -v max_p99="$max_p99" '
+        { names[++n] = $1; means[$1] = $2; iter_count[$1] = $3 }
+        END {
+            split("hi norm batch", lane_arr, " ")
+            # acked_lost == 0 is the expected value, so presence is checked
+            # by key, not by the zero-means-missing idiom the other gates
+            # use.
+            if (!("chaos/acked_lost" in means)) {
+                print "bench snapshot missing chaos/acked_lost row" > "/dev/stderr"
+                exit 1
+            }
+            lost = means["chaos/acked_lost"]
+            for (i = 1; i <= 3; i++) {
+                lane = lane_arr[i]
+                key = "chaos/p99_" lane
+                if (!(key in means) || iter_count[key] == 0) {
+                    printf "bench snapshot missing committed traffic for lane %s\n", lane > "/dev/stderr"
+                    exit 1
+                }
+                p99_ms[lane] = means[key] / 1e6
+            }
+            printf "{\n  \"bench\": \"chaos\",\n  \"mode\": \"quick\",\n"
+            printf "  \"results\": [\n"
+            for (i = 1; i <= n; i++) {
+                name = names[i]
+                printf "    {\"name\": \"%s\", \"mean_ns\": %d, \"iterations\": %d}%s\n", \
+                    name, means[name], iter_count[name], (i < n ? "," : "")
+            }
+            printf "  ],\n"
+            printf "  \"chaos_gate\": {\n"
+            for (i = 1; i <= 3; i++) {
+                lane = lane_arr[i]
+                printf "    \"p99_%s_ms\": %.1f,\n", lane, p99_ms[lane]
+            }
+            printf "    \"acked_lost\": %d,\n", lost
+            printf "    \"max_p99_ms\": %.1f\n", max_p99
+            printf "  }\n}\n"
+            for (i = 1; i <= 3; i++) {
+                lane = lane_arr[i]
+                if (p99_ms[lane] > max_p99) {
+                    printf "perf gate FAILED: %s-lane committed p99 %.1f ms > %.1f ms\n", \
+                        lane, p99_ms[lane], max_p99 > "/dev/stderr"
+                    exit 2
+                }
+            }
+            if (lost != 0) {
+                printf "chaos gate FAILED: %d acknowledged transactions lost\n", lost > "/dev/stderr"
+                exit 2
+            }
+        }
+    ' "$tsv" > "$out" || { cat "$out"; exit 1; }
+
+    echo
+    echo "=== $out ==="
+    cat "$out"
+    echo
+    echo "Chaos perf gate passed."
+}
+
+# Short deterministic chaos run: open-loop load over the typed API and the
+# RPC socket while the schedule kills the leader and storms the compute
+# fleet, then a torn-WAL-tail restart. The binary exits non-zero if any
+# acknowledged transaction is lost in either phase.
+chaos_smoke() {
+    echo
+    echo "=== chaos smoke (leader kill + device storm under open-loop load) ==="
+    run cargo build --release -p tropic-bench --bin chaos
+    run ./target/release/chaos smoke
+    echo
+    echo "Chaos smoke passed."
+}
+
+# Emits every link target of inline markdown links ([text](target)) outside
+# fenced code blocks, optional titles stripped.
+extract_markdown_links() {
+    awk '
+        /^[[:space:]]*```/ { in_code = !in_code; next }
+        in_code { next }
+        {
+            line = $0
+            while (match(line, /\[[^]]*\]\([^)]+\)/)) {
+                link = substr(line, RSTART, RLENGTH)
+                rest = substr(line, RSTART + RLENGTH)
+                sub(/^\[[^]]*\]\(/, "", link)
+                sub(/\)$/, "", link)
+                sub(/[[:space:]].*$/, "", link)
+                print link
+                line = rest
+            }
+        }
+    ' "$1"
+}
+
+# True when $1 (a markdown file) contains a heading whose GitHub-style slug
+# (lowercased, punctuation dropped, spaces to hyphens) equals $2.
+markdown_has_anchor() {
+    awk -v anchor="$2" '
+        /^[[:space:]]*```/ { in_code = !in_code; next }
+        in_code { next }
+        /^#+[[:space:]]/ {
+            s = $0
+            sub(/^#+[[:space:]]+/, "", s)
+            gsub(/[`*_]/, "", s)
+            s = tolower(s)
+            gsub(/[^a-z0-9 -]/, "", s)
+            gsub(/ /, "-", s)
+            if (s == anchor) { found = 1; exit }
+        }
+        END { exit !found }
+    ' "$1"
+}
+
+# Every relative link and #anchor in the operator docs must resolve: files
+# must exist, and anchors must match a real heading's slug.
+check_markdown_links() {
+    echo
+    echo "=== markdown link check ==="
+    local fail=0 checked=0
+    local f target path anchor resolved
+    for f in README.md ROADMAP.md CHANGES.md docs/*.md; do
+        [[ -f "$f" ]] || continue
+        while IFS= read -r target; do
+            [[ -z "$target" ]] && continue
+            case "$target" in
+                http://*|https://*|mailto:*) continue ;;
+            esac
+            checked=$((checked + 1))
+            path="${target%%#*}"
+            anchor=""
+            [[ "$target" == *#* ]] && anchor="${target#*#}"
+            if [[ -z "$path" ]]; then
+                resolved="$f"
+            else
+                resolved="$(dirname "$f")/$path"
+            fi
+            if [[ ! -e "$resolved" ]]; then
+                echo "broken link in $f: ($target) -> no such file: $resolved" >&2
+                fail=1
+                continue
+            fi
+            if [[ -n "$anchor" && "$resolved" == *.md ]]; then
+                if ! markdown_has_anchor "$resolved" "$anchor"; then
+                    echo "broken anchor in $f: ($target) -> no heading '#$anchor' in $resolved" >&2
+                    fail=1
+                fi
+            fi
+        done < <(extract_markdown_links "$f")
+    done
+    if (( fail != 0 )); then
+        echo "markdown link check FAILED" >&2
+        exit 1
+    fi
+    echo "markdown link check passed ($checked links)."
+}
+
 # Two OS processes, one loopback socket: the server publishes its ephemeral
 # port through a file, the client drives a transaction and a subscription
 # through it, then requests shutdown over the wire. Both must exit 0.
@@ -429,6 +606,7 @@ if [[ "${1:-}" == "--bench-snapshot" ]]; then
     bench_snapshot_format
     bench_recovery_snapshot
     bench_rpc_snapshot
+    bench_chaos_snapshot
     exit 0
 fi
 
@@ -442,6 +620,16 @@ if [[ "${1:-}" == "--rpc-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--chaos-smoke" ]]; then
+    chaos_smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "--md-links" ]]; then
+    check_markdown_links
+    exit 0
+fi
+
 if [[ "${1:-}" == "--test-bench-parser" ]]; then
     test_bench_parser
     exit 0
@@ -452,6 +640,7 @@ run cargo test -q
 run cargo bench --no-run
 run cargo build --examples
 test_bench_parser
+check_markdown_links
 rpc_smoke
 doc_gate
 run cargo fmt --check

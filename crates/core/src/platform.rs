@@ -41,6 +41,7 @@ pub struct Tropic {
     coord: Arc<CoordService>,
     clock: SharedClock,
     metrics: Metrics,
+    mode: ExecMode,
     next_txn_id: Arc<AtomicU64>,
     next_admin_id: Arc<AtomicU64>,
     rpc_cfg: RpcConfig,
@@ -223,6 +224,7 @@ impl Tropic {
             coord,
             clock,
             metrics,
+            mode,
             next_txn_id: Arc::new(AtomicU64::new(first_txn_id)),
             next_admin_id: Arc::new(AtomicU64::new(first_admin_id)),
             rpc_cfg: config.rpc,
@@ -264,6 +266,27 @@ impl Tropic {
     /// The shared metrics collector.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Aggregate fault-injection counters across every registered device
+    /// (zero in [`ExecMode::LogicalOnly`]).
+    pub fn fault_stats(&self) -> tropic_devices::FaultStats {
+        self.mode
+            .registry()
+            .map(|r| r.fault_stats())
+            .unwrap_or_default()
+    }
+
+    /// Platform-level counter snapshot: the metrics counters plus the
+    /// device registry's fault-injection totals. Operators and the chaos
+    /// harness read this instead of [`Metrics::counters`] so aborts can be
+    /// attributed to injected faults vs real bugs.
+    pub fn counters(&self) -> crate::stats::Counters {
+        let mut counters = self.metrics.counters();
+        let faults = self.fault_stats();
+        counters.faults_passed = faults.passed;
+        counters.faults_injected = faults.injected;
+        counters
     }
 
     /// The underlying coordination service (fault injection in tests).

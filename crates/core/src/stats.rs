@@ -85,6 +85,17 @@ pub struct Counters {
     /// Transaction lifecycle events streamed to remote subscribers.
     #[serde(default)]
     pub rpc_events_streamed: u64,
+    /// Device actions that passed fault-injection checks. Populated by
+    /// [`crate::Tropic::counters`] from the device registry's aggregated
+    /// [`FaultStats`](tropic_devices::FaultStats); always zero through the
+    /// raw [`Metrics::counters`] snapshot and in logical-only mode.
+    #[serde(default)]
+    pub faults_passed: u64,
+    /// Device actions failed by fault injection (see
+    /// [`Counters::faults_passed`]). The chaos harness uses this to
+    /// attribute aborts to injected faults rather than real bugs.
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
 /// A leadership or recovery event, timestamped on the platform clock.

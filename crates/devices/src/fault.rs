@@ -4,7 +4,38 @@
 //! last step of VM spawn and migrate"; the volatility machinery (§4) must
 //! also cope with devices failing their *undo* actions. A [`FaultPlan`]
 //! scripts both: probabilistic failures per action name, one-shot scheduled
-//! failures, and a fail-everything switch simulating an unreachable device.
+//! failures, periodic every-*n*-th failures, and a fail-everything switch
+//! simulating an unreachable device.
+//!
+//! # Precedence and counting semantics
+//!
+//! Every device action is routed through [`FaultPlan::roll`] exactly once
+//! (undo actions included), and the first rule that fires wins. Rules are
+//! evaluated in a fixed precedence order:
+//!
+//! 1. **Down** ([`FaultPlan::set_down`]) — the device is unreachable; every
+//!    action fails. No other rule is evaluated and no other rule's counter
+//!    advances while the device is down.
+//! 2. **One-shots** ([`FaultPlan::fail_once`]) — the next matching
+//!    invocation fails and the rule is consumed. Multiple one-shots for the
+//!    same action fire on consecutive invocations.
+//! 3. **Every-*n*-th** ([`FaultPlan::fail_every_nth`]) — counting is
+//!    **1-based**: with `n = 3` the 3rd, 6th, 9th… matching invocations
+//!    fail, and `n = 1` fails every invocation. Each rule keeps its own
+//!    counter, which advances only when the rule is actually consulted — a
+//!    roll swallowed by a one-shot (or by an earlier-registered every-nth
+//!    rule that fires first) does not advance it.
+//! 4. **Probabilistic** ([`FaultPlan::fail_action_with_prob`]) — each
+//!    matching rule is an independent Bernoulli trial against the plan's
+//!    seeded RNG, so a given seed yields a reproducible fault sequence for
+//!    a fixed invocation order.
+//!
+//! [`FaultStats`] counts the outcomes: `injected` for every roll a rule
+//! failed, `passed` for every roll that reached the device. The platform
+//! aggregates these per-registry (`DeviceRegistry::fault_stats`) and
+//! surfaces them in the platform counters, so stress harnesses (see
+//! `tropic_workload::chaos`) can attribute aborts to injected faults rather
+//! than real bugs.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -17,6 +48,21 @@ pub struct FaultStats {
     pub passed: u64,
     /// Actions failed by injection.
     pub injected: u64,
+}
+
+impl FaultStats {
+    /// Accumulates another counter snapshot into this one (used to
+    /// aggregate per-device plans into a fleet-wide total, see
+    /// [`crate::DeviceRegistry::fault_stats`]).
+    pub fn merge(&mut self, other: FaultStats) {
+        self.passed += other.passed;
+        self.injected += other.injected;
+    }
+
+    /// Total rolls observed.
+    pub fn total(&self) -> u64 {
+        self.passed + self.injected
+    }
 }
 
 struct PlanState {
@@ -70,7 +116,15 @@ impl FaultPlan {
         self.state.lock().one_shots.push(action.to_owned());
     }
 
-    /// Fails every `n`-th invocation of `action` (n = 1 fails every call).
+    /// Fails every `n`-th invocation of `action`, counting **1-based**:
+    /// the n-th, 2n-th, 3n-th… matching invocations fail, so `n = 1` fails
+    /// every call and `n = 3` lets two calls through before each failure.
+    /// The rule's counter only advances on rolls that reach it (see the
+    /// [module docs](self) for the precedence order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
     pub fn fail_every_nth(&self, action: &str, n: u64) {
         assert!(n >= 1, "n must be at least 1");
         self.state.lock().every_nth.push((action.to_owned(), n, 0));
@@ -174,6 +228,64 @@ mod tests {
         assert_eq!(
             fails,
             vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn every_nth_counts_one_based() {
+        // n = 1 fails every invocation: the 1st call is already "the 1st".
+        let plan = FaultPlan::none();
+        plan.fail_every_nth("createVM", 1);
+        assert!((0..5).all(|_| plan.roll("createVM").is_some()));
+        assert_eq!(
+            plan.stats(),
+            FaultStats {
+                passed: 0,
+                injected: 5
+            }
+        );
+        // n = 2 passes the 1st and fails the 2nd — not the other way round.
+        let plan = FaultPlan::none();
+        plan.fail_every_nth("createVM", 2);
+        assert!(plan.roll("createVM").is_none());
+        assert!(plan.roll("createVM").is_some());
+        // Other actions never advance this rule's counter.
+        assert!(plan.roll("startVM").is_none());
+        assert!(plan.roll("createVM").is_none());
+        assert!(plan.roll("createVM").is_some());
+    }
+
+    #[test]
+    fn every_nth_counter_frozen_by_higher_precedence_rules() {
+        let plan = FaultPlan::none();
+        plan.fail_every_nth("createVM", 2);
+        // A roll swallowed while the device is down must not advance the
+        // every-nth counter...
+        plan.set_down(true);
+        assert!(plan.roll("createVM").is_some());
+        plan.set_down(false);
+        // ...nor must one consumed by a one-shot.
+        plan.fail_once("createVM");
+        assert!(plan.roll("createVM").is_some());
+        // The every-nth rule still sees this as invocations 1 and 2.
+        assert!(plan.roll("createVM").is_none());
+        assert!(plan.roll("createVM").is_some());
+    }
+
+    #[test]
+    fn stats_partition_rolls() {
+        let plan = FaultPlan::none();
+        plan.fail_every_nth("x", 3);
+        for _ in 0..9 {
+            let _ = plan.roll("x");
+        }
+        let _ = plan.roll("y");
+        assert_eq!(
+            plan.stats(),
+            FaultStats {
+                passed: 7,
+                injected: 3
+            }
         );
     }
 

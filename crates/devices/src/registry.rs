@@ -14,6 +14,7 @@ use tropic_model::{Path, Tree};
 
 use crate::api::{ActionCall, Device};
 use crate::error::{DeviceError, DeviceResult};
+use crate::fault::FaultStats;
 
 /// Routes action calls to devices and exports the physical layer's state.
 pub struct DeviceRegistry {
@@ -75,6 +76,18 @@ impl DeviceRegistry {
     /// Mounts of all registered devices.
     pub fn mounts(&self) -> Vec<Path> {
         self.devices.read().keys().cloned().collect()
+    }
+
+    /// Fleet-wide fault-injection counters: the sum of every registered
+    /// device's [`FaultPlan`](crate::FaultPlan) counters. The platform
+    /// surfaces this through its counter snapshot so operators and the
+    /// chaos harness can attribute aborts to injected faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for device in self.devices.read().values() {
+            total.merge(device.fault_plan().stats());
+        }
+        total
     }
 
     /// Assembles the current physical tree: the frame plus every device's
@@ -208,6 +221,31 @@ mod tests {
         assert!(reg.resolve(&h1).is_none());
         // The physical tree no longer mounts the host.
         assert!(!reg.physical_tree().exists(&h1));
+    }
+
+    #[test]
+    fn fault_stats_aggregate_across_devices() {
+        let reg = registry();
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        let s1 = Path::parse("/storageRoot/s1").unwrap();
+        reg.resolve(&h1)
+            .unwrap()
+            .fault_plan()
+            .fail_once("importImage");
+        // One injected failure on the compute host, one pass on storage.
+        assert!(reg
+            .invoke(&ActionCall::new(h1, "importImage", vec!["img".into()]))
+            .is_err());
+        reg.invoke(&ActionCall::new(
+            s1,
+            "cloneImage",
+            vec!["tmpl".into(), "img2".into()],
+        ))
+        .unwrap();
+        let stats = reg.fault_stats();
+        assert_eq!(stats.injected, 1);
+        assert_eq!(stats.passed, 1);
+        assert_eq!(stats.total(), 2);
     }
 
     #[test]

@@ -10,15 +10,24 @@
 //! * [`replay`] — paces traces into a running platform and summarizes the
 //!   outcomes.
 //! * [`stats`] — latency CDFs, utilization series, throughput buckets.
+//! * [`chaos`] — an open-loop stress harness that runs sustained load
+//!   *concurrently* with a scripted fault schedule (leader kills,
+//!   device-failure storms, torn-WAL-tail restarts) and reports per-lane
+//!   latency CDFs plus the acknowledged-transaction-loss count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod ec2;
 pub mod hosting;
 pub mod replay;
 pub mod stats;
 
+pub use chaos::{
+    run_chaos, tear_wal_tails, ChaosReport, ChaosSpec, FaultKind, FaultScope, LaneReport,
+    ScheduledFault, StormSpec,
+};
 pub use ec2::{Ec2Trace, Ec2TraceSpec};
 pub use hosting::{HostingOp, HostingSpec};
 pub use replay::{replay_calls, replay_ec2, replay_hosting, ReplayReport};

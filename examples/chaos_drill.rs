@@ -1,0 +1,121 @@
+//! Chaos drill: open-loop Poisson load across all three priority lanes
+//! while a scripted fault storm runs underneath — a leader kill, a device
+//! down-burst, and a standing every-nth `createVM` failure rule — then a
+//! per-lane latency report with sparkline CDFs. The invariant on display
+//! is the paper's: faults cause aborts and fatter tails, never the loss
+//! of an acknowledged transaction.
+//!
+//! Run with: `cargo run --release --example chaos_drill`
+//!
+//! The full operator guide (every knob, fault scripting, the CI gates) is
+//! docs/STRESS_TESTING.md.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tropic::coord::CoordConfig;
+use tropic::core::{ExecMode, PlatformConfig, Tropic};
+use tropic::devices::LatencyModel;
+use tropic::tcloud::TopologySpec;
+use tropic::workload::chaos::{run_chaos, ChaosSpec, LaneReport, StormSpec};
+use tropic::workload::sparkline;
+
+fn main() {
+    let topo = TopologySpec {
+        compute_hosts: 8,
+        storage_hosts: 2,
+        routers: 0,
+        storage_capacity_mb: 100_000_000,
+        ..Default::default()
+    };
+    let devices = topo.build_devices(&LatencyModel::zero());
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 3,
+            workers: 2,
+            coord: CoordConfig {
+                session_timeout_ms: 500,
+                tick_ms: 25,
+                ..CoordConfig::default()
+            },
+            ..Default::default()
+        },
+        topo.service(),
+        ExecMode::Physical(Arc::clone(&devices.registry)),
+    );
+
+    // A seeded storm: one leader kill (restarted 800 ms later), one 300 ms
+    // device down-burst, every 6th createVM fails, one migrateVM one-shot.
+    let storm = StormSpec {
+        seed: 9,
+        duration_ms: 4_000,
+        compute_hosts: topo.compute_hosts,
+        leader_kills: 1,
+        leader_restart_after_ms: Some(800),
+        down_bursts: 1,
+        down_burst_ms: 300,
+        every_nth: vec![("createVM".to_owned(), 6)],
+        one_shots: vec!["migrateVM".to_owned()],
+    };
+    let spec = ChaosSpec {
+        seed: 9,
+        duration_ms: 4_000,
+        arrival_per_sec: 40.0,
+        clients: 4,
+        pool_vms: 6,
+        faults: storm.generate(),
+        drain_timeout: Duration::from_secs(120),
+        ..Default::default()
+    };
+
+    println!(
+        "chaos drill: {:.0} txn/s for {} ms across {} clients, {} scripted faults\n",
+        spec.arrival_per_sec,
+        spec.duration_ms,
+        spec.clients,
+        spec.faults.len()
+    );
+    let report = run_chaos(&platform, &topo, Some(&devices), &spec);
+    platform.shutdown();
+
+    println!(
+        "wall {} ms — submitted {} / committed {} / aborted {} / failed {}",
+        report.wall_ms, report.submitted, report.committed, report.aborted, report.failed
+    );
+    println!(
+        "faults: {} injected ({} rolls passed), {} leader kill(s)\n",
+        report.faults.injected, report.faults.passed, report.faults.leader_kills
+    );
+
+    println!("lane   n      p50      p90      p99      max   abort%  committed-latency CDF");
+    for lane in &report.lanes {
+        print_lane(lane);
+    }
+    for event in &report.faults.events {
+        println!("  t+{:>5} ms  {}", event.applied_at_ms, event.description);
+    }
+
+    assert_eq!(
+        report.acked_lost, 0,
+        "an acknowledged transaction was lost under chaos"
+    );
+    println!("\nzero acknowledged transactions lost.");
+}
+
+fn print_lane(lane: &LaneReport) {
+    let s = &lane.committed_latency;
+    // The CDF arrives as (latency, fraction) points; the sparkline plots
+    // the fraction axis so a long flat head + late ramp reads as an outage.
+    let fracs: Vec<f64> = lane.cdf.iter().map(|p| p.frac * 100.0).collect();
+    println!(
+        "{:<5} {:>4} {:>6}ms {:>6}ms {:>6}ms {:>6}ms {:>6.1}%  {}",
+        lane.lane,
+        s.count,
+        s.p50_ms,
+        s.p90_ms,
+        s.p99_ms,
+        s.max_ms,
+        lane.abort_rate * 100.0,
+        sparkline(&fracs)
+    );
+}
