@@ -2,7 +2,8 @@
 # CI entry point: everything a PR must keep green, in dependency order.
 #
 # Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc | --rpc-smoke |
-#                 --test-bench-parser | --chaos-smoke | --md-links]
+#                 --test-bench-parser | --chaos-smoke | --chaos-trend |
+#                 --md-links]
 #   --no-clippy          skip the clippy pass (e.g. when the component is absent)
 #   --doc                run only the documentation gate: `cargo doc --no-deps`
 #                        with RUSTDOCFLAGS="-D warnings" (broken intra-doc
@@ -15,6 +16,11 @@
 #                        leader kill + device-failure storm, then a torn-WAL
 #                        restart), asserting zero acknowledged-transaction
 #                        loss; writes CHAOS_report.json
+#   --chaos-trend        print the per-lane committed p50/p99 trajectory
+#                        across the committed CHAOS_baseline.jsonl series and
+#                        the current CHAOS_report.json, failing when a lane's
+#                        p99 blows past the latest baseline point by more
+#                        than TROPIC_CHAOS_TREND_MAX_FACTOR (default 3.0)
 #   --md-links           check that relative links and #anchors in README,
 #                        ROADMAP, CHANGES, and docs/*.md resolve
 #   --test-bench-parser  self-test the bench-JSON parser against reordered
@@ -36,7 +42,11 @@
 #                        client (TROPIC_BENCH_MAX_RPC_OVERHEAD, default 1.5),
 #                        and the chaos per-lane committed p99 under a leader
 #                        kill (TROPIC_BENCH_MAX_CHAOS_P99_MS, default 1500)
-#                        with zero acknowledged loss
+#                        with zero acknowledged loss; also runs the reconcile
+#                        bench (drift-to-converged MTTR at 1k and 16k
+#                        resources), writes BENCH_reconcile.json, and gates
+#                        the p99 MTTR (TROPIC_BENCH_MAX_RECONCILE_P99_MS,
+#                        default 8000)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -433,6 +443,179 @@ bench_chaos_snapshot() {
     echo "Chaos perf gate passed."
 }
 
+bench_reconcile_snapshot() {
+    local out="BENCH_reconcile.json"
+    local raw tsv
+    raw="$(mktemp)"
+    tsv="$(mktemp)"
+    trap 'rm -f "$raw" "$tsv"' RETURN
+
+    run cargo build --release -p tropic-bench --bin reconcile
+    TROPIC_BENCH_JSON="$raw" run ./target/release/reconcile bench
+
+    parse_bench_lines < "$raw" > "$tsv"
+    local max_p99="${TROPIC_BENCH_MAX_RECONCILE_P99_MS:-8000}"
+    awk -F'\t' -v max_p99="$max_p99" '
+        { names[++n] = $1; means[$1] = $2; iter_count[$1] = $3 }
+        END {
+            split("1k 16k", size_arr, " ")
+            for (i = 1; i <= 2; i++) {
+                size = size_arr[i]
+                key = "reconcile/mttr_p99_" size
+                if (!(key in means) || iter_count[key] == 0) {
+                    printf "bench snapshot missing MTTR samples at %s resources\n", size > "/dev/stderr"
+                    exit 1
+                }
+                p99_ms[size] = means[key] / 1e6
+            }
+            printf "{\n  \"bench\": \"reconcile\",\n  \"mode\": \"quick\",\n"
+            printf "  \"results\": [\n"
+            for (i = 1; i <= n; i++) {
+                name = names[i]
+                # %.0f, not %d: nanosecond means at 16k resources exceed
+                # 2^31 and %d clamps in 32-bit awks.
+                printf "    {\"name\": \"%s\", \"mean_ns\": %.0f, \"iterations\": %d}%s\n", \
+                    name, means[name], iter_count[name], (i < n ? "," : "")
+            }
+            printf "  ],\n"
+            printf "  \"reconcile_gate\": {\n"
+            for (i = 1; i <= 2; i++) {
+                size = size_arr[i]
+                printf "    \"mttr_p99_%s_ms\": %.1f,\n", size, p99_ms[size]
+            }
+            printf "    \"max_p99_ms\": %.1f\n", max_p99
+            printf "  }\n}\n"
+            for (i = 1; i <= 2; i++) {
+                size = size_arr[i]
+                if (p99_ms[size] > max_p99) {
+                    printf "perf gate FAILED: drift-to-converged p99 %.1f ms > %.1f ms at %s resources\n", \
+                        p99_ms[size], max_p99, size > "/dev/stderr"
+                    exit 2
+                }
+            }
+        }
+    ' "$tsv" > "$out" || { cat "$out"; exit 1; }
+
+    echo
+    echo "=== $out ==="
+    cat "$out"
+    echo
+    echo "Reconcile MTTR gate passed."
+}
+
+# Extracts `lane<TAB>p50<TAB>p99` committed-latency rows from a chaos report
+# (the one-line JSON CHAOS_report.json): for each lane object, the first
+# p50_ms/p99_ms inside its committed_latency block.
+chaos_report_lanes() {
+    awk '
+        {
+            line = $0
+            while (match(line, /"lane":"[a-z]+"/)) {
+                lane = substr(line, RSTART + 8, RLENGTH - 9)
+                line = substr(line, RSTART + RLENGTH)
+                if (!match(line, /"committed_latency":\{[^}]*\}/)) { continue }
+                block = substr(line, RSTART, RLENGTH)
+                p50 = ""; p99 = ""
+                if (match(block, /"p50_ms":[0-9.]+/))
+                    p50 = substr(block, RSTART + 9, RLENGTH - 9)
+                if (match(block, /"p99_ms":[0-9.]+/))
+                    p99 = substr(block, RSTART + 9, RLENGTH - 9)
+                if (p50 != "" && p99 != "")
+                    printf "%s\t%s\t%s\n", lane, p50, p99
+            }
+        }
+    ' "$1"
+}
+
+# Prints the per-lane committed-latency trajectory across the committed
+# baseline series (CHAOS_baseline.jsonl, one {"label","lane","p50_ms",
+# "p99_ms"} line per point) followed by the current CHAOS_report.json, and
+# gates the current p99 against the latest baseline point times
+# TROPIC_CHAOS_TREND_MAX_FACTOR (default 3.0 — chaos latencies are noisy;
+# the trend gate only catches collapses, the absolute chaos gate in
+# --bench-snapshot holds the hard line).
+chaos_trend() {
+    local baseline="CHAOS_baseline.jsonl"
+    local report="${TROPIC_CHAOS_REPORT:-CHAOS_report.json}"
+    if [[ ! -f "$baseline" ]]; then
+        echo "chaos trend: $baseline missing" >&2
+        exit 1
+    fi
+    if [[ ! -f "$report" ]]; then
+        echo "chaos trend: $report missing (run --chaos-smoke first)" >&2
+        exit 1
+    fi
+    local current
+    current="$(mktemp)"
+    trap 'rm -f "$current"' RETURN
+    chaos_report_lanes "$report" > "$current"
+    if [[ ! -s "$current" ]]; then
+        echo "chaos trend: no lanes parsed from $report" >&2
+        exit 1
+    fi
+    local max_factor="${TROPIC_CHAOS_TREND_MAX_FACTOR:-3.0}"
+    awk -F'\t' -v max_factor="$max_factor" '
+        NR == FNR {
+            # Baseline series: one JSON object per line.
+            line = $0
+            label = ""; lane = ""; p50 = ""; p99 = ""
+            if (match(line, /"label":"[^"]*"/))
+                label = substr(line, RSTART + 9, RLENGTH - 10)
+            if (match(line, /"lane":"[^"]*"/))
+                lane = substr(line, RSTART + 8, RLENGTH - 9)
+            if (match(line, /"p50_ms":[0-9.]+/))
+                p50 = substr(line, RSTART + 9, RLENGTH - 9)
+            if (match(line, /"p99_ms":[0-9.]+/))
+                p99 = substr(line, RSTART + 9, RLENGTH - 9)
+            if (label == "" || lane == "" || p50 == "" || p99 == "") {
+                printf "chaos trend: malformed baseline line %d: %s\n", FNR, line > "/dev/stderr"
+                bad = 1
+                exit 1
+            }
+            if (!(lane in seen_lane)) { lanes[++nlanes] = lane; seen_lane[lane] = 1 }
+            npoints[lane]++
+            series_label[lane, npoints[lane]] = label
+            series_p50[lane, npoints[lane]] = p50
+            series_p99[lane, npoints[lane]] = p99
+            next
+        }
+        { cur_p50[$1] = $2; cur_p99[$1] = $3; if (!($1 in seen_lane)) { lanes[++nlanes] = $1; seen_lane[$1] = 1 } }
+        END {
+            if (bad) exit 1
+            print "chaos committed-latency trend (ms):"
+            failed = 0
+            for (i = 1; i <= nlanes; i++) {
+                lane = lanes[i]
+                printf "  %-5s p50:", lane
+                for (j = 1; j <= npoints[lane]; j++)
+                    printf " %s(%s)", series_p50[lane, j], series_label[lane, j]
+                printf " -> %s(now)\n", (lane in cur_p50 ? cur_p50[lane] : "?")
+                printf "        p99:"
+                for (j = 1; j <= npoints[lane]; j++)
+                    printf " %s(%s)", series_p99[lane, j], series_label[lane, j]
+                printf " -> %s(now)\n", (lane in cur_p99 ? cur_p99[lane] : "?")
+                if (!(lane in cur_p99)) {
+                    if (npoints[lane] > 0) {
+                        printf "chaos trend FAILED: lane %s present in baseline but missing from report\n", lane > "/dev/stderr"
+                        failed = 1
+                    }
+                    continue
+                }
+                if (npoints[lane] == 0) continue
+                base = series_p99[lane, npoints[lane]]
+                if (base > 0 && cur_p99[lane] > base * max_factor) {
+                    printf "chaos trend FAILED: lane %s p99 %.1f ms > %.1f x baseline %.1f ms\n", \
+                        lane, cur_p99[lane], max_factor, base > "/dev/stderr"
+                    failed = 1
+                }
+            }
+            exit failed
+        }
+    ' "$baseline" "$current"
+    echo
+    echo "Chaos trend gate passed."
+}
+
 # Short deterministic chaos run: open-loop load over the typed API and the
 # RPC socket while the schedule kills the leader and storms the compute
 # fleet, then a torn-WAL-tail restart. The binary exits non-zero if any
@@ -607,6 +790,7 @@ if [[ "${1:-}" == "--bench-snapshot" ]]; then
     bench_recovery_snapshot
     bench_rpc_snapshot
     bench_chaos_snapshot
+    bench_reconcile_snapshot
     exit 0
 fi
 
@@ -622,6 +806,11 @@ fi
 
 if [[ "${1:-}" == "--chaos-smoke" ]]; then
     chaos_smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "--chaos-trend" ]]; then
+    chaos_trend
     exit 0
 fi
 

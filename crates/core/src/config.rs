@@ -51,6 +51,57 @@ impl Default for RpcConfig {
     }
 }
 
+/// Configuration of the digital-twin reconciliation subsystem
+/// ([`crate::twin`]).
+#[derive(Clone, Debug)]
+pub struct TwinConfig {
+    /// Master switch. Off by default: the platform then behaves exactly as
+    /// before — drift is only corrected by operator-triggered
+    /// `repair`/`reload`.
+    pub enabled: bool,
+    /// How often the leading controller runs a reconciliation pass.
+    pub interval_ms: u64,
+    /// How often the report pump sweeps the device registry for changed
+    /// reported state.
+    pub report_interval_ms: u64,
+    /// Base delay of the per-resource exponential backoff between repair
+    /// attempts.
+    pub backoff_base_ms: u64,
+    /// Upper bound on the backoff delay (also the retry trickle period once
+    /// a resource is `Degraded`).
+    pub backoff_cap_ms: u64,
+    /// Repair attempts against the same drift fingerprint before the
+    /// resource escalates to `Degraded`.
+    pub max_attempts: u32,
+    /// Path prefixes whose corrective transactions are submitted on the
+    /// high-priority lane instead of the default batch lane.
+    pub critical_paths: Vec<String>,
+}
+
+impl Default for TwinConfig {
+    fn default() -> Self {
+        TwinConfig {
+            enabled: false,
+            interval_ms: 50,
+            report_interval_ms: 25,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5_000,
+            max_attempts: 5,
+            critical_paths: Vec::new(),
+        }
+    }
+}
+
+impl TwinConfig {
+    /// An enabled config with the default timing knobs.
+    pub fn enabled() -> Self {
+        TwinConfig {
+            enabled: true,
+            ..TwinConfig::default()
+        }
+    }
+}
+
 /// Platform-wide configuration.
 #[derive(Clone, Debug)]
 pub struct PlatformConfig {
@@ -84,6 +135,8 @@ pub struct PlatformConfig {
     pub input_batch: usize,
     /// Network RPC frontend settings, used by [`crate::Tropic::serve_rpc`].
     pub rpc: RpcConfig,
+    /// Digital-twin reconciliation settings (disabled by default).
+    pub twin: TwinConfig,
 }
 
 impl Default for PlatformConfig {
@@ -100,6 +153,7 @@ impl Default for PlatformConfig {
             group_commit: true,
             input_batch: 64,
             rpc: RpcConfig::default(),
+            twin: TwinConfig::default(),
         }
     }
 }
@@ -145,6 +199,16 @@ mod tests {
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert!(cfg.max_frame_bytes >= 1 << 20);
         assert!(cfg.poll_ms > 0);
+    }
+
+    #[test]
+    fn twin_disabled_by_default() {
+        let cfg = PlatformConfig::default();
+        assert!(!cfg.twin.enabled, "twin must be opt-in");
+        let twin = TwinConfig::enabled();
+        assert!(twin.enabled);
+        assert!(twin.backoff_cap_ms >= twin.backoff_base_ms);
+        assert!(twin.max_attempts >= 1);
     }
 
     #[test]

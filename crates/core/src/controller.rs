@@ -26,16 +26,22 @@ use std::time::{Duration, Instant};
 use tropic_coord::{CoordClient, CoordError, CreateMode, DistributedQueue, Op};
 use tropic_model::{Path, SharedClock, Tree, Value};
 
+use tropic_devices::StateReport;
+
 use crate::actions::{ActionDef, ActionRegistry};
 use crate::api::{AbortCode, Priority};
-use crate::config::ServiceDefinition;
-use crate::error::PlatformError;
+use crate::config::{ServiceDefinition, TwinConfig};
+use crate::error::{PlatformError, ProcError};
 use crate::locks::LockManager;
 use crate::logical::{rollback_logical, simulate, LogicalOutcome};
-use crate::msg::{decode_input, layout, AdminResult, InputMsg, PhyTask, Signal};
+use crate::msg::{decode_input, encode_input, layout, AdminResult, InputMsg, PhyTask, Signal};
 use crate::physical::{ExecMode, PhysicalOutcome};
-use crate::reconcile::RepairPlan;
+use crate::proc::{FnProcedure, StoredProcedure};
 use crate::stats::{Metrics, TxnSample};
+use crate::twin::{
+    drift_fingerprint, repair_fixpoint, TwinEvent, TwinFeed, TwinPhase, TwinTracker,
+    TWIN_REPAIR_PROC, TWIN_TXN_BASE,
+};
 use crate::txn::{LogRecord, TxnAlias, TxnId, TxnRecord, TxnState};
 
 /// Transaction-id namespace for controller-internal records (reloads), kept
@@ -72,6 +78,10 @@ pub struct ControllerConfig {
     pub group_commit: bool,
     /// Input-queue messages admitted per scheduling round, across lanes.
     pub input_batch: usize,
+    /// Digital-twin reconciliation settings ([`crate::twin`]).
+    pub twin: TwinConfig,
+    /// Platform-shared twin event hub; phase transitions publish here.
+    pub twin_feed: TwinFeed,
 }
 
 /// The group-commit write buffer: one scheduling round's record puts, queue
@@ -185,6 +195,23 @@ pub struct Controller<'a> {
     alias_targets: HashMap<TxnId, TxnId>,
     /// Original id → alias ids pointing at it, for GC.
     aliases_of: HashMap<TxnId, Vec<TxnId>>,
+    /// Per-resource twin state machine (drift episodes, backoff waker).
+    twin: TwinTracker,
+    /// The controller-internal `__twinRepair` procedure (physical mode
+    /// only): plans corrective actions against fresh physical state.
+    twin_proc: Option<Arc<dyn StoredProcedure>>,
+    /// Cached reported state per mount, refreshed when the twin epoch
+    /// moves.
+    twin_reported: HashMap<Path, StateReport>,
+    /// Last twin epoch the cache reflects.
+    twin_epoch_seen: Option<u64>,
+    /// Platform-clock timestamp of the last reconciliation pass.
+    twin_last_tick_ms: u64,
+    /// Next twin transaction sequence (id = `TWIN_TXN_BASE + seq`).
+    twin_next_seq: u64,
+    /// Mount → in-flight twin repair transaction, so re-detection never
+    /// stacks a second repair behind one already holding the scope's locks.
+    twin_inflight: HashMap<Path, TxnId>,
 }
 
 impl<'a> Controller<'a> {
@@ -201,6 +228,24 @@ impl<'a> Controller<'a> {
         let mut actions = service.actions.clone();
         register_builtin_actions(&mut actions);
         let group_commit = cfg.group_commit;
+        let twin = TwinTracker::new(&cfg.twin);
+        // The twin's corrective procedure: diff the logical tree against
+        // *fresh* physical state (never the possibly-stale report that
+        // triggered detection) and log the planned repairs. Physical mode
+        // only — logical-only platforms have nothing to repair.
+        let twin_proc: Option<Arc<dyn StoredProcedure>> =
+            mode.registry().cloned().map(|registry| {
+                let svc = Arc::clone(&service);
+                Arc::new(FnProcedure::new(TWIN_REPAIR_PROC, move |ctx| {
+                    let scope = Path::parse(&ctx.arg_str(0)?)
+                        .map_err(|e| ProcError::Logic(format!("bad repair scope: {e}")))?;
+                    let physical = registry
+                        .physical_subtree(&scope)
+                        .ok_or_else(|| ProcError::Logic(format!("no physical state at {scope}")))?;
+                    ctx.reconcile(&scope, &physical, &svc.repair_rules)?;
+                    Ok(())
+                })) as Arc<dyn StoredProcedure>
+            });
         Controller {
             cfg,
             client,
@@ -226,6 +271,13 @@ impl<'a> Controller<'a> {
             idemp: HashMap::new(),
             alias_targets: HashMap::new(),
             aliases_of: HashMap::new(),
+            twin,
+            twin_proc,
+            twin_reported: HashMap::new(),
+            twin_epoch_seen: None,
+            twin_last_tick_ms: 0,
+            twin_next_seq: 1,
+            twin_inflight: HashMap::new(),
         }
     }
 
@@ -332,16 +384,24 @@ impl<'a> Controller<'a> {
         let now = self.clock.now_ms();
         for rec in &replay {
             let lsn = rec.lsn.expect("filtered on lsn");
-            for log_rec in &rec.log {
-                if let Some(def) = self.actions.get(&log_rec.action) {
-                    // Replay failures mean the persistent log disagrees with
-                    // the snapshot; quarantine the object rather than halt.
-                    if def
-                        .apply_logical(&mut self.tree, &log_rec.object, &log_rec.args)
-                        .is_err()
-                    {
-                        let _ = self.tree.mark_inconsistent(&log_rec.object, true);
-                        self.inconsistent.insert(log_rec.object.clone());
+            // Twin repair logs carry *physical* corrections only — their
+            // device actions were never applied logically (the logical tree
+            // already holds desired state), so replaying them would corrupt
+            // it. Skip the log; lock/running bookkeeping below still runs.
+            let logical_log = rec.proc_name != TWIN_REPAIR_PROC;
+            if logical_log {
+                for log_rec in &rec.log {
+                    if let Some(def) = self.actions.get(&log_rec.action) {
+                        // Replay failures mean the persistent log disagrees
+                        // with the snapshot; quarantine the object rather
+                        // than halt.
+                        if def
+                            .apply_logical(&mut self.tree, &log_rec.object, &log_rec.args)
+                            .is_err()
+                        {
+                            let _ = self.tree.mark_inconsistent(&log_rec.object, true);
+                            self.inconsistent.insert(log_rec.object.clone());
+                        }
                     }
                 }
             }
@@ -354,13 +414,27 @@ impl<'a> Controller<'a> {
                     self.started_at.insert(rec.id, now);
                 }
                 // Finalized by rollback before the crash: reapply it.
-                TxnState::Aborted | TxnState::Failed => {
+                TxnState::Aborted | TxnState::Failed if logical_log => {
                     let _ = rollback_logical(&rec.log, &mut self.tree, &self.actions);
                 }
                 _ => {}
             }
             self.next_lsn = self.next_lsn.max(lsn + 1);
         }
+
+        // Resume the twin transaction-id sequence above every persisted
+        // twin record, so re-submissions after failover never collide.
+        self.twin_next_seq = self
+            .records
+            .keys()
+            .chain(self.alias_targets.keys())
+            .filter(|&&id| id >= TWIN_TXN_BASE)
+            .map(|&id| id - TWIN_TXN_BASE + 1)
+            .max()
+            .unwrap_or(1);
+        self.twin_inflight.clear();
+        self.twin_epoch_seen = None;
+        self.twin_reported.clear();
 
         // 4. Re-mark persisted inconsistencies.
         if let Some(paths) = self.client.get_json::<Vec<Path>>(&layout::inconsistent())? {
@@ -404,13 +478,14 @@ impl<'a> Controller<'a> {
     pub fn step(&mut self) -> Result<bool, PlatformError> {
         let processed = self.process_input(self.cfg.input_batch.max(1))?;
         let scheduled = self.schedule()?;
+        let reconciled = self.twin_tick()?;
         self.check_timeouts()?;
         // The group-commit flush: everything the round decided becomes
         // durable — and visible to workers and clients — atomically, before
         // any step it enables (checkpointing covers only flushed state).
         self.flush_round()?;
         self.maybe_checkpoint()?;
-        Ok(processed > 0 || scheduled > 0)
+        Ok(processed > 0 || scheduled > 0 || reconciled > 0)
     }
 
     /// Flushes the round's buffered writes as one atomic multi. On failure
@@ -735,7 +810,19 @@ impl<'a> Controller<'a> {
                 moved += 1;
                 continue;
             }
-            let Some(proc_) = self.service.procs.get(&rec.proc_name) else {
+            // Service procedures first; the controller-internal twin repair
+            // procedure is resolvable only by the controller itself.
+            let twin_fallback = || {
+                (rec.proc_name == TWIN_REPAIR_PROC)
+                    .then(|| self.twin_proc.clone())
+                    .flatten()
+            };
+            let Some(proc_) = self
+                .service
+                .procs
+                .get(&rec.proc_name)
+                .or_else(twin_fallback)
+            else {
                 self.todo[lane].pop_front();
                 let proc_name = rec.proc_name.clone();
                 self.records.insert(id, rec);
@@ -933,6 +1020,209 @@ impl<'a> Controller<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Digital-twin reconciliation: desired (logical) vs reported state.
+    // ------------------------------------------------------------------
+
+    /// One reconciliation pass of the digital twin: refresh the reported
+    /// state cache when the twin epoch moved, diff every reported resource
+    /// against the desired (logical) tree, and let the per-resource waker
+    /// decide whether to submit a corrective transaction, back off, or
+    /// escalate. Corrective transactions travel through the regular input
+    /// lanes and the `todoQ` like any client submission. Returns the number
+    /// of corrective transactions submitted this pass.
+    fn twin_tick(&mut self) -> Result<usize, PlatformError> {
+        if !self.cfg.twin.enabled || self.twin_proc.is_none() {
+            return Ok(0);
+        }
+        let now = self.clock.now_ms();
+        if now.saturating_sub(self.twin_last_tick_ms) < self.cfg.twin.interval_ms
+            && self.twin_last_tick_ms != 0
+        {
+            return Ok(0);
+        }
+        self.twin_last_tick_ms = now;
+        if !self.refresh_reported()? {
+            return Ok(0);
+        }
+        let mut mounts: Vec<Path> = self.twin_reported.keys().cloned().collect();
+        mounts.sort();
+        let mut submitted = 0;
+        for mount in mounts {
+            // Never stack a second repair behind one still holding the
+            // scope's locks (it would head-of-line block its lane);
+            // re-detection waits for the in-flight outcome instead.
+            if let Some(&tid) = self.twin_inflight.get(&mount) {
+                let done = self
+                    .records
+                    .get(&tid)
+                    .map(|r| r.state.is_final())
+                    .unwrap_or(true);
+                if !done {
+                    continue;
+                }
+                self.twin_inflight.remove(&mount);
+            }
+            if self.tree.get(&mount).is_none() {
+                // The resource left the desired state (decommissioned);
+                // whatever it still reports is not drift to chase.
+                self.twin.forget(&mount);
+                continue;
+            }
+            let (down, diffs) = {
+                let report = self.twin_reported.get(&mount).expect("keyed by mount");
+                let reported = report_tree(&mount, &report.state);
+                (report.down, self.tree.diff(&reported, &mount))
+            };
+            if diffs.is_empty() {
+                let first_seen = self.twin.phase_of(&mount).is_none();
+                match self.twin.observe_in_sync(&mount, now) {
+                    Some(mttr) => {
+                        self.metrics.record_drift_repaired(mttr);
+                        // The drift episode may stem from a KILL that
+                        // marked the subtree inconsistent; convergence
+                        // clears the quarantine.
+                        self.clear_inconsistent_under(&mount);
+                        self.publish_twin(
+                            now,
+                            &mount,
+                            TwinPhase::Converged,
+                            0,
+                            format!("converged after {mttr} ms"),
+                        );
+                    }
+                    None if first_seen => self.publish_twin(
+                        now,
+                        &mount,
+                        TwinPhase::InSync,
+                        0,
+                        "reported state matches desired state".into(),
+                    ),
+                    None => {}
+                }
+                continue;
+            }
+            let fp = drift_fingerprint(&diffs);
+            let obs = self.twin.observe_drift(&mount, fp, now, !down);
+            if obs.newly_detected {
+                self.metrics.record_drift_detected();
+                let detail = if down {
+                    format!("device down; {} diff(s)", diffs.len())
+                } else {
+                    format!("{} diff(s)", diffs.len())
+                };
+                self.publish_twin(now, &mount, TwinPhase::Drifted, 0, detail);
+            }
+            if obs.escalated {
+                self.metrics.record_drift_escalated();
+                self.publish_twin(
+                    now,
+                    &mount,
+                    TwinPhase::Degraded,
+                    self.cfg.twin.max_attempts,
+                    format!(
+                        "drift persists after {} repair attempt(s)",
+                        self.cfg.twin.max_attempts
+                    ),
+                );
+            }
+            if let Some(attempt) = obs.submit_attempt {
+                let id = TWIN_TXN_BASE + self.twin_next_seq;
+                self.twin_next_seq += 1;
+                let mount_str = mount.to_string();
+                let priority = if self
+                    .cfg
+                    .twin
+                    .critical_paths
+                    .iter()
+                    .any(|p| mount_str.starts_with(p.as_str()))
+                {
+                    Priority::High
+                } else {
+                    Priority::Batch
+                };
+                // Keyed by (mount, drift fingerprint, attempt): crash
+                // redelivery dedups, while a genuine retry after backoff
+                // mints a fresh attempt number and runs.
+                let key = format!("twin:{mount}:{fp:x}:{attempt}");
+                let msg = InputMsg::Submit {
+                    id,
+                    proc_name: TWIN_REPAIR_PROC.to_owned(),
+                    args: vec![Value::from(mount_str)],
+                    submitted_ms: now,
+                    priority,
+                    deadline_ms: None,
+                    idempotency_key: Some(key),
+                    labels: vec![("origin".to_owned(), "twin".to_owned())],
+                };
+                let q = DistributedQueue::bind(self.client, layout::input_lane(priority));
+                let data = encode_input(msg);
+                if self.batch.enabled() {
+                    self.batch.push(q.enqueue_op(data));
+                } else {
+                    q.enqueue(data)?;
+                }
+                self.twin_inflight.insert(mount.clone(), id);
+                if self.twin.phase_of(&mount) == Some(TwinPhase::Reconciling) {
+                    self.publish_twin(
+                        now,
+                        &mount,
+                        TwinPhase::Reconciling,
+                        attempt + 1,
+                        format!("corrective transaction {id} submitted ({priority:?} lane)"),
+                    );
+                }
+                submitted += 1;
+            }
+        }
+        Ok(submitted)
+    }
+
+    /// Refreshes the reported-state cache from the store's `twin/` subtree
+    /// when the epoch counter moved. Returns whether any reported state is
+    /// available at all (no reports — reporter not running — disables the
+    /// pass entirely).
+    fn refresh_reported(&mut self) -> Result<bool, PlatformError> {
+        let Some(epoch) = self.client.get_json::<u64>(&layout::twin_epoch())? else {
+            return Ok(false);
+        };
+        if self.twin_epoch_seen == Some(epoch) {
+            return Ok(!self.twin_reported.is_empty());
+        }
+        let names = match self.client.get_children(&layout::twin_reported()) {
+            Ok(names) => names,
+            Err(CoordError::NoNode(_)) => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut reported = HashMap::new();
+        for name in names {
+            let znode = layout::twin_reported().join(&name);
+            if let Some(rep) = self.client.get_json::<StateReport>(&znode)? {
+                reported.insert(rep.mount.clone(), rep);
+            }
+        }
+        self.twin_reported = reported;
+        self.twin_epoch_seen = Some(epoch);
+        Ok(!self.twin_reported.is_empty())
+    }
+
+    fn publish_twin(
+        &self,
+        at_ms: u64,
+        path: &Path,
+        phase: TwinPhase,
+        attempt: u32,
+        detail: String,
+    ) {
+        self.cfg.twin_feed.publish(&TwinEvent {
+            at_ms,
+            path: path.clone(),
+            phase,
+            attempt,
+            detail,
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Reconciliation (paper §4).
     // ------------------------------------------------------------------
 
@@ -949,56 +1239,39 @@ impl<'a> Controller<'a> {
                 ok: false,
                 message: "repair requires physical mode".into(),
                 actions: 0,
+                drifted: 0,
             };
         };
-        // Repair runs to a fixpoint: some corrections only become possible
-        // after earlier ones (e.g. an image cannot be unimported while a
-        // rogue VM still references it), so we re-diff and re-plan a few
-        // rounds. Convergence — an empty final diff — is the success
-        // criterion; individual call failures (a stopVM on an
-        // already-stopped rogue VM) are benign if the layers converge.
-        let mut executed = 0;
-        let mut errors = Vec::new();
-        let mut unmatched = 0;
-        for _round in 0..3 {
-            let physical = registry.physical_tree();
-            let diffs = self.tree.diff(&physical, scope);
-            if diffs.is_empty() {
-                break;
-            }
-            let plan: RepairPlan = self.service.repair_rules.plan(&diffs, &self.tree);
-            unmatched = plan.unmatched.len();
-            if plan.actions.is_empty() {
-                break;
-            }
-            for call in &plan.actions {
-                match registry.invoke(call) {
-                    Ok(()) => executed += 1,
-                    Err(e) => errors.push(format!("{}: {e}", call.action)),
-                }
-            }
-        }
-        let remaining = self.tree.diff(&registry.physical_tree(), scope);
-        let ok = remaining.is_empty();
-        if ok {
+        // The one-shot operator repair is the same diff → plan → invoke
+        // fixpoint the twin reconciler converges with ([`repair_fixpoint`]),
+        // so the two paths cannot diverge in behavior.
+        let out = repair_fixpoint(
+            &self.tree,
+            registry.as_ref(),
+            scope,
+            &self.service.repair_rules,
+            3,
+        );
+        if out.ok {
             self.clear_inconsistent_under(scope);
         }
         self.metrics.record_repair();
         AdminResult {
-            ok,
-            message: if ok && executed == 0 {
+            ok: out.ok,
+            message: if out.ok && out.executed == 0 {
                 "layers already consistent".into()
-            } else if ok {
-                format!("repaired with {executed} action(s)")
+            } else if out.ok {
+                format!("repaired with {} action(s)", out.executed)
             } else {
                 format!(
                     "{} diff(s) remain, {} unmatched, errors: [{}]",
-                    remaining.len(),
-                    unmatched,
-                    errors.join("; ")
+                    out.remaining,
+                    out.unmatched,
+                    out.errors.join("; ")
                 )
             },
-            actions: executed,
+            actions: out.executed,
+            drifted: out.drifted,
         }
     }
 
@@ -1016,6 +1289,7 @@ impl<'a> Controller<'a> {
                 ok: false,
                 message: "reload requires physical mode".into(),
                 actions: 0,
+                drifted: 0,
             };
         };
         // Reload behaves like a transaction: it takes a W lock on the scope
@@ -1030,15 +1304,26 @@ impl<'a> Controller<'a> {
                     c.path
                 ),
                 actions: 0,
+                drifted: 0,
             };
         }
         let physical = registry.physical_tree();
+        // The drifted count a reload reports: distinct logical paths that
+        // diverged from physical state before the subtree swap.
+        let drifted = {
+            let diffs = self.tree.diff(&physical, scope);
+            let mut paths: Vec<&Path> = diffs.iter().map(|d| d.path()).collect();
+            paths.sort_unstable();
+            paths.dedup();
+            paths.len()
+        };
         let Some(new_subtree) = physical.get(scope).cloned() else {
             self.locks.release_all(reload_txn);
             return AdminResult {
                 ok: false,
                 message: format!("no physical state at {scope}"),
                 actions: 0,
+                drifted: 0,
             };
         };
         // Validate on a candidate tree before committing the swap.
@@ -1049,6 +1334,7 @@ impl<'a> Controller<'a> {
                 ok: false,
                 message: format!("logical tree has no node at {scope}"),
                 actions: 0,
+                drifted: 0,
             };
         }
         if let Err(v) = self.service.constraints.check_all(&candidate) {
@@ -1057,6 +1343,7 @@ impl<'a> Controller<'a> {
                 ok: false,
                 message: format!("reload aborted: {v}"),
                 actions: 0,
+                drifted: 0,
             };
         }
         let nodes = new_subtree.subtree_size();
@@ -1079,6 +1366,7 @@ impl<'a> Controller<'a> {
             undo_action: None,
             undo_object: None,
             undo_args: vec![],
+            best_effort: false,
         }];
         let persist = self.persist_record(&rec);
         self.records.insert(rec.id, rec);
@@ -1091,11 +1379,13 @@ impl<'a> Controller<'a> {
                 ok: true,
                 message: format!("reloaded {nodes} node(s)"),
                 actions: nodes,
+                drifted,
             },
             Err(e) => AdminResult {
                 ok: false,
                 message: format!("reload persisted partially: {e}"),
                 actions: nodes,
+                drifted,
             },
         }
     }
@@ -1184,9 +1474,38 @@ impl<'a> Controller<'a> {
     }
 }
 
-/// Registers actions the controller itself relies on (currently the reload
-/// subtree swap replayed during recovery).
+/// Builds a tree containing only `state` mounted at `mount`, with
+/// placeholder ancestors so the mount slot exists. Diffs against it are
+/// always scoped to `mount`, so the placeholders are never compared — this
+/// avoids cloning the whole frame per resource per tick.
+fn report_tree(mount: &Path, state: &tropic_model::Node) -> Tree {
+    let mut tree = Tree::new();
+    let mut ancestors = Vec::new();
+    let mut cursor = mount.parent();
+    while let Some(p) = cursor {
+        if p.is_root() {
+            break;
+        }
+        cursor = p.parent();
+        ancestors.push(p);
+    }
+    for anc in ancestors.into_iter().rev() {
+        let _ = tree.insert(&anc, tropic_model::Node::new("frame"));
+    }
+    let _ = tree.insert(mount, state.clone());
+    tree
+}
+
+/// Registers actions the controller itself relies on: the reload subtree
+/// swap replayed during recovery, and the twin's universal no-op undo
+/// (corrective repair actions were never simulated logically, so both their
+/// logical and physical undo must do nothing).
 fn register_builtin_actions(actions: &mut ActionRegistry) {
+    actions.register(ActionDef::new(
+        tropic_devices::NOOP_ACTION,
+        |_, _, _| Ok(()),
+        |_, _, _| None,
+    ));
     actions.register(ActionDef::new(
         "__replaceSubtree",
         |tree, object, args| {

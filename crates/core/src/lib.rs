@@ -39,6 +39,7 @@ pub mod proc;
 pub mod reconcile;
 pub mod rpc;
 pub mod stats;
+pub mod twin;
 pub mod txn;
 pub mod worker;
 
@@ -48,7 +49,7 @@ pub use actions::{ActionDef, ActionRegistry, UndoSpec};
 pub use api::{
     AbortCode, AdminClient, ApiError, Priority, Subscription, TxnEvent, TxnHandle, TxnRequest,
 };
-pub use config::{PlatformConfig, RpcConfig, ServiceDefinition};
+pub use config::{PlatformConfig, RpcConfig, ServiceDefinition, TwinConfig};
 pub use controller::{Checkpoint, Controller, ControllerConfig};
 pub use error::{PlatformError, ProcError};
 pub use locks::{with_intentions, LockConflict, LockManager, LockMode, LockRequest};
@@ -63,5 +64,9 @@ pub use proc::{FnProcedure, ProcRegistry, StoredProcedure, TxnContext};
 pub use reconcile::{RepairPlan, RepairRules};
 pub use rpc::{RemoteAdmin, RemoteClient, RemoteHandle, RemoteSubscription, RpcServer};
 pub use stats::{Counters, Event, Metrics, TxnSample};
+pub use twin::{
+    backoff_delay_ms, drift_fingerprint, repair_fixpoint, DriftObservation, SyncRepairOutcome,
+    TwinEvent, TwinFeed, TwinPhase, TwinSubscription, TwinTracker, TWIN_REPAIR_PROC,
+};
 pub use txn::{format_execution_log, LogRecord, TxnAlias, TxnId, TxnOutcome, TxnRecord, TxnState};
 pub use worker::{run_worker, run_worker_with, WorkerOptions};

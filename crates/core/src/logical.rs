@@ -303,6 +303,7 @@ mod tests {
                 undo_action: Some("sub".into()),
                 undo_object: None,
                 undo_args: vec![Value::Int(v)],
+                best_effort: false,
             });
         }
         assert_eq!(t.attr_int(&c, "n").unwrap(), 7);
@@ -322,6 +323,7 @@ mod tests {
             undo_action: None,
             undo_object: None,
             undo_args: vec![],
+            best_effort: false,
         }];
         let err = rollback_logical(&log, &mut t, &reg).unwrap_err();
         assert!(err.contains("irreversible"));

@@ -199,6 +199,11 @@ pub struct AdminResult {
     /// Number of corrective device actions executed (repair) or nodes
     /// replaced (reload).
     pub actions: usize,
+    /// Number of drifted paths the operation observed and reconciled:
+    /// cross-layer diff entries for repair, diverged nodes for reload.
+    /// Absent (zero) on results written by pre-twin builds.
+    #[serde(default)]
+    pub drifted: usize,
 }
 
 /// Well-known paths in the coordination store.
@@ -273,6 +278,31 @@ pub mod layout {
     /// Result znode for one administrative operation.
     pub fn admin(admin_id: u64) -> Path {
         admins().join(&format!("{admin_id:020}"))
+    }
+
+    /// Root of the digital twin's persisted state.
+    pub fn twin() -> Path {
+        Path::parse("/tropic/twin").expect("static path")
+    }
+
+    /// Base of persisted per-device reported state.
+    pub fn twin_reported() -> Path {
+        Path::parse("/tropic/twin/reported").expect("static path")
+    }
+
+    /// Reported-state znode for the device mounted at `mount`. Mount paths
+    /// contain `/`, which znode names cannot, so segments are joined with
+    /// `.` (model paths never contain dots).
+    pub fn twin_reported_item(mount: &Path) -> Path {
+        let encoded = mount.to_string().trim_start_matches('/').replace('/', ".");
+        twin_reported().join(&encoded)
+    }
+
+    /// Monotonic epoch counter bumped whenever any reported-state znode
+    /// changes, so the reconciler can skip re-reading an unchanged `twin/`
+    /// subtree.
+    pub fn twin_epoch() -> Path {
+        Path::parse("/tropic/twin/epoch").expect("static path")
     }
 }
 
@@ -396,6 +426,33 @@ mod tests {
         assert_eq!(layout::txn(5).parent().unwrap(), layout::txns());
         assert!(layout::signal(3).to_string().contains("signals"));
         assert!(layout::admin(1).to_string().contains("admin"));
+    }
+
+    #[test]
+    fn twin_layout_encodes_mounts_flat() {
+        let mount = Path::parse("/vmRoot/host3").unwrap();
+        let znode = layout::twin_reported_item(&mount);
+        assert_eq!(znode.to_string(), "/tropic/twin/reported/vmRoot.host3");
+        assert_eq!(znode.parent().unwrap(), layout::twin_reported());
+        assert!(layout::twin_reported()
+            .to_string()
+            .starts_with("/tropic/twin"));
+        assert_eq!(layout::twin_epoch().parent().unwrap(), layout::twin());
+        // Distinct mounts never collide.
+        assert_ne!(
+            layout::twin_reported_item(&Path::parse("/a/b").unwrap()),
+            layout::twin_reported_item(&Path::parse("/a/c").unwrap()),
+        );
+    }
+
+    #[test]
+    fn admin_result_drifted_defaults_for_old_writers() {
+        // A result persisted by a pre-twin build has no `drifted` field.
+        let legacy = br#"{"ok":true,"message":"repaired","actions":2}"#;
+        let back: AdminResult = serde_json::from_slice(legacy).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.actions, 2);
+        assert_eq!(back.drifted, 0);
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub fn execute_physical(
         };
         match result {
             Ok(()) => executed.push(rec),
+            // A best-effort action that fails is skipped rather than
+            // aborting the transaction: twin-planned repairs race with
+            // ongoing physical change, and convergence is judged by the
+            // reconciler's re-diff, not by individual calls. Nothing
+            // executed, so nothing joins the undo prefix.
+            Err(_) if rec.best_effort => {}
             Err(e) => {
                 return undo_executed(&executed, mode, rec.seq, e.to_string());
             }
@@ -202,6 +208,7 @@ mod tests {
             undo_action: Some(undo.into()),
             undo_object: None,
             undo_args,
+            best_effort: false,
         };
         vec![
             rec(
@@ -366,5 +373,67 @@ mod tests {
                 .unwrap(),
             VmPower::Running.as_str()
         );
+    }
+
+    #[test]
+    fn best_effort_failure_is_skipped_not_aborted() {
+        // A rogue VM that is already stopped: the twin-planned `stopVM`
+        // fails its precondition, but the best-effort flag lets the
+        // `removeVM` that follows still run, so the transaction commits
+        // and the rogue VM is gone.
+        let reg = registry();
+        let compute = Arc::new(ComputeServer::new(
+            Path::parse("/vmRoot/h2").unwrap(),
+            "xen",
+            32768,
+            LatencyModel::zero(),
+        ));
+        reg.register(Arc::clone(&compute) as Arc<dyn Device>);
+        compute.oob_create_vm("rogue", "imgX", 128, false);
+        let h1 = Path::parse("/vmRoot/h2").unwrap();
+        let rec = |seq: usize, action: &str| LogRecord {
+            seq,
+            object: h1.clone(),
+            action: action.into(),
+            args: vec![Value::from("rogue")],
+            undo_action: Some(tropic_devices::NOOP_ACTION.to_owned()),
+            undo_object: None,
+            undo_args: vec![],
+            best_effort: true,
+        };
+        let log = vec![rec(1, "stopVM"), rec(2, "removeVM")];
+        let mode = ExecMode::Physical(Arc::clone(&reg));
+        let outcome = execute_physical(&log, &mode, || None);
+        assert_eq!(outcome, PhysicalOutcome::Committed);
+        assert!(!reg
+            .physical_tree()
+            .exists(&Path::parse("/vmRoot/h2/rogue").unwrap()));
+
+        // The same log without the flag aborts on the failed stop.
+        let reg2 = registry();
+        let compute2 = Arc::new(ComputeServer::new(
+            Path::parse("/vmRoot/h2").unwrap(),
+            "xen",
+            32768,
+            LatencyModel::zero(),
+        ));
+        reg2.register(Arc::clone(&compute2) as Arc<dyn Device>);
+        compute2.oob_create_vm("rogue", "imgX", 128, false);
+        let strict: Vec<LogRecord> = log
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.best_effort = false;
+                r
+            })
+            .collect();
+        let outcome = execute_physical(&strict, &ExecMode::Physical(Arc::clone(&reg2)), || None);
+        assert!(matches!(
+            outcome,
+            PhysicalOutcome::Aborted { failed_seq: 1, .. }
+        ));
+        assert!(reg2
+            .physical_tree()
+            .exists(&Path::parse("/vmRoot/h2/rogue").unwrap()));
     }
 }

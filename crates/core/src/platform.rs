@@ -22,8 +22,10 @@ use crate::error::PlatformError;
 use crate::msg::{decode_input, encode_input, layout, AdminResult, InputMsg, Signal};
 use crate::physical::ExecMode;
 use crate::stats::Metrics;
+use crate::twin::{TwinFeed, TwinSubscription};
 use crate::txn::{TxnId, TxnOutcome, TxnRecord};
 use crate::worker::{run_worker_with, WorkerOptions};
+use tropic_devices::{report_channel, DeviceRegistry, ReportLedger};
 
 struct ControllerHandle {
     name: String,
@@ -45,8 +47,10 @@ pub struct Tropic {
     next_txn_id: Arc<AtomicU64>,
     next_admin_id: Arc<AtomicU64>,
     rpc_cfg: RpcConfig,
+    twin_feed: TwinFeed,
     controllers: Vec<ControllerHandle>,
     workers: Vec<WorkerHandle>,
+    reporter: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -61,6 +65,7 @@ pub(crate) struct PlatformShared {
     pub(crate) metrics: Metrics,
     pub(crate) next_txn_id: Arc<AtomicU64>,
     pub(crate) next_admin_id: Arc<AtomicU64>,
+    pub(crate) twin_feed: TwinFeed,
 }
 
 impl PlatformShared {
@@ -159,6 +164,7 @@ impl Tropic {
         let service = Arc::new(service);
         let metrics = Metrics::new();
         let stop = Arc::new(AtomicBool::new(false));
+        let twin_feed = TwinFeed::new();
 
         let mut controllers = Vec::new();
         for i in 0..config.controllers.max(1) {
@@ -183,6 +189,8 @@ impl Tropic {
                     poll_ms: config.poll_ms,
                     group_commit: config.group_commit,
                     input_batch: config.input_batch,
+                    twin: config.twin.clone(),
+                    twin_feed: twin_feed.clone(),
                 };
                 std::thread::Builder::new()
                     .name(name.clone())
@@ -220,6 +228,26 @@ impl Tropic {
             });
         }
 
+        // The report pump is platform-level, not controller-level: device
+        // reports keep flowing across controller failover, and the new
+        // leader resumes reconciliation from the persisted twin subtree.
+        let reporter = match (config.twin.enabled, mode.registry()) {
+            (true, Some(registry)) => {
+                let coord = Arc::clone(&coord);
+                let registry = Arc::clone(registry);
+                let clock = Arc::clone(&clock);
+                let stop = Arc::clone(&stop);
+                let interval_ms = config.twin.report_interval_ms.max(1);
+                Some(
+                    std::thread::Builder::new()
+                        .name("twin-reporter".into())
+                        .spawn(move || reporter_thread(coord, registry, clock, interval_ms, stop))
+                        .expect("spawn twin reporter thread"),
+                )
+            }
+            _ => None,
+        };
+
         Tropic {
             coord,
             clock,
@@ -228,8 +256,10 @@ impl Tropic {
             next_txn_id: Arc::new(AtomicU64::new(first_txn_id)),
             next_admin_id: Arc::new(AtomicU64::new(first_admin_id)),
             rpc_cfg: config.rpc,
+            twin_feed,
             controllers,
             workers,
+            reporter,
             stop,
         }
     }
@@ -241,7 +271,18 @@ impl Tropic {
             metrics: self.metrics.clone(),
             next_txn_id: Arc::clone(&self.next_txn_id),
             next_admin_id: Arc::clone(&self.next_admin_id),
+            twin_feed: self.twin_feed.clone(),
         }
+    }
+
+    /// The platform-wide twin event hub (digital-twin phase transitions).
+    pub fn twin_feed(&self) -> TwinFeed {
+        self.twin_feed.clone()
+    }
+
+    /// Subscribes to twin phase-transition events in-process.
+    pub fn subscribe_twin(&self) -> TwinSubscription {
+        self.twin_feed.subscribe()
     }
 
     /// Opens a client handle for submitting transactions.
@@ -391,6 +432,9 @@ impl Tropic {
             if let Some(t) = w.thread.take() {
                 let _ = t.join();
             }
+        }
+        if let Some(t) = self.reporter.take() {
+            let _ = t.join();
         }
     }
 }
@@ -588,6 +632,63 @@ fn next_free_ids(coord: &CoordService) -> (u64, u64) {
     }
     client.close();
     (max_txn_id + 1, max_admin_id + 1)
+}
+
+/// The device-report pump (digital twin ingestion): periodically asks the
+/// registry to export every device's state, persists the reports that
+/// changed under the `twin/` subtree, and bumps the twin epoch counter.
+/// Platform-level so reports keep flowing across controller failover; the
+/// epoch znode has a single writer, so the blind read-modify-write is safe.
+fn reporter_thread(
+    coord: Arc<CoordService>,
+    registry: Arc<DeviceRegistry>,
+    clock: SharedClock,
+    interval_ms: u64,
+    stop: Arc<AtomicBool>,
+) {
+    let ledger = ReportLedger::new();
+    let (tx, rx) = report_channel();
+    while !stop.load(Ordering::SeqCst) {
+        let client = coord.connect("twin-reporter");
+        let keepalive = client.keepalive();
+        if client.create_all(&layout::twin_reported()).is_err() {
+            drop(keepalive);
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            continue;
+        }
+        let mut epoch: u64 = client
+            .get_json(&layout::twin_epoch())
+            .ok()
+            .flatten()
+            .unwrap_or(0);
+        let mut session_ok = true;
+        while session_ok && !stop.load(Ordering::SeqCst) {
+            let now = clock.now_ms();
+            if registry.publish_reports(&ledger, &tx, now) > 0 {
+                let mut wrote = false;
+                for report in rx.drain() {
+                    match client.put_json(&layout::twin_reported_item(&report.mount), &report) {
+                        Ok(()) => wrote = true,
+                        Err(_) => {
+                            // Un-advance the ledger so the report republishes
+                            // once the session is healthy again.
+                            ledger.forget(&report.mount);
+                            session_ok = false;
+                        }
+                    }
+                }
+                if wrote {
+                    epoch += 1;
+                    if client.put_json(&layout::twin_epoch(), &epoch).is_err() {
+                        session_ok = false;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        drop(keepalive);
+        client.close();
+    }
 }
 
 /// The controller thread body: connect → elect → recover → lead, forever,

@@ -252,11 +252,52 @@ impl<'a> TxnContext<'a> {
             undo_action,
             undo_object,
             undo_args,
+            best_effort: false,
         });
         self.constraints
             .check_touched(self.tree, object)
             .map_err(ProcError::Violation)?;
         Ok(())
+    }
+
+    /// Plans the corrective actions that bring `physical` in line with the
+    /// logical tree under `scope`, appending them to the execution log
+    /// *without* applying logical effects — the logical layer already holds
+    /// the desired state; only the physical layer must move.
+    ///
+    /// This is the logical half of a twin-scheduled repair transaction
+    /// (see [`crate::twin`]). It takes W + intention locks on `scope` so
+    /// the repair serializes with in-flight transactions there (a conflict
+    /// defers it like any transaction), and — unlike [`TxnContext::act`] —
+    /// it does **not** deny inconsistency-marked subtrees: repair is
+    /// precisely what clears them (paper §4). Every log record's undo is
+    /// the universal no-op, so rolling back a half-applied repair changes
+    /// nothing in either layer. Returns the number of corrective actions
+    /// planned; zero means the layers already agree and the transaction
+    /// commits trivially.
+    pub fn reconcile(
+        &mut self,
+        scope: &Path,
+        physical: &Tree,
+        rules: &crate::reconcile::RepairRules,
+    ) -> Result<usize, ProcError> {
+        self.acquire(with_intentions(scope, LockMode::W))?;
+        let diffs = self.tree.diff(physical, scope);
+        let plan = rules.plan(&diffs, self.tree);
+        let planned = plan.actions.len();
+        for call in plan.actions {
+            self.log.push(LogRecord {
+                seq: self.log.len() + 1,
+                object: call.object,
+                action: call.action,
+                args: call.args,
+                undo_action: Some(tropic_devices::NOOP_ACTION.to_owned()),
+                undo_object: None,
+                undo_args: Vec::new(),
+                best_effort: true,
+            });
+        }
+        Ok(planned)
     }
 
     fn acquire(&mut self, requests: Vec<LockRequest>) -> Result<(), ProcError> {
@@ -477,6 +518,58 @@ mod tests {
         assert!(ctx.arg_int(7).is_err());
         assert_eq!(ctx.txn_id(), 1);
         assert_eq!(ctx.args().len(), 2);
+    }
+
+    #[test]
+    fn reconcile_logs_repairs_without_logical_effects() {
+        use crate::reconcile::RepairRules;
+        let reg = registry();
+        let cons = ConstraintSet::new();
+        let mut locks = LockManager::new();
+        let mut t = tree();
+        let a = Path::parse("/a").unwrap();
+        // Repair must be allowed even on inconsistency-marked subtrees.
+        t.mark_inconsistent(&a, true).unwrap();
+        // Physical layer drifted: n = 9 instead of the logical 1.
+        let mut physical = t.clone();
+        physical.set_attr(&a, "n", 9i64).unwrap();
+        let mut rules = RepairRules::new();
+        rules.register(|diff, _| {
+            let tropic_model::DiffEntry::AttrChanged { path, left, .. } = diff else {
+                return Vec::new();
+            };
+            vec![tropic_devices::ActionCall::new(
+                path.clone(),
+                "setN",
+                vec![left.clone().unwrap()],
+            )]
+        });
+        let mut ctx = TxnContext::new(7, vec![], &mut t, &reg, &cons, &mut locks);
+        let planned = ctx.reconcile(&Path::root(), &physical, &rules).unwrap();
+        assert_eq!(planned, 1);
+        let log = ctx.log().to_vec();
+        drop(ctx);
+        assert_eq!(log[0].action, "setN");
+        assert_eq!(log[0].args, vec![Value::Int(1)]);
+        assert_eq!(
+            log[0].undo_action.as_deref(),
+            Some(tropic_devices::NOOP_ACTION)
+        );
+        // The logical tree is untouched (it already holds desired state)...
+        assert_eq!(t.attr_int(&a, "n").unwrap(), 1);
+        // ...and the scope is write-locked until the txn finalizes.
+        assert!(locks.holds(7, &Path::root(), LockMode::W));
+        // A conflicting holder defers the repair instead.
+        let mut t2 = tree();
+        let mut locks2 = LockManager::new();
+        locks2
+            .try_acquire(99, &with_intentions(&a, LockMode::W))
+            .unwrap();
+        let mut ctx2 = TxnContext::new(8, vec![], &mut t2, &reg, &cons, &mut locks2);
+        assert!(matches!(
+            ctx2.reconcile(&Path::root(), &physical, &rules),
+            Err(ProcError::Conflict(_))
+        ));
     }
 
     #[test]

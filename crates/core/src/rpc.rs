@@ -51,6 +51,7 @@ use crate::api::{AdminClient, ApiError, TxnEvent, TxnRequest};
 use crate::config::RpcConfig;
 use crate::msg::{wire_version_of, AdminResult, Signal, WireError, WIRE_VERSION};
 use crate::platform::{PlatformShared, TropicClient};
+use crate::twin::TwinEvent;
 use crate::txn::{TxnId, TxnOutcome, TxnRecord};
 
 /// Bound on a connect attempt.
@@ -123,6 +124,11 @@ pub enum RpcRequest {
     },
     /// Switch this connection into a one-way [`TxnEvent`] stream.
     Subscribe,
+    /// Switch this connection into a one-way [`TwinEvent`] stream (digital
+    /// twin phase transitions). Additive in wire version 1: pre-twin
+    /// servers reject the frame as malformed without dropping the
+    /// connection.
+    SubscribeTwin,
     /// Liveness probe; the reply carries the platform clock.
     Ping,
     /// Ask the serving process to shut down (used by operational tooling
@@ -157,6 +163,9 @@ pub enum RpcResponse {
     Subscribed,
     /// One streamed lifecycle event.
     Event(TxnEvent),
+    /// One streamed digital-twin phase transition. Additive in wire
+    /// version 1: pre-twin subscribers skip the unknown frame.
+    TwinEvent(TwinEvent),
     /// Liveness reply.
     Pong {
         /// Platform clock (ms) when the server answered.
@@ -404,11 +413,16 @@ fn serve_conn(
             }
         };
         shared.metrics.record_rpc_request();
-        if matches!(req, RpcRequest::Subscribe) {
+        if matches!(req, RpcRequest::Subscribe | RpcRequest::SubscribeTwin) {
+            let twin = matches!(req, RpcRequest::SubscribeTwin);
             if write_frame(&mut stream, &encode_response(RpcResponse::Subscribed)).is_err() {
                 break;
             }
-            stream_events(shared, &mut stream, stop);
+            if twin {
+                stream_twin_events(shared, &mut stream, stop);
+            } else {
+                stream_events(shared, &mut stream, stop);
+            }
             break;
         }
         let resp = dispatch(shared, &client, &mut admin, stop, shutdown_requested, req);
@@ -466,7 +480,7 @@ fn dispatch(
         }
         // Subscribe switches the connection mode and is handled by the
         // connection loop before dispatch.
-        RpcRequest::Subscribe => RpcResponse::Subscribed,
+        RpcRequest::Subscribe | RpcRequest::SubscribeTwin => RpcResponse::Subscribed,
         RpcRequest::Ping => RpcResponse::Pong {
             now_ms: shared.clock.now_ms(),
         },
@@ -565,6 +579,31 @@ fn stream_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &AtomicB
         match stream.read(&mut probe) {
             Ok(0) => return,
             Ok(_) => {} // stray bytes on a stream connection are ignored
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Forwards digital-twin phase transitions until the server stops or the
+/// client goes away, mirroring [`stream_events`] over the platform's
+/// in-process [`crate::TwinFeed`].
+fn stream_twin_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &AtomicBool) {
+    let sub = shared.twin_feed.subscribe();
+    let mut probe = [0u8; 64];
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(ev) = sub.recv_timeout(Duration::from_millis(100)) {
+            if write_frame(stream, &encode_response(RpcResponse::TwinEvent(ev))).is_err() {
+                return;
+            }
+            shared.metrics.record_rpc_events(1);
+            continue;
+        }
+        match stream.read(&mut probe) {
+            Ok(0) => return,
+            Ok(_) => {}
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
@@ -768,7 +807,15 @@ impl RemoteClient {
     /// Opens a streaming subscription to transaction lifecycle events on a
     /// dedicated connection. Mirrors [`crate::TropicClient::subscribe`].
     pub fn subscribe(&self) -> Result<RemoteSubscription, ApiError> {
-        RemoteSubscription::open(self.addr, self.max_frame_bytes)
+        RemoteSubscription::open(self.addr, self.max_frame_bytes, false)
+    }
+
+    /// Opens a streaming subscription to digital-twin phase transitions
+    /// ([`TwinEvent`]) on a dedicated connection. Read the feed with
+    /// [`RemoteSubscription::recv_twin_timeout`] /
+    /// [`RemoteSubscription::drain_twin`].
+    pub fn subscribe_twin(&self) -> Result<RemoteSubscription, ApiError> {
+        RemoteSubscription::open(self.addr, self.max_frame_bytes, true)
     }
 
     /// The operator plane, sharing this client's connection. Mirrors
@@ -894,24 +941,32 @@ impl RemoteAdmin<'_> {
     }
 }
 
-/// A streaming feed of [`TxnEvent`]s from a remote platform, mirroring
-/// [`crate::api::Subscription`]. Runs on its own connection; dropping it
-/// closes the socket and ends the feed.
+/// A streaming feed from a remote platform: transaction lifecycle events
+/// ([`TxnEvent`], via [`RemoteClient::subscribe`]) or digital-twin phase
+/// transitions ([`TwinEvent`], via [`RemoteClient::subscribe_twin`]) —
+/// the subscription filter is chosen at open time. Runs on its own
+/// connection; dropping it closes the socket and ends the feed.
 pub struct RemoteSubscription {
     rx: mpsc::Receiver<TxnEvent>,
+    twin_rx: mpsc::Receiver<TwinEvent>,
     stream: TcpStream,
     thread: Option<JoinHandle<()>>,
 }
 
 impl RemoteSubscription {
-    fn open(addr: SocketAddr, max_frame_bytes: u32) -> Result<Self, ApiError> {
+    fn open(addr: SocketAddr, max_frame_bytes: u32, twin: bool) -> Result<Self, ApiError> {
         let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).map_err(transport)?;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
         stream
             .set_read_timeout(Some(Duration::from_millis(50)))
             .map_err(transport)?;
-        write_frame(&mut stream, &encode_request(RpcRequest::Subscribe)).map_err(transport)?;
+        let subscribe = if twin {
+            RpcRequest::SubscribeTwin
+        } else {
+            RpcRequest::Subscribe
+        };
+        write_frame(&mut stream, &encode_request(subscribe)).map_err(transport)?;
         // Wait for the mode-switch ack before handing the socket to the
         // reader thread, so connect errors surface typed right here.
         let mut reader = FrameReader::new();
@@ -934,6 +989,7 @@ impl RemoteSubscription {
             }
         }
         let (tx, rx) = mpsc::channel();
+        let (twin_tx, twin_rx) = mpsc::channel();
         let thread = {
             let mut stream = stream.try_clone().map_err(transport)?;
             std::thread::Builder::new()
@@ -945,10 +1001,13 @@ impl RemoteSubscription {
                                 // Anything that is not a decodable event is
                                 // tolerated and skipped: the stream must
                                 // survive frames a newer server might add.
-                                if let Ok(RpcResponse::Event(ev)) = decode_response(&payload) {
-                                    if tx.send(ev).is_err() {
-                                        return; // receiver dropped
-                                    }
+                                let delivered = match decode_response(&payload) {
+                                    Ok(RpcResponse::Event(ev)) => tx.send(ev).is_ok(),
+                                    Ok(RpcResponse::TwinEvent(ev)) => twin_tx.send(ev).is_ok(),
+                                    _ => true,
+                                };
+                                if !delivered {
+                                    return; // receiver dropped
                                 }
                             }
                             Ok(None) => {}    // idle; keep listening
@@ -960,6 +1019,7 @@ impl RemoteSubscription {
         };
         Ok(RemoteSubscription {
             rx,
+            twin_rx,
             stream,
             thread: Some(thread),
         })
@@ -979,6 +1039,27 @@ impl RemoteSubscription {
     pub fn drain(&self) -> Vec<TxnEvent> {
         let mut out = Vec::new();
         while let Some(ev) = self.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Returns the next buffered twin event without blocking (twin
+    /// subscriptions only).
+    pub fn try_recv_twin(&self) -> Option<TwinEvent> {
+        self.twin_rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next twin event (twin subscriptions
+    /// only).
+    pub fn recv_twin_timeout(&self, timeout: Duration) -> Option<TwinEvent> {
+        self.twin_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains every currently-buffered twin event.
+    pub fn drain_twin(&self) -> Vec<TwinEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.try_recv_twin() {
             out.push(ev);
         }
         out

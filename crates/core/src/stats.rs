@@ -96,6 +96,18 @@ pub struct Counters {
     /// attribute aborts to injected faults rather than real bugs.
     #[serde(default)]
     pub faults_injected: u64,
+    /// Drift episodes detected by the twin reconciler: transitions of a
+    /// resource from `InSync` to `Drifted` (re-detections of the same
+    /// ongoing drift do not count again).
+    #[serde(default)]
+    pub drift_detected: u64,
+    /// Drift episodes the reconciler drove back to `Converged`.
+    #[serde(default)]
+    pub drift_repaired: u64,
+    /// Drift episodes escalated to `Degraded` after exhausting the
+    /// configured repair attempts.
+    #[serde(default)]
+    pub drift_escalated: u64,
 }
 
 /// A leadership or recovery event, timestamped on the platform clock.
@@ -115,6 +127,7 @@ struct MetricsInner {
     samples: Vec<TxnSample>,
     counters: Counters,
     events: Vec<Event>,
+    convergence_ms: Vec<u64>,
 }
 
 /// Shared metrics collector.
@@ -217,6 +230,31 @@ impl Metrics {
         self.inner.lock().counters.rpc_events_streamed += n;
     }
 
+    /// Records a drift episode detected by the twin reconciler.
+    pub fn record_drift_detected(&self) {
+        self.inner.lock().counters.drift_detected += 1;
+    }
+
+    /// Records a drift episode driven back to convergence, with its
+    /// detection-to-convergence latency (MTTR sample).
+    pub fn record_drift_repaired(&self, convergence_ms: u64) {
+        let mut inner = self.inner.lock();
+        inner.counters.drift_repaired += 1;
+        inner.convergence_ms.push(convergence_ms);
+    }
+
+    /// Records a drift episode escalated to `Degraded`.
+    pub fn record_drift_escalated(&self) {
+        self.inner.lock().counters.drift_escalated += 1;
+    }
+
+    /// Copy of all drift-to-converged latency samples (ms), in completion
+    /// order. The `reconcile` bench derives its MTTR distribution from
+    /// these.
+    pub fn convergence_samples(&self) -> Vec<u64> {
+        self.inner.lock().convergence_ms.clone()
+    }
+
     /// Appends a leadership/recovery event.
     pub fn record_event(&self, at_ms: u64, controller: &str, kind: &str) {
         self.inner.lock().events.push(Event {
@@ -304,6 +342,25 @@ mod tests {
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].kind, "leader-elected");
         assert!(evs[0].at_ms < evs[1].at_ms);
+    }
+
+    #[test]
+    fn drift_counters_and_convergence_samples() {
+        let m = Metrics::new();
+        m.record_drift_detected();
+        m.record_drift_detected();
+        m.record_drift_repaired(120);
+        m.record_drift_escalated();
+        let c = m.counters();
+        assert_eq!(c.drift_detected, 2);
+        assert_eq!(c.drift_repaired, 1);
+        assert_eq!(c.drift_escalated, 1);
+        assert_eq!(m.convergence_samples(), vec![120]);
+        // Old counter snapshots (no drift fields) still deserialize.
+        let legacy = br#"{"committed":1,"aborted":0,"failed":0,"defers":0,"violations":0,"checkpoints":0,"repairs":0,"reloads":0}"#;
+        let back: Counters = serde_json::from_slice(legacy).unwrap();
+        assert_eq!(back.committed, 1);
+        assert_eq!(back.drift_detected, 0);
     }
 
     #[test]

@@ -173,6 +173,7 @@ mod tests {
             undo_action: Some("undoAnything".into()),
             undo_object: None,
             undo_args: vec![],
+            best_effort: false,
         }];
         client.put_json(&layout::txn(5), &rec).unwrap();
         let phy_q = DistributedQueue::new(&client, layout::phy_q()).unwrap();

@@ -11,6 +11,16 @@ use tropic_model::{Node, Path, Value};
 use crate::error::{DeviceError, DeviceResult};
 use crate::fault::FaultPlan;
 
+/// Reserved action name that every device treats as a physical no-op.
+///
+/// Corrective transactions scheduled by the twin reconciler record this as
+/// the undo action of every repair step: the logical layer already holds the
+/// desired state, so undoing a half-applied repair must change nothing —
+/// neither logically nor physically. [`DeviceRegistry`](crate::DeviceRegistry)
+/// short-circuits invocations of this action before device resolution, so
+/// the no-op also succeeds for objects whose device has been decommissioned.
+pub const NOOP_ACTION: &str = "__twinNoop";
+
 /// One physical action invocation, addressed to a resource object path as in
 /// the paper's execution logs (Table 1).
 #[derive(Clone, Debug, PartialEq)]

@@ -35,13 +35,15 @@ pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod registry;
+pub mod report;
 pub mod storage;
 
-pub use api::{ActionCall, Device};
+pub use api::{ActionCall, Device, NOOP_ACTION};
 pub use compute::{ComputeServer, VmPower};
 pub use error::{DeviceError, DeviceResult};
 pub use fault::{FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use network::Router;
 pub use registry::DeviceRegistry;
+pub use report::{report_channel, ReportLedger, ReportReceiver, ReportSender, StateReport};
 pub use storage::StorageServer;

@@ -7,14 +7,16 @@
 //! `/vmRoot`) plus each device's exported subtree (paper §4).
 
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use tropic_model::{Path, Tree};
 
-use crate::api::{ActionCall, Device};
+use crate::api::{ActionCall, Device, NOOP_ACTION};
 use crate::error::{DeviceError, DeviceResult};
 use crate::fault::FaultStats;
+use crate::report::{ReportLedger, ReportSender, StateReport};
 
 /// Routes action calls to devices and exports the physical layer's state.
 pub struct DeviceRegistry {
@@ -66,7 +68,14 @@ impl DeviceRegistry {
     }
 
     /// Routes one action call to its device.
+    ///
+    /// The reserved [`NOOP_ACTION`] succeeds without touching any device —
+    /// it is the universal undo of twin-scheduled repairs and must succeed
+    /// even when the object's device is down or decommissioned.
     pub fn invoke(&self, call: &ActionCall) -> DeviceResult<()> {
+        if call.action == NOOP_ACTION {
+            return Ok(());
+        }
         let device = self
             .resolve(&call.object)
             .ok_or_else(|| DeviceError::NoSuchObject(call.object.clone()))?;
@@ -118,6 +127,52 @@ impl DeviceRegistry {
         tree.get(scope)?;
         Some(tree)
     }
+
+    /// Publishes a [`StateReport`] for every device whose exported state or
+    /// down flag changed since the last call with the same `ledger`.
+    ///
+    /// This is the reported-state ingestion hook of the digital twin: the
+    /// platform's report pump calls it periodically, the `ledger` suppresses
+    /// unchanged mounts (quiescent fleets publish nothing), and each
+    /// published report carries the per-mount monotonic `seq` the ledger
+    /// hands out. Returns the number of reports published.
+    pub fn publish_reports(
+        &self,
+        ledger: &ReportLedger,
+        sender: &ReportSender,
+        now_ms: u64,
+    ) -> usize {
+        let mut published = 0;
+        for (mount, device) in self.devices.read().iter() {
+            let state = device.export_state();
+            let down = device.fault_plan().is_down();
+            let fingerprint = report_fingerprint(&state, down);
+            if let Some(seq) = ledger.advance(mount, fingerprint) {
+                sender.send(StateReport {
+                    mount: mount.clone(),
+                    state,
+                    down,
+                    seq,
+                    at_ms: now_ms,
+                });
+                published += 1;
+            }
+        }
+        published
+    }
+}
+
+/// Stable fingerprint of an exported `(state, down)` pair, used by the
+/// report ledger to detect change. Hashes the canonical JSON encoding so it
+/// only depends on the state's value, not on in-memory layout.
+fn report_fingerprint(state: &tropic_model::Node, down: bool) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    match serde_json::to_string(state) {
+        Ok(json) => json.hash(&mut hasher),
+        Err(_) => "unencodable".hash(&mut hasher),
+    }
+    down.hash(&mut hasher);
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -246,6 +301,68 @@ mod tests {
         assert_eq!(stats.injected, 1);
         assert_eq!(stats.passed, 1);
         assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn noop_action_bypasses_devices() {
+        let reg = registry();
+        // Succeeds on a real device without rolling its fault plan...
+        reg.resolve(&Path::parse("/vmRoot/h1").unwrap())
+            .unwrap()
+            .fault_plan()
+            .set_down(true);
+        reg.invoke(&ActionCall::new(
+            Path::parse("/vmRoot/h1").unwrap(),
+            NOOP_ACTION,
+            vec![],
+        ))
+        .unwrap();
+        // ...and even on objects no device owns.
+        reg.invoke(&ActionCall::new(
+            Path::parse("/vmRoot/ghost").unwrap(),
+            NOOP_ACTION,
+            vec![],
+        ))
+        .unwrap();
+        assert_eq!(reg.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn publish_reports_dedups_and_tracks_down() {
+        use crate::report::{report_channel, ReportLedger};
+        let reg = registry();
+        let ledger = ReportLedger::new();
+        let (tx, rx) = report_channel();
+        // First sweep reports every device.
+        assert_eq!(reg.publish_reports(&ledger, &tx, 10), 2);
+        let first = rx.drain();
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|r| r.seq == 1 && !r.down));
+        // Quiescent fleet: nothing new.
+        assert_eq!(reg.publish_reports(&ledger, &tx, 20), 0);
+        assert!(rx.drain().is_empty());
+        // A fault-driven transition (device down) is itself a report.
+        let h1 = Path::parse("/vmRoot/h1").unwrap();
+        reg.resolve(&h1).unwrap().fault_plan().set_down(true);
+        assert_eq!(reg.publish_reports(&ledger, &tx, 30), 1);
+        let down = rx.drain();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].mount, h1);
+        assert!(down[0].down);
+        assert_eq!(down[0].seq, 2);
+        assert_eq!(down[0].at_ms, 30);
+        // Out-of-band state change is detected too.
+        reg.resolve(&h1).unwrap().fault_plan().set_down(false);
+        reg.invoke(&ActionCall::new(
+            h1.clone(),
+            "importImage",
+            vec!["img".into()],
+        ))
+        .unwrap();
+        assert_eq!(reg.publish_reports(&ledger, &tx, 40), 1);
+        let changed = rx.drain();
+        assert_eq!(changed[0].seq, 3);
+        assert!(!changed[0].down);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Asynchronous reported-state publishing: the device side of the
+//! digital-twin pipeline.
+//!
+//! TROPIC's reconciliation (paper §4) compares the logical layer against
+//! physical state pulled on demand. The twin subsystem inverts the flow:
+//! devices *push* [`StateReport`]s — their exported subtree plus their
+//! reachability (the fault plan's down flag) — through a report channel.
+//! A platform-side pump drains the channel and persists each report in the
+//! coordination store's `twin/` subtree, where the controller's reconciler
+//! diffs it against desired state. Reports are versioned with a per-mount
+//! monotonic `seq` so consumers can skip unchanged state cheaply.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use tropic_model::{Node, Path};
+
+/// One device's asynchronously reported state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StateReport {
+    /// The device's mount path in the data model.
+    pub mount: Path,
+    /// The exported physical subtree rooted at the mount.
+    pub state: Node,
+    /// `true` when the device is unreachable (its fault plan marks it
+    /// down). The state then reflects the last exportable view.
+    pub down: bool,
+    /// Per-mount monotonic version: bumped every time the exported state
+    /// or the down flag changes. Consumers skip reports whose `seq` they
+    /// have already processed.
+    pub seq: u64,
+    /// Publication timestamp (platform clock, ms).
+    pub at_ms: u64,
+}
+
+/// Sending half of a report channel, cloneable across publisher threads.
+#[derive(Clone)]
+pub struct ReportSender {
+    tx: Sender<StateReport>,
+}
+
+impl ReportSender {
+    /// Publishes one report. Errors (receiver dropped) are swallowed:
+    /// reporting is best-effort by design, the reconciler re-reads
+    /// persisted state.
+    pub fn send(&self, report: StateReport) {
+        let _ = self.tx.send(report);
+    }
+}
+
+/// Receiving half of a report channel.
+pub struct ReportReceiver {
+    rx: Receiver<StateReport>,
+}
+
+impl ReportReceiver {
+    /// Drains every report currently queued, in publication order.
+    pub fn drain(&self) -> Vec<StateReport> {
+        let mut out = Vec::new();
+        while let Ok(r) = self.rx.try_recv() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+/// Creates a report channel: devices (via
+/// [`DeviceRegistry::publish_reports`](crate::DeviceRegistry::publish_reports))
+/// push into the [`ReportSender`], the twin pump drains the
+/// [`ReportReceiver`].
+pub fn report_channel() -> (ReportSender, ReportReceiver) {
+    let (tx, rx) = channel();
+    (ReportSender { tx }, ReportReceiver { rx })
+}
+
+/// Publisher-side dedup state: remembers each mount's last published state
+/// fingerprint and hands out the monotonic `seq`, so quiescent devices cost
+/// no channel traffic and no coordination-store writes.
+#[derive(Default)]
+pub struct ReportLedger {
+    state: Mutex<HashMap<Path, (u64, u64)>>,
+}
+
+impl ReportLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decides whether a freshly exported `(state, down)` pair for `mount`
+    /// differs from the last published one. Returns the `seq` to stamp on
+    /// the report when it changed, `None` when unchanged.
+    pub fn advance(&self, mount: &Path, fingerprint: u64) -> Option<u64> {
+        let mut state = self.state.lock();
+        match state.get_mut(mount) {
+            Some((last_fp, seq)) if *last_fp == fingerprint => {
+                let _ = seq;
+                None
+            }
+            Some((last_fp, seq)) => {
+                *last_fp = fingerprint;
+                *seq += 1;
+                Some(*seq)
+            }
+            None => {
+                state.insert(mount.clone(), (fingerprint, 1));
+                Some(1)
+            }
+        }
+    }
+
+    /// Forgets a mount (device deregistered).
+    pub fn forget(&self, mount: &Path) {
+        self.state.lock().remove(mount);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (tx, rx) = report_channel();
+        for i in 1..=3u64 {
+            tx.send(StateReport {
+                mount: Path::parse("/vmRoot/h1").unwrap(),
+                state: Node::new("vmHost"),
+                down: false,
+                seq: i,
+                at_ms: i * 10,
+            });
+        }
+        let got = rx.drain();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[2].seq, 3);
+        assert!(rx.drain().is_empty());
+    }
+
+    #[test]
+    fn sender_survives_dropped_receiver() {
+        let (tx, rx) = report_channel();
+        drop(rx);
+        tx.send(StateReport {
+            mount: Path::parse("/x").unwrap(),
+            state: Node::new("n"),
+            down: false,
+            seq: 1,
+            at_ms: 0,
+        });
+    }
+
+    #[test]
+    fn ledger_skips_unchanged_and_bumps_seq() {
+        let ledger = ReportLedger::new();
+        let m = Path::parse("/vmRoot/h1").unwrap();
+        assert_eq!(ledger.advance(&m, 7), Some(1));
+        assert_eq!(ledger.advance(&m, 7), None);
+        assert_eq!(ledger.advance(&m, 8), Some(2));
+        assert_eq!(ledger.advance(&m, 7), Some(3));
+        ledger.forget(&m);
+        assert_eq!(ledger.advance(&m, 7), Some(1));
+    }
+
+    #[test]
+    fn report_roundtrips_as_json() {
+        let rep = StateReport {
+            mount: Path::parse("/vmRoot/h1").unwrap(),
+            state: Node::new("vmHost"),
+            down: true,
+            seq: 4,
+            at_ms: 99,
+        };
+        let json = serde_json::to_vec(&rep).unwrap();
+        let back: StateReport = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back.mount, rep.mount);
+        assert!(back.down);
+        assert_eq!(back.seq, 4);
+    }
+}

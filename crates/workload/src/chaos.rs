@@ -28,6 +28,12 @@
 //!   [`Tropic::counters`]), the applied fault timeline, and the
 //!   **acknowledged-transaction-loss count** — the invariant a chaos run
 //!   exists to check is that it stays zero.
+//! * [`DriftStormSpec`] scripts the twin-reconciler stress variant: rapid
+//!   Down/Up flapping of compute hosts leaves cross-layer drift behind
+//!   (mid-flight transactions cannot roll back on a dead device), and
+//!   [`run_drift_storm`] watches the platform's twin feed until every
+//!   drifted resource converges back — the digital-twin subsystem's
+//!   self-healing invariant, checked under load.
 //! * [`tear_wal_tails`] corrupts the newest write-ahead-log segment of
 //!   every durable replica, so a driver can script a torn-tail restart
 //!   through [`Tropic::recover`] between two load phases (see the `chaos`
@@ -39,6 +45,7 @@
 //! deterministic when submission order is serialized (one client thread,
 //! one worker, one lane); see `tests/chaos.rs`.
 
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -47,7 +54,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use tropic_core::{
-    ApiError, Priority, RemoteClient, Tropic, TropicClient, TxnId, TxnOutcome, TxnRequest, TxnState,
+    ApiError, Priority, RemoteClient, Tropic, TropicClient, TwinPhase, TxnId, TxnOutcome,
+    TxnRequest, TxnState,
 };
 use tropic_devices::Device;
 use tropic_tcloud::{TCloudDevices, TopologySpec};
@@ -289,6 +297,194 @@ impl StormSpec {
         }
         faults.sort_by_key(|f| f.at_ms);
         faults
+    }
+}
+
+/// Generates a seeded *drift storm*: rapid Down/Up flapping of compute
+/// hosts (plus optional standing `every_nth` scripts) designed to leave
+/// cross-layer drift behind — transactions caught mid-flight on a flapping
+/// device cannot roll back physically, so the physical layer diverges from
+/// the logical layer. Run it with the twin reconciler enabled
+/// ([`TwinConfig::enabled`](tropic_core::TwinConfig)) and the platform must
+/// converge back to zero diffs **without operator action**; that is what
+/// [`run_drift_storm`] asserts the data for.
+///
+/// Like [`StormSpec`], [`DriftStormSpec::generate`] is a pure function of
+/// the spec: the same seed yields the identical flap schedule.
+#[derive(Clone, Debug)]
+pub struct DriftStormSpec {
+    /// RNG seed for flap times and targets.
+    pub seed: u64,
+    /// Window (ms) the flaps spread over — normally the load duration.
+    pub duration_ms: u64,
+    /// Number of compute hosts available to flap.
+    pub compute_hosts: usize,
+    /// Down/Up flap bursts to schedule (each picks a random host).
+    pub flaps: usize,
+    /// How long each flap holds its host down (ms).
+    pub flap_down_ms: u64,
+    /// Standing every-nth failure scripts applied to all computes at t = 0
+    /// (they keep injecting during repair attempts too, exercising the
+    /// backoff waker).
+    pub every_nth: Vec<(String, u64)>,
+}
+
+impl Default for DriftStormSpec {
+    fn default() -> Self {
+        DriftStormSpec {
+            seed: 42,
+            duration_ms: 3_000,
+            compute_hosts: 4,
+            flaps: 4,
+            flap_down_ms: 250,
+            every_nth: vec![("startVM".into(), 6)],
+        }
+    }
+}
+
+impl DriftStormSpec {
+    /// Builds the deterministic flap schedule, sorted by `at_ms`.
+    pub fn generate(&self) -> Vec<ScheduledFault> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut faults = Vec::new();
+        for (action, n) in &self.every_nth {
+            faults.push(ScheduledFault {
+                at_ms: 0,
+                kind: FaultKind::EveryNth {
+                    scope: FaultScope::AllComputes,
+                    action: action.clone(),
+                    n: *n,
+                },
+            });
+        }
+        // Flaps land in the middle 80% of the window so load is flowing
+        // when the host disappears.
+        for _ in 0..self.flaps {
+            let host = if self.compute_hosts == 0 {
+                0
+            } else {
+                rng.gen_range(0..self.compute_hosts)
+            };
+            let lo = self.duration_ms / 10;
+            let hi = (self.duration_ms * 9 / 10).max(lo + 1);
+            let at = rng.gen_range(lo..hi);
+            faults.push(ScheduledFault {
+                at_ms: at,
+                kind: FaultKind::DeviceDown {
+                    scope: FaultScope::Compute(host),
+                },
+            });
+            faults.push(ScheduledFault {
+                at_ms: at + self.flap_down_ms,
+                kind: FaultKind::DeviceUp {
+                    scope: FaultScope::Compute(host),
+                },
+            });
+        }
+        faults.sort_by_key(|f| f.at_ms);
+        faults
+    }
+}
+
+/// Result of a [`run_drift_storm`] run: the underlying chaos report plus
+/// the twin's view of which resources drifted and whether every one of
+/// them converged within the convergence timeout.
+#[derive(Clone, Debug)]
+pub struct DriftStormReport {
+    /// The open-loop load/fault report (the `acked_lost == 0` invariant
+    /// lives here).
+    pub chaos: ChaosReport,
+    /// Resources (device mounts) that entered `Drifted` at least once.
+    pub drifted: Vec<String>,
+    /// Drifted resources whose final observed phase is back in sync.
+    pub converged: Vec<String>,
+    /// Drifted resources still out of sync when the timeout expired —
+    /// a drift-storm run passes only when this is empty.
+    pub unconverged: Vec<String>,
+    /// Total twin events observed over the run.
+    pub twin_events: u64,
+}
+
+/// Runs a chaos workload (normally with a [`DriftStormSpec`] schedule in
+/// `spec.faults`) while watching the platform's twin feed, then waits up to
+/// `convergence_timeout` after the load drains for every drifted resource
+/// to report `Converged`. The platform must have been started with the
+/// twin reconciler enabled, or drift will simply never converge.
+///
+/// The caller asserts on the report: `chaos.acked_lost == 0` and
+/// `unconverged.is_empty()` are the drift-storm invariants.
+pub fn run_drift_storm(
+    platform: &Tropic,
+    topo: &TopologySpec,
+    devices: Option<&TCloudDevices>,
+    spec: &ChaosSpec,
+    convergence_timeout: Duration,
+) -> DriftStormReport {
+    let sub = platform.subscribe_twin();
+    let chaos = run_chaos(platform, topo, devices, spec);
+
+    // Fold the feed into "latest phase per resource", continuing until
+    // every resource that ever drifted is back in sync (or the timeout
+    // expires). `Converged` is transient — it marks the episode close —
+    // so both it and `InSync` count as in-sync terminal phases. Because
+    // drift left by the storm may only be *detected* after the load drains
+    // (the report pump and the reconciliation tick both lag the devices),
+    // convergence must additionally hold through a quiet settle window
+    // before the run is declared done.
+    fn fold(
+        event: &tropic_core::TwinEvent,
+        last_phase: &mut BTreeMap<String, TwinPhase>,
+        ever_drifted: &mut BTreeMap<String, ()>,
+    ) {
+        let path = event.path.to_string();
+        if !matches!(event.phase, TwinPhase::InSync | TwinPhase::Converged) {
+            ever_drifted.insert(path.clone(), ());
+        }
+        last_phase.insert(path, event.phase);
+    }
+    let mut last_phase: BTreeMap<String, TwinPhase> = BTreeMap::new();
+    let mut ever_drifted: BTreeMap<String, ()> = BTreeMap::new();
+    let mut twin_events = 0u64;
+    let settle = Duration::from_millis(750);
+    let deadline = Instant::now() + convergence_timeout;
+    let mut last_event = Instant::now();
+    loop {
+        for event in sub.drain() {
+            twin_events += 1;
+            last_event = Instant::now();
+            fold(&event, &mut last_phase, &mut ever_drifted);
+        }
+        let all_converged = ever_drifted.keys().all(|p| {
+            matches!(
+                last_phase.get(p),
+                Some(TwinPhase::InSync) | Some(TwinPhase::Converged)
+            )
+        });
+        let now = Instant::now();
+        if (all_converged && now.duration_since(last_event) >= settle) || now >= deadline {
+            break;
+        }
+        if let Some(event) = sub.recv_timeout(Duration::from_millis(100)) {
+            twin_events += 1;
+            last_event = Instant::now();
+            fold(&event, &mut last_phase, &mut ever_drifted);
+        }
+    }
+
+    let mut converged = Vec::new();
+    let mut unconverged = Vec::new();
+    for path in ever_drifted.keys() {
+        match last_phase.get(path) {
+            Some(TwinPhase::InSync) | Some(TwinPhase::Converged) => converged.push(path.clone()),
+            _ => unconverged.push(path.clone()),
+        }
+    }
+    DriftStormReport {
+        chaos,
+        drifted: ever_drifted.keys().cloned().collect(),
+        converged,
+        unconverged,
+        twin_events,
     }
 }
 
@@ -1219,6 +1415,42 @@ mod tests {
             ..StormSpec::default()
         };
         assert_ne!(a, other.generate());
+    }
+
+    #[test]
+    fn drift_storm_schedule_deterministic_and_flaps_paired() {
+        let spec = DriftStormSpec::default();
+        let a = spec.generate();
+        assert_eq!(a, spec.generate(), "same seed must yield the same storm");
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let downs = a
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::DeviceDown { .. }))
+            .count();
+        let ups = a
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::DeviceUp { .. }))
+            .count();
+        assert_eq!(downs, spec.flaps);
+        assert_eq!(ups, spec.flaps, "every flap must bring its host back up");
+        // Each Down is followed by the matching Up exactly flap_down_ms
+        // later, on the same host.
+        for f in &a {
+            if let FaultKind::DeviceDown { scope } = &f.kind {
+                let up_at = f.at_ms + spec.flap_down_ms;
+                assert!(
+                    a.iter().any(|g| g.at_ms == up_at
+                        && matches!(&g.kind, FaultKind::DeviceUp { scope: s } if s == scope)),
+                    "flap at {} ms has no matching up",
+                    f.at_ms
+                );
+            }
+        }
+        let reseeded = DriftStormSpec {
+            seed: 7,
+            ..DriftStormSpec::default()
+        };
+        assert_ne!(a, reseeded.generate());
     }
 
     #[test]

@@ -329,6 +329,13 @@ fn expired_deadline_rejected_at_admission() {
     // Warm up so admission time is unambiguously later than the deadline.
     run(&client, spawn_req(&spec, "warm", 0, 2048));
 
+    // The platform clock's epoch is boot time, and on a fast machine the
+    // warm-up can finish inside millisecond zero — where `now - 1`
+    // saturates to `now` itself and the "past" deadline isn't in the past.
+    // Step off the epoch first so the subtraction is real.
+    while client.clock().now_ms() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let past = client.clock().now_ms().saturating_sub(1);
     let handle = client
         .submit_request(spawn_req(&spec, "late", 0, 2048).deadline_at(past))
