@@ -3,8 +3,13 @@
 #
 # Usage: ./ci.sh [--no-clippy | --bench-snapshot | --doc | --rpc-smoke |
 #                 --test-bench-parser | --chaos-smoke | --chaos-trend |
-#                 --md-links]
+#                 --md-links | --analyze]
 #   --no-clippy          skip the clippy pass (e.g. when the component is absent)
+#   --analyze            run only the static-analysis gate: tropic-analyze's
+#                        fixture self-test, then the four repo checks
+#                        (lock-order, blocking-under-lock, schema-drift,
+#                        panic-path; see docs/STATIC_ANALYSIS.md), writing
+#                        ANALYZE_report.txt
 #   --doc                run only the documentation gate: `cargo doc --no-deps`
 #                        with RUSTDOCFLAGS="-D warnings" (broken intra-doc
 #                        links, bad code blocks, etc. fail the build)
@@ -782,6 +787,18 @@ doc_gate() {
     echo "Doc gate passed."
 }
 
+# Static-analysis gate: the analyzer first proves itself against the seeded
+# fixture trees (every check must fire on the violations tree, none on the
+# clean one), then runs the four repo checks. Findings fail the build; the
+# rendered report lands in ANALYZE_report.txt either way.
+analyze_gate() {
+    run cargo build --release -p tropic-analyze
+    run ./target/release/tropic-analyze --self-test
+    run ./target/release/tropic-analyze --report ANALYZE_report.txt
+    echo
+    echo "Static-analysis gate passed."
+}
+
 if [[ "${1:-}" == "--bench-snapshot" ]]; then
     COMMIT_TSV="$(mktemp)"
     trap 'rm -f "$COMMIT_TSV"' EXIT
@@ -819,6 +836,11 @@ if [[ "${1:-}" == "--md-links" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--analyze" ]]; then
+    analyze_gate
+    exit 0
+fi
+
 if [[ "${1:-}" == "--test-bench-parser" ]]; then
     test_bench_parser
     exit 0
@@ -830,6 +852,7 @@ run cargo bench --no-run
 run cargo build --examples
 test_bench_parser
 check_markdown_links
+analyze_gate
 rpc_smoke
 doc_gate
 run cargo fmt --check

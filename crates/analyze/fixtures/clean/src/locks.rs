@@ -1,0 +1,31 @@
+//! Clean locking: every path takes `accounts` before `ledger`, and one
+//! deliberate blocking call under a guard carries an inline allow.
+
+pub struct Bank {
+    accounts: Mutex<Vec<u64>>,
+    ledger: Mutex<Vec<String>>,
+    file: std::fs::File,
+}
+
+impl Bank {
+    pub fn transfer(&self) {
+        let accounts = self.accounts.lock();
+        let ledger = self.ledger.lock();
+        drop(ledger);
+        drop(accounts);
+    }
+
+    pub fn audit(&self) {
+        let accounts = self.accounts.lock();
+        let ledger = self.ledger.lock();
+        drop(accounts);
+        drop(ledger);
+    }
+
+    pub fn checkpoint(&self) {
+        let ledger = self.ledger.lock();
+        // analyze:allow(blocking-under-lock): durability point — readers must not observe the pre-sync ledger
+        self.file.sync_all();
+        drop(ledger);
+    }
+}

@@ -1,0 +1,15 @@
+//! Clean wire schema: matches the committed `WIRE_SCHEMAS.lock` exactly.
+
+pub const WIRE_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+pub struct Envelope {
+    pub v: u32,
+    pub msg: InputMsg,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum InputMsg {
+    Submit { id: u64 },
+    Cancel { id: u64 },
+}

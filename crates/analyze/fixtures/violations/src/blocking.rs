@@ -1,0 +1,16 @@
+//! Seeded blocking-under-lock violation: an fsync issued while the
+//! state mutex guard is still live, serializing every reader behind
+//! device latency.
+
+pub struct Journal {
+    state: Mutex<Vec<u8>>,
+    file: std::fs::File,
+}
+
+impl Journal {
+    pub fn checkpoint(&self) {
+        let state = self.state.lock();
+        self.file.sync_all();
+        drop(state);
+    }
+}

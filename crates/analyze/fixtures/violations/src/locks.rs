@@ -1,0 +1,24 @@
+//! Seeded lock-order violation: `transfer` takes `accounts` then
+//! `ledger`, while `audit` takes them in the opposite order — a classic
+//! ABBA deadlock once two threads interleave.
+
+pub struct Bank {
+    accounts: Mutex<Vec<u64>>,
+    ledger: Mutex<Vec<String>>,
+}
+
+impl Bank {
+    pub fn transfer(&self) {
+        let accounts = self.accounts.lock();
+        let ledger = self.ledger.lock();
+        drop(ledger);
+        drop(accounts);
+    }
+
+    pub fn audit(&self) {
+        let ledger = self.ledger.lock();
+        let accounts = self.accounts.lock();
+        drop(accounts);
+        drop(ledger);
+    }
+}

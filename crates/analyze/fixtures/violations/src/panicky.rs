@@ -1,0 +1,20 @@
+//! Seeded panic-path violation: unwraps in production code with a zero
+//! budget in this tree's `analyze/allow.toml`.
+
+pub fn first_word(input: &str) -> &str {
+    input.split(' ').next().unwrap()
+}
+
+pub fn parse_port(input: &str) -> u16 {
+    input.parse().expect("a port number")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this unwrap must NOT count.
+    #[test]
+    fn exempt() {
+        super::parse_port("80");
+        "x".parse::<u16>().unwrap_err();
+    }
+}

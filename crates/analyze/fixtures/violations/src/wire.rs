@@ -1,0 +1,19 @@
+//! Seeded schema-drift violation: `Envelope` grew a field without a
+//! `#[serde(default)]` and without bumping `WIRE_VERSION`, so old peers
+//! fail to decode new frames. The committed `WIRE_SCHEMAS.lock` next to
+//! this tree fingerprints the *previous* shape.
+
+pub const WIRE_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+pub struct Envelope {
+    pub v: u32,
+    pub msg: InputMsg,
+    pub trace_id: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum InputMsg {
+    Submit { id: u64 },
+    Cancel { id: u64 },
+}

@@ -1,0 +1,109 @@
+//! Reader/writer for `analyze/allow.toml` — the committed per-file
+//! panic-path budgets.
+//!
+//! The file is a single-table TOML subset:
+//!
+//! ```toml
+//! [panic-path]
+//! "crates/coord/src/wal.rs" = 3
+//! ```
+//!
+//! Budgets are exact site counts. The analyzer fails a file that
+//! exceeds its budget and prints a tighten notice when it dips below,
+//! so the committed numbers can only burn down over time.
+
+use std::collections::BTreeMap;
+
+/// Per-file panic budgets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// Map from repo-relative path to allowed panic-site count.
+    pub panic_budgets: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    /// Budget for `file`; files not listed get zero.
+    pub fn budget(&self, file: &str) -> usize {
+        self.panic_budgets.get(file).copied().unwrap_or(0)
+    }
+
+    /// Parses the TOML subset. Unknown sections are ignored so the
+    /// format can grow; malformed lines are reported as errors.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut out = Allowlist::default();
+        let mut in_panic = false;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                in_panic = section.trim() == "panic-path";
+                continue;
+            }
+            if !in_panic {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "allow.toml line {}: expected `\"path\" = N`",
+                    no + 1
+                ));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("allow.toml line {}: bad count `{}`", no + 1, value.trim()))?;
+            out.panic_budgets.insert(key, value);
+        }
+        Ok(out)
+    }
+
+    /// Renders the canonical file text (sorted, commented header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# analyze/allow.toml — per-file panic-path budgets for `tropic-analyze`.\n\
+             # Counts may only burn down: lower a number when you remove a site;\n\
+             # never raise one without review. Regenerate with `tropic-analyze --update-allow`.\n\
+             \n[panic-path]\n",
+        );
+        for (file, count) in &self.panic_budgets {
+            out.push_str(&format!("\"{file}\" = {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut a = Allowlist::default();
+        a.panic_budgets.insert("crates/x/src/lib.rs".into(), 4);
+        a.panic_budgets.insert("src/lib.rs".into(), 1);
+        let text = a.render();
+        assert_eq!(Allowlist::parse(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn missing_file_is_zero() {
+        let a = Allowlist::default();
+        assert_eq!(a.budget("nope.rs"), 0);
+    }
+
+    #[test]
+    fn comments_and_unknown_sections_ignored() {
+        let text = "# hi\n[future-check]\n\"x\" = 9\n[panic-path]\n\"a.rs\" = 2\n";
+        let a = Allowlist::parse(text).unwrap();
+        assert_eq!(a.budget("a.rs"), 2);
+        assert_eq!(a.budget("x"), 0);
+    }
+
+    #[test]
+    fn bad_count_is_error() {
+        assert!(Allowlist::parse("[panic-path]\n\"a.rs\" = lots\n").is_err());
+    }
+}

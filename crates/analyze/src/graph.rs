@@ -1,0 +1,288 @@
+//! Global lock-acquisition graph with cycle detection.
+//!
+//! Nodes are file-qualified lock ids (`crates/coord/src/service.rs::stats`);
+//! an edge `A -> B` records one exemplar source site where `B` was
+//! acquired while `A` was held. A strongly connected component with
+//! more than one node (or a self-edge) is an inconsistent acquisition
+//! order — the classic deadlock shape.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::{check, Finding};
+
+/// A source location (repo-relative path, 1-based line).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Site {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl Site {
+    /// `file:line` rendering for diagnostics.
+    pub fn display(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+}
+
+/// One held-while-acquiring observation.
+#[derive(Debug, Clone)]
+pub struct EdgeSites {
+    /// Where the already-held lock was acquired.
+    pub held_at: Site,
+    /// Where the second lock was acquired while the first was held.
+    pub acquired_at: Site,
+}
+
+/// The global acquisition graph. Edges keep their first exemplar site
+/// pair; since files are visited in sorted order and tokens in file
+/// order, the exemplar choice is deterministic.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeMap<(String, String), EdgeSites>,
+}
+
+impl LockGraph {
+    /// Records that `to` was acquired while `from` was held.
+    pub fn add_edge(&mut self, from: &str, to: &str, sites: EdgeSites) {
+        self.edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(sites);
+    }
+
+    /// Number of distinct ordered edges observed.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finds inconsistent orders: self-edges (recursive acquisition)
+    /// and strongly connected components of size > 1. Each cycle is
+    /// reported once, anchored at its lexicographically first edge.
+    pub fn cycles(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+
+        for ((from, to), sites) in &self.edges {
+            if from == to {
+                findings.push(Finding {
+                    file: sites.acquired_at.file.clone(),
+                    line: sites.acquired_at.line,
+                    check: check::LOCK_ORDER,
+                    message: format!(
+                        "recursive acquisition of `{}` (already held since {})",
+                        from,
+                        sites.held_at.display()
+                    ),
+                });
+            }
+        }
+
+        // Strongly connected components via iterative Tarjan.
+        let nodes: Vec<&String> = {
+            let mut s = BTreeSet::new();
+            for (from, to) in self.edges.keys() {
+                s.insert(from);
+                s.insert(to);
+            }
+            s.into_iter().collect()
+        };
+        let index_of: BTreeMap<&String, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (from, to) in self.edges.keys() {
+            if from != to {
+                succ[index_of[from]].push(index_of[to]);
+            }
+        }
+
+        let n = nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+        // Explicit DFS stack: (node, next successor position).
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(top) = dfs.last_mut() {
+                let v = top.0;
+                let pos = top.1;
+                if pos == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if pos < succ[v].len() {
+                    top.1 += 1;
+                    let w = succ[v][pos];
+                    if index[w] == usize::MAX {
+                        dfs.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 {
+                            sccs.push(comp);
+                        }
+                    }
+                    dfs.pop();
+                    if let Some(&mut (u, _)) = dfs.last_mut() {
+                        low[u] = low[u].min(low[v]);
+                    }
+                }
+            }
+        }
+
+        for comp in sccs {
+            let members: BTreeSet<usize> = comp.iter().copied().collect();
+            // Internal edges of the component, sorted for determinism.
+            let mut internal: Vec<(&(String, String), &EdgeSites)> = self
+                .edges
+                .iter()
+                .filter(|((f, t), _)| {
+                    f != t && members.contains(&index_of[f]) && members.contains(&index_of[t])
+                })
+                .collect();
+            internal.sort_by_key(|(k, _)| *k);
+            let Some(((first_from, first_to), anchor)) = internal.first().map(|(k, s)| {
+                let (f, t) = (&k.0, &k.1);
+                ((f, t), *s)
+            }) else {
+                continue;
+            };
+            let others: Vec<String> = internal
+                .iter()
+                .skip(1)
+                .map(|((f, t), s)| format!("`{}` -> `{}` at {}", f, t, s.acquired_at.display()))
+                .collect();
+            findings.push(Finding {
+                file: anchor.acquired_at.file.clone(),
+                line: anchor.acquired_at.line,
+                check: check::LOCK_ORDER,
+                message: format!(
+                    "inconsistent lock order: `{}` (held since {}) then `{}` here, but elsewhere {}",
+                    first_from,
+                    anchor.held_at.display(),
+                    first_to,
+                    others.join("; ")
+                ),
+            });
+        }
+
+        findings
+    }
+
+    /// All edge sites touching the given findings — used to honor
+    /// inline allow directives at either end of a cycle.
+    pub fn edges(&self) -> impl Iterator<Item = (&(String, String), &EdgeSites)> {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(f: &str, l: u32) -> Site {
+        Site {
+            file: f.into(),
+            line: l,
+        }
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = LockGraph::default();
+        g.add_edge(
+            "a.rs::x",
+            "a.rs::y",
+            EdgeSites {
+                held_at: site("a.rs", 1),
+                acquired_at: site("a.rs", 2),
+            },
+        );
+        g.add_edge(
+            "a.rs::y",
+            "a.rs::x",
+            EdgeSites {
+                held_at: site("a.rs", 10),
+                acquired_at: site("a.rs", 11),
+            },
+        );
+        let c = g.cycles();
+        assert_eq!(c.len(), 1);
+        assert!(c[0].message.contains("inconsistent lock order"));
+        assert!(c[0].message.contains("a.rs:11"));
+    }
+
+    #[test]
+    fn acyclic_is_clean() {
+        let mut g = LockGraph::default();
+        g.add_edge(
+            "a.rs::x",
+            "a.rs::y",
+            EdgeSites {
+                held_at: site("a.rs", 1),
+                acquired_at: site("a.rs", 2),
+            },
+        );
+        g.add_edge(
+            "a.rs::y",
+            "a.rs::z",
+            EdgeSites {
+                held_at: site("a.rs", 3),
+                acquired_at: site("a.rs", 4),
+            },
+        );
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn self_edge_is_recursive_acquisition() {
+        let mut g = LockGraph::default();
+        g.add_edge(
+            "a.rs::x",
+            "a.rs::x",
+            EdgeSites {
+                held_at: site("a.rs", 1),
+                acquired_at: site("a.rs", 2),
+            },
+        );
+        let c = g.cycles();
+        assert_eq!(c.len(), 1);
+        assert!(c[0].message.contains("recursive acquisition"));
+    }
+
+    #[test]
+    fn three_cycle_detected_once() {
+        let mut g = LockGraph::default();
+        for (f, t, l) in [("x", "y", 1), ("y", "z", 3), ("z", "x", 5)] {
+            g.add_edge(
+                &format!("a.rs::{f}"),
+                &format!("a.rs::{t}"),
+                EdgeSites {
+                    held_at: site("a.rs", l),
+                    acquired_at: site("a.rs", l + 1),
+                },
+            );
+        }
+        let c = g.cycles();
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,483 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with line numbers, plus the
+//! `// analyze:allow(<check>): <reason>` directives found in comments.
+//! It understands just enough of the language for the checks built on
+//! top of it: raw/byte strings, nested block comments, char literals
+//! vs. lifetimes, raw identifiers, and multi-char punctuation that
+//! matters for path and signature parsing (`::`, `->`, `=>`).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#raw` identifiers, stripped).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text keeps the quote).
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Punctuation. Multi-char tokens emitted: `::`, `->`, `=>`, `..`,
+    /// `..=`, `...`; everything else is a single character.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. String/char literals keep their quotes.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// An inline `// analyze:allow(<check>): <reason>` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The check id inside the parentheses, e.g. `lock-order`.
+    pub check: String,
+    /// Line the comment appears on. A directive suppresses findings on
+    /// its own line and on the following line.
+    pub line: u32,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace stripped.
+    pub toks: Vec<Tok>,
+    /// All allow directives found in comments, in file order.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl Lexed {
+    /// True when `check` is allowed at `line` (directive on the same
+    /// line or the line immediately above).
+    pub fn allowed(&self, check: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.check == check && (a.line == line || a.line + 1 == line))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans a comment body for allow directives.
+fn scan_comment(body: &str, line: u32, out: &mut Vec<AllowDirective>) {
+    let mut rest = body;
+    let mut line_off = 0u32;
+    while let Some(pos) = rest.find("analyze:allow(") {
+        line_off += rest[..pos].matches('\n').count() as u32;
+        let after = &rest[pos + "analyze:allow(".len()..];
+        if let Some(close) = after.find(')') {
+            let check = after[..close].trim().to_string();
+            if !check.is_empty() {
+                out.push(AllowDirective {
+                    check,
+                    line: line + line_off,
+                });
+            }
+            rest = &after[close..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Lexes `src` into tokens and allow directives.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            let body: String = bytes[start..i].iter().collect();
+            scan_comment(&body, line, &mut out.allows);
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let body: String = bytes[start..i].iter().collect();
+            scan_comment(&body, start_line, &mut out.allows);
+            continue;
+        }
+        // Raw identifiers and raw / byte strings: r#ident, r"…", r#"…"#,
+        // b"…", br#"…"#, b'…'.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut _is_byte = false;
+            if bytes[j] == 'b' {
+                _is_byte = true;
+                j += 1;
+            }
+            let is_raw = j < n && bytes[j] == 'r';
+            if is_raw {
+                j += 1;
+            }
+            // r#ident (raw identifier, only for bare `r#` + ident start).
+            if c == 'r'
+                && !_is_byte
+                && i + 1 < n
+                && bytes[i + 1] == '#'
+                && i + 2 < n
+                && is_ident_start(bytes[i + 2])
+            {
+                let start = i + 2;
+                let mut k = start;
+                while k < n && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: bytes[start..k].iter().collect(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            if is_raw {
+                // Count hashes, then expect a quote.
+                let mut k = j;
+                let mut hashes = 0usize;
+                while k < n && bytes[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && bytes[k] == '"' {
+                    let start = i;
+                    let start_line = line;
+                    k += 1;
+                    // Scan to `"` followed by `hashes` hashes.
+                    'raw: while k < n {
+                        if bytes[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && bytes[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if bytes[k] == '\n' {
+                            line += 1;
+                        }
+                        k += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: bytes[start..k].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            if _is_byte && j < n && (bytes[j] == '"' || bytes[j] == '\'') {
+                // b"…" / b'…' fall through to the generic quote scanners
+                // below by restarting at the quote with a prefix note.
+                let quote = bytes[j];
+                let start = i;
+                let start_line = line;
+                let mut k = j + 1;
+                while k < n {
+                    if bytes[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if bytes[k] == quote {
+                        k += 1;
+                        break;
+                    }
+                    if bytes[k] == '\n' {
+                        line += 1;
+                    }
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: if quote == '"' {
+                        TokKind::Str
+                    } else {
+                        TokKind::Char
+                    },
+                    text: bytes[start..k.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = k.min(n);
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (bytes[i].is_ascii_alphanumeric()
+                    || bytes[i] == '_'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && matches!(bytes[i - 1], 'e' | 'E')
+                        && bytes[start..i].iter().all(|&d| d != 'x' && d != 'X')))
+            {
+                i += 1;
+            }
+            // Do not swallow a range `0..n` or a method call `1.max(x)`.
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if bytes[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            let end = i.min(n);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: bytes[start..end].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote.
+            if i + 1 < n && is_ident_start(bytes[i + 1]) {
+                let mut k = i + 1;
+                while k < n && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                if k < n && bytes[k] == '\'' {
+                    // 'a' — a char literal.
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: bytes[i..=k].iter().collect(),
+                        line,
+                    });
+                    i = k + 1;
+                    continue;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: bytes[i..k].iter().collect(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '{'.
+            let start = i;
+            let mut k = i + 1;
+            if k < n && bytes[k] == '\\' {
+                k += 2;
+            } else if k < n {
+                k += 1;
+            }
+            if k < n && bytes[k] == '\'' {
+                k += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: bytes[start..k.min(n)].iter().collect(),
+                line,
+            });
+            i = k.min(n);
+            continue;
+        }
+        // Multi-char punctuation that the parsers rely on.
+        let two: String = bytes[i..n.min(i + 2)].iter().collect();
+        let three: String = bytes[i..n.min(i + 3)].iter().collect();
+        let multi = if three == "..=" || three == "..." {
+            Some(three)
+        } else if two == "::" || two == "->" || two == "=>" || two == ".." {
+            Some(two)
+        } else {
+            None
+        };
+        if let Some(m) = multi {
+            let len = m.chars().count();
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: m,
+                line,
+            });
+            i += len;
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn foo() -> u32 { a::b.c() }");
+        assert!(t.contains(&(TokKind::Punct, "->".into())));
+        assert!(t.contains(&(TokKind::Punct, "::".into())));
+        assert!(t.contains(&(TokKind::Ident, "foo".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = kinds(r###"let s = r#"quote " inside"#; let x = 1;"###);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.contains("inside")));
+        assert!(t.contains(&(TokKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let t = kinds(r#"const M: &[u8; 8] = b"TRPCSNP1"; let c = b'x'; let d = '\n';"#);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.starts_with("b\"")));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Char && s.starts_with("b'")));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'\\n'"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'a'"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "a\n/* one /* two */ still */\nb";
+        let l = lex(src);
+        assert_eq!(l.toks.len(), 2);
+        assert_eq!(l.toks[1].line, 3);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = kinds("let r#match = 1;");
+        assert!(t.contains(&(TokKind::Ident, "match".into())));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "x(); // analyze:allow(lock-order): deliberate\ny();\n// analyze:allow(panic-path): startup only\nz();";
+        let l = lex(src);
+        assert_eq!(l.allows.len(), 2);
+        assert_eq!(l.allows[0].check, "lock-order");
+        assert_eq!(l.allows[0].line, 1);
+        assert!(l.allowed("lock-order", 1));
+        assert!(l.allowed("panic-path", 4)); // line after the directive
+        assert!(!l.allowed("panic-path", 5));
+    }
+
+    #[test]
+    fn string_with_embedded_comment_markers() {
+        let t = kinds(r#"let s = "// not a comment /* nor this */"; done"#);
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(t.contains(&(TokKind::Ident, "done".into())));
+    }
+}

@@ -1,0 +1,133 @@
+//! CLI entry point for `tropic-analyze`.
+//!
+//! ```text
+//! tropic-analyze [--root DIR] [--report FILE]   # analyze; exit 1 on findings
+//! tropic-analyze --bless [--root DIR]           # record schema evolutions
+//! tropic-analyze --update-allow [--root DIR]    # reseed panic budgets
+//! tropic-analyze --self-test [--root DIR]       # run the fixture suite
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tropic_analyze::{analyze, bless, self_test, update_allow, Options};
+
+fn usage() -> &'static str {
+    "usage: tropic-analyze [--root DIR] [--report FILE] [--fixture-registry] [--bless | --update-allow | --self-test]"
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut mode_bless = false;
+    let mut mode_update_allow = false;
+    let mut mode_self_test = false;
+    let mut fixture_registry = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => match args.next() {
+                Some(f) => report_path = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--bless" => mode_bless = true,
+            // Maintains the fixture trees' own lock files: analyze/bless
+            // with the small self-test registry instead of the repo's.
+            "--fixture-registry" => fixture_registry = true,
+            "--update-allow" => mode_update_allow = true,
+            "--self-test" => mode_self_test = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if mode_self_test {
+        let fixtures = root.join("crates").join("analyze").join("fixtures");
+        return match self_test(&fixtures) {
+            Ok(msg) => {
+                println!("{msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let opts = if fixture_registry {
+        Options {
+            root,
+            registry: tropic_analyze::schema::Registry::fixtures(),
+        }
+    } else {
+        Options::repo(&root)
+    };
+
+    if mode_bless {
+        return match bless(&opts) {
+            Ok(path) => {
+                println!("blessed: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if mode_update_allow {
+        return match update_allow(&opts) {
+            Ok(path) => {
+                println!("updated: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match analyze(&opts) {
+        Ok(analysis) => {
+            print!("{}", analysis.report);
+            if let Some(path) = report_path {
+                if let Err(e) = std::fs::write(&path, &analysis.report) {
+                    eprintln!("write report {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if analysis.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

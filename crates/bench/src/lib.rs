@@ -6,6 +6,7 @@
 //! and table formatting.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -72,7 +72,13 @@ impl Replica {
         // Log before apply: a crash between the two replays the op, which is
         // deterministic and therefore converges to the same state.
         if let Some(d) = self.durability.as_mut() {
-            d.append(zxid, op);
+            if let Err(e) = d.append(zxid, op) {
+                // Fail-stop: a replica that cannot persist must not ack, or
+                // it would report durability it does not have. It rejoins
+                // via snapshot transfer once healed.
+                self.alive = false;
+                return (Err(CoordError::Durability(e.to_string())), Vec::new());
+            }
         }
         self.log.push((zxid, op.clone()));
         self.last_zxid = zxid;
@@ -85,7 +91,9 @@ impl Replica {
     /// batch overlap.
     fn begin_batch_sync(&mut self) {
         if let Some(d) = self.durability.as_mut() {
-            d.begin_batch_sync();
+            if d.begin_batch_sync().is_err() {
+                self.alive = false;
+            }
         }
     }
 
@@ -95,7 +103,13 @@ impl Replica {
     fn finish_batch(&mut self, memory_log_cap: usize) {
         let last_zxid = self.last_zxid;
         let snapshot_zxid = match self.durability.as_mut() {
-            Some(d) => d.commit_batch(last_zxid, &mut self.store),
+            Some(d) => match d.commit_batch(last_zxid, &mut self.store) {
+                Ok(z) => z,
+                Err(_) => {
+                    self.alive = false;
+                    return;
+                }
+            },
             None => {
                 self.bound_memory(memory_log_cap);
                 return;
@@ -132,7 +146,9 @@ impl Replica {
         self.log.clear();
         self.log_start_zxid = last_zxid;
         if let Some(d) = self.durability.as_mut() {
-            d.install_snapshot(last_zxid, &mut self.store);
+            if d.install_snapshot(last_zxid, &mut self.store).is_err() {
+                self.alive = false;
+            }
         }
     }
 }
@@ -171,6 +187,10 @@ pub struct EnsembleStats {
     /// Follower resyncs that needed a full snapshot transfer (lagging
     /// beyond the truncation horizon, or diverged).
     pub snapshot_syncs: u64,
+    /// Replicas that fail-stopped because their WAL/snapshot I/O failed:
+    /// a replica that cannot persist stops acking rather than report
+    /// durability it does not have.
+    pub wal_fail_stops: u64,
 }
 
 /// A quorum-replicated log of store operations.
@@ -535,6 +555,15 @@ impl Ensemble {
         for &id in &ackers {
             self.replicas[id].finish_batch(cap);
         }
+        // Replicas whose durability I/O failed fail-stopped during the
+        // phases above; they are counted here (after both loops, so one
+        // failure doesn't hide another's) and heal via snapshot transfer
+        // after a restart.
+        let fail_stopped = ackers
+            .iter()
+            .filter(|&&id| !self.replicas[id].alive)
+            .count() as u64;
+        self.stats.wal_fail_stops += fail_stopped;
         self.stats.committed += 1;
         self.last_committed_zxid = zxid;
         (leader_result.expect("leader acked"), leader_events)

@@ -52,6 +52,10 @@ pub enum CoordError {
     },
     /// Atomic batches cannot contain other batches.
     NestedMulti,
+    /// The serving replica could not persist the write (WAL append, fsync,
+    /// or snapshot I/O failed). The replica fail-stops rather than ack a
+    /// write it cannot make durable.
+    Durability(String),
 }
 
 impl fmt::Display for CoordError {
@@ -81,6 +85,7 @@ impl fmt::Display for CoordError {
                 write!(f, "multi op #{index} failed ({cause}); batch not applied")
             }
             CoordError::NestedMulti => write!(f, "multi ops cannot nest"),
+            CoordError::Durability(e) => write!(f, "durability failure: {e}"),
         }
     }
 }

@@ -188,6 +188,7 @@ impl ServiceInner {
             // ZooKeeper serializes writes through its leader's log, so the
             // simulated I/O cost must bound *global* write throughput.
             if !self.config.write_latency.is_zero() {
+                // analyze:allow(blocking-under-lock): models the leader's serialized log I/O; see comment above
                 self.clock.sleep(self.config.write_latency);
             }
             ensemble.submit(op)

@@ -31,6 +31,50 @@ use parking_lot::{Condvar, Mutex};
 use crate::snapshot;
 use crate::store::{Op, ZnodeStore};
 
+pub use self::codec::FORMAT_VERSION;
+
+/// A durability failure on the WAL/snapshot hot path.
+///
+/// Replicas treat any of these as fail-stop: a replica that cannot make
+/// its log durable stops acking batches rather than lying about
+/// persistence (see `ensemble::Replica`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// An I/O operation failed; `op` names the failing step.
+    Io {
+        /// Which durability step failed (e.g. `append`, `snapshot`).
+        op: &'static str,
+        /// The underlying error, stringified for cloneability.
+        error: String,
+    },
+    /// The pipelined sync thread reported an fsync failure.
+    SyncFailed(String),
+    /// The pipelined sync thread is no longer running.
+    SyncThreadDead,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { op, error } => write!(f, "WAL {op} I/O failed: {error}"),
+            WalError::SyncFailed(e) => write!(f, "WAL fsync failed: {e}"),
+            WalError::SyncThreadDead => write!(f, "WAL sync thread terminated"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Result alias for durability operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+fn wal_io(op: &'static str) -> impl FnOnce(io::Error) -> WalError {
+    move |e| WalError::Io {
+        op,
+        error: e.to_string(),
+    }
+}
+
 /// When the write-ahead log is forced to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncPolicy {
@@ -238,7 +282,10 @@ impl Wal {
                 bytes,
             });
         }
-        let seg = self.current.as_mut().expect("segment just ensured");
+        let Some(seg) = self.current.as_mut() else {
+            // Unreachable: the branch above always installs a segment.
+            return Err(io::Error::other("no current WAL segment"));
+        };
         (&*seg.file).write_all(frame)?;
         seg.bytes += frame.len() as u64;
         Ok(rotated)
@@ -315,6 +362,12 @@ pub fn recover_dir(dir: &StdPath) -> io::Result<WalRecovery> {
     })
 }
 
+/// Reads a little-endian u32 at `pos`, or `None` past the end.
+fn le_u32_at(data: &[u8], pos: usize) -> Option<u32> {
+    let bytes = data.get(pos..pos.checked_add(4)?)?;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
 /// Decodes `(valid_byte_len, records, torn)` from one segment's contents.
 fn scan_segment(data: &[u8]) -> (usize, Vec<(u64, Op)>, bool) {
     let mut pos = 0usize;
@@ -323,8 +376,10 @@ fn scan_segment(data: &[u8]) -> (usize, Vec<(u64, Op)>, bool) {
         if pos + 8 > data.len() {
             return (pos, ops, pos < data.len());
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let (Some(len), Some(crc)) = (le_u32_at(data, pos), le_u32_at(data, pos + 4)) else {
+            return (pos, ops, true);
+        };
+        let len = len as usize;
         if len > MAX_RECORD_BYTES || pos + 8 + len > data.len() {
             return (pos, ops, true);
         }
@@ -363,8 +418,8 @@ struct SyncProgress {
     coalesced: u64,
     /// Bytes covered by completed fsyncs.
     bytes_fsynced: u64,
-    /// First fsync failure, if any; waiting commit paths panic on it (the
-    /// same posture as the serial policies' `expect`).
+    /// First fsync failure, if any; waiting commit paths surface it as
+    /// [`WalError::SyncFailed`].
     failed: Option<String>,
 }
 
@@ -384,7 +439,7 @@ struct Syncer {
 }
 
 impl Syncer {
-    fn spawn(latency_ns: Arc<AtomicU64>) -> Self {
+    fn spawn(latency_ns: Arc<AtomicU64>) -> WalResult<Self> {
         let (tx, rx) = channel::unbounded::<SyncJob>();
         let shared = Arc::new(SyncShared {
             progress: Mutex::new(SyncProgress::default()),
@@ -395,6 +450,7 @@ impl Syncer {
             .name("tropic-wal-sync".into())
             .spawn(move || {
                 while let Ok(first) = rx.recv() {
+                    let first_ticket = first.ticket;
                     let mut jobs = vec![first];
                     while let Ok(more) = rx.try_recv() {
                         jobs.push(more);
@@ -422,7 +478,7 @@ impl Syncer {
                         }
                         fsyncs += 1;
                     }
-                    let last_ticket = jobs.last().expect("non-empty round").ticket;
+                    let last_ticket = jobs.last().map_or(first_ticket, |j| j.ticket);
                     let bytes: u64 = jobs.iter().map(|j| j.bytes).sum();
                     let mut p = thread_shared.progress.lock();
                     if let Some(e) = failed {
@@ -440,17 +496,19 @@ impl Syncer {
                     thread_shared.cv.notify_all();
                 }
             })
-            .expect("spawn WAL sync thread");
-        Syncer {
+            .map_err(wal_io("sync thread spawn"))?;
+        Ok(Syncer {
             tx: Some(tx),
             shared,
             thread: Some(thread),
-        }
+        })
     }
 
-    fn enqueue(&self, job: SyncJob) {
-        let alive = self.tx.as_ref().expect("syncer running").send(job).is_ok();
-        assert!(alive, "WAL sync thread terminated");
+    fn enqueue(&self, job: SyncJob) -> WalResult<()> {
+        match self.tx.as_ref() {
+            Some(tx) if tx.send(job).is_ok() => Ok(()),
+            _ => Err(WalError::SyncThreadDead),
+        }
     }
 
     fn completed(&self) -> u64 {
@@ -458,23 +516,23 @@ impl Syncer {
     }
 
     /// Blocks until at most `depth` of `submitted` tickets remain unsynced.
-    /// Returns whether it had to block. Panics if the sync thread reported
-    /// an fsync failure (matching the serial policies' `expect`).
-    fn wait_outstanding_le(&self, submitted: u64, depth: u64) -> bool {
+    /// Returns whether it had to block, or [`WalError::SyncFailed`] when
+    /// the sync thread reported an fsync failure.
+    fn wait_outstanding_le(&self, submitted: u64, depth: u64) -> WalResult<bool> {
         let target = submitted.saturating_sub(depth);
         let mut p = self.shared.progress.lock();
         let mut stalled = false;
         while p.completed < target {
             if let Some(e) = &p.failed {
-                panic!("WAL fsync failed: {e}");
+                return Err(WalError::SyncFailed(e.clone()));
             }
             stalled = true;
             self.shared.cv.wait(&mut p);
         }
         if let Some(e) = &p.failed {
-            panic!("WAL fsync failed: {e}");
+            return Err(WalError::SyncFailed(e.clone()));
         }
-        stalled
+        Ok(stalled)
     }
 
     /// Drains the queue without panicking; used from `Drop`.
@@ -608,7 +666,7 @@ impl Durability {
     }
 
     /// Appends one committed op to the log (before it is applied).
-    pub fn append(&mut self, zxid: u64, op: &Op) {
+    pub fn append(&mut self, zxid: u64, op: &Op) -> WalResult<()> {
         let mut payload = Vec::with_capacity(64);
         codec::put_u64(&mut payload, zxid);
         codec::encode_op(op, &mut payload);
@@ -619,7 +677,7 @@ impl Durability {
         let rotated = self
             .wal
             .append_frame(zxid, &frame)
-            .expect("WAL append I/O failed");
+            .map_err(wal_io("append"))?;
         if rotated {
             self.stats.segments_rotated += 1;
             // Rotation fsyncs the outgoing segment (before this frame was
@@ -637,6 +695,7 @@ impl Durability {
         self.appends_since_sync += 1;
         self.ops_since_snapshot += 1;
         self.wal_bytes_since_snapshot += len;
+        Ok(())
     }
 
     /// Under [`SyncPolicy::Pipelined`], hands everything appended since the
@@ -645,46 +704,52 @@ impl Durability {
     /// appending on the next replica). A no-op for other policies or when
     /// nothing is pending; idempotent within a batch. The matching wait
     /// happens in [`Durability::commit_batch`].
-    pub fn begin_batch_sync(&mut self) {
+    pub fn begin_batch_sync(&mut self) -> WalResult<()> {
         let SyncPolicy::Pipelined { .. } = self.opts.sync_policy else {
-            return;
+            return Ok(());
         };
         if self.appends_since_sync == 0 {
-            return;
+            return Ok(());
         }
         let Some(file) = self.wal.current_file() else {
-            return;
+            return Ok(());
         };
-        let latency = Arc::clone(&self.simulated_fsync_latency_ns);
-        let syncer = self.syncer.get_or_insert_with(|| Syncer::spawn(latency));
+        if self.syncer.is_none() {
+            let latency = Arc::clone(&self.simulated_fsync_latency_ns);
+            self.syncer = Some(Syncer::spawn(latency)?);
+        }
+        let Some(syncer) = self.syncer.as_ref() else {
+            return Err(WalError::SyncThreadDead);
+        };
         self.submitted_tickets += 1;
         syncer.enqueue(SyncJob {
             ticket: self.submitted_tickets,
             file,
             bytes: self.unsynced_bytes,
-        });
+        })?;
         let outstanding = self.submitted_tickets - syncer.completed();
         self.stats.pipeline_depth_peak = self.stats.pipeline_depth_peak.max(outstanding);
         self.unsynced_bytes = 0;
         self.appends_since_sync = 0;
+        Ok(())
     }
 
     /// Ends a committed batch: syncs per policy and writes a snapshot of
     /// `store` when the policy triggers, truncating every segment. Returns
     /// the snapshot zxid when one was taken, so the owner can truncate its
     /// in-memory log to the same horizon.
-    pub fn commit_batch(&mut self, zxid: u64, store: &mut ZnodeStore) -> Option<u64> {
+    pub fn commit_batch(&mut self, zxid: u64, store: &mut ZnodeStore) -> WalResult<Option<u64>> {
         match self.opts.sync_policy {
-            SyncPolicy::EveryBatch => self.sync_now(),
+            SyncPolicy::EveryBatch => self.sync_now()?,
             SyncPolicy::Periodic { every_ops } => {
                 if self.appends_since_sync >= every_ops.max(1) {
-                    self.sync_now();
+                    self.sync_now()?;
                 }
             }
             SyncPolicy::Pipelined { depth } => {
-                self.begin_batch_sync();
+                self.begin_batch_sync()?;
                 if let Some(syncer) = &self.syncer {
-                    if syncer.wait_outstanding_le(self.submitted_tickets, depth) {
+                    if syncer.wait_outstanding_le(self.submitted_tickets, depth)? {
                         self.stats.pipeline_stalls += 1;
                     }
                 }
@@ -695,10 +760,10 @@ impl Durability {
         let by_bytes = self.opts.snapshot_max_wal_bytes > 0
             && self.wal_bytes_since_snapshot >= self.opts.snapshot_max_wal_bytes;
         if by_ops || by_bytes {
-            self.take_snapshot(zxid, store, false);
-            Some(zxid)
+            self.take_snapshot(zxid, store, false)?;
+            Ok(Some(zxid))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -706,30 +771,38 @@ impl Durability {
     /// lagging beyond the truncation horizon) and resets the local log.
     /// Always full: the store did not evolve from this replica's previous
     /// snapshot, so a delta could not chain onto it.
-    pub fn install_snapshot(&mut self, zxid: u64, store: &mut ZnodeStore) {
-        self.take_snapshot(zxid, store, true);
+    pub fn install_snapshot(&mut self, zxid: u64, store: &mut ZnodeStore) -> WalResult<()> {
+        self.take_snapshot(zxid, store, true)
     }
 
-    fn take_snapshot(&mut self, zxid: u64, store: &mut ZnodeStore, force_full: bool) {
+    fn take_snapshot(
+        &mut self,
+        zxid: u64,
+        store: &mut ZnodeStore,
+        force_full: bool,
+    ) -> WalResult<()> {
         // Settle the pipeline first: the snapshot supersedes the segments
         // about to be truncated, and the counters below assume no sync is
         // in flight.
-        self.drain_pipeline();
-        let as_delta = !force_full
+        self.drain_pipeline()?;
+        // A delta records dirty paths with their full path strings; past
+        // half the store it stops being the cheaper encoding.
+        let delta_base = if !force_full
             && self.opts.delta_snapshots
             && self.chain_len < self.opts.delta_chain_max
-            && self.chain_tip.is_some_and(|tip| tip < zxid)
-            // A delta records dirty paths with their full path strings; past
-            // half the store it stops being the cheaper encoding.
-            && store.dirty_count().saturating_mul(2) < store.node_count();
-        if as_delta {
-            let base = self.chain_tip.expect("delta requires a base");
+            && store.dirty_count().saturating_mul(2) < store.node_count()
+        {
+            self.chain_tip.filter(|tip| *tip < zxid)
+        } else {
+            None
+        };
+        if let Some(base) = delta_base {
             snapshot::write_delta(&self.dir, base, zxid, &store.delta_records())
-                .expect("delta snapshot I/O failed");
+                .map_err(wal_io("delta snapshot"))?;
             self.chain_len += 1;
             self.stats.delta_snapshots_written += 1;
         } else {
-            snapshot::write(&self.dir, zxid, store).expect("snapshot I/O failed");
+            snapshot::write(&self.dir, zxid, store).map_err(wal_io("snapshot"))?;
             self.chain_len = 0;
         }
         // write/write_delta fsync the directory after their rename.
@@ -739,37 +812,40 @@ impl Durability {
             self.stats.dir_fsyncs += 1;
         }
         store.clear_dirty();
-        self.wal.clear().expect("WAL truncation I/O failed");
+        self.wal.clear().map_err(wal_io("truncate"))?;
         self.stats.snapshots_written += 1;
         self.ops_since_snapshot = 0;
         self.wal_bytes_since_snapshot = 0;
         self.appends_since_sync = 0;
         self.unsynced_bytes = 0;
+        Ok(())
     }
 
-    fn sync_now(&mut self) {
+    fn sync_now(&mut self) -> WalResult<()> {
         if self.appends_since_sync == 0 {
-            return;
+            return Ok(());
         }
         let latency_ns = self.simulated_fsync_latency_ns.load(Ordering::Relaxed);
         if latency_ns > 0 {
             std::thread::sleep(Duration::from_nanos(latency_ns));
         }
-        self.wal.sync().expect("WAL fsync failed");
+        self.wal.sync().map_err(wal_io("fsync"))?;
         self.stats.fsyncs += 1;
         self.stats.bytes_fsynced += self.unsynced_bytes;
         self.unsynced_bytes = 0;
         self.appends_since_sync = 0;
+        Ok(())
     }
 
     /// Blocks until every queued pipelined fsync has landed. A no-op for
     /// serial policies.
-    pub fn drain_pipeline(&mut self) {
+    pub fn drain_pipeline(&mut self) -> WalResult<()> {
         if let Some(syncer) = &self.syncer {
-            if syncer.wait_outstanding_le(self.submitted_tickets, 0) {
+            if syncer.wait_outstanding_le(self.submitted_tickets, 0)? {
                 self.stats.pipeline_stalls += 1;
             }
         }
+        Ok(())
     }
 
     /// Changes the modeled per-fsync device latency. Takes effect on the
@@ -817,6 +893,13 @@ pub(crate) mod codec {
     use tropic_model::Path;
 
     use crate::store::Op;
+
+    /// Version of the binary WAL record layout. The positional codec
+    /// has no additive escape hatch: any change to [`Op`]'s shape or
+    /// the `TAG_*` assignments must bump this constant (and the bump
+    /// must be recorded in `WIRE_SCHEMAS.lock` via
+    /// `tropic-analyze --bless`).
+    pub const FORMAT_VERSION: u32 = 1;
 
     const fn make_crc_table() -> [u32; 256] {
         let mut table = [0u32; 256];
@@ -914,12 +997,14 @@ pub(crate) mod codec {
 
         pub fn u32(&mut self) -> Option<u32> {
             self.take(4)
-                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .and_then(|b| b.try_into().ok())
+                .map(u32::from_le_bytes)
         }
 
         pub fn u64(&mut self) -> Option<u64> {
             self.take(8)
-                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes)
         }
 
         pub fn bytes(&mut self) -> Option<&'a [u8]> {
@@ -1052,7 +1137,7 @@ pub(crate) mod codec {
 pub mod frame {
     use std::io::{self, Read, Write};
 
-    use super::codec;
+    use super::{codec, le_u32_at};
 
     /// Default cap on one frame's payload size. Anything larger is
     /// rejected as [`FrameError::Oversized`] *before* the payload is
@@ -1200,14 +1285,16 @@ pub mod frame {
             if self.buf.len() < 8 {
                 return Ok(None);
             }
-            let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes"));
+            let (Some(len), Some(expected)) = (le_u32_at(&self.buf, 0), le_u32_at(&self.buf, 4))
+            else {
+                return Ok(None);
+            };
             if len > max_bytes {
                 return Err(FrameError::Oversized {
                     len,
                     max: max_bytes,
                 });
             }
-            let expected = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
             let total = 8 + len as usize;
             if self.buf.len() < total {
                 return Ok(None);
@@ -1288,7 +1375,7 @@ mod tests {
         let tmp = TempDir::new("tropic-wal-roundtrip");
         let mut d = Durability::create(tmp.path(), DurabilityOptions::default()).unwrap();
         for i in 1..=10u64 {
-            d.append(i, &create_op(&format!("/n{i}")));
+            d.append(i, &create_op(&format!("/n{i}"))).unwrap();
         }
         drop(d);
         let rec = recover_dir(tmp.path()).unwrap();
@@ -1309,7 +1396,7 @@ mod tests {
         };
         let mut d = Durability::create(tmp.path(), opts).unwrap();
         for i in 1..=50u64 {
-            d.append(i, &create_op(&format!("/node{i}")));
+            d.append(i, &create_op(&format!("/node{i}"))).unwrap();
         }
         assert!(d.stats().segments_rotated > 0);
         drop(d);
@@ -1324,7 +1411,7 @@ mod tests {
         let tmp = TempDir::new("tropic-wal-torn");
         let mut d = Durability::create(tmp.path(), DurabilityOptions::default()).unwrap();
         for i in 1..=5u64 {
-            d.append(i, &create_op(&format!("/n{i}")));
+            d.append(i, &create_op(&format!("/n{i}"))).unwrap();
         }
         drop(d);
         // Simulate a crash mid-write: garbage after the last full record.
@@ -1349,7 +1436,7 @@ mod tests {
         let tmp = TempDir::new("tropic-wal-corrupt");
         let mut d = Durability::create(tmp.path(), DurabilityOptions::default()).unwrap();
         for i in 1..=5u64 {
-            d.append(i, &create_op(&format!("/n{i}")));
+            d.append(i, &create_op(&format!("/n{i}"))).unwrap();
         }
         drop(d);
         let (_, seg) = list_segments(tmp.path()).unwrap().pop().unwrap();
@@ -1375,9 +1462,9 @@ mod tests {
         let mut store = ZnodeStore::new();
         for i in 1..=10u64 {
             let op = create_op(&format!("/n{i}"));
-            d.append(i, &op);
+            d.append(i, &op).unwrap();
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &mut store);
+            d.commit_batch(i, &mut store).unwrap();
         }
         assert_eq!(d.stats().snapshots_written, 2, "at zxid 4 and 8");
         drop(d);
@@ -1402,9 +1489,9 @@ mod tests {
         let mut store = ZnodeStore::new();
         for i in 1..=10u64 {
             let op = create_op(&format!("/n{i}"));
-            d.append(i, &op);
+            d.append(i, &op).unwrap();
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &mut store);
+            d.commit_batch(i, &mut store).unwrap();
         }
         drop(d);
         // Bit rot hits the newest snapshot (zxid 8); the WAL on disk holds
@@ -1437,7 +1524,7 @@ mod tests {
     fn open_sweeps_half_written_snapshot_tmp_files() {
         let tmp = TempDir::new("tropic-wal-tmp-sweep");
         let mut d = Durability::create(tmp.path(), DurabilityOptions::default()).unwrap();
-        d.append(1, &create_op("/a"));
+        d.append(1, &create_op("/a")).unwrap();
         drop(d);
         // A crash inside snapshot::write leaves the temp file behind.
         let orphan = tmp.path().join(format!("{}.tmp", snapshot::file_name(9)));
@@ -1459,10 +1546,10 @@ mod tests {
         let mut d = Durability::create(tmp.path(), opts).unwrap();
         let mut store = ZnodeStore::new();
         for i in 1..=50u64 {
-            d.append(i, &create_op(&format!("/node{i}")));
-            d.commit_batch(i, &mut store);
+            d.append(i, &create_op(&format!("/node{i}"))).unwrap();
+            d.commit_batch(i, &mut store).unwrap();
         }
-        d.commit_batch(50, &mut store);
+        d.commit_batch(50, &mut store).unwrap();
         let s = d.stats();
         assert!(s.segments_rotated > 0);
         assert!(
@@ -1487,8 +1574,8 @@ mod tests {
         .unwrap();
         let mut store = ZnodeStore::new();
         for i in 1..=3u64 {
-            d.append(i, &create_op(&format!("/n{i}")));
-            d.commit_batch(i, &mut store);
+            d.append(i, &create_op(&format!("/n{i}"))).unwrap();
+            d.commit_batch(i, &mut store).unwrap();
         }
         let s = d.stats();
         assert_eq!(s.fsyncs, 3);
@@ -1507,10 +1594,10 @@ mod tests {
         let mut d = Durability::create(tmp.path(), opts.clone()).unwrap();
         let mut store = ZnodeStore::new();
         for i in 1..=20u64 {
-            d.append(i, &create_op(&format!("/n{i}")));
-            d.commit_batch(i, &mut store);
+            d.append(i, &create_op(&format!("/n{i}"))).unwrap();
+            d.commit_batch(i, &mut store).unwrap();
         }
-        d.drain_pipeline();
+        d.drain_pipeline().unwrap();
         let s = d.stats();
         assert!(s.fsyncs > 0, "the sync thread must actually fsync");
         assert_eq!(
@@ -1536,8 +1623,8 @@ mod tests {
         let mut d = Durability::create(tmp.path(), opts).unwrap();
         let mut store = ZnodeStore::new();
         for i in 1..=5u64 {
-            d.append(i, &create_op(&format!("/n{i}")));
-            d.commit_batch(i, &mut store);
+            d.append(i, &create_op(&format!("/n{i}"))).unwrap();
+            d.commit_batch(i, &mut store).unwrap();
         }
         let s = d.stats();
         assert_eq!(
@@ -1561,9 +1648,9 @@ mod tests {
         // Round one dirties the whole store (10 creates on 11 nodes): full.
         for i in 1..=10u64 {
             let op = create_op(&format!("/n{i}"));
-            d.append(i, &op);
+            d.append(i, &op).unwrap();
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &mut store);
+            d.commit_batch(i, &mut store).unwrap();
         }
         // Round two touches a single node out of 11: delta.
         for i in 11..=20u64 {
@@ -1572,9 +1659,9 @@ mod tests {
                 data: Bytes::from(format!("v{i}")),
                 expected_version: None,
             };
-            d.append(i, &op);
+            d.append(i, &op).unwrap();
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &mut store);
+            d.commit_batch(i, &mut store).unwrap();
         }
         let s = d.stats();
         assert_eq!(s.snapshots_written, 2);
@@ -1602,9 +1689,9 @@ mod tests {
         let mut store = ZnodeStore::new();
         for i in 1..=10u64 {
             let op = create_op(&format!("/n{i}"));
-            d.append(i, &op);
+            d.append(i, &op).unwrap();
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &mut store);
+            d.commit_batch(i, &mut store).unwrap();
         }
         // Ten single-touch rounds of two ops each: snapshot every round.
         for i in 11..=30u64 {
@@ -1613,9 +1700,9 @@ mod tests {
                 data: Bytes::from(format!("v{i}")),
                 expected_version: None,
             };
-            d.append(i, &op);
+            d.append(i, &op).unwrap();
             let _ = store.apply(i, &op);
-            d.commit_batch(i, &mut store);
+            d.commit_batch(i, &mut store).unwrap();
         }
         let s = d.stats();
         assert!(s.delta_snapshots_written > 0);

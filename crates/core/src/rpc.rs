@@ -189,22 +189,40 @@ struct ResponseEnvelope {
     msg: RpcResponse,
 }
 
-/// Encodes a call in the current versioned envelope.
-pub fn encode_request(msg: RpcRequest) -> Vec<u8> {
+/// Encodes a call in the current versioned envelope. Fails (as
+/// [`ApiError::InvalidRequest`]) only if the request itself cannot be
+/// serialized, which a well-formed [`RpcRequest`] never is.
+pub fn encode_request(msg: RpcRequest) -> Result<Vec<u8>, ApiError> {
     serde_json::to_vec(&RequestEnvelope {
         v: WIRE_VERSION,
         msg,
     })
-    .expect("serializable request")
+    .map_err(|e| ApiError::InvalidRequest(format!("unserializable request: {e}")))
 }
 
 /// Encodes a reply in the current versioned envelope.
-pub fn encode_response(msg: RpcResponse) -> Vec<u8> {
+pub fn encode_response(msg: RpcResponse) -> Result<Vec<u8>, ApiError> {
     serde_json::to_vec(&ResponseEnvelope {
         v: WIRE_VERSION,
         msg,
     })
-    .expect("serializable response")
+    .map_err(|e| ApiError::Transport(format!("unserializable response: {e}")))
+}
+
+/// Server-side encoding that cannot fail: an unserializable response
+/// degrades to an error envelope (and, should even that fail, to a
+/// hand-built one whose shape needs no serializer), so the client sees a
+/// well-formed error frame instead of a silently dropped connection.
+fn encode_response_or_error(msg: RpcResponse) -> Vec<u8> {
+    match encode_response(msg) {
+        Ok(bytes) => bytes,
+        Err(e) => encode_response(RpcResponse::Error(e)).unwrap_or_else(|_| {
+            format!(
+                r#"{{"v":{WIRE_VERSION},"msg":{{"Error":{{"Transport":"response encoding failed"}}}}}}"#
+            )
+            .into_bytes()
+        }),
+    }
 }
 
 /// Version gate shared by both decode directions: probed before the
@@ -394,7 +412,7 @@ fn serve_conn(
                 // frame the stream is unsynchronized.
                 shared.metrics.record_rpc_rejected();
                 let resp = RpcResponse::Error(frame_reject(&err));
-                let _ = write_frame(&mut stream, &encode_response(resp));
+                let _ = write_frame(&mut stream, &encode_response_or_error(resp));
                 break;
             }
         };
@@ -406,7 +424,7 @@ fn serve_conn(
                 // supported envelope.
                 shared.metrics.record_rpc_rejected();
                 let resp = RpcResponse::Error(ApiError::from(e));
-                if write_frame(&mut stream, &encode_response(resp)).is_err() {
+                if write_frame(&mut stream, &encode_response_or_error(resp)).is_err() {
                     break;
                 }
                 continue;
@@ -415,7 +433,12 @@ fn serve_conn(
         shared.metrics.record_rpc_request();
         if matches!(req, RpcRequest::Subscribe | RpcRequest::SubscribeTwin) {
             let twin = matches!(req, RpcRequest::SubscribeTwin);
-            if write_frame(&mut stream, &encode_response(RpcResponse::Subscribed)).is_err() {
+            if write_frame(
+                &mut stream,
+                &encode_response_or_error(RpcResponse::Subscribed),
+            )
+            .is_err()
+            {
                 break;
             }
             if twin {
@@ -426,7 +449,7 @@ fn serve_conn(
             break;
         }
         let resp = dispatch(shared, &client, &mut admin, stop, shutdown_requested, req);
-        if write_frame(&mut stream, &encode_response(resp)).is_err() {
+        if write_frame(&mut stream, &encode_response_or_error(resp)).is_err() {
             break;
         }
     }
@@ -568,7 +591,7 @@ fn stream_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &AtomicB
     let mut probe = [0u8; 64];
     while !stop.load(Ordering::SeqCst) {
         if let Some(ev) = sub.recv_timeout(Duration::from_millis(100)) {
-            if write_frame(stream, &encode_response(RpcResponse::Event(ev))).is_err() {
+            if write_frame(stream, &encode_response_or_error(RpcResponse::Event(ev))).is_err() {
                 return;
             }
             shared.metrics.record_rpc_events(1);
@@ -595,7 +618,12 @@ fn stream_twin_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &At
     let mut probe = [0u8; 64];
     while !stop.load(Ordering::SeqCst) {
         if let Some(ev) = sub.recv_timeout(Duration::from_millis(100)) {
-            if write_frame(stream, &encode_response(RpcResponse::TwinEvent(ev))).is_err() {
+            if write_frame(
+                stream,
+                &encode_response_or_error(RpcResponse::TwinEvent(ev)),
+            )
+            .is_err()
+            {
                 return;
             }
             shared.metrics.record_rpc_events(1);
@@ -700,12 +728,13 @@ impl RemoteClient {
         stream
             .set_read_timeout(Some(Duration::from_millis(50)))
             .map_err(transport)?;
-        if let Err(e) = write_frame(stream, &encode_request(req)) {
+        if let Err(e) = write_frame(stream, &encode_request(req)?) {
             *guard = None;
             return Err(transport(e));
         }
         let deadline = Instant::now() + read_timeout + READ_GRACE;
         loop {
+            // analyze:allow(blocking-under-lock): the io lock IS the line discipline — one in-flight call per connection
             match reader.read_from(stream, self.max_frame_bytes) {
                 Ok(Some(payload)) => {
                     return match decode_response(&payload).map_err(ApiError::from)? {
@@ -966,7 +995,7 @@ impl RemoteSubscription {
         } else {
             RpcRequest::Subscribe
         };
-        write_frame(&mut stream, &encode_request(subscribe)).map_err(transport)?;
+        write_frame(&mut stream, &encode_request(subscribe)?).map_err(transport)?;
         // Wait for the mode-switch ack before handing the socket to the
         // reader thread, so connect errors surface typed right here.
         let mut reader = FrameReader::new();
@@ -1092,7 +1121,8 @@ mod tests {
         let bytes = encode_request(RpcRequest::Wait {
             id: 7,
             timeout_ms: 1_500,
-        });
+        })
+        .unwrap();
         match decode_request(&bytes).unwrap() {
             RpcRequest::Wait { id, timeout_ms } => {
                 assert_eq!((id, timeout_ms), (7, 1_500));
@@ -1106,7 +1136,8 @@ mod tests {
         let bytes = encode_response(RpcResponse::Submitted {
             id: 9,
             deadline_ms: Some(42),
-        });
+        })
+        .unwrap();
         match decode_response(&bytes).unwrap() {
             RpcResponse::Submitted { id, deadline_ms } => {
                 assert_eq!((id, deadline_ms), (9, Some(42)));
@@ -1147,7 +1178,7 @@ mod tests {
             (ApiError::UnsupportedWireVersion { version: 8 }, false),
             (ApiError::UnknownProcedure("nope".into()), false),
         ] {
-            let bytes = encode_response(RpcResponse::Error(err.clone()));
+            let bytes = encode_response(RpcResponse::Error(err.clone())).unwrap();
             match decode_response(&bytes).unwrap() {
                 RpcResponse::Error(back) => {
                     assert_eq!(back, err);

@@ -16,6 +16,7 @@
 //!   latency CDFs plus the acknowledged-transaction-loss count.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod chaos;

@@ -587,9 +587,9 @@ proptest! {
         let mut store = ZnodeStore::new();
         for (i, op) in ops.iter().enumerate() {
             let zxid = i as u64 + 1;
-            d.append(zxid, op);
+            d.append(zxid, op).unwrap();
             let _ = store.apply(zxid, op);
-            d.commit_batch(zxid, &mut store);
+            d.commit_batch(zxid, &mut store).unwrap();
         }
         let live = store;
         drop(d);

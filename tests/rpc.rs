@@ -170,7 +170,7 @@ fn future_version_envelope_rejected_over_live_socket() {
     }
 
     // The reject is per-frame: the same connection still serves v1.
-    write_frame(&mut stream, &encode_request(RpcRequest::Ping)).unwrap();
+    write_frame(&mut stream, &encode_request(RpcRequest::Ping).unwrap()).unwrap();
     match read_response(&mut stream, &mut reader).unwrap() {
         RpcResponse::Pong { .. } => {}
         other => panic!("unexpected {other:?}"),
@@ -192,7 +192,7 @@ fn malformed_payload_rejected_connection_survives() {
         other => panic!("unexpected {other:?}"),
     }
 
-    write_frame(&mut stream, &encode_request(RpcRequest::Ping)).unwrap();
+    write_frame(&mut stream, &encode_request(RpcRequest::Ping).unwrap()).unwrap();
     assert!(matches!(
         read_response(&mut stream, &mut reader).unwrap(),
         RpcResponse::Pong { .. }
@@ -237,7 +237,7 @@ fn corrupt_crc_rejected_typed_then_closed() {
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     let mut reader = FrameReader::new();
 
-    let payload = encode_request(RpcRequest::Ping);
+    let payload = encode_request(RpcRequest::Ping).unwrap();
     let mut wire = Vec::new();
     write_frame(&mut wire, &payload).unwrap();
     let last = wire.len() - 1;
