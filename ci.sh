@@ -45,6 +45,9 @@
 #                        replay (TROPIC_BENCH_MIN_RECOVERY_SPEEDUP, default
 #                        2.0), the RPC socket overhead over the in-process
 #                        client (TROPIC_BENCH_MAX_RPC_OVERHEAD, default 1.5),
+#                        the RPC reactor's live-connection fan-in
+#                        (TROPIC_BENCH_MIN_CONNS idle subscriptions held on
+#                        one event loop, default 1000),
 #                        and the chaos per-lane committed p99 under a leader
 #                        kill (TROPIC_BENCH_MAX_CHAOS_P99_MS, default 1500)
 #                        with zero acknowledged loss; also runs the reconcile
@@ -319,7 +322,9 @@ bench_rpc_snapshot() {
     tsv="$(mktemp)"
     trap 'rm -f "$raw" "$tsv"' RETURN
 
-    TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" run cargo bench --bench rpc_roundtrip
+    local min_conns="${TROPIC_BENCH_MIN_CONNS:-1000}"
+    TROPIC_BENCH_QUICK=1 TROPIC_BENCH_JSON="$raw" TROPIC_BENCH_MIN_CONNS="$min_conns" \
+        run cargo bench --bench rpc_roundtrip
 
     parse_bench_lines < "$raw" > "$tsv"
     # With both drivers pipelining an identical window, the socket's real
@@ -331,13 +336,16 @@ bench_rpc_snapshot() {
     # wave plus an 8-destroy wave, 2x the bench WINDOW); batch_socket runs
     # 32 (a 16-spawn batch plus a 16-destroy batch). Report all of them
     # per transaction.
-    awk -F'\t' -v max_overhead="$max_overhead" -v pipeline_txns=16 -v batch_txns=32 '
+    awk -F'\t' -v max_overhead="$max_overhead" -v min_conns="$min_conns" \
+        -v pipeline_txns=16 -v batch_txns=32 '
         { names[++n] = $1; means[$1] = $2; iter_count[$1] = $3 }
         END {
             inproc = means["rpc_roundtrip/in_process"]
             socket = means["rpc_roundtrip/over_socket"]
             batch = means["rpc_roundtrip/batch_socket"]
-            if (inproc == 0 || socket == 0 || batch == 0) {
+            conn_ping = means["rpc_roundtrip/concurrent_connections"]
+            held = iter_count["rpc_roundtrip/live_connections"]
+            if (inproc == 0 || socket == 0 || batch == 0 || conn_ping == 0) {
                 print "bench snapshot missing rpc_roundtrip results" > "/dev/stderr"
                 exit 1
             }
@@ -353,6 +361,11 @@ bench_rpc_snapshot() {
                     name, means[name], iter_count[name], (i < n ? "," : "")
             }
             printf "  ],\n"
+            printf "  \"concurrent_connections\": {\n"
+            printf "    \"held\": %d,\n", held
+            printf "    \"min_required\": %d,\n", min_conns
+            printf "    \"ping_mean_ns_under_load\": %d\n", conn_ping
+            printf "  },\n"
             printf "  \"rpc_overhead\": {\n"
             printf "    \"in_process_mean_ns\": %d,\n", inproc
             printf "    \"over_socket_mean_ns\": %d,\n", socket
@@ -365,6 +378,10 @@ bench_rpc_snapshot() {
             printf "  }\n}\n"
             if (overhead > max_overhead) {
                 printf "perf gate FAILED: RPC socket overhead %.3fx > %.2fx\n", overhead, max_overhead > "/dev/stderr"
+                exit 2
+            }
+            if (held < min_conns) {
+                printf "perf gate FAILED: reactor held %d live connections < %d\n", held, min_conns > "/dev/stderr"
                 exit 2
             }
         }

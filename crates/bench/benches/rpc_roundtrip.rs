@@ -18,14 +18,28 @@
 //! on both sides, so the difference between the two means is the per-txn
 //! transport cost and nothing else.
 //!
+//! A fourth variant measures the reactor's scale-out claim directly:
+//!
+//! * `concurrent_connections` — `TROPIC_BENCH_MIN_CONNS` (default 1 000)
+//!   idle streaming subscriptions are opened and **held live** on the one
+//!   event loop, then the ping round trip is timed under that load. The
+//!   held count is appended to the `TROPIC_BENCH_JSON` stream as the
+//!   `rpc_roundtrip/live_connections` row.
+//!
 //! `ci.sh --bench-snapshot` records the means in `BENCH_rpc.json` (per
 //! transaction: 2×`WINDOW` txns per iteration for the first two variants,
-//! 2×`BATCH` for the third) and gates `over_socket / in_process` under
-//! `TROPIC_BENCH_MAX_RPC_OVERHEAD`: the frontend may tax the round trip,
-//! but never by more than the configured multiple.
+//! 2×`BATCH` for the third), gates `over_socket / in_process` under
+//! `TROPIC_BENCH_MAX_RPC_OVERHEAD`, and gates the held connection count
+//! at `TROPIC_BENCH_MIN_CONNS`: the frontend may tax the round trip, but
+//! never by more than the configured multiple, and it must genuinely
+//! sustain the configured connection fan-in.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+use tropic_coord::{write_frame, FrameReader};
+use tropic_core::rpc::{decode_response, encode_request, RpcRequest, RpcResponse};
 use tropic_core::{ExecMode, PlatformConfig, RemoteClient, Tropic, TxnRequest, TxnState};
 use tropic_tcloud::TopologySpec;
 
@@ -69,6 +83,60 @@ fn destroy_request(i: u64) -> TxnRequest {
         .arg(TopologySpec::host_path(host).to_string())
         .arg(format!("rpc{i}"))
         .arg(TopologySpec::storage_path(host / 4).to_string())
+}
+
+/// Opens `n` raw streaming subscriptions (socket + `Subscribe` handshake,
+/// no client-side threads) and returns them; they stay attached to the
+/// server's event loop for as long as the vec lives.
+fn hold_subscriptions(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let mut held = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut stream = TcpStream::connect(addr).expect("connect subscription");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("read timeout");
+        write_frame(
+            &mut stream,
+            &encode_request(RpcRequest::Subscribe).expect("encode"),
+        )
+        .expect("send Subscribe");
+        let mut reader = FrameReader::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match reader.read_from(&mut stream, 4 << 20) {
+                Ok(Some(payload)) => match decode_response(&payload).expect("v1 response") {
+                    RpcResponse::Subscribed => break,
+                    other => panic!("conn {i}: unexpected {other:?}"),
+                },
+                Ok(None) => assert!(
+                    std::time::Instant::now() < deadline,
+                    "conn {i}: no Subscribed ack within 10s"
+                ),
+                Err(e) => panic!("conn {i}: {e}"),
+            }
+        }
+        held.push(stream);
+    }
+    held
+}
+
+/// Appends the held-connection count to the `TROPIC_BENCH_JSON` stream in
+/// the same one-line shape the criterion shim emits, so `ci.sh` can gate
+/// on it without a second output channel.
+fn record_live_connections(held: usize) {
+    let Some(path) = std::env::var_os("TROPIC_BENCH_JSON") else {
+        return;
+    };
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"name\":\"rpc_roundtrip/live_connections\",\"mean_ns\":{held},\"iterations\":{held}}}"
+        );
+    }
 }
 
 /// One pipelined wave: submit every request (each its own submit call on
@@ -169,6 +237,24 @@ fn bench(c: &mut Criterion) {
             k += BATCH as u64;
         })
     });
+
+    // Scale-out dimension: the same ping round trip, but with a large
+    // idle subscription set attached to the one event loop. Under the
+    // old thread-per-connection server this many streams meant this many
+    // threads; the reactor must hold them as file descriptors only and
+    // keep the request path interactive.
+    let min_conns: usize = std::env::var("TROPIC_BENCH_MIN_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let held = hold_subscriptions(server.addr(), min_conns);
+    group.bench_function("concurrent_connections", |b| {
+        b.iter(|| {
+            remote.ping().expect("ping under connection load");
+        })
+    });
+    record_live_connections(held.len());
+    drop(held);
 
     group.finish();
     server.stop();

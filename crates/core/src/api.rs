@@ -155,6 +155,17 @@ pub enum ApiError {
     /// server-side (e.g. a submit whose reply was lost), so resubmitting a
     /// `Submit` is only duplicate-safe with an idempotency key.
     Transport(String),
+    /// An observer replica's staleness lease lapsed: the quorum stopped
+    /// renewing it, so data served from (or fan-out gated on) that
+    /// observer could be unboundedly stale. Sent as the typed close
+    /// reason on observer-backed streams — distinguishing it from
+    /// [`ApiError::ShuttingDown`], the planned-teardown close. Retryable:
+    /// the lease heals once the observer reaches quorum again. Additive in
+    /// wire version 1: pre-observer peers treat the frame as unknown.
+    LeaseExpired {
+        /// Id of the observer replica whose lease lapsed.
+        observer: u64,
+    },
 }
 
 impl ApiError {
@@ -166,6 +177,7 @@ impl ApiError {
                 | ApiError::Coordination(_)
                 | ApiError::ShuttingDown
                 | ApiError::Transport(_)
+                | ApiError::LeaseExpired { .. }
         )
     }
 }
@@ -193,6 +205,9 @@ impl std::fmt::Display for ApiError {
                 )
             }
             ApiError::Transport(s) => write!(f, "transport error: {s}"),
+            ApiError::LeaseExpired { observer } => {
+                write!(f, "observer {observer} staleness lease expired")
+            }
         }
     }
 }
@@ -201,7 +216,12 @@ impl std::error::Error for ApiError {}
 
 impl From<CoordError> for ApiError {
     fn from(e: CoordError) -> Self {
-        ApiError::Coordination(e.to_string())
+        match e {
+            CoordError::LeaseExpired { observer } => ApiError::LeaseExpired {
+                observer: observer as u64,
+            },
+            other => ApiError::Coordination(other.to_string()),
+        }
     }
 }
 

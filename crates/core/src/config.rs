@@ -36,9 +36,17 @@ pub struct RpcConfig {
     /// Hard cap on one frame's payload bytes. A larger length prefix is
     /// rejected typed at the frame boundary and the connection closed.
     pub max_frame_bytes: u32,
-    /// Granularity at which the accept loop and idle connections re-check
-    /// the shutdown flag.
+    /// Upper bound on the reactor's readiness-poll timeout: the event loop
+    /// wakes at least this often to re-check the shutdown flag and the
+    /// observer lease even when no socket is ready.
     pub poll_ms: u64,
+    /// Size of the dispatch pool the reactor hands non-blocking requests
+    /// to. Each worker owns one coordination session; blocking calls
+    /// (`Wait`, `Repair`, `Reload`) run on transient threads instead so
+    /// they can never starve the pool. Small is right: the pool bounds
+    /// *concurrency*, not connections — 10k idle connections still cost
+    /// zero threads.
+    pub dispatch_threads: usize,
 }
 
 impl Default for RpcConfig {
@@ -47,6 +55,7 @@ impl Default for RpcConfig {
             addr: "127.0.0.1:0".into(),
             max_frame_bytes: tropic_coord::DEFAULT_MAX_FRAME_BYTES,
             poll_ms: 20,
+            dispatch_threads: 4,
         }
     }
 }

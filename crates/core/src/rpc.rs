@@ -4,16 +4,31 @@
 //! (paper §3), not a library they link. This module puts the PR 4 client
 //! surface on a TCP socket:
 //!
-//! * [`RpcServer`] — a `std::net` thread-per-connection socket server
-//!   started with [`crate::Tropic::serve_rpc`]. Each connection gets its
-//!   own coordination session and dispatches to the same in-process
-//!   [`crate::TropicClient`] / [`crate::api::AdminClient`] code paths the
-//!   linked-in API uses.
+//! * [`RpcServer`] — an event-driven socket server started with
+//!   [`crate::Tropic::serve_rpc`]. One **reactor** thread runs a
+//!   readiness-polling loop (`poll(2)` via the vendored `polling` shim)
+//!   over every nonblocking connection; each connection is a small state
+//!   machine around a [`FrameReader`] with buffered frame writes. Decoded
+//!   requests are handed to a fixed dispatch pool (blocking calls get
+//!   transient threads), and replies flow back to the reactor over a
+//!   completion channel plus a self-pipe wake — so 10k idle subscriptions
+//!   cost file descriptors, not threads (Welsh et al., SEDA, SOSP 2001).
+//!   Subscription fan-out encodes each event **once** into a shared
+//!   [`bytes::Bytes`] frame and clones the handle onto every subscriber's
+//!   outbound queue.
 //! * [`RemoteClient`] — a drop-in mirror of the in-process builder API:
 //!   [`RemoteClient::submit_request`], [`RemoteClient::submit_batch`],
 //!   [`RemoteHandle::wait`]/[`RemoteHandle::try_outcome`],
 //!   [`RemoteClient::subscribe`] streaming [`TxnEvent`]s, and the operator
 //!   plane via [`RemoteClient::admin`].
+//!
+//! When the coordination service carries observer replicas, the streaming
+//! fan-out is lease-gated: if the fan-out observer's staleness lease
+//! lapses (quorum lost), every subscription closes with the typed
+//! [`ApiError::LeaseExpired`] — distinguishable from the
+//! [`ApiError::ShuttingDown`] a planned stop sends — and new
+//! subscriptions are refused until the lease heals. Read the close reason
+//! with [`RemoteSubscription::close_reason`].
 //!
 //! ## Wire format
 //!
@@ -35,14 +50,19 @@
 
 #![warn(missing_docs)]
 
-use std::io::Read;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use parking_lot::Mutex;
+use polling::{poll, PollFd, POLLIN, POLLOUT};
 use serde::{Deserialize, Serialize};
 use tropic_coord::{write_frame, FrameError, FrameReader};
 use tropic_model::Path;
@@ -259,18 +279,187 @@ fn transport(e: impl std::fmt::Display) -> ApiError {
 }
 
 // ---------------------------------------------------------------------
-// Server.
+// Server: the readiness-polling reactor.
 // ---------------------------------------------------------------------
 
+/// How often the reactor re-validates the fan-out observer's staleness
+/// lease (only when the coordination service carries observer replicas).
+const LEASE_CHECK_PERIOD: Duration = Duration::from_millis(250);
+/// Cap on one connection's queued outbound bytes. A subscriber that stops
+/// reading while events keep flowing is a slow consumer; past this bound
+/// its connection is closed rather than ballooning server memory.
+const OUTBOUND_CAP_BYTES: usize = 16 << 20;
+/// Bound on the per-connection blocking flush performed at teardown, so
+/// the final typed frames (`ShuttingDown`, in-flight replies) reach peers
+/// without a stalled one pinning shutdown.
+const TEARDOWN_FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Which one-way event feed a streaming connection subscribed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Feed {
+    /// Transaction lifecycle events ([`TxnEvent`]).
+    Txn,
+    /// Digital-twin phase transitions ([`TwinEvent`]).
+    Twin,
+}
+
+/// What a connection currently is: a request/reply line, or (after a
+/// `Subscribe`/`SubscribeTwin` mode switch) a one-way event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnMode {
+    Request,
+    Stream(Feed),
+}
+
+/// Per-connection state machine: a nonblocking socket, the incremental
+/// frame reassembler, and a queue of encoded outbound frames. The queue
+/// holds shared [`Bytes`] handles — broadcast fan-out encodes each event
+/// once and clones the handle here per subscriber.
+struct ConnState {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Encoded frames awaiting the socket; `out_pos` is the write offset
+    /// into the front frame, `out_bytes` the queued total.
+    outbound: VecDeque<Bytes>,
+    out_pos: usize,
+    out_bytes: usize,
+    mode: ConnMode,
+    /// One request dispatched at a time per connection: replies correlate
+    /// positionally, so the next pending request waits for the current
+    /// dispatch's completion.
+    inflight: bool,
+    /// Requests decoded but not yet dispatched (a pipelining client).
+    pending: VecDeque<RpcRequest>,
+    /// Close once `outbound` drains — set after a typed reject or lease
+    /// expiry whose error frame must still reach the peer.
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream) -> Self {
+        ConnState {
+            stream,
+            reader: FrameReader::new(),
+            outbound: VecDeque::new(),
+            out_pos: 0,
+            out_bytes: 0,
+            mode: ConnMode::Request,
+            inflight: false,
+            pending: VecDeque::new(),
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    fn enqueue(&mut self, frame: Bytes) {
+        if self.out_bytes.saturating_add(frame.len()) > OUTBOUND_CAP_BYTES {
+            self.dead = true;
+            return;
+        }
+        self.out_bytes += frame.len();
+        self.outbound.push_back(frame);
+    }
+
+    /// Writes queued frames until the socket would block or the queue
+    /// drains; a write failure (or a drained queue under
+    /// `close_after_flush`) retires the connection.
+    fn flush(&mut self) {
+        while let Some(front) = self.outbound.front() {
+            let unsent = front.get(self.out_pos..).unwrap_or_default();
+            match self.stream.write(unsent) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    if self.out_pos == front.len() {
+                        let len = front.len();
+                        self.out_pos = 0;
+                        self.out_bytes -= len;
+                        self.outbound.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.close_after_flush {
+            self.dead = true;
+        }
+    }
+
+    fn wants_pollout(&self) -> bool {
+        !self.outbound.is_empty()
+    }
+}
+
+/// Encodes a reply and frames it into one shared, reference-counted
+/// buffer.
+fn frame_response(resp: RpcResponse) -> Bytes {
+    let payload = encode_response_or_error(resp);
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    // Writing into a Vec cannot fail.
+    let _ = write_frame(&mut framed, &payload);
+    Bytes::copy_from_slice(&framed)
+}
+
+/// A completion flowing back into the reactor from a dispatch worker, a
+/// transient wait thread, or an event-feed pump.
+enum Wake {
+    /// The reply to one dispatched request, for one connection.
+    Reply { token: u64, frame: Bytes },
+    /// One event frame, encoded once, for every subscriber of `feed`.
+    Broadcast { feed: Feed, frame: Bytes },
+}
+
+/// Completion-channel handle handed to dispatch workers and feed pumps: a
+/// message plus one self-pipe byte, so a sleeping `poll(2)` wakes
+/// immediately instead of at the next timeout tick.
+#[derive(Clone)]
+struct DoneTx {
+    tx: crossbeam::channel::Sender<Wake>,
+    pipe: Arc<UnixStream>,
+}
+
+impl DoneTx {
+    fn send(&self, wake: Wake) {
+        let _ = self.tx.send(wake);
+        // A full (nonblocking) pipe already guarantees a pending wake.
+        let _ = (&*self.pipe).write(&[1u8]);
+    }
+}
+
+/// One queued unit of pool dispatch.
+struct Job {
+    token: u64,
+    req: RpcRequest,
+}
+
+/// Calls that block toward a caller-controlled deadline. The reactor runs
+/// these on transient threads so a herd of long waits can never occupy
+/// the fixed dispatch pool.
+fn is_blocking(req: &RpcRequest) -> bool {
+    matches!(
+        req,
+        RpcRequest::Wait { .. } | RpcRequest::Repair { .. } | RpcRequest::Reload { .. }
+    )
+}
+
 /// The listening RPC frontend. Dropping (or [`RpcServer::stop`]ping) it
-/// closes the listener and joins every connection thread; stop the server
-/// **before** shutting the platform down so in-flight dispatches finish
-/// against a live controller.
+/// wakes the reactor, which closes every connection and joins the
+/// dispatch pool; stop the server **before** shutting the platform down
+/// so in-flight dispatches finish against a live controller.
 pub struct RpcServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     shutdown_requested: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl RpcServer {
@@ -280,19 +469,35 @@ impl RpcServer {
         let addr = listener.local_addr().map_err(transport)?;
         let stop = Arc::new(AtomicBool::new(false));
         let shutdown_requested = Arc::new(AtomicBool::new(false));
-        let accept = {
+        // The self-pipe: completions write one byte to the tx end so the
+        // reactor's poll(2) wakes immediately.
+        let (wake_tx, wake_rx) = UnixStream::pair().map_err(transport)?;
+        wake_tx.set_nonblocking(true).map_err(transport)?;
+        wake_rx.set_nonblocking(true).map_err(transport)?;
+        let reactor = {
             let stop = Arc::clone(&stop);
             let shutdown_requested = Arc::clone(&shutdown_requested);
             std::thread::Builder::new()
-                .name("tropic-rpc-accept".into())
-                .spawn(move || accept_loop(listener, shared, cfg, &stop, &shutdown_requested))
+                .name("tropic-rpc-reactor".into())
+                .spawn(move || {
+                    Reactor::new(
+                        listener,
+                        shared,
+                        cfg,
+                        stop,
+                        shutdown_requested,
+                        wake_tx,
+                        wake_rx,
+                    )
+                    .run()
+                })
                 .map_err(transport)?
         };
         Ok(RpcServer {
             addr,
             stop,
             shutdown_requested,
-            accept: Some(accept),
+            reactor: Some(reactor),
         })
     }
 
@@ -308,14 +513,16 @@ impl RpcServer {
         self.shutdown_requested.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, drains connection threads, and joins them.
+    /// Stops the reactor: in-flight dispatches complete, streaming peers
+    /// receive a typed [`ApiError::ShuttingDown`] frame, every socket
+    /// closes, and the dispatch pool joins.
     pub fn stop(mut self) {
         self.stop_inner();
     }
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept.take() {
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
     }
@@ -327,44 +534,578 @@ impl Drop for RpcServer {
     }
 }
 
-fn accept_loop(
+/// The event loop. One thread owns every connection; readiness comes from
+/// `poll(2)` over the listener, the self-pipe, and each nonblocking
+/// socket. Work that can block — coordination submits, waits, admin calls
+/// — leaves the loop through the dispatch pool or a transient thread and
+/// returns as a [`Wake`] completion.
+struct Reactor {
     listener: TcpListener,
     shared: PlatformShared,
     cfg: RpcConfig,
-    stop: &Arc<AtomicBool>,
-    shutdown_requested: &Arc<AtomicBool>,
-) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    let mut conn_seq = 0u64;
-    let poll = Duration::from_millis(cfg.poll_ms.max(1));
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.metrics.record_rpc_connection();
-                conn_seq += 1;
-                let shared = shared.clone();
-                let cfg = cfg.clone();
-                let stop = Arc::clone(stop);
-                let shutdown_requested = Arc::clone(shutdown_requested);
-                let name = format!("tropic-rpc-conn-{conn_seq}");
-                let conn_id = conn_seq;
-                match std::thread::Builder::new().name(name).spawn(move || {
-                    serve_conn(&shared, &cfg, stream, &stop, &shutdown_requested, conn_id)
-                }) {
-                    Ok(h) => conns.push(h),
-                    Err(_) => {
-                        // Spawn failure: the accepted stream drops (peer
-                        // sees a reset) and the listener keeps serving.
-                    }
-                }
-                conns.retain(|h| !h.is_finished());
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    conns: HashMap<u64, ConnState>,
+    next_token: u64,
+    wake_rx: UnixStream,
+    done_rx: crossbeam::channel::Receiver<Wake>,
+    done: DoneTx,
+    /// `None` once teardown closes the job queue.
+    jobs_tx: Option<crossbeam::channel::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Transient threads serving blocking calls; pruned as they finish.
+    waiters: Vec<JoinHandle<()>>,
+    waiter_seq: u64,
+    /// Lazily-started event-feed pumps (txn, twin).
+    pumps: Vec<JoinHandle<()>>,
+    pump_started: (bool, bool),
+    /// The observer replica whose staleness lease gates streaming fan-out
+    /// (the first one, when the coordination service carries any).
+    lease_observer: Option<usize>,
+    lease_ok: bool,
+    last_lease_check: Instant,
+}
+
+impl Reactor {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        listener: TcpListener,
+        shared: PlatformShared,
+        cfg: RpcConfig,
+        stop: Arc<AtomicBool>,
+        shutdown_requested: Arc<AtomicBool>,
+        wake_tx: UnixStream,
+        wake_rx: UnixStream,
+    ) -> Self {
+        let (done_tx, done_rx) = crossbeam::channel::unbounded();
+        let done = DoneTx {
+            tx: done_tx,
+            pipe: Arc::new(wake_tx),
+        };
+        let (jobs_tx, jobs_rx) = crossbeam::channel::unbounded::<Job>();
+        let mut workers = Vec::new();
+        for idx in 0..cfg.dispatch_threads.max(1) {
+            let shared = shared.clone();
+            let jobs = jobs_rx.clone();
+            let done = done.clone();
+            let stop = Arc::clone(&stop);
+            let shutdown_requested = Arc::clone(&shutdown_requested);
+            if let Ok(h) = std::thread::Builder::new()
+                .name(format!("tropic-rpc-pool-{idx}"))
+                .spawn(move || worker_loop(shared, idx, jobs, done, stop, shutdown_requested))
+            {
+                workers.push(h);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(poll),
-            Err(_) => std::thread::sleep(poll),
+        }
+        let lease_observer = shared.coord.observer_ids().first().copied();
+        Reactor {
+            listener,
+            shared,
+            cfg,
+            stop,
+            shutdown_requested,
+            conns: HashMap::new(),
+            next_token: 0,
+            wake_rx,
+            done_rx,
+            done,
+            jobs_tx: Some(jobs_tx),
+            workers,
+            waiters: Vec::new(),
+            waiter_seq: 0,
+            pumps: Vec::new(),
+            pump_started: (false, false),
+            lease_observer,
+            lease_ok: true,
+            last_lease_check: Instant::now(),
         }
     }
-    for h in conns {
-        let _ = h.join();
+
+    fn run(mut self) {
+        let poll_ms = self.cfg.poll_ms.clamp(1, 1_000) as i32;
+        while !self.stop.load(Ordering::SeqCst) {
+            let (mut fds, tokens) = self.build_pollfds();
+            let _ = poll(&mut fds, poll_ms);
+            self.drain_wake_pipe();
+            self.drain_completions();
+            if fds.first().is_some_and(PollFd::readable) {
+                self.accept_ready();
+            }
+            for (fd, &token) in fds.iter().skip(2).zip(&tokens) {
+                if fd.errored() {
+                    if let Some(c) = self.conns.get_mut(&token) {
+                        c.dead = true;
+                    }
+                    continue;
+                }
+                if fd.writable() {
+                    if let Some(c) = self.conns.get_mut(&token) {
+                        c.flush();
+                    }
+                }
+                if fd.readable() {
+                    self.read_conn(token);
+                }
+            }
+            self.check_lease();
+            self.conns.retain(|_, c| !c.dead);
+        }
+        self.teardown();
+    }
+
+    /// One poll set per iteration: `[0]` the listener, `[1]` the wake
+    /// pipe, then every connection (write-interest only while its
+    /// outbound queue is nonempty). `tokens[i]` maps slot `i + 2` back to
+    /// its connection.
+    fn build_pollfds(&self) -> (Vec<PollFd>, Vec<u64>) {
+        let mut fds = Vec::with_capacity(self.conns.len() + 2);
+        fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+        fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+        let mut tokens = Vec::with_capacity(self.conns.len());
+        for (&token, conn) in &self.conns {
+            let mut interest = POLLIN;
+            if conn.wants_pollout() {
+                interest |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), interest));
+            tokens.push(token);
+        }
+        (fds, tokens)
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(wake) = self.done_rx.try_recv() {
+            match wake {
+                Wake::Reply { token, frame } => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.inflight = false;
+                        conn.enqueue(frame);
+                        conn.flush();
+                    }
+                    self.pump_dispatch(token);
+                }
+                Wake::Broadcast { feed, frame } => {
+                    let mut delivered = 0u64;
+                    for conn in self.conns.values_mut() {
+                        if conn.mode == ConnMode::Stream(feed)
+                            && !conn.dead
+                            && !conn.close_after_flush
+                        {
+                            conn.enqueue(frame.clone());
+                            conn.flush();
+                            delivered += 1;
+                        }
+                    }
+                    if delivered > 0 {
+                        self.shared.metrics.record_rpc_events(delivered);
+                    }
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.shared.metrics.record_rpc_connection();
+                    self.next_token += 1;
+                    self.conns.insert(self.next_token, ConnState::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drains every complete frame the socket has to offer right now.
+    fn read_conn(&mut self, token: u64) {
+        let max = self.cfg.max_frame_bytes;
+        loop {
+            enum ReadStep {
+                Frame(Vec<u8>),
+                Idle,
+                Closed,
+                Reject(FrameError),
+            }
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.dead || conn.close_after_flush {
+                    return;
+                }
+                match conn.reader.read_from(&mut conn.stream, max) {
+                    Ok(Some(payload)) => ReadStep::Frame(payload),
+                    Ok(None) => ReadStep::Idle,
+                    Err(FrameError::Closed) => ReadStep::Closed,
+                    Err(err) => ReadStep::Reject(err),
+                }
+            };
+            match step {
+                ReadStep::Frame(payload) => self.on_frame(token, payload),
+                ReadStep::Idle => return,
+                ReadStep::Closed => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.dead = true;
+                    }
+                    return;
+                }
+                ReadStep::Reject(err) => {
+                    // Typed reject, then close: past a corrupt or
+                    // oversized frame the stream is unsynchronized. Only
+                    // this connection is affected — the loop and every
+                    // other connection keep running.
+                    self.shared.metrics.record_rpc_rejected();
+                    let frame = frame_response(RpcResponse::Error(frame_reject(&err)));
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.enqueue(frame);
+                        conn.close_after_flush = true;
+                        conn.flush();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_frame(&mut self, token: u64, payload: Vec<u8>) {
+        let is_stream = match self.conns.get(&token) {
+            Some(conn) => matches!(conn.mode, ConnMode::Stream(_)),
+            None => return,
+        };
+        if is_stream {
+            // Stray frames on a one-way stream are tolerated and ignored,
+            // mirroring the client side's tolerance of unknown frames.
+            return;
+        }
+        match decode_request(&payload) {
+            Ok(req) => {
+                self.shared.metrics.record_rpc_request();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.pending.push_back(req);
+                }
+                self.pump_dispatch(token);
+            }
+            Err(e) => {
+                // Version and payload rejects are per-frame: framing
+                // stayed aligned, so the connection survives for a retry
+                // with a supported envelope.
+                self.shared.metrics.record_rpc_rejected();
+                let frame = frame_response(RpcResponse::Error(ApiError::from(e)));
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.enqueue(frame);
+                    conn.flush();
+                }
+            }
+        }
+    }
+
+    /// Advances one connection's dispatch state machine: answers what the
+    /// reactor can answer inline (`Ping`, `Shutdown`, the `Subscribe`
+    /// mode switches), hands fast calls to the pool, and blocking calls
+    /// to a transient thread — at most one in flight per connection, so
+    /// positional reply correlation holds.
+    fn pump_dispatch(&mut self, token: u64) {
+        loop {
+            enum After {
+                Done,
+                Again,
+                Spawn(RpcRequest),
+                Pump(Feed),
+            }
+            let now_ms = self.shared.clock.now_ms();
+            let lease_gate = match self.lease_observer {
+                Some(obs) if !self.lease_ok => Some(obs as u64),
+                _ => None,
+            };
+            let jobs_tx = self.jobs_tx.clone();
+            let shutdown_requested = Arc::clone(&self.shutdown_requested);
+            let after = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.inflight || conn.dead || conn.close_after_flush {
+                    return;
+                }
+                if conn.mode != ConnMode::Request {
+                    return;
+                }
+                let Some(req) = conn.pending.pop_front() else {
+                    return;
+                };
+                match req {
+                    RpcRequest::Ping => {
+                        conn.enqueue(frame_response(RpcResponse::Pong { now_ms }));
+                        conn.flush();
+                        After::Again
+                    }
+                    RpcRequest::Shutdown => {
+                        shutdown_requested.store(true, Ordering::SeqCst);
+                        conn.enqueue(frame_response(RpcResponse::ShutdownAck));
+                        conn.flush();
+                        After::Again
+                    }
+                    RpcRequest::Subscribe | RpcRequest::SubscribeTwin => {
+                        let feed = if matches!(req, RpcRequest::SubscribeTwin) {
+                            Feed::Twin
+                        } else {
+                            Feed::Txn
+                        };
+                        if let Some(observer) = lease_gate {
+                            // The fan-out observer cannot currently bound
+                            // staleness; refuse typed so the client can
+                            // tell this from a shutdown.
+                            conn.enqueue(frame_response(RpcResponse::Error(
+                                ApiError::LeaseExpired { observer },
+                            )));
+                            conn.close_after_flush = true;
+                            conn.flush();
+                            After::Done
+                        } else {
+                            conn.mode = ConnMode::Stream(feed);
+                            conn.pending.clear();
+                            conn.enqueue(frame_response(RpcResponse::Subscribed));
+                            conn.flush();
+                            After::Pump(feed)
+                        }
+                    }
+                    req if is_blocking(&req) => {
+                        conn.inflight = true;
+                        After::Spawn(req)
+                    }
+                    req => {
+                        conn.inflight = true;
+                        match &jobs_tx {
+                            Some(tx) if tx.send(Job { token, req }).is_ok() => {}
+                            _ => {
+                                // Pool gone: only during teardown.
+                                conn.inflight = false;
+                                conn.enqueue(frame_response(RpcResponse::Error(
+                                    ApiError::ShuttingDown,
+                                )));
+                                conn.flush();
+                            }
+                        }
+                        After::Done
+                    }
+                }
+            };
+            match after {
+                After::Done => return,
+                After::Again => continue,
+                After::Spawn(req) => {
+                    self.spawn_waiter(token, req);
+                    return;
+                }
+                After::Pump(feed) => {
+                    self.ensure_pump(feed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs one blocking call on a transient thread with its own
+    /// coordination session (as each connection's thread had under the
+    /// thread-per-connection server). The sliced helpers it lands in
+    /// re-check the stop flag every [`WAIT_SLICE`].
+    fn spawn_waiter(&mut self, token: u64, req: RpcRequest) {
+        self.waiters.retain(|h| !h.is_finished());
+        self.waiter_seq += 1;
+        let seq = self.waiter_seq;
+        let shared = self.shared.clone();
+        let stop = Arc::clone(&self.stop);
+        let shutdown_requested = Arc::clone(&self.shutdown_requested);
+        let done = self.done.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("tropic-rpc-wait-{seq}"))
+            .spawn(move || {
+                let client = shared.client(&format!("rpc-wait-{seq}"));
+                let mut admin: Option<AdminClient> = None;
+                let resp = dispatch(
+                    &shared,
+                    &client,
+                    &mut admin,
+                    &stop,
+                    &shutdown_requested,
+                    req,
+                );
+                done.send(Wake::Reply {
+                    token,
+                    frame: frame_response(resp),
+                });
+            });
+        match spawned {
+            Ok(h) => self.waiters.push(h),
+            Err(_) => self.done.send(Wake::Reply {
+                token,
+                frame: frame_response(RpcResponse::Error(ApiError::Transport(
+                    "server cannot spawn a wait thread".into(),
+                ))),
+            }),
+        }
+    }
+
+    /// Starts the feed pump on first subscription: one thread per feed,
+    /// regardless of subscriber count — it encodes each event once and
+    /// the reactor clones the frame handle per subscriber.
+    fn ensure_pump(&mut self, feed: Feed) {
+        let started = match feed {
+            Feed::Txn => &mut self.pump_started.0,
+            Feed::Twin => &mut self.pump_started.1,
+        };
+        if *started {
+            return;
+        }
+        *started = true;
+        let shared = self.shared.clone();
+        let stop = Arc::clone(&self.stop);
+        let done = self.done.clone();
+        type PumpFn = fn(PlatformShared, Arc<AtomicBool>, DoneTx);
+        let (name, pump): (&str, PumpFn) = match feed {
+            Feed::Txn => ("tropic-rpc-txn-pump", pump_txn),
+            Feed::Twin => ("tropic-rpc-twin-pump", pump_twin),
+        };
+        if let Ok(h) = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || pump(shared, stop, done))
+        {
+            self.pumps.push(h);
+        }
+    }
+
+    /// Re-validates the fan-out observer's staleness lease every
+    /// [`LEASE_CHECK_PERIOD`]. On expiry every streaming connection is
+    /// closed with the typed [`ApiError::LeaseExpired`] and new
+    /// subscriptions are refused; fan-out resumes when the lease heals.
+    fn check_lease(&mut self) {
+        let Some(observer) = self.lease_observer else {
+            return;
+        };
+        if self.last_lease_check.elapsed() < LEASE_CHECK_PERIOD {
+            return;
+        }
+        self.last_lease_check = Instant::now();
+        let ok = self.shared.coord.observer_lease_valid(observer);
+        if ok == self.lease_ok {
+            return;
+        }
+        self.lease_ok = ok;
+        if ok {
+            return;
+        }
+        let frame = frame_response(RpcResponse::Error(ApiError::LeaseExpired {
+            observer: observer as u64,
+        }));
+        for conn in self.conns.values_mut() {
+            if matches!(conn.mode, ConnMode::Stream(_)) && !conn.dead {
+                conn.enqueue(frame.clone());
+                conn.close_after_flush = true;
+                conn.flush();
+            }
+        }
+    }
+
+    fn teardown(mut self) {
+        // Close the job queue; workers drain what's queued, then exit.
+        self.jobs_tx = None;
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        // Transient waiters observe the stop flag within one wait slice.
+        for w in std::mem::take(&mut self.waiters) {
+            let _ = w.join();
+        }
+        // Everything that was in flight has now sent its completion.
+        self.drain_completions();
+        let bye = frame_response(RpcResponse::Error(ApiError::ShuttingDown));
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            match conn.mode {
+                // Streams get a typed goodbye distinguishing planned
+                // teardown from a lease expiry or a crash.
+                ConnMode::Stream(_) => conn.enqueue(bye.clone()),
+                // Positional correlation: every request still owed a
+                // reply gets the typed refusal instead of silence.
+                ConnMode::Request => {
+                    let owed = conn.pending.len() + usize::from(conn.inflight);
+                    for _ in 0..owed {
+                        conn.enqueue(bye.clone());
+                    }
+                    conn.pending.clear();
+                }
+            }
+        }
+        // Best-effort bounded blocking flush so those frames reach peers.
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn.stream.set_write_timeout(Some(TEARDOWN_FLUSH_TIMEOUT));
+            'frames: while let Some(front) = conn.outbound.front() {
+                while let Some(unsent) = front.get(conn.out_pos..).filter(|u| !u.is_empty()) {
+                    match conn.stream.write(unsent) {
+                        Ok(0) | Err(_) => break 'frames,
+                        Ok(n) => conn.out_pos += n,
+                    }
+                }
+                conn.out_pos = 0;
+                conn.outbound.pop_front();
+            }
+        }
+        // Dropping the map closes every socket.
+        self.conns.clear();
+        // Pumps exit on their next stop-flag check.
+        for p in std::mem::take(&mut self.pumps) {
+            let _ = p.join();
+        }
+    }
+}
+
+/// One dispatch-pool worker: a long-lived coordination session answering
+/// non-blocking calls pulled off the shared job queue.
+fn worker_loop(
+    shared: PlatformShared,
+    idx: usize,
+    jobs: crossbeam::channel::Receiver<Job>,
+    done: DoneTx,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+) {
+    let client = shared.client(&format!("rpc-pool-{idx}"));
+    let mut admin: Option<AdminClient> = None;
+    while let Ok(job) = jobs.recv() {
+        let resp = dispatch(
+            &shared,
+            &client,
+            &mut admin,
+            &stop,
+            &shutdown_requested,
+            job.req,
+        );
+        done.send(Wake::Reply {
+            token: job.token,
+            frame: frame_response(resp),
+        });
     }
 }
 
@@ -378,80 +1119,6 @@ fn frame_reject(err: &FrameError) -> ApiError {
             "frame of {len} bytes exceeds the server's {max}-byte cap"
         )),
         other => ApiError::Transport(other.to_string()),
-    }
-}
-
-fn serve_conn(
-    shared: &PlatformShared,
-    cfg: &RpcConfig,
-    mut stream: TcpStream,
-    stop: &AtomicBool,
-    shutdown_requested: &AtomicBool,
-    conn_id: u64,
-) {
-    // On BSD-likes an accepted socket inherits the listener's O_NONBLOCK;
-    // clear it or the read timeout below is ineffective and the idle loop
-    // busy-spins on instant EWOULDBLOCK.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.poll_ms.max(1))));
-    // A bounded write keeps a stalled client (full kernel send buffer,
-    // reader gone) from pinning this thread in write_all past shutdown.
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut reader = FrameReader::new();
-    // One coordination session per connection, like a linked-in client.
-    let client = shared.client(&format!("rpc-conn-{conn_id}"));
-    let mut admin: Option<AdminClient> = None;
-    while !stop.load(Ordering::SeqCst) {
-        let payload = match reader.read_from(&mut stream, cfg.max_frame_bytes) {
-            Ok(Some(p)) => p,
-            Ok(None) => continue, // idle or partial frame; re-check stop
-            Err(FrameError::Closed) => break,
-            Err(err) => {
-                // Typed reject, then close: past a corrupt or oversized
-                // frame the stream is unsynchronized.
-                shared.metrics.record_rpc_rejected();
-                let resp = RpcResponse::Error(frame_reject(&err));
-                let _ = write_frame(&mut stream, &encode_response_or_error(resp));
-                break;
-            }
-        };
-        let req = match decode_request(&payload) {
-            Ok(req) => req,
-            Err(e) => {
-                // Version and payload rejects are per-frame: framing stayed
-                // aligned, so the connection survives for a retry with a
-                // supported envelope.
-                shared.metrics.record_rpc_rejected();
-                let resp = RpcResponse::Error(ApiError::from(e));
-                if write_frame(&mut stream, &encode_response_or_error(resp)).is_err() {
-                    break;
-                }
-                continue;
-            }
-        };
-        shared.metrics.record_rpc_request();
-        if matches!(req, RpcRequest::Subscribe | RpcRequest::SubscribeTwin) {
-            let twin = matches!(req, RpcRequest::SubscribeTwin);
-            if write_frame(
-                &mut stream,
-                &encode_response_or_error(RpcResponse::Subscribed),
-            )
-            .is_err()
-            {
-                break;
-            }
-            if twin {
-                stream_twin_events(shared, &mut stream, stop);
-            } else {
-                stream_events(shared, &mut stream, stop);
-            }
-            break;
-        }
-        let resp = dispatch(shared, &client, &mut admin, stop, shutdown_requested, req);
-        if write_frame(&mut stream, &encode_response_or_error(resp)).is_err() {
-            break;
-        }
     }
 }
 
@@ -501,8 +1168,9 @@ fn dispatch(
                 Err(e) => RpcResponse::Error(e),
             }
         }
-        // Subscribe switches the connection mode and is handled by the
-        // connection loop before dispatch.
+        // Subscribe switches the connection mode and is handled inline by
+        // the reactor before dispatch (as are Ping and Shutdown; the arms
+        // below keep dispatch total).
         RpcRequest::Subscribe | RpcRequest::SubscribeTwin => RpcResponse::Subscribed,
         RpcRequest::Ping => RpcResponse::Pong {
             now_ms: shared.clock.now_ms(),
@@ -583,59 +1251,32 @@ fn wait_sliced(
     }
 }
 
-/// Forwards subscription events until the server stops or the client goes
-/// away. A dedicated watcher session feeds the stream, exactly as the
-/// in-process [`crate::api::Subscription`] (it *is* one).
-fn stream_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &AtomicBool) {
+/// Feeds the reactor transaction lifecycle events off a dedicated watcher
+/// session, exactly as the in-process [`crate::api::Subscription`] (it
+/// *is* one). Each event is encoded into one shared frame here; the
+/// reactor clones the handle onto every subscriber's outbound queue.
+fn pump_txn(shared: PlatformShared, stop: Arc<AtomicBool>, done: DoneTx) {
     let sub = shared.subscription();
-    let mut probe = [0u8; 64];
     while !stop.load(Ordering::SeqCst) {
         if let Some(ev) = sub.recv_timeout(Duration::from_millis(100)) {
-            if write_frame(stream, &encode_response_or_error(RpcResponse::Event(ev))).is_err() {
-                return;
-            }
-            shared.metrics.record_rpc_events(1);
-            continue;
-        }
-        // No event: use the idle slot to detect a departed client — a
-        // closed peer reads as EOF, an alive-but-quiet one as a timeout.
-        match stream.read(&mut probe) {
-            Ok(0) => return,
-            Ok(_) => {} // stray bytes on a stream connection are ignored
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => return,
+            done.send(Wake::Broadcast {
+                feed: Feed::Txn,
+                frame: frame_response(RpcResponse::Event(ev)),
+            });
         }
     }
 }
 
-/// Forwards digital-twin phase transitions until the server stops or the
-/// client goes away, mirroring [`stream_events`] over the platform's
-/// in-process [`crate::TwinFeed`].
-fn stream_twin_events(shared: &PlatformShared, stream: &mut TcpStream, stop: &AtomicBool) {
+/// Feeds the reactor digital-twin phase transitions, mirroring
+/// [`pump_txn`] over the platform's in-process [`crate::TwinFeed`].
+fn pump_twin(shared: PlatformShared, stop: Arc<AtomicBool>, done: DoneTx) {
     let sub = shared.twin_feed.subscribe();
-    let mut probe = [0u8; 64];
     while !stop.load(Ordering::SeqCst) {
         if let Some(ev) = sub.recv_timeout(Duration::from_millis(100)) {
-            if write_frame(
-                stream,
-                &encode_response_or_error(RpcResponse::TwinEvent(ev)),
-            )
-            .is_err()
-            {
-                return;
-            }
-            shared.metrics.record_rpc_events(1);
-            continue;
-        }
-        match stream.read(&mut probe) {
-            Ok(0) => return,
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => return,
+            done.send(Wake::Broadcast {
+                feed: Feed::Twin,
+                frame: frame_response(RpcResponse::TwinEvent(ev)),
+            });
         }
     }
 }
@@ -980,6 +1621,7 @@ pub struct RemoteSubscription {
     twin_rx: mpsc::Receiver<TwinEvent>,
     stream: TcpStream,
     thread: Option<JoinHandle<()>>,
+    close_reason: Arc<Mutex<Option<ApiError>>>,
 }
 
 impl RemoteSubscription {
@@ -1019,8 +1661,10 @@ impl RemoteSubscription {
         }
         let (tx, rx) = mpsc::channel();
         let (twin_tx, twin_rx) = mpsc::channel();
+        let close_reason: Arc<Mutex<Option<ApiError>>> = Arc::new(Mutex::new(None));
         let thread = {
             let mut stream = stream.try_clone().map_err(transport)?;
+            let close_reason = Arc::clone(&close_reason);
             std::thread::Builder::new()
                 .name("tropic-remote-subscriber".into())
                 .spawn(move || {
@@ -1030,9 +1674,15 @@ impl RemoteSubscription {
                                 // Anything that is not a decodable event is
                                 // tolerated and skipped: the stream must
                                 // survive frames a newer server might add.
+                                // An error frame is the server's stated
+                                // close reason: record it and end the feed.
                                 let delivered = match decode_response(&payload) {
                                     Ok(RpcResponse::Event(ev)) => tx.send(ev).is_ok(),
                                     Ok(RpcResponse::TwinEvent(ev)) => twin_tx.send(ev).is_ok(),
+                                    Ok(RpcResponse::Error(e)) => {
+                                        *close_reason.lock() = Some(e);
+                                        return;
+                                    }
                                     _ => true,
                                 };
                                 if !delivered {
@@ -1051,6 +1701,7 @@ impl RemoteSubscription {
             twin_rx,
             stream,
             thread: Some(thread),
+            close_reason,
         })
     }
 
@@ -1100,6 +1751,19 @@ impl RemoteSubscription {
     /// [`RemoteClient::subscribe`] to continue.
     pub fn is_live(&self) -> bool {
         self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
+    /// Why the server closed this feed, when it said so with a typed
+    /// error frame before closing: [`ApiError::ShuttingDown`] for a
+    /// planned stop, [`ApiError::LeaseExpired`] when the fan-out
+    /// observer's staleness lease lapsed (resubscribe once the quorum
+    /// heals). `None` while the feed is live, and `None` after a close
+    /// the server never explained (crash, cut network) — so callers can
+    /// distinguish *all three* cases together with
+    /// [`RemoteSubscription::is_live`]. See `docs/WIRE_PROTOCOL.md`,
+    /// "Close reasons".
+    pub fn close_reason(&self) -> Option<ApiError> {
+        self.close_reason.lock().clone()
     }
 }
 

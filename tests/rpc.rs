@@ -502,3 +502,189 @@ fn shutdown_request_sets_the_flag_but_keeps_serving() {
     server.stop();
     platform.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Reactor scale-out and typed close reasons.
+// ---------------------------------------------------------------------
+
+/// Opens a raw streaming subscription: one socket, the `Subscribe`
+/// handshake, no client-side thread — so a thousand of them cost the
+/// test (and the server) file descriptors only.
+fn raw_subscribe(addr: std::net::SocketAddr) -> (TcpStream, FrameReader) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let _ = stream.set_nodelay(true);
+    write_frame(&mut stream, &encode_request(RpcRequest::Subscribe).unwrap()).unwrap();
+    let mut reader = FrameReader::new();
+    match read_response(&mut stream, &mut reader).unwrap() {
+        RpcResponse::Subscribed => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    (stream, reader)
+}
+
+#[test]
+fn thousand_idle_subscriptions_served_by_one_reactor() {
+    let (platform, server) = start();
+    let mut subs: Vec<(TcpStream, FrameReader)> =
+        (0..1_000).map(|_| raw_subscribe(server.addr())).collect();
+
+    // The request path stays interactive with 1 000 streams attached to
+    // the same event loop.
+    let remote = RemoteClient::connect(server.addr()).unwrap();
+    remote.ping().unwrap();
+
+    let spec = spec();
+    let handle = remote
+        .submit_request(TxnRequest::new("spawnVM").args(spec.spawn_args("fan-vm", 3, 512)))
+        .unwrap();
+    let outcome = handle.wait_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(outcome.state, TxnState::Committed, "{:?}", outcome.error);
+
+    // Fan-out reached the edges of the connection set: the terminal event
+    // arrives on the first, middle, and last subscription.
+    for idx in [0usize, 499, 999] {
+        let (stream, reader) = &mut subs[idx];
+        loop {
+            match read_response(stream, reader).unwrap() {
+                RpcResponse::Event(ev) if ev.id == outcome.id && ev.state.is_final() => break,
+                RpcResponse::Event(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    // Every broadcast frame was counted per delivery.
+    assert!(platform.metrics().counters().rpc_events_streamed >= 1_000);
+
+    server.stop();
+    platform.shutdown();
+}
+
+#[test]
+fn corrupt_frame_closes_only_its_own_connection() {
+    let (platform, server) = start();
+    let mut a = TcpStream::connect(server.addr()).unwrap();
+    let mut ra = FrameReader::new();
+    let mut b = TcpStream::connect(server.addr()).unwrap();
+    let mut rb = FrameReader::new();
+
+    for (s, r) in [(&mut a, &mut ra), (&mut b, &mut rb)] {
+        write_frame(s, &encode_request(RpcRequest::Ping).unwrap()).unwrap();
+        assert!(matches!(
+            read_response(s, r).unwrap(),
+            RpcResponse::Pong { .. }
+        ));
+    }
+
+    // A single flipped payload byte mid-stream on A: typed reject, close.
+    let payload = encode_request(RpcRequest::Ping).unwrap();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload).unwrap();
+    let last = wire.len() - 1;
+    wire[last] ^= 0x01;
+    a.write_all(&wire).unwrap();
+    a.flush().unwrap();
+    assert!(matches!(
+        read_response(&mut a, &mut ra).unwrap(),
+        RpcResponse::Error(ApiError::Transport(_))
+    ));
+    assert!(matches!(
+        read_response(&mut a, &mut ra),
+        Err(FrameError::Closed)
+    ));
+
+    // B shares the reactor but not the damage: it keeps being served.
+    write_frame(&mut b, &encode_request(RpcRequest::Ping).unwrap()).unwrap();
+    assert!(matches!(
+        read_response(&mut b, &mut rb).unwrap(),
+        RpcResponse::Pong { .. }
+    ));
+
+    server.stop();
+    platform.shutdown();
+}
+
+#[test]
+fn subscription_close_reason_distinguishes_shutdown() {
+    let (platform, server) = start();
+    let remote = RemoteClient::connect(server.addr()).unwrap();
+    let events = remote.subscribe().unwrap();
+    assert!(events.close_reason().is_none(), "no reason while live");
+
+    server.stop();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while events.is_live() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(!events.is_live());
+    // A planned stop says so: the typed goodbye frame, not silence.
+    assert_eq!(events.close_reason(), Some(ApiError::ShuttingDown));
+
+    platform.shutdown();
+}
+
+#[test]
+fn observer_lease_expiry_closes_streams_typed_and_heals() {
+    let platform = Tropic::start(
+        PlatformConfig {
+            controllers: 1,
+            workers: 1,
+            checkpoint_every: 0,
+            coord: tropic::coord::CoordConfig {
+                observers: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        spec().service(),
+        ExecMode::LogicalOnly,
+    );
+    let server = platform.serve_rpc().expect("bind loopback");
+    let observer = platform.coord().observer_ids()[0];
+    assert!(platform.coord().observer_lease_valid(observer));
+
+    let remote = RemoteClient::connect(server.addr()).unwrap();
+    let events = remote.subscribe().unwrap();
+    assert!(events.close_reason().is_none());
+
+    // Kill the observer replica: its staleness lease can no longer be
+    // renewed, so fan-out must stop rather than serve unbounded
+    // staleness. The voters (and the whole request path) are untouched.
+    platform.coord().crash_replica(observer);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while events.is_live() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(!events.is_live(), "stream must close on lease expiry");
+    match events.close_reason() {
+        Some(ApiError::LeaseExpired { observer: o }) => assert_eq!(o, observer as u64),
+        other => panic!("expected LeaseExpired, got {other:?}"),
+    }
+    remote
+        .ping()
+        .expect("request path unaffected by observer loss");
+
+    // New subscriptions are refused with the same typed (and retryable)
+    // error while the lease is down.
+    match remote.subscribe() {
+        Err(e @ ApiError::LeaseExpired { .. }) => assert!(e.retryable()),
+        Err(other) => panic!("expected LeaseExpired refusal, got {other}"),
+        Ok(_) => panic!("subscription must be refused while the lease is down"),
+    }
+
+    // Heal: the restarted observer re-syncs from the leader, the lease
+    // renews on the next tick, and subscriptions are accepted again.
+    platform.coord().restart_replica(observer);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match remote.subscribe() {
+            Ok(_healed) => break,
+            Err(ApiError::LeaseExpired { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    server.stop();
+    platform.shutdown();
+}
